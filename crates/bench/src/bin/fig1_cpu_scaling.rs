@@ -1,0 +1,49 @@
+//! Figure 1: average per-process execution time vs number of concurrent CPU-bound processes,
+//! for the ULE, 4BSD and Linux 2.6 scheduler models.
+//!
+//! ```text
+//! cargo run --release -p p2plab-bench --bin fig1_cpu_scaling
+//! ```
+
+use p2plab_bench::write_results_file;
+use p2plab_core::{points_to_csv, render_table};
+use p2plab_os::experiments::figure1_sweep;
+use p2plab_os::SchedulerKind;
+
+fn main() {
+    let concurrencies = [1usize, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+    let sweeps: Vec<(SchedulerKind, Vec<(usize, f64)>)> = SchedulerKind::ALL
+        .iter()
+        .map(|&s| (s, figure1_sweep(s, &concurrencies)))
+        .collect();
+
+    let rows: Vec<Vec<String>> = concurrencies
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let mut row = vec![n.to_string()];
+            row.extend(sweeps.iter().map(|(_, sweep)| format!("{:.4}", sweep[i].1)));
+            row
+        })
+        .collect();
+    let headers: Vec<&str> = std::iter::once("processes")
+        .chain(SchedulerKind::ALL.iter().map(|s| s.label()))
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 1: avg per-process execution time (s), CPU-bound job (1.65 s stand-alone)",
+            &headers,
+            &rows
+        )
+    );
+    println!("Paper: flat around 1.65-1.69 s, slightly decreasing with concurrency, for all three schedulers.");
+
+    for (sched, sweep) in &sweeps {
+        let points: Vec<(f64, f64)> = sweep.iter().map(|&(n, v)| (n as f64, v)).collect();
+        write_results_file(
+            &format!("fig1_{}.csv", sched.label().replace(' ', "_").to_lowercase()),
+            &points_to_csv("processes", "avg_exec_time_s", &points),
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 8: evolution of the download of 160 BitTorrent clients (16 MB file, 4 seeders,
+//! DSL-like links, clients started every 10 s, one client per physical node).
+//!
+//! ```text
+//! cargo run --release -p p2plab-bench --bin fig8_swarm_progress [scale]
+//! ```
+//!
+//! The optional `scale` argument (0..1] shrinks the number of clients proportionally; the
+//! default reproduces the paper's 160 clients.
+
+use p2plab_bench::{arg_scale, write_results_file};
+use p2plab_core::{
+    ascii_plot, completion_summary, download_phases, run_swarm_experiment, series_to_csv,
+    SwarmExperiment,
+};
+use p2plab_sim::SimDuration;
+
+fn main() {
+    let scale = arg_scale(1.0, 0.05);
+    let mut cfg = SwarmExperiment::paper_figure8();
+    if scale < 1.0 {
+        cfg.leechers = ((cfg.leechers as f64 * scale).round() as usize).max(8);
+        cfg.machines = cfg.leechers + cfg.seeders + 1;
+        cfg.name = format!("figure8-{}-clients", cfg.leechers);
+    }
+    println!(
+        "Figure 8: {} clients + {} seeders, 16 MB file, DSL 2 Mbps/128 kbps/30 ms, start interval {}",
+        cfg.leechers, cfg.seeders, cfg.start_interval
+    );
+    let result = run_swarm_experiment(&cfg);
+    println!("{}\n", result.summary());
+
+    if let Some(s) = completion_summary(&result) {
+        println!(
+            "completions: first {} / median {} / last {}",
+            s.first, s.median, s.last
+        );
+    }
+    if let Some(p) = download_phases(&result) {
+        println!("download phases (as read off the curves):");
+        println!("  1. seeders-only uploading until about {}", p.seeder_only_until);
+        println!("  2. downloaders contributing to each other until {}", p.first_completion);
+        println!("  3. finished clients seeding the rest until {}", p.last_completion);
+    }
+
+    // The figure plots every client's progress; print a sample of clients and write all curves
+    // to CSV for plotting.
+    println!("\nSelected clients (percent done at 500 s / 1000 s / 1500 s, completion time):");
+    let step = (result.progress.len() / 10).max(1);
+    for (i, p) in result.progress.iter().enumerate().step_by(step) {
+        println!(
+            "  client {:3}: {:5.1}% {:6.1}% {:6.1}%   done at {}",
+            i,
+            p.value_at(p2plab_sim::SimTime::from_secs(500), 0.0),
+            p.value_at(p2plab_sim::SimTime::from_secs(1000), 0.0),
+            p.value_at(p2plab_sim::SimTime::from_secs(1500), 0.0),
+            p.time_to_reach(100.0)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+
+    let names: Vec<String> = (0..result.progress.len()).map(|i| format!("client{i}")).collect();
+    let series: Vec<(&str, &p2plab_sim::TimeSeries)> = names
+        .iter()
+        .map(|n| n.as_str())
+        .zip(result.progress.iter())
+        .collect();
+    let csv = series_to_csv(&series, SimDuration::from_secs(20), result.stopped_at);
+    write_results_file("fig8_progress.csv", &csv);
+
+    println!();
+    println!(
+        "{}",
+        ascii_plot("median client progress shape (percent)", &median_curve(&result), 70, 12)
+    );
+    println!("Paper: all three phases of a BitTorrent download are visible, and clients finish around 1500-2000 s.");
+}
+
+fn median_curve(result: &p2plab_core::SwarmResult) -> p2plab_sim::TimeSeries {
+    // Build a "median client" curve by sampling all progress curves on a grid.
+    let mut out = p2plab_sim::TimeSeries::new();
+    let end = result.stopped_at;
+    let step = SimDuration::from_secs(20);
+    let mut t = p2plab_sim::SimTime::ZERO;
+    while t <= end {
+        let mut vals: Vec<f64> = result.progress.iter().map(|p| p.value_at(t, 0.0)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if !vals.is_empty() {
+            out.push(t, vals[vals.len() / 2]);
+        }
+        t = t + step;
+    }
+    out
+}

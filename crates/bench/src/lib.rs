@@ -1,0 +1,60 @@
+//! Shared helpers for the benchmark harness and the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has two entry points:
+//!
+//! * a **binary** (`cargo run --release -p p2plab-bench --bin fig8_swarm_progress`) that runs
+//!   the experiment at paper scale (or a scale given on the command line) and prints the same
+//!   rows/series the figure plots;
+//! * a **Criterion bench** (`cargo bench -p p2plab-bench`) that exercises the same code path at
+//!   a reduced scale so the whole suite stays fast and can run in CI.
+
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Scale factor passed on the command line (first argument), clamped to `[min, 1.0]`.
+/// Defaults to `default` when absent or unparsable.
+pub fn arg_scale(default: f64, min: f64) -> f64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(default)
+        .clamp(min, 1.0)
+}
+
+/// Writes `contents` into `results/<name>` at the workspace root (creating the directory)
+/// and reports where it went. Figure binaries use this to leave CSV files behind for plotting.
+pub fn write_results_file(name: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    f.write_all(contents.as_bytes()).expect("write results file");
+    println!("[results written to {}]", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_scale_defaults_and_clamps() {
+        // No meaningful CLI args in the test harness: the default must come back clamped.
+        assert_eq!(arg_scale(0.5, 0.1), 0.5);
+        assert_eq!(arg_scale(2.0, 0.1), 1.0);
+        assert_eq!(arg_scale(0.01, 0.1), 0.1);
+    }
+
+    #[test]
+    fn results_files_land_in_results_dir() {
+        let path = write_results_file("bench_selftest.csv", "a,b\n1,2\n");
+        assert!(path.exists());
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with("a,b"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,162 @@
+//! Piece bitfields.
+//!
+//! Compact set of piece indices, exchanged in the peer wire protocol's `bitfield` message and
+//! used for availability accounting (rarest-first needs per-piece counts over all peers).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size set of piece indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitfield {
+    bits: Vec<u64>,
+    len: u32,
+    count: u32,
+}
+
+impl Bitfield {
+    /// An empty bitfield over `len` pieces.
+    pub fn new(len: u32) -> Bitfield {
+        Bitfield {
+            bits: vec![0; (len as usize).div_ceil(64)],
+            len,
+            count: 0,
+        }
+    }
+
+    /// A bitfield with every piece set (a seeder's bitfield).
+    pub fn full(len: u32) -> Bitfield {
+        let mut b = Bitfield::new(len);
+        for i in 0..len {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Number of pieces the bitfield covers.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if the bitfield covers zero pieces.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pieces currently set.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True if every piece is set.
+    pub fn is_full(&self) -> bool {
+        self.count == self.len
+    }
+
+    /// True if piece `i` is set.
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.len, "piece index out of range");
+        self.bits[(i / 64) as usize] & (1 << (i % 64)) != 0
+    }
+
+    /// Sets piece `i`. Returns true if it was newly set.
+    pub fn set(&mut self, i: u32) -> bool {
+        assert!(i < self.len, "piece index out of range");
+        let word = &mut self.bits[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears piece `i`. Returns true if it was previously set.
+    pub fn clear(&mut self, i: u32) -> bool {
+        assert!(i < self.len, "piece index out of range");
+        let word = &mut self.bits[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over set piece indices.
+    pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Iterates over missing piece indices.
+    pub fn iter_missing(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).filter(move |&i| !self.get(i))
+    }
+
+    /// True if `other` has at least one piece this bitfield is missing (i.e. the peer owning
+    /// `other` is interesting to us).
+    pub fn is_interested_in(&self, other: &Bitfield) -> bool {
+        assert_eq!(self.len, other.len, "bitfield length mismatch");
+        other.iter_set().any(|i| !self.get(i))
+    }
+
+    /// Size of the wire representation of the bitfield message payload, in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.len as u64).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_count() {
+        let mut b = Bitfield::new(100);
+        assert_eq!(b.count(), 0);
+        assert!(b.set(3));
+        assert!(!b.set(3));
+        assert!(b.set(64));
+        assert!(b.get(3) && b.get(64) && !b.get(4));
+        assert_eq!(b.count(), 2);
+        assert!(b.clear(3));
+        assert!(!b.clear(3));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn full_bitfield() {
+        let b = Bitfield::full(64);
+        assert!(b.is_full());
+        assert_eq!(b.count(), 64);
+        assert_eq!(b.iter_missing().count(), 0);
+        assert_eq!(b.iter_set().count(), 64);
+    }
+
+    #[test]
+    fn interest_detection() {
+        let mut mine = Bitfield::new(10);
+        let mut theirs = Bitfield::new(10);
+        assert!(!mine.is_interested_in(&theirs));
+        theirs.set(5);
+        assert!(mine.is_interested_in(&theirs));
+        mine.set(5);
+        assert!(!mine.is_interested_in(&theirs));
+    }
+
+    #[test]
+    fn wire_size_rounds_up() {
+        assert_eq!(Bitfield::new(64).wire_bytes(), 8);
+        assert_eq!(Bitfield::new(65).wire_bytes(), 9);
+        assert_eq!(Bitfield::new(1).wire_bytes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_checked() {
+        Bitfield::new(10).get(10);
+    }
+}

@@ -1,0 +1,362 @@
+//! Per-client state of the BitTorrent application.
+//!
+//! A [`Client`] mirrors the state the BitTorrent 4.x mainline client keeps: the piece manager,
+//! the choker, one [`PeerConn`] per open peer connection, the peers learned from the tracker,
+//! and the time-stamped download progress log (the paper instruments the client by adding a
+//! time-stamp to its default output — [`Client::progress`] is that log).
+
+use crate::bitfield::Bitfield;
+use crate::choke::{ChokeConfig, Choker, PeerSnapshot};
+use crate::messages::PeerId;
+use crate::piece::PieceManager;
+use crate::torrent::Torrent;
+use p2plab_net::{ConnId, SocketAddr, VNodeId};
+use p2plab_sim::{RateEstimator, SimDuration, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// Client policy parameters (mainline 4.x defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientConfig {
+    /// Port the client listens on.
+    pub listen_port: u16,
+    /// Maximum number of open peer connections.
+    pub max_connections: usize,
+    /// Maximum number of outgoing connections the client initiates on its own.
+    pub max_initiate: usize,
+    /// Number of outstanding block requests kept per unchoked peer.
+    pub request_pipeline: usize,
+    /// Choker period.
+    pub choke_interval: SimDuration,
+    /// Choking policy.
+    pub choke: ChokeConfig,
+    /// Periodic tracker re-announce interval.
+    pub tracker_interval: SimDuration,
+    /// Number of peers requested from the tracker.
+    pub numwant: usize,
+    /// Outstanding requests older than this are re-issued to another peer.
+    pub request_timeout: SimDuration,
+    /// If the client has fewer known peers than this it re-announces early.
+    pub min_peers: usize,
+    /// Window of the transfer-rate estimators used by the choker.
+    pub rate_window: SimDuration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            listen_port: 6881,
+            max_connections: 55,
+            max_initiate: 40,
+            request_pipeline: 5,
+            choke_interval: SimDuration::from_secs(10),
+            choke: ChokeConfig::default(),
+            tracker_interval: SimDuration::from_secs(120),
+            numwant: 50,
+            request_timeout: SimDuration::from_secs(60),
+            min_peers: 20,
+            rate_window: SimDuration::from_secs(20),
+        }
+    }
+}
+
+/// State of one peer connection, from this client's point of view.
+#[derive(Debug, Clone)]
+pub struct PeerConn {
+    /// The underlying transport connection.
+    pub conn: ConnId,
+    /// The remote endpoint.
+    pub peer_addr: SocketAddr,
+    /// Whether this client initiated the connection.
+    pub outbound: bool,
+    /// Whether the remote peer's handshake has been received.
+    pub handshaken: bool,
+    /// Whether this client already sent its handshake.
+    pub sent_handshake: bool,
+    /// The remote peer id, learned from its handshake.
+    pub peer_id: Option<PeerId>,
+    /// We are choking the peer.
+    pub am_choking: bool,
+    /// We are interested in the peer's pieces.
+    pub am_interested: bool,
+    /// The peer is choking us.
+    pub peer_choking: bool,
+    /// The peer is interested in our pieces.
+    pub peer_interested: bool,
+    /// The peer's piece bitfield (as far as we know).
+    pub bitfield: Bitfield,
+    /// Block requests sent to the peer and not yet answered.
+    pub inflight: Vec<(u32, u32)>,
+    /// Rate at which the peer uploads to us.
+    pub download: RateEstimator,
+    /// Rate at which we upload to the peer.
+    pub upload: RateEstimator,
+    /// Blocks received from the peer.
+    pub blocks_received: u64,
+    /// Blocks sent to the peer.
+    pub blocks_sent: u64,
+}
+
+impl PeerConn {
+    /// Creates the state for a new connection.
+    pub fn new(
+        conn: ConnId,
+        peer_addr: SocketAddr,
+        outbound: bool,
+        num_pieces: u32,
+        rate_window: SimDuration,
+    ) -> PeerConn {
+        PeerConn {
+            conn,
+            peer_addr,
+            outbound,
+            handshaken: false,
+            sent_handshake: false,
+            peer_id: None,
+            am_choking: true,
+            am_interested: false,
+            peer_choking: true,
+            peer_interested: false,
+            bitfield: Bitfield::new(num_pieces),
+            inflight: Vec::new(),
+            download: RateEstimator::new(rate_window),
+            upload: RateEstimator::new(rate_window),
+            blocks_received: 0,
+            blocks_sent: 0,
+        }
+    }
+}
+
+/// Aggregate per-client counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Application bytes downloaded (payload of Piece messages).
+    pub bytes_downloaded: u64,
+    /// Application bytes uploaded.
+    pub bytes_uploaded: u64,
+    /// Blocks received.
+    pub blocks_downloaded: u64,
+    /// Blocks served.
+    pub blocks_uploaded: u64,
+    /// Outgoing connection attempts.
+    pub connect_attempts: u64,
+    /// Announces sent to the tracker.
+    pub announces: u64,
+    /// Duplicate blocks received (endgame overlap).
+    pub duplicate_blocks: u64,
+}
+
+/// One BitTorrent client (downloader or seeder) bound to a virtual node.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// The client's peer id.
+    pub id: PeerId,
+    /// The virtual node the client runs on.
+    pub vnode: VNodeId,
+    /// Policy parameters.
+    pub config: ClientConfig,
+    /// Piece state and selection.
+    pub pieces: PieceManager,
+    /// Choker state.
+    pub choker: Choker,
+    /// Open peer connections (ordered so that iteration is deterministic across runs).
+    pub peers: BTreeMap<ConnId, PeerConn>,
+    /// Addresses learned from the tracker, not necessarily connected.
+    pub known_peers: Vec<SocketAddr>,
+    /// Outgoing connection attempts in progress.
+    pub connecting: HashSet<SocketAddr>,
+    /// The tracker's address.
+    pub tracker_addr: SocketAddr,
+    /// Whether the client process is running.
+    pub online: bool,
+    /// Whether this client had the complete file when it started (an initial seeder).
+    pub initial_seeder: bool,
+    /// When the client started.
+    pub started_at: Option<SimTime>,
+    /// When the download completed (never for initial seeders).
+    pub completed_at: Option<SimTime>,
+    /// Time-stamped download progress in percent (the paper's instrumented client output).
+    pub progress: TimeSeries,
+    /// Aggregate counters.
+    pub stats: ClientStats,
+    /// Bumped on every (re)start; periodic timers from older sessions stop when they notice a
+    /// newer generation, so a churn restart never leaves two choker timers running.
+    pub timer_generation: u64,
+}
+
+impl Client {
+    /// Creates a client. `complete` makes it an initial seeder.
+    pub fn new(
+        id: PeerId,
+        vnode: VNodeId,
+        torrent: Torrent,
+        complete: bool,
+        tracker_addr: SocketAddr,
+        config: ClientConfig,
+    ) -> Client {
+        Client {
+            id,
+            vnode,
+            pieces: PieceManager::new(torrent, complete),
+            choker: Choker::new(config.choke),
+            peers: BTreeMap::new(),
+            known_peers: Vec::new(),
+            connecting: HashSet::new(),
+            tracker_addr,
+            online: false,
+            initial_seeder: complete,
+            started_at: None,
+            completed_at: None,
+            progress: TimeSeries::new(),
+            stats: ClientStats::default(),
+            timer_generation: 0,
+            config,
+        }
+    }
+
+    /// Whether the client currently has the whole file (initial seeder or finished downloader).
+    pub fn is_seeding(&self) -> bool {
+        self.pieces.is_complete()
+    }
+
+    /// Download progress in percent.
+    pub fn percent_done(&self) -> f64 {
+        self.pieces.percent_done()
+    }
+
+    /// Number of open peer connections.
+    pub fn connection_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Download duration, if the client finished.
+    pub fn download_duration(&self) -> Option<SimDuration> {
+        match (self.started_at, self.completed_at) {
+            (Some(s), Some(c)) => Some(c - s),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of every handshaken peer for the choker.
+    pub fn choker_snapshot(&mut self, now: SimTime) -> Vec<PeerSnapshot> {
+        self.peers
+            .values_mut()
+            .filter(|p| p.handshaken)
+            .map(|p| PeerSnapshot {
+                conn: p.conn,
+                interested: p.peer_interested,
+                download_rate: p.download.rate(now),
+                upload_rate: p.upload.rate(now),
+            })
+            .collect()
+    }
+
+    /// True if the client should try to open more outgoing connections.
+    pub fn wants_more_peers(&self) -> bool {
+        self.online && self.peers.len() + self.connecting.len() < self.config.max_initiate
+    }
+
+    /// The addresses the client could still try to connect to.
+    pub fn unconnected_known_peers(&self) -> Vec<SocketAddr> {
+        let connected: HashSet<SocketAddr> =
+            self.peers.values().map(|p| p.peer_addr).collect();
+        self.known_peers
+            .iter()
+            .copied()
+            .filter(|a| !connected.contains(a) && !self.connecting.contains(a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2plab_net::VirtAddr;
+
+    fn tracker_addr() -> SocketAddr {
+        SocketAddr::new(VirtAddr::new(10, 0, 0, 250), 6969)
+    }
+
+    fn client(complete: bool) -> Client {
+        Client::new(
+            PeerId(1),
+            VNodeId(0),
+            Torrent::paper_16mb(),
+            complete,
+            tracker_addr(),
+            ClientConfig::default(),
+        )
+    }
+
+    #[test]
+    fn seeder_and_leecher_initial_state() {
+        let seeder = client(true);
+        assert!(seeder.is_seeding());
+        assert!(seeder.initial_seeder);
+        assert_eq!(seeder.percent_done(), 100.0);
+        let leecher = client(false);
+        assert!(!leecher.is_seeding());
+        assert_eq!(leecher.percent_done(), 0.0);
+        assert!(leecher.download_duration().is_none());
+    }
+
+    #[test]
+    fn peer_conn_defaults_follow_protocol() {
+        // The protocol starts every connection choked and not interested on both sides.
+        let p = PeerConn::new(
+            ConnId(1),
+            SocketAddr::new(VirtAddr::new(10, 0, 0, 2), 6881),
+            true,
+            64,
+            SimDuration::from_secs(20),
+        );
+        assert!(p.am_choking && p.peer_choking);
+        assert!(!p.am_interested && !p.peer_interested);
+        assert!(!p.handshaken);
+        assert_eq!(p.bitfield.count(), 0);
+    }
+
+    #[test]
+    fn unconnected_known_peers_excludes_connected_and_connecting() {
+        let mut c = client(false);
+        let a1 = SocketAddr::new(VirtAddr::new(10, 0, 0, 11), 6881);
+        let a2 = SocketAddr::new(VirtAddr::new(10, 0, 0, 12), 6881);
+        let a3 = SocketAddr::new(VirtAddr::new(10, 0, 0, 13), 6881);
+        c.known_peers = vec![a1, a2, a3];
+        c.connecting.insert(a2);
+        c.peers.insert(
+            ConnId(5),
+            PeerConn::new(ConnId(5), a3, true, 64, SimDuration::from_secs(20)),
+        );
+        assert_eq!(c.unconnected_known_peers(), vec![a1]);
+    }
+
+    #[test]
+    fn wants_more_peers_respects_limits() {
+        let mut c = client(false);
+        assert!(!c.wants_more_peers(), "offline client never connects");
+        c.online = true;
+        assert!(c.wants_more_peers());
+        for i in 0..c.config.max_initiate {
+            c.connecting
+                .insert(SocketAddr::new(VirtAddr::new(10, 0, 1, i as u8), 6881));
+        }
+        assert!(!c.wants_more_peers());
+    }
+
+    #[test]
+    fn choker_snapshot_only_includes_handshaken_peers() {
+        let mut c = client(false);
+        let a = SocketAddr::new(VirtAddr::new(10, 0, 0, 11), 6881);
+        let mut p1 = PeerConn::new(ConnId(1), a, true, 64, SimDuration::from_secs(20));
+        p1.handshaken = true;
+        p1.peer_interested = true;
+        let p2 = PeerConn::new(ConnId(2), a, true, 64, SimDuration::from_secs(20));
+        c.peers.insert(ConnId(1), p1);
+        c.peers.insert(ConnId(2), p2);
+        let snap = c.choker_snapshot(SimTime::from_secs(5));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].conn, ConnId(1));
+        assert!(snap[0].interested);
+    }
+}

@@ -1,0 +1,477 @@
+//! Piece/block bookkeeping and the piece-selection policy.
+//!
+//! The selection policy follows the mainline client the paper uses: *strict priority* (finish
+//! partially downloaded pieces first), *random first pieces* (until a few pieces are complete,
+//! pick at random so a new peer quickly has something to reciprocate with), *rarest first*
+//! afterwards (pick the piece owned by the fewest peers), and *endgame mode* (once every block
+//! has been requested, outstanding blocks may be requested from several peers in parallel).
+
+use crate::bitfield::Bitfield;
+use crate::torrent::Torrent;
+use p2plab_sim::{SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Number of complete pieces below which the client picks pieces at random rather than
+/// rarest-first (mainline's "random first piece" policy).
+pub const RANDOM_FIRST_PIECES: u32 = 4;
+
+/// Result of recording a received block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockOutcome {
+    /// The block was a duplicate (endgame or retransmission); nothing changed.
+    Duplicate,
+    /// The block was new but its piece is still incomplete.
+    Progress,
+    /// The block completed its piece.
+    PieceComplete(u32),
+    /// The block completed the piece *and* the whole file.
+    FileComplete(u32),
+}
+
+/// How many peers may have the same block outstanding in endgame mode. Mainline bounds the
+/// duplication with `cancel` messages; the model caps the number of parallel requests instead.
+pub const MAX_ENDGAME_DUPLICATION: u8 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct BlockRequest {
+    first_at: SimTime,
+    count: u8,
+}
+
+#[derive(Debug, Clone)]
+struct PartialPiece {
+    received: Bitfield,
+    /// Blocks currently requested from some peer, with the first request time and how many
+    /// peers have the request outstanding.
+    requested: HashMap<u32, BlockRequest>,
+}
+
+/// Per-client piece state and selection logic.
+#[derive(Debug, Clone)]
+pub struct PieceManager {
+    torrent: Torrent,
+    have: Bitfield,
+    partial: HashMap<u32, PartialPiece>,
+    /// How many connected peers have each piece (availability for rarest-first).
+    availability: Vec<u32>,
+    bytes_done: u64,
+}
+
+impl PieceManager {
+    /// Creates the piece state of a fresh leecher (`complete = false`) or a seeder
+    /// (`complete = true`).
+    pub fn new(torrent: Torrent, complete: bool) -> PieceManager {
+        let n = torrent.num_pieces();
+        let have = if complete { Bitfield::full(n) } else { Bitfield::new(n) };
+        let bytes_done = if complete { torrent.total_bytes } else { 0 };
+        PieceManager {
+            availability: vec![0; n as usize],
+            partial: HashMap::new(),
+            have,
+            torrent,
+            bytes_done,
+        }
+    }
+
+    /// The torrent this manager tracks.
+    pub fn torrent(&self) -> &Torrent {
+        &self.torrent
+    }
+
+    /// The client's own bitfield.
+    pub fn have(&self) -> &Bitfield {
+        &self.have
+    }
+
+    /// True once every piece is complete.
+    pub fn is_complete(&self) -> bool {
+        self.have.is_full()
+    }
+
+    /// Bytes of verified data downloaded (or owned, for a seeder).
+    pub fn bytes_done(&self) -> u64 {
+        self.bytes_done
+    }
+
+    /// Bytes still missing.
+    pub fn bytes_left(&self) -> u64 {
+        self.torrent.total_bytes - self.bytes_done
+    }
+
+    /// Download progress in percent (0-100), the quantity plotted in Figures 8 and 10.
+    pub fn percent_done(&self) -> f64 {
+        100.0 * self.bytes_done as f64 / self.torrent.total_bytes as f64
+    }
+
+    /// Registers a peer's full bitfield in the availability counts.
+    pub fn add_peer_bitfield(&mut self, bf: &Bitfield) {
+        for i in bf.iter_set() {
+            self.availability[i as usize] += 1;
+        }
+    }
+
+    /// Removes a disconnected peer's bitfield from the availability counts.
+    pub fn remove_peer_bitfield(&mut self, bf: &Bitfield) {
+        for i in bf.iter_set() {
+            self.availability[i as usize] = self.availability[i as usize].saturating_sub(1);
+        }
+    }
+
+    /// Registers a single `have` announcement from a peer.
+    pub fn add_peer_have(&mut self, piece: u32) {
+        self.availability[piece as usize] += 1;
+    }
+
+    /// Current availability (number of connected peers owning each piece).
+    pub fn availability(&self) -> &[u32] {
+        &self.availability
+    }
+
+    /// True once every block is either owned or currently requested — the endgame condition.
+    pub fn in_endgame(&self) -> bool {
+        if self.is_complete() {
+            return false;
+        }
+        self.have.iter_missing().all(|p| {
+            match self.partial.get(&p) {
+                Some(pp) => (0..self.torrent.blocks_in_piece(p))
+                    .all(|b| pp.received.get(b) || pp.requested.contains_key(&b)),
+                None => false,
+            }
+        })
+    }
+
+    /// Picks up to `max` blocks to request from a peer owning `peer_have`, marking them as
+    /// requested at `now`. Blocks already requested from other peers are skipped unless
+    /// endgame mode is active.
+    pub fn pick_blocks(
+        &mut self,
+        peer_have: &Bitfield,
+        max: usize,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<(u32, u32)> {
+        if max == 0 || self.is_complete() {
+            return Vec::new();
+        }
+        let endgame = self.in_endgame();
+        let mut picked = Vec::with_capacity(max);
+
+        // Strict priority: blocks of pieces already in progress come first.
+        let mut candidate_pieces: Vec<u32> = Vec::new();
+        let mut in_progress: Vec<u32> = self
+            .partial
+            .keys()
+            .copied()
+            .filter(|&p| peer_have.get(p) && !self.have.get(p))
+            .collect();
+        in_progress.sort_unstable();
+        candidate_pieces.extend(in_progress.iter().copied());
+
+        // Then fresh pieces: random while we own few pieces, rarest-first afterwards.
+        let mut fresh: Vec<u32> = self
+            .have
+            .iter_missing()
+            .filter(|&p| peer_have.get(p) && !self.partial.contains_key(&p))
+            .collect();
+        if self.have.count() < RANDOM_FIRST_PIECES {
+            rng.shuffle(&mut fresh);
+        } else {
+            fresh.sort_by_key(|&p| (self.availability[p as usize], p));
+            // Shuffle ties so that identical availability does not make every client converge
+            // on the same piece (mainline breaks ties randomly).
+            let mut i = 0;
+            while i < fresh.len() {
+                let mut j = i + 1;
+                while j < fresh.len()
+                    && self.availability[fresh[j] as usize] == self.availability[fresh[i] as usize]
+                {
+                    j += 1;
+                }
+                rng.shuffle(&mut fresh[i..j]);
+                i = j;
+            }
+        }
+        candidate_pieces.extend(fresh);
+
+        for piece in candidate_pieces {
+            if picked.len() >= max {
+                break;
+            }
+            let blocks = self.torrent.blocks_in_piece(piece);
+            let entry = self.partial.entry(piece).or_insert_with(|| PartialPiece {
+                received: Bitfield::new(blocks),
+                requested: HashMap::new(),
+            });
+            for b in 0..blocks {
+                if picked.len() >= max {
+                    break;
+                }
+                if entry.received.get(b) {
+                    continue;
+                }
+                match entry.requested.get_mut(&b) {
+                    None => {
+                        entry.requested.insert(b, BlockRequest { first_at: now, count: 1 });
+                        picked.push((piece, b));
+                    }
+                    Some(req) if endgame && req.count < MAX_ENDGAME_DUPLICATION => {
+                        req.count += 1;
+                        picked.push((piece, b));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        picked
+    }
+
+    /// Records a received block. Returns what the block achieved.
+    pub fn block_received(&mut self, piece: u32, block: u32) -> BlockOutcome {
+        if self.have.get(piece) {
+            return BlockOutcome::Duplicate;
+        }
+        let blocks = self.torrent.blocks_in_piece(piece);
+        let entry = self.partial.entry(piece).or_insert_with(|| PartialPiece {
+            received: Bitfield::new(blocks),
+            requested: HashMap::new(),
+        });
+        if !entry.received.set(block) {
+            return BlockOutcome::Duplicate;
+        }
+        entry.requested.remove(&block);
+        self.bytes_done += self.torrent.block_len(piece, block) as u64;
+        if entry.received.is_full() {
+            self.partial.remove(&piece);
+            self.have.set(piece);
+            if self.have.is_full() {
+                BlockOutcome::FileComplete(piece)
+            } else {
+                BlockOutcome::PieceComplete(piece)
+            }
+        } else {
+            BlockOutcome::Progress
+        }
+    }
+
+    /// Releases requested-but-not-received blocks older than `timeout`, so they can be requested
+    /// again (from another peer). Returns how many requests were released.
+    pub fn release_stale_requests(&mut self, now: SimTime, timeout: SimDuration) -> usize {
+        let mut released = 0;
+        for pp in self.partial.values_mut() {
+            pp.requested.retain(|_, req| {
+                if now.saturating_since(req.first_at) > timeout {
+                    released += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        released
+    }
+
+    /// Releases every outstanding request issued to a disconnected peer (identified by the exact
+    /// blocks it had in flight).
+    pub fn release_requests(&mut self, blocks: &[(u32, u32)]) {
+        for &(piece, block) in blocks {
+            if let Some(pp) = self.partial.get_mut(&piece) {
+                pp.requested.remove(&block);
+            }
+        }
+    }
+
+    /// True if the client still needs this block (used to suppress duplicate endgame data).
+    pub fn needs_block(&self, piece: u32, block: u32) -> bool {
+        if self.have.get(piece) {
+            return false;
+        }
+        match self.partial.get(&piece) {
+            Some(pp) => !pp.received.get(block),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(7)
+    }
+
+    fn small_torrent() -> Torrent {
+        // 4 pieces of 256 KB, 16 blocks each.
+        Torrent::new("t", 1024 * 1024)
+    }
+
+    #[test]
+    fn seeder_starts_complete() {
+        let pm = PieceManager::new(small_torrent(), true);
+        assert!(pm.is_complete());
+        assert_eq!(pm.percent_done(), 100.0);
+        assert_eq!(pm.bytes_left(), 0);
+        assert!(!pm.in_endgame());
+    }
+
+    #[test]
+    fn leecher_downloads_whole_file() {
+        let t = small_torrent();
+        let mut pm = PieceManager::new(t.clone(), false);
+        let seeder = Bitfield::full(t.num_pieces());
+        pm.add_peer_bitfield(&seeder);
+        let mut r = rng();
+        let mut done = false;
+        let mut received = 0u64;
+        while !done {
+            let blocks = pm.pick_blocks(&seeder, 8, SimTime::ZERO, &mut r);
+            assert!(!blocks.is_empty(), "must always find blocks while incomplete");
+            for (p, b) in blocks {
+                received += 1;
+                match pm.block_received(p, b) {
+                    BlockOutcome::FileComplete(_) => done = true,
+                    BlockOutcome::Duplicate => panic!("unexpected duplicate"),
+                    _ => {}
+                }
+            }
+        }
+        assert!(pm.is_complete());
+        assert_eq!(received, t.total_blocks());
+        assert_eq!(pm.bytes_done(), t.total_bytes);
+    }
+
+    #[test]
+    fn rarest_first_prefers_rare_pieces() {
+        let t = Torrent::paper_16mb();
+        let mut pm = PieceManager::new(t.clone(), false);
+        // Pretend we already have several pieces so random-first-piece mode is over.
+        for p in 0..RANDOM_FIRST_PIECES {
+            for b in 0..t.blocks_in_piece(p) {
+                pm.block_received(p, b);
+            }
+        }
+        // Everyone has every piece except piece 10, which only our peer has.
+        let common = Bitfield::full(t.num_pieces());
+        for _ in 0..10 {
+            let mut bf = common.clone();
+            bf.clear(10);
+            pm.add_peer_bitfield(&bf);
+        }
+        let peer = Bitfield::full(t.num_pieces());
+        pm.add_peer_bitfield(&peer);
+        let mut r = rng();
+        let picked = pm.pick_blocks(&peer, 4, SimTime::ZERO, &mut r);
+        assert!(picked.iter().all(|&(p, _)| p == 10), "picked={picked:?}");
+    }
+
+    #[test]
+    fn strict_priority_finishes_partial_pieces_first() {
+        let t = Torrent::paper_16mb();
+        let mut pm = PieceManager::new(t.clone(), false);
+        let peer = Bitfield::full(t.num_pieces());
+        pm.add_peer_bitfield(&peer);
+        // Receive one block of piece 5 without having requested the rest.
+        pm.block_received(5, 0);
+        let mut r = rng();
+        let picked = pm.pick_blocks(&peer, 3, SimTime::ZERO, &mut r);
+        assert!(picked.iter().all(|&(p, _)| p == 5), "picked={picked:?}");
+        assert!(!picked.contains(&(5, 0)));
+    }
+
+    #[test]
+    fn duplicate_requests_suppressed_outside_endgame() {
+        let t = small_torrent();
+        let mut pm = PieceManager::new(t.clone(), false);
+        let peer = Bitfield::full(t.num_pieces());
+        pm.add_peer_bitfield(&peer);
+        let mut r = rng();
+        let first = pm.pick_blocks(&peer, 10, SimTime::ZERO, &mut r);
+        let second = pm.pick_blocks(&peer, 10, SimTime::ZERO, &mut r);
+        for b in &first {
+            assert!(!second.contains(b), "block {b:?} requested twice outside endgame");
+        }
+    }
+
+    #[test]
+    fn endgame_allows_parallel_requests() {
+        // Tiny torrent: 2 blocks total.
+        let t = Torrent {
+            name: "tiny".into(),
+            total_bytes: 32 * 1024,
+            piece_size: 32 * 1024,
+            block_size: 16 * 1024,
+        };
+        let mut pm = PieceManager::new(t.clone(), false);
+        let peer = Bitfield::full(1);
+        pm.add_peer_bitfield(&peer);
+        let mut r = rng();
+        let first = pm.pick_blocks(&peer, 10, SimTime::ZERO, &mut r);
+        assert_eq!(first.len(), 2);
+        assert!(pm.in_endgame());
+        // A second peer can now request the same outstanding blocks.
+        let second = pm.pick_blocks(&peer, 10, SimTime::ZERO, &mut r);
+        assert_eq!(second.len(), 2);
+    }
+
+    #[test]
+    fn stale_requests_are_released() {
+        let t = small_torrent();
+        let mut pm = PieceManager::new(t.clone(), false);
+        let peer = Bitfield::full(t.num_pieces());
+        pm.add_peer_bitfield(&peer);
+        let mut r = rng();
+        let picked = pm.pick_blocks(&peer, 4, SimTime::ZERO, &mut r);
+        assert_eq!(picked.len(), 4);
+        // Nothing released before the timeout.
+        assert_eq!(
+            pm.release_stale_requests(SimTime::from_secs(10), SimDuration::from_secs(60)),
+            0
+        );
+        assert_eq!(
+            pm.release_stale_requests(SimTime::from_secs(100), SimDuration::from_secs(60)),
+            4
+        );
+        // The same blocks can be picked again afterwards.
+        let again = pm.pick_blocks(&peer, 4, SimTime::from_secs(100), &mut r);
+        assert_eq!(again.len(), 4);
+    }
+
+    #[test]
+    fn release_requests_for_disconnected_peer() {
+        let t = small_torrent();
+        let mut pm = PieceManager::new(t.clone(), false);
+        let peer = Bitfield::full(t.num_pieces());
+        let mut r = rng();
+        let picked = pm.pick_blocks(&peer, 6, SimTime::ZERO, &mut r);
+        pm.release_requests(&picked);
+        let again = pm.pick_blocks(&peer, 6, SimTime::ZERO, &mut r);
+        assert_eq!(picked.len(), again.len());
+    }
+
+    #[test]
+    fn availability_tracking() {
+        let t = small_torrent();
+        let mut pm = PieceManager::new(t.clone(), false);
+        let mut bf = Bitfield::new(t.num_pieces());
+        bf.set(1);
+        pm.add_peer_bitfield(&bf);
+        pm.add_peer_have(1);
+        pm.add_peer_have(2);
+        assert_eq!(pm.availability()[1], 2);
+        assert_eq!(pm.availability()[2], 1);
+        pm.remove_peer_bitfield(&bf);
+        assert_eq!(pm.availability()[1], 1);
+        assert_eq!(pm.availability()[0], 0);
+    }
+
+    #[test]
+    fn needs_block_reflects_state() {
+        let t = small_torrent();
+        let mut pm = PieceManager::new(t, false);
+        assert!(pm.needs_block(0, 0));
+        pm.block_received(0, 0);
+        assert!(!pm.needs_block(0, 0));
+        assert!(pm.needs_block(0, 1));
+    }
+}

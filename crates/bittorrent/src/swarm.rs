@@ -1,0 +1,867 @@
+//! The swarm world: BitTorrent clients and a tracker wired onto the emulated network.
+//!
+//! [`SwarmWorld`] is the [`NetHost`] used by every BitTorrent experiment in the paper's
+//! evaluation: it owns the emulated [`Network`], one [`Client`] per participating virtual node
+//! and the [`Tracker`], and it dispatches socket events to the protocol logic. Experiments are
+//! driven by scheduling client starts ([`schedule_client_start`]) and running the simulation;
+//! per-client progress logs and global counters are read back afterwards.
+
+use crate::client::{Client, ClientConfig, PeerConn};
+use crate::messages::{AnnounceEvent, BtPayload, PeerId, PeerMessage, TrackerMessage};
+use crate::piece::BlockOutcome;
+use crate::torrent::Torrent;
+use crate::tracker::Tracker;
+use p2plab_net::{
+    close, connect, listen, send, send_datagram, ConnId, NetHost, Network, SockEvent, SocketAddr,
+    VNodeId,
+};
+use p2plab_sim::{schedule_periodic, SimTime, Simulation, TimeSeries};
+use std::collections::HashMap;
+
+/// The world of a BitTorrent experiment.
+pub struct SwarmWorld {
+    /// The emulated network.
+    pub net: Network,
+    /// All clients (downloaders and seeders).
+    pub clients: Vec<Client>,
+    /// The tracker.
+    pub tracker: Tracker,
+    vnode_to_client: HashMap<VNodeId, usize>,
+}
+
+impl SwarmWorld {
+    /// Creates a swarm world with a tracker hosted on `tracker_vnode`.
+    pub fn new(net: Network, tracker_vnode: VNodeId) -> SwarmWorld {
+        SwarmWorld {
+            net,
+            clients: Vec::new(),
+            tracker: Tracker::new(tracker_vnode),
+            vnode_to_client: HashMap::new(),
+        }
+    }
+
+    /// The tracker's socket address on the emulated network.
+    pub fn tracker_addr(&self) -> SocketAddr {
+        SocketAddr::new(self.net.addr_of(self.tracker.vnode), self.tracker.port)
+    }
+
+    /// Adds a client on `vnode`. `complete` makes it an initial seeder. Returns its index.
+    pub fn add_client(
+        &mut self,
+        vnode: VNodeId,
+        torrent: Torrent,
+        complete: bool,
+        config: ClientConfig,
+    ) -> usize {
+        let idx = self.clients.len();
+        let tracker_addr = self.tracker_addr();
+        self.clients.push(Client::new(
+            PeerId(idx as u32),
+            vnode,
+            torrent,
+            complete,
+            tracker_addr,
+            config,
+        ));
+        self.vnode_to_client.insert(vnode, idx);
+        idx
+    }
+
+    /// The client running on a virtual node, if any.
+    pub fn client_on(&self, vnode: VNodeId) -> Option<usize> {
+        self.vnode_to_client.get(&vnode).copied()
+    }
+
+    /// Number of downloaders (clients that started incomplete).
+    pub fn leecher_count(&self) -> usize {
+        self.clients.iter().filter(|c| !c.initial_seeder).count()
+    }
+
+    /// Number of downloaders that have completed.
+    pub fn completed_count(&self) -> usize {
+        self.clients
+            .iter()
+            .filter(|c| !c.initial_seeder && c.completed_at.is_some())
+            .count()
+    }
+
+    /// True once every downloader has finished (vacuously true with no downloaders).
+    pub fn swarm_finished(&self) -> bool {
+        self.clients
+            .iter()
+            .filter(|c| !c.initial_seeder)
+            .all(|c| c.completed_at.is_some())
+    }
+
+    /// Sum of application bytes downloaded by all clients (the quantity of Figure 9).
+    pub fn total_bytes_downloaded(&self) -> u64 {
+        self.clients.iter().map(|c| c.stats.bytes_downloaded).sum()
+    }
+
+    /// Sum of application bytes uploaded by all clients.
+    pub fn total_bytes_uploaded(&self) -> u64 {
+        self.clients.iter().map(|c| c.stats.bytes_uploaded).sum()
+    }
+
+    /// Completion times of all finished downloaders, sorted.
+    pub fn completion_times(&self) -> Vec<SimTime> {
+        let mut times: Vec<SimTime> = self
+            .clients
+            .iter()
+            .filter(|c| !c.initial_seeder)
+            .filter_map(|c| c.completed_at)
+            .collect();
+        times.sort();
+        times
+    }
+
+    /// The "clients having completed their download" step curve of Figure 11.
+    pub fn completion_curve(&self) -> TimeSeries {
+        let mut series = TimeSeries::new();
+        series.push(SimTime::ZERO, 0.0);
+        for (i, t) in self.completion_times().into_iter().enumerate() {
+            series.push(t, (i + 1) as f64);
+        }
+        series
+    }
+}
+
+impl NetHost for SwarmWorld {
+    type Payload = BtPayload;
+
+    fn network(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<BtPayload>) {
+        if node == sim.world().tracker.vnode {
+            handle_tracker_event(sim, event);
+        } else if let Some(idx) = sim.world().client_on(node) {
+            handle_client_event(sim, idx, event);
+        }
+    }
+}
+
+/// Schedules a client to start at `at` (the paper starts clients at fixed intervals).
+pub fn schedule_client_start(sim: &mut Simulation<SwarmWorld>, idx: usize, at: SimTime) {
+    sim.schedule_at(at, move |sim| start_client(sim, idx));
+}
+
+/// Starts (or restarts, after churn) a client: bind + listen, announce to the tracker, start
+/// the choker and re-announce timers. Restarting keeps the pieces already downloaded, as a real
+/// client restarted on the same download directory would.
+pub fn start_client(sim: &mut Simulation<SwarmWorld>, idx: usize) {
+    let now = sim.now();
+    let (vnode, listen_port, choke_interval, tracker_interval, already_online) = {
+        let client = &mut sim.world_mut().clients[idx];
+        let already_online = client.online;
+        client.online = true;
+        if client.started_at.is_none() {
+            client.started_at = Some(now);
+        }
+        let percent = client.percent_done();
+        client.progress.push(now, percent);
+        (
+            client.vnode,
+            client.config.listen_port,
+            client.config.choke_interval,
+            client.config.tracker_interval,
+            already_online,
+        )
+    };
+    if already_online {
+        return;
+    }
+    let generation = {
+        let client = &mut sim.world_mut().clients[idx];
+        client.timer_generation += 1;
+        client.timer_generation
+    };
+    let _ = listen(sim, vnode, listen_port);
+    announce(sim, idx, AnnounceEvent::Started);
+
+    schedule_periodic(sim, now + choke_interval, choke_interval, move |sim| {
+        choke_round(sim, idx, generation)
+    });
+    schedule_periodic(sim, now + tracker_interval, tracker_interval, move |sim| {
+        periodic_announce(sim, idx, generation)
+    });
+}
+
+/// Stops a client (session end under churn, or the end of an experiment): announces `Stopped`,
+/// closes every peer connection, and lets its timers stop at the next tick.
+pub fn stop_client(sim: &mut Simulation<SwarmWorld>, idx: usize) {
+    if !sim.world().clients[idx].online {
+        return;
+    }
+    announce(sim, idx, AnnounceEvent::Stopped);
+    let (vnode, conns) = {
+        let client = &mut sim.world_mut().clients[idx];
+        client.online = false;
+        client.connecting.clear();
+        let conns: Vec<ConnId> = client.peers.keys().copied().collect();
+        (client.vnode, conns)
+    };
+    for conn in conns {
+        let _ = close(sim, vnode, conn);
+        drop_peer(sim, idx, conn);
+    }
+}
+
+fn handle_tracker_event(sim: &mut Simulation<SwarmWorld>, event: SockEvent<BtPayload>) {
+    if let SockEvent::Datagram {
+        from,
+        payload: BtPayload::Tracker(TrackerMessage::Announce { peer_id, port, event, left, numwant }),
+        ..
+    } = event
+    {
+        let now = sim.now();
+        let (world, rng) = sim.world_and_rng();
+        let peer_addr = SocketAddr::new(from.addr, port);
+        let peers = world
+            .tracker
+            .handle_announce(now, peer_id, peer_addr, event, left, numwant, rng);
+        let tracker_vnode = world.tracker.vnode;
+        let tracker_port = world.tracker.port;
+        let response = TrackerMessage::Response { peers, interval_secs: 120 };
+        let size = response.wire_size();
+        let _ = send_datagram(
+            sim,
+            tracker_vnode,
+            tracker_port,
+            from,
+            size,
+            BtPayload::Tracker(response),
+        );
+    }
+}
+
+fn handle_client_event(sim: &mut Simulation<SwarmWorld>, idx: usize, event: SockEvent<BtPayload>) {
+    match event {
+        SockEvent::Connected { conn, peer } => {
+            let (vnode, over_limit, num_pieces, rate_window) = {
+                let client = &mut sim.world_mut().clients[idx];
+                client.connecting.remove(&peer);
+                (
+                    client.vnode,
+                    client.peers.len() >= client.config.max_connections || !client.online,
+                    client.pieces.torrent().num_pieces(),
+                    client.config.rate_window,
+                )
+            };
+            if over_limit {
+                let _ = close(sim, vnode, conn);
+                return;
+            }
+            {
+                let client = &mut sim.world_mut().clients[idx];
+                let mut pc = PeerConn::new(conn, peer, true, num_pieces, rate_window);
+                pc.sent_handshake = true;
+                client.peers.insert(conn, pc);
+            }
+            let (our_id, our_bitfield) = {
+                let client = &sim.world().clients[idx];
+                (client.id, client.pieces.have().clone())
+            };
+            send_peer(sim, idx, conn, PeerMessage::Handshake { peer_id: our_id });
+            send_peer(sim, idx, conn, PeerMessage::Bitfield(our_bitfield));
+        }
+        SockEvent::Accepted { conn, peer } => {
+            let (vnode, over_limit, num_pieces, rate_window, online) = {
+                let client = &sim.world().clients[idx];
+                (
+                    client.vnode,
+                    client.peers.len() >= client.config.max_connections,
+                    client.pieces.torrent().num_pieces(),
+                    client.config.rate_window,
+                    client.online,
+                )
+            };
+            if over_limit || !online {
+                let _ = close(sim, vnode, conn);
+                return;
+            }
+            let client = &mut sim.world_mut().clients[idx];
+            client
+                .peers
+                .insert(conn, PeerConn::new(conn, peer, false, num_pieces, rate_window));
+        }
+        SockEvent::Refused { peer, .. } => {
+            sim.world_mut().clients[idx].connecting.remove(&peer);
+        }
+        SockEvent::Closed { conn } => {
+            drop_peer(sim, idx, conn);
+        }
+        SockEvent::Data { conn, payload: BtPayload::Peer(msg), .. } => {
+            handle_peer_message(sim, idx, conn, msg);
+        }
+        SockEvent::Datagram {
+            payload: BtPayload::Tracker(TrackerMessage::Response { peers, .. }),
+            ..
+        } => {
+            handle_tracker_response(sim, idx, peers);
+        }
+        _ => {}
+    }
+}
+
+fn drop_peer(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
+    let client = &mut sim.world_mut().clients[idx];
+    if let Some(p) = client.peers.remove(&conn) {
+        client.pieces.remove_peer_bitfield(&p.bitfield);
+        client.pieces.release_requests(&p.inflight);
+    }
+}
+
+fn handle_peer_message(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId, msg: PeerMessage) {
+    match msg {
+        PeerMessage::Handshake { peer_id } => {
+            let reply = {
+                let client = &mut sim.world_mut().clients[idx];
+                match client.peers.get_mut(&conn) {
+                    Some(p) => {
+                        p.handshaken = true;
+                        p.peer_id = Some(peer_id);
+                        if !p.sent_handshake {
+                            p.sent_handshake = true;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                }
+            };
+            if reply {
+                let (our_id, our_bitfield) = {
+                    let client = &sim.world().clients[idx];
+                    (client.id, client.pieces.have().clone())
+                };
+                send_peer(sim, idx, conn, PeerMessage::Handshake { peer_id: our_id });
+                send_peer(sim, idx, conn, PeerMessage::Bitfield(our_bitfield));
+            }
+        }
+        PeerMessage::Bitfield(bf) => {
+            {
+                let client = &mut sim.world_mut().clients[idx];
+                if let Some(p) = client.peers.get_mut(&conn) {
+                    client.pieces.remove_peer_bitfield(&p.bitfield);
+                    p.bitfield = bf;
+                    client.pieces.add_peer_bitfield(&p.bitfield);
+                }
+            }
+            update_interest(sim, idx, conn);
+        }
+        PeerMessage::Have(piece) => {
+            {
+                let client = &mut sim.world_mut().clients[idx];
+                if let Some(p) = client.peers.get_mut(&conn) {
+                    if piece < p.bitfield.len() && p.bitfield.set(piece) {
+                        client.pieces.add_peer_have(piece);
+                    }
+                }
+            }
+            update_interest(sim, idx, conn);
+            request_blocks(sim, idx, conn);
+        }
+        PeerMessage::Choke => {
+            let client = &mut sim.world_mut().clients[idx];
+            if let Some(p) = client.peers.get_mut(&conn) {
+                p.peer_choking = true;
+                // Requests already accepted by the peer are usually answered anyway (the data is
+                // in flight on its upload link), so keep them reserved instead of immediately
+                // re-requesting the same blocks elsewhere; the stale-request sweep reclaims them
+                // if they never arrive. This mirrors mainline behaviour and avoids duplicate
+                // transfers on every choke/unchoke rotation.
+            }
+        }
+        PeerMessage::Unchoke => {
+            {
+                let client = &mut sim.world_mut().clients[idx];
+                if let Some(p) = client.peers.get_mut(&conn) {
+                    p.peer_choking = false;
+                }
+            }
+            request_blocks(sim, idx, conn);
+        }
+        PeerMessage::Interested => {
+            let client = &mut sim.world_mut().clients[idx];
+            if let Some(p) = client.peers.get_mut(&conn) {
+                p.peer_interested = true;
+            }
+        }
+        PeerMessage::NotInterested => {
+            let client = &mut sim.world_mut().clients[idx];
+            if let Some(p) = client.peers.get_mut(&conn) {
+                p.peer_interested = false;
+            }
+        }
+        PeerMessage::Request { piece, block } => {
+            let respond = {
+                let client = &sim.world().clients[idx];
+                match client.peers.get(&conn) {
+                    Some(p)
+                        if !p.am_choking
+                            && piece < client.pieces.have().len()
+                            && client.pieces.have().get(piece) =>
+                    {
+                        Some(client.pieces.torrent().block_len(piece, block))
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(data_len) = respond {
+                send_peer(sim, idx, conn, PeerMessage::Piece { piece, block, data_len });
+            }
+        }
+        PeerMessage::Piece { piece, block, data_len } => {
+            handle_piece(sim, idx, conn, piece, block, data_len);
+        }
+        PeerMessage::Cancel { .. } | PeerMessage::KeepAlive => {}
+    }
+}
+
+fn handle_piece(
+    sim: &mut Simulation<SwarmWorld>,
+    idx: usize,
+    conn: ConnId,
+    piece: u32,
+    block: u32,
+    data_len: u32,
+) {
+    let now = sim.now();
+    let (completed_piece, file_complete, broadcast_conns) = {
+        let client = &mut sim.world_mut().clients[idx];
+        let Some(p) = client.peers.get_mut(&conn) else { return };
+        p.inflight.retain(|&b| b != (piece, block));
+        p.download.record(now, data_len as u64);
+        p.blocks_received += 1;
+        client.stats.bytes_downloaded += data_len as u64;
+        client.stats.blocks_downloaded += 1;
+        let outcome = client.pieces.block_received(piece, block);
+        let (completed_piece, file_complete) = match outcome {
+            BlockOutcome::Duplicate => {
+                client.stats.duplicate_blocks += 1;
+                (None, false)
+            }
+            BlockOutcome::Progress => (None, false),
+            BlockOutcome::PieceComplete(p) => (Some(p), false),
+            BlockOutcome::FileComplete(p) => (Some(p), true),
+        };
+        let mut broadcast = Vec::new();
+        if completed_piece.is_some() {
+            client.progress.push(now, client.percent_done());
+            broadcast = client
+                .peers
+                .values()
+                .filter(|p| p.handshaken)
+                .map(|p| p.conn)
+                .collect();
+        }
+        if file_complete {
+            client.completed_at = Some(now);
+        }
+        (completed_piece, file_complete, broadcast)
+    };
+
+    if let Some(done_piece) = completed_piece {
+        for c in &broadcast_conns {
+            send_peer(sim, idx, *c, PeerMessage::Have(done_piece));
+        }
+        // Our interest in some peers may have ended with this piece.
+        for c in broadcast_conns {
+            update_interest(sim, idx, c);
+        }
+    }
+    if file_complete {
+        announce(sim, idx, AnnounceEvent::Completed);
+    }
+    request_blocks(sim, idx, conn);
+}
+
+fn update_interest(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
+    let change = {
+        let client = &mut sim.world_mut().clients[idx];
+        match client.peers.get_mut(&conn) {
+            Some(p) if p.handshaken => {
+                let interested = client.pieces.have().is_interested_in(&p.bitfield);
+                if interested != p.am_interested {
+                    p.am_interested = interested;
+                    Some(interested)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    };
+    match change {
+        Some(true) => send_peer(sim, idx, conn, PeerMessage::Interested),
+        Some(false) => send_peer(sim, idx, conn, PeerMessage::NotInterested),
+        None => {}
+    }
+}
+
+fn request_blocks(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
+    let now = sim.now();
+    let requests = {
+        let (world, rng) = sim.world_and_rng();
+        let client = &mut world.clients[idx];
+        match client.peers.get_mut(&conn) {
+            Some(p) if p.handshaken && p.am_interested && !p.peer_choking => {
+                let budget = client.config.request_pipeline.saturating_sub(p.inflight.len());
+                let picked = client.pieces.pick_blocks(&p.bitfield, budget, now, rng);
+                // Endgame mode may hand back blocks this very peer already has in flight;
+                // re-requesting them from the same peer would only waste its upload link.
+                let picked: Vec<(u32, u32)> = picked
+                    .into_iter()
+                    .filter(|b| !p.inflight.contains(b))
+                    .collect();
+                p.inflight.extend(picked.iter().copied());
+                picked
+            }
+            _ => Vec::new(),
+        }
+    };
+    for (piece, block) in requests {
+        send_peer(sim, idx, conn, PeerMessage::Request { piece, block });
+    }
+}
+
+/// One 10-second choker round. Returns false once the client is offline or the whole swarm has
+/// finished, which stops the periodic timer (and therefore lets the simulation drain).
+fn choke_round(sim: &mut Simulation<SwarmWorld>, idx: usize, generation: u64) -> bool {
+    let now = sim.now();
+    let keep_running = {
+        let world = sim.world();
+        let client = &world.clients[idx];
+        client.online && client.timer_generation == generation && !world.swarm_finished()
+    };
+    if !keep_running {
+        return false;
+    }
+    let choke_msgs = {
+        let (world, rng) = sim.world_and_rng();
+        let client = &mut world.clients[idx];
+        let timeout = client.config.request_timeout;
+        client.pieces.release_stale_requests(now, timeout);
+        let snapshot = client.choker_snapshot(now);
+        let seeding = client.is_seeding();
+        let unchoked = client.choker.run_round(&snapshot, seeding, rng);
+        let mut msgs = Vec::new();
+        for p in client.peers.values_mut() {
+            if !p.handshaken {
+                continue;
+            }
+            let should_unchoke = unchoked.contains(&p.conn);
+            if should_unchoke && p.am_choking {
+                p.am_choking = false;
+                msgs.push((p.conn, PeerMessage::Unchoke));
+            } else if !should_unchoke && !p.am_choking {
+                p.am_choking = true;
+                msgs.push((p.conn, PeerMessage::Choke));
+            }
+        }
+        msgs
+    };
+    for (conn, msg) in choke_msgs {
+        send_peer(sim, idx, conn, msg);
+    }
+    // Keep the request pipeline full towards every peer that is currently serving us.
+    let active: Vec<ConnId> = sim.world().clients[idx]
+        .peers
+        .values()
+        .filter(|p| p.handshaken && p.am_interested && !p.peer_choking)
+        .map(|p| p.conn)
+        .collect();
+    for conn in active {
+        request_blocks(sim, idx, conn);
+    }
+    connect_to_peers(sim, idx);
+    true
+}
+
+/// Periodic tracker re-announce. Returns false once the client is offline or the swarm finished.
+fn periodic_announce(sim: &mut Simulation<SwarmWorld>, idx: usize, generation: u64) -> bool {
+    let (keep_running, need_peers) = {
+        let world = sim.world();
+        let client = &world.clients[idx];
+        (
+            client.online && client.timer_generation == generation && !world.swarm_finished(),
+            client.peers.len() < client.config.min_peers,
+        )
+    };
+    if !keep_running {
+        return false;
+    }
+    if need_peers {
+        announce(sim, idx, AnnounceEvent::Periodic);
+    }
+    true
+}
+
+fn announce(sim: &mut Simulation<SwarmWorld>, idx: usize, event: AnnounceEvent) {
+    let (vnode, listen_port, tracker_addr, msg) = {
+        let client = &mut sim.world_mut().clients[idx];
+        client.stats.announces += 1;
+        let msg = TrackerMessage::Announce {
+            peer_id: client.id,
+            port: client.config.listen_port,
+            event,
+            left: client.pieces.bytes_left(),
+            numwant: client.config.numwant,
+        };
+        (client.vnode, client.config.listen_port, client.tracker_addr, msg)
+    };
+    let size = msg.wire_size();
+    let _ = send_datagram(sim, vnode, listen_port, tracker_addr, size, BtPayload::Tracker(msg));
+}
+
+fn handle_tracker_response(sim: &mut Simulation<SwarmWorld>, idx: usize, peers: Vec<SocketAddr>) {
+    {
+        let world = sim.world_mut();
+        let own_addr = SocketAddr::new(
+            world.net.addr_of(world.clients[idx].vnode),
+            world.clients[idx].config.listen_port,
+        );
+        let client = &mut world.clients[idx];
+        for p in peers {
+            if p != own_addr && !client.known_peers.contains(&p) {
+                client.known_peers.push(p);
+            }
+        }
+    }
+    connect_to_peers(sim, idx);
+}
+
+fn connect_to_peers(sim: &mut Simulation<SwarmWorld>, idx: usize) {
+    let targets = {
+        let (world, rng) = sim.world_and_rng();
+        let client = &world.clients[idx];
+        if !client.wants_more_peers() {
+            Vec::new()
+        } else {
+            let mut candidates = client.unconnected_known_peers();
+            rng.shuffle(&mut candidates);
+            let budget = client
+                .config
+                .max_initiate
+                .saturating_sub(client.peers.len() + client.connecting.len());
+            candidates.truncate(budget);
+            candidates
+        }
+    };
+    for target in targets {
+        let vnode = {
+            let client = &mut sim.world_mut().clients[idx];
+            client.connecting.insert(target);
+            client.stats.connect_attempts += 1;
+            client.vnode
+        };
+        if connect(sim, vnode, target).is_err() {
+            sim.world_mut().clients[idx].connecting.remove(&target);
+        }
+    }
+}
+
+fn send_peer(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId, msg: PeerMessage) {
+    let now = sim.now();
+    let size = msg.wire_size();
+    let vnode = {
+        let client = &mut sim.world_mut().clients[idx];
+        if let PeerMessage::Piece { data_len, .. } = &msg {
+            if let Some(p) = client.peers.get_mut(&conn) {
+                p.upload.record(now, *data_len as u64);
+                p.blocks_sent += 1;
+            }
+            client.stats.bytes_uploaded += *data_len as u64;
+            client.stats.blocks_uploaded += 1;
+        }
+        client.vnode
+    };
+    let _ = send(sim, vnode, conn, size, BtPayload::Peer(msg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2plab_net::{AccessLinkClass, GroupId, NetworkConfig, TopologySpec, VirtAddr};
+    use p2plab_sim::SimDuration;
+
+    /// Builds a swarm of `seeders + leechers` clients plus a tracker, folded onto `machines`
+    /// physical machines, all on the given access link, sharing a `total_bytes` torrent.
+    fn build_swarm(
+        machines: usize,
+        seeders: usize,
+        leechers: usize,
+        link: AccessLinkClass,
+        total_bytes: u64,
+    ) -> SwarmWorld {
+        let n = seeders + leechers + 1; // + tracker
+        let topo = TopologySpec::uniform("swarm", n, link);
+        let mut net = Network::new(NetworkConfig::default(), topo);
+        let machine_ids: Vec<_> = (0..machines)
+            .map(|m| net.add_machine(format!("pm{m}"), VirtAddr::new(192, 168, 38, m as u8 + 1)))
+            .collect();
+        let mut vnodes = Vec::new();
+        for i in 0..n {
+            let addr = VirtAddr::new(10, 0, 0, 0).offset(i as u32 + 1);
+            let vid = net
+                .add_vnode(machine_ids[i % machines], addr, GroupId(0))
+                .unwrap();
+            vnodes.push(vid);
+        }
+        let torrent = Torrent::new("test", total_bytes);
+        let mut world = SwarmWorld::new(net, vnodes[0]);
+        for i in 0..seeders {
+            world.add_client(vnodes[1 + i], torrent.clone(), true, ClientConfig::default());
+        }
+        for i in 0..leechers {
+            world.add_client(vnodes[1 + seeders + i], torrent.clone(), false, ClientConfig::default());
+        }
+        world
+    }
+
+    /// A fast symmetric link so unit-level swarm tests finish in little virtual time.
+    fn fast_link() -> AccessLinkClass {
+        AccessLinkClass::symmetric(20_000_000, SimDuration::from_millis(5))
+    }
+
+    fn start_all(sim: &mut Simulation<SwarmWorld>, stagger: SimDuration) {
+        let n = sim.world().clients.len();
+        for i in 0..n {
+            schedule_client_start(sim, i, SimTime::ZERO + stagger * i as u64);
+        }
+    }
+
+    #[test]
+    fn single_leecher_downloads_from_seeder() {
+        let world = build_swarm(2, 1, 1, fast_link(), 1024 * 1024);
+        let mut sim = Simulation::new(world, 11);
+        start_all(&mut sim, SimDuration::from_secs(1));
+        let outcome = sim.run_until(SimTime::from_secs(600));
+        assert!(sim.world().swarm_finished(), "outcome={outcome:?}");
+        let leecher = &sim.world().clients[1];
+        assert!(leecher.is_seeding());
+        assert_eq!(leecher.stats.bytes_downloaded, 1024 * 1024);
+        assert!(leecher.completed_at.unwrap() > leecher.started_at.unwrap());
+        // The seeder uploaded everything the leecher downloaded.
+        let seeder = &sim.world().clients[0];
+        assert_eq!(seeder.stats.bytes_uploaded, 1024 * 1024);
+        assert_eq!(seeder.stats.bytes_downloaded, 0);
+    }
+
+    #[test]
+    fn progress_log_is_monotonic_and_complete() {
+        let world = build_swarm(2, 1, 2, fast_link(), 512 * 1024);
+        let mut sim = Simulation::new(world, 12);
+        start_all(&mut sim, SimDuration::from_secs(1));
+        sim.run_until(SimTime::from_secs(600));
+        assert!(sim.world().swarm_finished());
+        for c in sim.world().clients.iter().filter(|c| !c.initial_seeder) {
+            let samples = c.progress.samples();
+            assert!(samples.len() >= 2, "at least start and completion samples");
+            assert!(samples.windows(2).all(|w| w[0].1 <= w[1].1), "monotonic progress");
+            assert_eq!(samples.last().unwrap().1, 100.0);
+            assert_eq!(samples[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn swarm_of_four_leechers_completes_and_shares() {
+        // An upload-constrained link (1 Mbps up, 10 Mbps down) and a 2 MB file: the seeder alone
+        // cannot serve four copies quickly, so cooperation between leechers must appear.
+        let link = AccessLinkClass::new(10_000_000, 1_000_000, SimDuration::from_millis(5));
+        let file = 2 * 1024 * 1024u64;
+        let world = build_swarm(3, 1, 4, link, file);
+        let mut sim = Simulation::new(world, 13);
+        start_all(&mut sim, SimDuration::from_secs(2));
+        let outcome = sim.run_until(SimTime::from_secs(2000));
+        assert!(sim.world().swarm_finished(), "outcome={outcome:?}");
+        assert_eq!(sim.world().completed_count(), 4);
+        // Conservation: every downloaded byte was uploaded by someone.
+        let world = sim.world();
+        assert_eq!(world.total_bytes_downloaded(), world.total_bytes_uploaded());
+        assert!(world.total_bytes_downloaded() >= 4 * file);
+        // Peer-to-peer sharing happened: the seeder did not serve all four copies alone.
+        let seeder_up = world.clients[0].stats.bytes_uploaded;
+        assert!(
+            seeder_up < 4 * file,
+            "leechers must reciprocate, seeder uploaded {seeder_up}"
+        );
+        let leecher_up: u64 = world
+            .clients
+            .iter()
+            .filter(|c| !c.initial_seeder)
+            .map(|c| c.stats.bytes_uploaded)
+            .sum();
+        assert!(leecher_up > 0, "leechers must upload to each other");
+    }
+
+    #[test]
+    fn completion_curve_counts_finishers() {
+        let world = build_swarm(2, 1, 3, fast_link(), 512 * 1024);
+        let mut sim = Simulation::new(world, 14);
+        start_all(&mut sim, SimDuration::from_secs(1));
+        sim.run_until(SimTime::from_secs(2000));
+        let curve = sim.world().completion_curve();
+        assert_eq!(curve.last().unwrap().1, 3.0);
+        assert_eq!(curve.value_at(SimTime::ZERO, 0.0), 0.0);
+        let times = sim.world().completion_times();
+        assert_eq!(times.len(), 3);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn no_seeder_means_no_completion() {
+        let world = build_swarm(2, 0, 3, fast_link(), 512 * 1024);
+        let mut sim = Simulation::new(world, 15);
+        start_all(&mut sim, SimDuration::from_secs(1));
+        sim.run_until(SimTime::from_secs(300));
+        assert_eq!(sim.world().completed_count(), 0);
+        assert_eq!(sim.world().total_bytes_downloaded(), 0);
+    }
+
+    #[test]
+    fn tracker_learns_about_all_clients() {
+        let world = build_swarm(2, 1, 3, fast_link(), 512 * 1024);
+        let mut sim = Simulation::new(world, 16);
+        start_all(&mut sim, SimDuration::from_secs(1));
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(sim.world().tracker.member_count(), 4);
+        assert!(sim.world().tracker.stats().announces >= 4);
+    }
+
+    #[test]
+    fn completed_clients_keep_seeding_others() {
+        // With a slow seeder and two leechers, the first finisher must help the second (the
+        // paper: "when the clients have finished the download of the file, they stay online and
+        // become seeders").
+        let world = build_swarm(2, 1, 2, fast_link(), 2 * 1024 * 1024);
+        let mut sim = Simulation::new(world, 17);
+        start_all(&mut sim, SimDuration::from_secs(1));
+        sim.run_until(SimTime::from_secs(2000));
+        assert!(sim.world().swarm_finished());
+        let c1 = &sim.world().clients[1];
+        let c2 = &sim.world().clients[2];
+        let uploads_after_completion = c1.stats.bytes_uploaded > 0 || c2.stats.bytes_uploaded > 0;
+        assert!(uploads_after_completion);
+    }
+
+    #[test]
+    fn dsl_swarm_roughly_upload_bound() {
+        // One seeder + 3 leechers on the paper's DSL profile with a small 1 MB file: the
+        // completion time should be within a factor of ~3 of the upload-capacity bound
+        // (128 kbps aggregate per uploader), and far above the download-capacity bound.
+        let world = build_swarm(2, 1, 3, AccessLinkClass::bittorrent_dsl(), 1024 * 1024);
+        let mut sim = Simulation::new(world, 18);
+        start_all(&mut sim, SimDuration::from_secs(5));
+        let outcome = sim.run_until(SimTime::from_secs(4000));
+        assert!(sim.world().swarm_finished(), "outcome={outcome:?}");
+        let last = *sim.world().completion_times().last().unwrap();
+        let download_bound = 1024.0 * 1024.0 * 8.0 / 2_000_000.0; // ~4 s
+        let upload_bound = 1024.0 * 1024.0 * 8.0 / 128_000.0; // ~65 s if one uploader at a time
+        assert!(last.as_secs_f64() > 3.0 * download_bound, "too fast: {last}");
+        assert!(last.as_secs_f64() < 5.0 * upload_bound, "too slow: {last}");
+    }
+}

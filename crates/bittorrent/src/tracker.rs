@@ -1,0 +1,190 @@
+//! The BitTorrent tracker.
+//!
+//! The tracker keeps the list of swarm members and answers announces with a random subset of
+//! peers (`numwant`, 50 by default in mainline). The paper's experiments run one tracker as just
+//! another virtual node of the emulated network.
+
+use crate::messages::{AnnounceEvent, PeerId};
+use p2plab_net::{SocketAddr, VNodeId};
+use p2plab_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters kept by the tracker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackerStats {
+    /// Announces received.
+    pub announces: u64,
+    /// Completed-download events received.
+    pub completed: u64,
+    /// Peers that announced `Stopped`.
+    pub stopped: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SwarmMember {
+    addr: SocketAddr,
+    seeder: bool,
+    last_announce: SimTime,
+}
+
+/// The tracker state.
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    /// The virtual node hosting the tracker.
+    pub vnode: VNodeId,
+    /// The UDP-style port the tracker answers on.
+    pub port: u16,
+    members: BTreeMap<PeerId, SwarmMember>,
+    stats: TrackerStats,
+}
+
+/// The default tracker port.
+pub const TRACKER_PORT: u16 = 6969;
+
+impl Tracker {
+    /// Creates a tracker hosted on `vnode`.
+    pub fn new(vnode: VNodeId) -> Tracker {
+        Tracker {
+            vnode,
+            port: TRACKER_PORT,
+            members: BTreeMap::new(),
+            stats: TrackerStats::default(),
+        }
+    }
+
+    /// Tracker counters.
+    pub fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+
+    /// Number of known swarm members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of known seeders.
+    pub fn seeder_count(&self) -> usize {
+        self.members.values().filter(|m| m.seeder).count()
+    }
+
+    /// Handles an announce and returns the peer list for the response.
+    pub fn handle_announce(
+        &mut self,
+        now: SimTime,
+        peer_id: PeerId,
+        peer_addr: SocketAddr,
+        event: AnnounceEvent,
+        left: u64,
+        numwant: usize,
+        rng: &mut SimRng,
+    ) -> Vec<SocketAddr> {
+        self.stats.announces += 1;
+        match event {
+            AnnounceEvent::Stopped => {
+                self.stats.stopped += 1;
+                self.members.remove(&peer_id);
+                return Vec::new();
+            }
+            AnnounceEvent::Completed => {
+                self.stats.completed += 1;
+            }
+            AnnounceEvent::Started | AnnounceEvent::Periodic => {}
+        }
+        self.members.insert(
+            peer_id,
+            SwarmMember {
+                addr: peer_addr,
+                seeder: left == 0,
+                last_announce: now,
+            },
+        );
+        // Random subset of everyone else.
+        let others: Vec<SocketAddr> = self
+            .members
+            .iter()
+            .filter(|(id, _)| **id != peer_id)
+            .map(|(_, m)| m.addr)
+            .collect();
+        rng.sample(&others, numwant).into_iter().copied().collect()
+    }
+
+    /// Time of the last announce from a peer, if it is still a member.
+    pub fn last_announce(&self, peer: PeerId) -> Option<SimTime> {
+        self.members.get(&peer).map(|m| m.last_announce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2plab_net::VirtAddr;
+
+    fn addr(i: u8) -> SocketAddr {
+        SocketAddr::new(VirtAddr::new(10, 0, 0, i), 6881)
+    }
+
+    #[test]
+    fn announce_registers_and_returns_other_peers() {
+        let mut t = Tracker::new(VNodeId(0));
+        let mut rng = SimRng::new(1);
+        let p1 = t.handle_announce(SimTime::ZERO, PeerId(1), addr(1), AnnounceEvent::Started, 100, 50, &mut rng);
+        assert!(p1.is_empty(), "first peer sees an empty swarm");
+        let p2 = t.handle_announce(SimTime::ZERO, PeerId(2), addr(2), AnnounceEvent::Started, 100, 50, &mut rng);
+        assert_eq!(p2, vec![addr(1)]);
+        assert_eq!(t.member_count(), 2);
+        // A peer never gets itself back.
+        let p1_again = t.handle_announce(SimTime::ZERO, PeerId(1), addr(1), AnnounceEvent::Periodic, 100, 50, &mut rng);
+        assert_eq!(p1_again, vec![addr(2)]);
+    }
+
+    #[test]
+    fn numwant_limits_response_size() {
+        let mut t = Tracker::new(VNodeId(0));
+        let mut rng = SimRng::new(1);
+        for i in 1..=100u8 {
+            t.handle_announce(SimTime::ZERO, PeerId(i as u32), addr(i), AnnounceEvent::Started, 100, 0, &mut rng);
+        }
+        let peers = t.handle_announce(
+            SimTime::ZERO,
+            PeerId(200),
+            SocketAddr::new(VirtAddr::new(10, 0, 1, 1), 6881),
+            AnnounceEvent::Started,
+            100,
+            50,
+            &mut rng,
+        );
+        assert_eq!(peers.len(), 50);
+        // No duplicates.
+        let mut unique = peers.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 50);
+    }
+
+    #[test]
+    fn completed_and_stopped_events() {
+        let mut t = Tracker::new(VNodeId(0));
+        let mut rng = SimRng::new(1);
+        t.handle_announce(SimTime::ZERO, PeerId(1), addr(1), AnnounceEvent::Started, 100, 50, &mut rng);
+        assert_eq!(t.seeder_count(), 0);
+        t.handle_announce(SimTime::from_secs(10), PeerId(1), addr(1), AnnounceEvent::Completed, 0, 50, &mut rng);
+        assert_eq!(t.seeder_count(), 1);
+        assert_eq!(t.stats().completed, 1);
+        assert_eq!(t.last_announce(PeerId(1)), Some(SimTime::from_secs(10)));
+        t.handle_announce(SimTime::from_secs(20), PeerId(1), addr(1), AnnounceEvent::Stopped, 0, 50, &mut rng);
+        assert_eq!(t.member_count(), 0);
+        assert_eq!(t.stats().stopped, 1);
+        assert_eq!(t.last_announce(PeerId(1)), None);
+    }
+
+    #[test]
+    fn seeders_counted_by_left_field() {
+        let mut t = Tracker::new(VNodeId(0));
+        let mut rng = SimRng::new(1);
+        t.handle_announce(SimTime::ZERO, PeerId(1), addr(1), AnnounceEvent::Started, 0, 50, &mut rng);
+        t.handle_announce(SimTime::ZERO, PeerId(2), addr(2), AnnounceEvent::Started, 10, 50, &mut rng);
+        assert_eq!(t.seeder_count(), 1);
+        assert_eq!(t.member_count(), 2);
+    }
+}

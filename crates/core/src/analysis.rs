@@ -1,0 +1,239 @@
+//! Result analysis: folding-ratio invariance, completion statistics and download phases.
+//!
+//! The paper's central claim for P2PLab's usefulness is that folding many virtual nodes onto one
+//! physical node does **not** change the application-level results ("results are nearly
+//! identical", Figure 9). [`compare_folding`] quantifies that: it overlays the total-data curves
+//! of runs with different folding ratios and reports their worst-case relative deviation from
+//! the unfolded baseline.
+
+use crate::experiment::SwarmResult;
+use p2plab_sim::{Cdf, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Deviation of one folded run from the baseline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldingRow {
+    /// Folding ratio of the run (virtual nodes per physical machine).
+    pub folding_ratio: f64,
+    /// Worst-case difference between the run's total-data curve and the baseline's, as a
+    /// fraction of the final total.
+    pub max_relative_deviation: f64,
+    /// Kolmogorov-Smirnov distance between the completion-time distributions.
+    pub completion_ks_distance: f64,
+    /// Median completion time of this run.
+    pub median_completion: Option<SimTime>,
+    /// Fraction of downloaders that finished.
+    pub completion_fraction: f64,
+}
+
+/// The folding-ratio comparison of Figure 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldingComparison {
+    /// Folding ratio of the baseline run (normally 1:1).
+    pub baseline_ratio: f64,
+    /// One row per compared run.
+    pub rows: Vec<FoldingRow>,
+}
+
+impl FoldingComparison {
+    /// The largest relative deviation over all runs — the headline "no folding overhead" number.
+    pub fn worst_deviation(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.max_relative_deviation)
+            .fold(0.0, f64::max)
+    }
+}
+
+fn completion_cdf(result: &SwarmResult) -> Cdf {
+    Cdf::from_samples(
+        result
+            .completion_times
+            .iter()
+            .map(|t| t.as_secs_f64())
+            .collect(),
+    )
+}
+
+/// Compares folded runs against a baseline run of the same experiment (Figure 9).
+pub fn compare_folding(baseline: &SwarmResult, folded: &[&SwarmResult]) -> FoldingComparison {
+    let end = folded
+        .iter()
+        .map(|r| r.stopped_at)
+        .chain(std::iter::once(baseline.stopped_at))
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let step = SimDuration::from_secs(10);
+    let final_total = baseline
+        .total_downloaded
+        .last()
+        .map(|(_, v)| v)
+        .unwrap_or(0.0)
+        .max(1.0);
+    let baseline_cdf = completion_cdf(baseline);
+    let rows = folded
+        .iter()
+        .map(|r| {
+            let max_abs =
+                baseline
+                    .total_downloaded
+                    .max_abs_difference(&r.total_downloaded, step, end, 0.0);
+            FoldingRow {
+                folding_ratio: r.folding_ratio,
+                max_relative_deviation: max_abs / final_total,
+                completion_ks_distance: baseline_cdf.ks_distance(&completion_cdf(r)),
+                median_completion: r.median_completion(),
+                completion_fraction: if r.leechers == 0 {
+                    1.0
+                } else {
+                    r.completed as f64 / r.leechers as f64
+                },
+            }
+        })
+        .collect();
+    FoldingComparison {
+        baseline_ratio: baseline.folding_ratio,
+        rows,
+    }
+}
+
+/// Summary statistics of a run's completion times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletionSummary {
+    /// Number of downloaders that finished.
+    pub completed: usize,
+    /// Earliest completion.
+    pub first: SimTime,
+    /// Latest completion.
+    pub last: SimTime,
+    /// Median completion.
+    pub median: SimTime,
+    /// Spread between the 5th and 95th percentile, in seconds.
+    pub p5_p95_spread_secs: f64,
+}
+
+/// Computes completion statistics for a run, if any downloader finished.
+pub fn completion_summary(result: &SwarmResult) -> Option<CompletionSummary> {
+    if result.completion_times.is_empty() {
+        return None;
+    }
+    let cdf = completion_cdf(result);
+    Some(CompletionSummary {
+        completed: result.completion_times.len(),
+        first: *result.completion_times.first().expect("non-empty"),
+        last: *result.completion_times.last().expect("non-empty"),
+        median: result.median_completion().expect("non-empty"),
+        p5_p95_spread_secs: cdf.quantile(0.95).expect("non-empty")
+            - cdf.quantile(0.05).expect("non-empty"),
+    })
+}
+
+/// The three phases of a BitTorrent download the paper reads off Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DownloadPhases {
+    /// End of the first phase: the moment downloaders other than the initial seeders start
+    /// contributing upload capacity (first completion of *any* piece exchange between leechers
+    /// is not observable from the curves, so this uses the first time aggregate progress
+    /// accelerates past the initial seeder-only rate).
+    pub seeder_only_until: SimTime,
+    /// Time of the first completed download (start of the third phase, where finished clients
+    /// help the others).
+    pub first_completion: SimTime,
+    /// Time of the last completed download.
+    pub last_completion: SimTime,
+}
+
+/// Extracts the phase boundaries from a finished run.
+pub fn download_phases(result: &SwarmResult) -> Option<DownloadPhases> {
+    let first_completion = *result.completion_times.first()?;
+    let last_completion = *result.completion_times.last()?;
+    // Seeder-only phase: aggregate download rate while only the initial seeders upload is
+    // bounded by their upload capacity. Detect the first sample where the rate over the
+    // previous interval exceeds twice the rate of the very first active interval.
+    let samples = result.total_downloaded.samples();
+    let mut initial_rate = None;
+    let mut seeder_only_until = first_completion;
+    for w in samples.windows(2) {
+        let dt = (w[1].0 - w[0].0).as_secs_f64();
+        if dt <= 0.0 {
+            continue;
+        }
+        let rate = (w[1].1 - w[0].1) / dt;
+        if rate <= 0.0 {
+            continue;
+        }
+        match initial_rate {
+            None => initial_rate = Some(rate),
+            Some(r0) if rate > 2.0 * r0 => {
+                seeder_only_until = w[0].0;
+                break;
+            }
+            Some(_) => {}
+        }
+    }
+    Some(DownloadPhases {
+        seeder_only_until,
+        first_completion,
+        last_completion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_swarm_experiment, SwarmExperiment};
+
+    fn quick_result(machines: usize, seed: u64) -> SwarmResult {
+        let mut cfg = SwarmExperiment::quick();
+        cfg.machines = machines;
+        cfg.seed = seed;
+        cfg.name = format!("quick-{machines}m");
+        run_swarm_experiment(&cfg)
+    }
+
+    #[test]
+    fn folding_comparison_of_identical_runs_is_zero() {
+        let a = quick_result(4, 7);
+        let b = quick_result(4, 7);
+        let cmp = compare_folding(&a, &[&b]);
+        assert_eq!(cmp.rows.len(), 1);
+        assert!(cmp.worst_deviation() < 1e-12);
+        assert!(cmp.rows[0].completion_ks_distance < 1e-12);
+        assert_eq!(cmp.rows[0].completion_fraction, 1.0);
+    }
+
+    #[test]
+    fn folding_comparison_across_ratios_is_small() {
+        // The core Figure 9 claim at unit-test scale: fold the same quick swarm onto fewer
+        // machines and the aggregate curves stay close.
+        let spread = quick_result(15, 7); // ~1 virtual node per machine
+        let folded = quick_result(1, 7); // everything on one machine
+        let cmp = compare_folding(&spread, &[&folded]);
+        assert!(
+            cmp.worst_deviation() < 0.12,
+            "deviation {} too large",
+            cmp.worst_deviation()
+        );
+        assert!(cmp.rows[0].folding_ratio > 10.0 * cmp.baseline_ratio);
+    }
+
+    #[test]
+    fn completion_summary_and_phases() {
+        let r = quick_result(4, 7);
+        let s = completion_summary(&r).unwrap();
+        assert_eq!(s.completed, r.leechers);
+        assert!(s.first <= s.median && s.median <= s.last);
+        assert!(s.p5_p95_spread_secs >= 0.0);
+        let phases = download_phases(&r).unwrap();
+        assert!(phases.seeder_only_until <= phases.first_completion);
+        assert!(phases.first_completion <= phases.last_completion);
+    }
+
+    #[test]
+    fn empty_result_has_no_summary() {
+        let mut r = quick_result(4, 7);
+        r.completion_times.clear();
+        assert!(completion_summary(&r).is_none());
+        assert!(download_phases(&r).is_none());
+    }
+}

@@ -1,0 +1,468 @@
+//! BitTorrent experiment definitions and the orchestration runner.
+//!
+//! These are the experiment descriptions of the paper's evaluation section, expressed as data:
+//! how many clients and seeders, which access-link profile, how many physical machines the
+//! virtual nodes are folded onto, how clients are started over time, and what gets sampled.
+//! [`run_swarm_experiment`] builds the deployment, wires up the swarm and runs it to completion
+//! (or to the configured deadline), returning everything the figures need.
+
+use crate::deploy::{deploy, DeploymentSpec};
+use crate::monitor::ResourceMonitor;
+use p2plab_bittorrent::{schedule_client_start, start_client, stop_client, ClientConfig, SwarmWorld, Torrent};
+use p2plab_net::{AccessLinkClass, NetStats, NetworkConfig, TopologySpec};
+use p2plab_sim::{schedule_periodic, RunOutcome, SimDuration, SimTime, Simulation, TimeSeries};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Node churn model: downloaders alternate between online sessions and offline periods, both
+/// exponentially distributed, until their download completes (finished clients stay online and
+/// seed, as in the paper's experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Mean online-session duration.
+    pub mean_session: SimDuration,
+    /// Mean offline duration between sessions.
+    pub mean_downtime: SimDuration,
+}
+
+/// Description of one BitTorrent swarm experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwarmExperiment {
+    /// Name used in reports.
+    pub name: String,
+    /// Size of the distributed file in bytes.
+    pub file_bytes: u64,
+    /// Number of initial seeders.
+    pub seeders: usize,
+    /// Number of downloaders.
+    pub leechers: usize,
+    /// Number of physical machines the virtual nodes are folded onto.
+    pub machines: usize,
+    /// Access link of every node (the paper uses a uniform DSL profile).
+    pub link: AccessLinkClass,
+    /// Interval between consecutive client starts.
+    pub start_interval: SimDuration,
+    /// How long before the first client the seeders (and tracker) come online.
+    pub seeder_head_start: SimDuration,
+    /// Client policy parameters.
+    pub client_config: ClientConfig,
+    /// Hard stop for the experiment (virtual time).
+    pub deadline: SimDuration,
+    /// Sampling period of the global "total data received" curve (Figure 9).
+    pub sample_interval: SimDuration,
+    /// Optional node-churn model applied to the downloaders (an extension beyond the paper's
+    /// experiments, where clients stay online).
+    pub churn: Option<ChurnSpec>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SwarmExperiment {
+    /// The Figure 8 experiment: 160 clients and 4 seeders download a 16 MB file over DSL-like
+    /// links (2 Mbps down, 128 kbps up, 30 ms), one client per physical node, clients started
+    /// every 10 s.
+    pub fn paper_figure8() -> SwarmExperiment {
+        SwarmExperiment {
+            name: "figure8-160-clients".into(),
+            file_bytes: 16 * 1024 * 1024,
+            seeders: 4,
+            leechers: 160,
+            machines: 165,
+            link: AccessLinkClass::bittorrent_dsl(),
+            start_interval: SimDuration::from_secs(10),
+            seeder_head_start: SimDuration::from_secs(30),
+            client_config: ClientConfig::default(),
+            deadline: SimDuration::from_secs(6000),
+            sample_interval: SimDuration::from_secs(10),
+            churn: None,
+            seed: 2006,
+        }
+    }
+
+    /// The Figure 9 folding-ratio experiment: the same swarm as Figure 8 deployed on fewer
+    /// physical machines (`clients_per_machine` in {1, 10, 20, 40, 80}).
+    pub fn paper_figure9(clients_per_machine: usize) -> SwarmExperiment {
+        assert!(clients_per_machine >= 1);
+        let mut e = SwarmExperiment::paper_figure8();
+        let total_vnodes = e.leechers + e.seeders + 1;
+        e.machines = total_vnodes.div_ceil(clients_per_machine);
+        e.name = format!("figure9-{clients_per_machine}-per-machine");
+        e
+    }
+
+    /// The Figures 10-11 scalability experiment: 5754 clients, 4 seeders and one tracker on 180
+    /// physical machines (32 virtual nodes each), clients started every 0.25 s. `scale` shrinks
+    /// the experiment proportionally (1.0 = the paper's size) so it can also run as a test.
+    pub fn paper_figure10(scale: f64) -> SwarmExperiment {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let leechers = ((5754.0 * scale).round() as usize).max(10);
+        let machines = (((leechers + 5) as f64) / 32.0).ceil() as usize;
+        SwarmExperiment {
+            name: format!("figure10-{leechers}-clients"),
+            file_bytes: 16 * 1024 * 1024,
+            seeders: 4,
+            leechers,
+            machines,
+            link: AccessLinkClass::bittorrent_dsl(),
+            start_interval: SimDuration::from_millis(250),
+            seeder_head_start: SimDuration::from_secs(30),
+            client_config: ClientConfig::default(),
+            deadline: SimDuration::from_secs(8000),
+            sample_interval: SimDuration::from_secs(10),
+            churn: None,
+            seed: 2006,
+        }
+    }
+
+    /// A small, fast configuration for tests and the quickstart example.
+    pub fn quick() -> SwarmExperiment {
+        SwarmExperiment {
+            name: "quick".into(),
+            file_bytes: 2 * 1024 * 1024,
+            seeders: 2,
+            leechers: 12,
+            machines: 4,
+            link: AccessLinkClass::new(8_000_000, 1_000_000, SimDuration::from_millis(10)),
+            start_interval: SimDuration::from_secs(2),
+            seeder_head_start: SimDuration::from_secs(5),
+            client_config: ClientConfig::default(),
+            deadline: SimDuration::from_secs(2000),
+            sample_interval: SimDuration::from_secs(5),
+            churn: None,
+            seed: 7,
+        }
+    }
+
+    /// Total number of virtual nodes (clients + seeders + tracker).
+    pub fn total_vnodes(&self) -> usize {
+        self.leechers + self.seeders + 1
+    }
+
+    /// The folding ratio of the deployment.
+    pub fn folding_ratio(&self) -> f64 {
+        self.total_vnodes() as f64 / self.machines as f64
+    }
+}
+
+/// Everything a swarm experiment produces.
+#[derive(Debug, Clone)]
+pub struct SwarmResult {
+    /// The experiment name.
+    pub name: String,
+    /// Folding ratio of the deployment.
+    pub folding_ratio: f64,
+    /// Number of downloaders.
+    pub leechers: usize,
+    /// Number of downloaders that finished before the deadline.
+    pub completed: usize,
+    /// Per-downloader progress curves (percent vs time), in client start order — Figure 8/10.
+    pub progress: Vec<TimeSeries>,
+    /// Completion-count step curve — Figure 11.
+    pub completion_curve: TimeSeries,
+    /// Total application bytes received by all nodes, sampled periodically — Figure 9.
+    pub total_downloaded: TimeSeries,
+    /// Completion times of finished downloaders, sorted.
+    pub completion_times: Vec<SimTime>,
+    /// Whether every downloader finished before the deadline.
+    pub finished: bool,
+    /// Virtual time when the run stopped.
+    pub stopped_at: SimTime,
+    /// Number of simulation events executed.
+    pub events_executed: u64,
+    /// Data-plane counters.
+    pub net_stats: NetStats,
+    /// Total bytes uploaded by the initial seeders.
+    pub seeder_upload_bytes: u64,
+    /// Total bytes uploaded by downloaders (reciprocation volume).
+    pub leecher_upload_bytes: u64,
+    /// Highest utilization reached by any physical machine's NIC during the run (the resource
+    /// the paper identifies as the first folding limit).
+    pub peak_nic_utilization: f64,
+    /// Number of churn departures (Stopped announces) observed by the tracker.
+    pub churn_departures: u64,
+}
+
+impl SwarmResult {
+    /// Median completion time, if any client finished.
+    pub fn median_completion(&self) -> Option<SimTime> {
+        if self.completion_times.is_empty() {
+            None
+        } else {
+            Some(self.completion_times[self.completion_times.len() / 2])
+        }
+    }
+
+    /// Time by which `fraction` (0-1) of the downloaders had finished.
+    pub fn completion_quantile(&self, fraction: f64) -> Option<SimTime> {
+        if self.completion_times.is_empty() {
+            return None;
+        }
+        let idx = ((self.completion_times.len() as f64 * fraction).ceil() as usize)
+            .clamp(1, self.completion_times.len());
+        Some(self.completion_times[idx - 1])
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}/{} clients done, median completion {}, total downloaded {:.1} MB, folding {:.0}:1",
+            self.name,
+            self.completed,
+            self.leechers,
+            self.median_completion()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+            self.total_downloaded.last().map(|(_, v)| v).unwrap_or(0.0) / (1024.0 * 1024.0),
+            self.folding_ratio,
+        )
+    }
+}
+
+/// Builds, runs and measures one swarm experiment.
+pub fn run_swarm_experiment(cfg: &SwarmExperiment) -> SwarmResult {
+    let topology = TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link);
+    let deployment = deploy(&topology, DeploymentSpec::new(cfg.machines), NetworkConfig::default())
+        .expect("deployment must succeed");
+    let torrent = Torrent::new(cfg.name.clone(), cfg.file_bytes);
+
+    // Virtual node 0 hosts the tracker; seeders follow; downloaders after that.
+    let mut world = SwarmWorld::new(deployment.net, deployment.vnodes[0]);
+    for s in 0..cfg.seeders {
+        world.add_client(
+            deployment.vnodes[1 + s],
+            torrent.clone(),
+            true,
+            cfg.client_config,
+        );
+    }
+    for l in 0..cfg.leechers {
+        world.add_client(
+            deployment.vnodes[1 + cfg.seeders + l],
+            torrent.clone(),
+            false,
+            cfg.client_config,
+        );
+    }
+
+    let mut sim = Simulation::new(world, cfg.seed);
+    // Seeders (and the tracker, which is passive) come online first.
+    for s in 0..cfg.seeders {
+        schedule_client_start(&mut sim, s, SimTime::ZERO + SimDuration::from_secs(s as u64));
+    }
+    // Downloaders join at the configured interval.
+    for l in 0..cfg.leechers {
+        let at = SimTime::ZERO + cfg.seeder_head_start + cfg.start_interval * l as u64;
+        schedule_client_start(&mut sim, cfg.seeders + l, at);
+    }
+
+    // Node churn (extension): each downloader alternates online sessions and offline periods
+    // until its download completes.
+    if let Some(churn) = cfg.churn {
+        for l in 0..cfg.leechers {
+            let idx = cfg.seeders + l;
+            let first_start = SimTime::ZERO + cfg.seeder_head_start + cfg.start_interval * l as u64;
+            schedule_departure(&mut sim, idx, first_start, churn);
+        }
+    }
+
+    // Periodic sampling of the global download counter (Figure 9's y axis) and of the physical
+    // machines' NIC utilization.
+    let samples: Rc<RefCell<TimeSeries>> = Rc::new(RefCell::new(TimeSeries::new()));
+    let monitor: Rc<RefCell<ResourceMonitor>> =
+        Rc::new(RefCell::new(ResourceMonitor::new(&sim.world().net)));
+    let sampler = samples.clone();
+    let monitor_handle = monitor.clone();
+    schedule_periodic(&mut sim, SimTime::ZERO, cfg.sample_interval, move |sim| {
+        let now = sim.now();
+        let world = sim.world();
+        sampler
+            .borrow_mut()
+            .push(now, world.total_bytes_downloaded() as f64);
+        monitor_handle.borrow_mut().sample(now, &world.net);
+        !world.swarm_finished()
+    });
+
+    let outcome = sim.run_until(SimTime::ZERO + cfg.deadline);
+    let stopped_at = sim.now();
+    let events_executed = sim.executed_events();
+    let world = sim.into_world();
+
+    // Final sample so the curve extends to the stop time.
+    samples
+        .borrow_mut()
+        .push(stopped_at, world.total_bytes_downloaded() as f64);
+
+    let downloaders: Vec<&p2plab_bittorrent::Client> = world
+        .clients
+        .iter()
+        .filter(|c| !c.initial_seeder)
+        .collect();
+    let seeder_upload_bytes = world
+        .clients
+        .iter()
+        .filter(|c| c.initial_seeder)
+        .map(|c| c.stats.bytes_uploaded)
+        .sum();
+    let leecher_upload_bytes = downloaders.iter().map(|c| c.stats.bytes_uploaded).sum();
+
+    let result = SwarmResult {
+        name: cfg.name.clone(),
+        folding_ratio: cfg.folding_ratio(),
+        leechers: cfg.leechers,
+        completed: world.completed_count(),
+        progress: downloaders.iter().map(|c| c.progress.clone()).collect(),
+        completion_curve: world.completion_curve(),
+        total_downloaded: samples.borrow().clone(),
+        completion_times: world.completion_times(),
+        finished: world.swarm_finished(),
+        stopped_at,
+        events_executed,
+        net_stats: world.net.stats(),
+        seeder_upload_bytes,
+        leecher_upload_bytes,
+        peak_nic_utilization: monitor.borrow().peak_utilization(),
+        churn_departures: world.tracker.stats().stopped,
+    };
+    debug_assert!(
+        outcome != RunOutcome::EventBudgetExhausted,
+        "no event budget is configured"
+    );
+    result
+}
+
+/// Schedules the next churn departure of downloader `idx`, drawn from the session-length
+/// distribution, and chains the following rejoin/departure events.
+fn schedule_departure(sim: &mut Simulation<SwarmWorld>, idx: usize, not_before: SimTime, churn: ChurnSpec) {
+    let session = SimDuration::from_secs_f64(
+        sim.rng().exponential(churn.mean_session.as_secs_f64()),
+    );
+    sim.schedule_at(not_before + session, move |sim| {
+        let done = sim.world().clients[idx].completed_at.is_some();
+        if done || !sim.world().clients[idx].online {
+            // Finished clients stay online and seed; offline clients are between sessions.
+            return;
+        }
+        stop_client(sim, idx);
+        let downtime = SimDuration::from_secs_f64(
+            sim.rng().exponential(churn.mean_downtime.as_secs_f64()),
+        );
+        sim.schedule_in(downtime, move |sim| {
+            if sim.world().clients[idx].completed_at.is_some() {
+                return;
+            }
+            start_client(sim, idx);
+            let now = sim.now();
+            schedule_departure(sim, idx, now, churn);
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_completes() {
+        let cfg = SwarmExperiment::quick();
+        let r = run_swarm_experiment(&cfg);
+        assert!(r.finished, "{:?}", r.summary());
+        assert_eq!(r.completed, cfg.leechers);
+        assert_eq!(r.progress.len(), cfg.leechers);
+        assert_eq!(r.completion_times.len(), cfg.leechers);
+        // Every progress curve ends at 100%.
+        for p in &r.progress {
+            assert_eq!(p.last().unwrap().1, 100.0);
+        }
+        // The total-downloaded curve is non-decreasing and ends at >= leechers x file size.
+        let samples = r.total_downloaded.samples();
+        assert!(samples.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(
+            r.total_downloaded.last().unwrap().1 >= (cfg.leechers as u64 * cfg.file_bytes) as f64
+        );
+        // Completion curve ends at the number of downloaders.
+        assert_eq!(r.completion_curve.last().unwrap().1, cfg.leechers as f64);
+        assert!(r.median_completion().is_some());
+        assert!(r.completion_quantile(1.0).unwrap() >= r.completion_quantile(0.5).unwrap());
+        assert!(r.summary().contains("quick"));
+    }
+
+    #[test]
+    fn leechers_reciprocate_in_quick_experiment() {
+        let r = run_swarm_experiment(&SwarmExperiment::quick());
+        assert!(
+            r.leecher_upload_bytes > 0,
+            "downloaders must upload to each other (tit-for-tat)"
+        );
+    }
+
+    #[test]
+    fn experiment_presets_match_paper_parameters() {
+        let f8 = SwarmExperiment::paper_figure8();
+        assert_eq!(f8.leechers, 160);
+        assert_eq!(f8.seeders, 4);
+        assert_eq!(f8.file_bytes, 16 * 1024 * 1024);
+        assert_eq!(f8.start_interval, SimDuration::from_secs(10));
+        assert!((f8.folding_ratio() - 1.0).abs() < 1e-9);
+
+        let f9 = SwarmExperiment::paper_figure9(80);
+        assert!((f9.folding_ratio() - 55.0).abs() < 30.0);
+        assert!(f9.machines < f8.machines);
+
+        let f10 = SwarmExperiment::paper_figure10(1.0);
+        assert_eq!(f10.leechers, 5754);
+        assert_eq!(f10.machines, 180);
+        assert_eq!(f10.start_interval, SimDuration::from_millis(250));
+
+        let f10_small = SwarmExperiment::paper_figure10(0.02);
+        assert!(f10_small.leechers >= 10 && f10_small.leechers < 200);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SwarmExperiment {
+            leechers: 5,
+            seeders: 1,
+            file_bytes: 512 * 1024,
+            ..SwarmExperiment::quick()
+        };
+        let a = run_swarm_experiment(&cfg);
+        let b = run_swarm_experiment(&cfg);
+        assert_eq!(a.completion_times, b.completion_times);
+        assert_eq!(a.events_executed, b.events_executed);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 99;
+        let c = run_swarm_experiment(&cfg2);
+        assert_ne!(a.completion_times, c.completion_times);
+    }
+
+    #[test]
+    fn churn_slows_but_does_not_prevent_completion() {
+        let mut steady = SwarmExperiment::quick();
+        steady.leechers = 8;
+        steady.name = "churn-baseline".into();
+        let mut churny = steady.clone();
+        churny.name = "churn-on".into();
+        churny.churn = Some(ChurnSpec {
+            mean_session: SimDuration::from_secs(60),
+            mean_downtime: SimDuration::from_secs(30),
+        });
+        churny.deadline = SimDuration::from_secs(6000);
+        let a = run_swarm_experiment(&steady);
+        let b = run_swarm_experiment(&churny);
+        assert!(a.finished && b.finished, "a={} b={}", a.summary(), b.summary());
+        assert_eq!(a.churn_departures, 0);
+        assert!(b.churn_departures > 0, "churn must actually interrupt sessions");
+        assert!(
+            b.median_completion().unwrap() > a.median_completion().unwrap(),
+            "interrupted downloads should take longer"
+        );
+    }
+
+    #[test]
+    fn nic_utilization_is_monitored_and_bounded() {
+        let r = run_swarm_experiment(&SwarmExperiment::quick());
+        assert!(r.peak_nic_utilization > 0.0, "cross-machine traffic must show up");
+        assert!(r.peak_nic_utilization <= 1.0);
+    }
+}

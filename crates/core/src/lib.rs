@@ -1,0 +1,35 @@
+//! # p2plab-core — the P2PLab framework
+//!
+//! This crate is the reproduction of the paper's primary contribution: the P2PLab
+//! experimentation framework itself. It ties the substrates together:
+//!
+//! * [`deploy`] — fold virtual nodes onto physical machines, configure interface aliases and
+//!   generate the per-machine dummynet/IPFW rules (the decentralized network-emulation model);
+//! * [`experiment`] — the BitTorrent experiment descriptions of the evaluation section
+//!   (Figures 8-11) and the orchestration runner;
+//! * [`accuracy`] — the emulation-accuracy experiments (rule-count scaling of Figure 6, the
+//!   Figure 7 latency decomposition, the libc-interception overhead table);
+//! * [`analysis`] — folding-invariance comparison and completion statistics;
+//! * [`report`] — tables, CSV and ASCII plots for the figure-regeneration binaries.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod analysis;
+pub mod deploy;
+pub mod experiment;
+pub mod monitor;
+pub mod report;
+
+pub use accuracy::{
+    figure7_latency_experiment, interception_overhead, rule_scaling_experiment,
+    InterceptionOverhead, LatencyDecomposition, RuleScalingPoint,
+};
+pub use analysis::{
+    compare_folding, completion_summary, download_phases, CompletionSummary, DownloadPhases,
+    FoldingComparison, FoldingRow,
+};
+pub use deploy::{deploy, Deployment, DeploymentSpec, Placement};
+pub use experiment::{run_swarm_experiment, ChurnSpec, SwarmExperiment, SwarmResult};
+pub use monitor::{MachineSample, ResourceMonitor};
+pub use report::{ascii_plot, points_to_csv, render_table, series_to_csv};

@@ -1,0 +1,188 @@
+//! Rendering experiment output: aligned text tables, CSV series and quick ASCII plots.
+//!
+//! The bench binaries use these helpers to print, for every figure of the paper, the same rows
+//! or series the figure plots, so a run of the harness can be compared against the publication
+//! side by side.
+
+use p2plab_sim::{SimDuration, SimTime, TimeSeries};
+
+/// Renders an aligned text table. `headers` names the columns; each row must have the same
+/// number of cells.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(header_line.join("  ").len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one or more time series as CSV with a shared, regular time grid
+/// (`time_s,<name1>,<name2>,...`), carrying the last value forward between samples.
+pub fn series_to_csv(series: &[(&str, &TimeSeries)], step: SimDuration, end: SimTime) -> String {
+    let mut out = String::from("time_s");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    let grids: Vec<Vec<(SimTime, f64)>> = series
+        .iter()
+        .map(|(_, s)| s.resample(step, end, 0.0))
+        .collect();
+    if grids.is_empty() {
+        return out;
+    }
+    for i in 0..grids[0].len() {
+        out.push_str(&format!("{:.1}", grids[0][i].0.as_secs_f64()));
+        for g in &grids {
+            out.push_str(&format!(",{:.3}", g[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `(x, y)` points as CSV.
+pub fn points_to_csv(x_name: &str, y_name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("{x_name},{y_name}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x:.6},{y:.6}\n"));
+    }
+    out
+}
+
+/// A rough ASCII plot of a time series (for eyeballing the shape of a figure in a terminal).
+/// `width` and `height` are in characters.
+pub fn ascii_plot(title: &str, series: &TimeSeries, width: usize, height: usize) -> String {
+    let mut out = format!("# {title}\n");
+    let Some((end, _)) = series.last() else {
+        out.push_str("(empty series)\n");
+        return out;
+    };
+    let max_y = series
+        .samples()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-12);
+    let width = width.max(10);
+    let height = height.max(4);
+    let mut grid = vec![vec![' '; width]; height];
+    for col in 0..width {
+        let t = SimTime::from_secs_f64(end.as_secs_f64() * col as f64 / (width - 1) as f64);
+        let v = series.value_at(t, 0.0);
+        let row = ((v / max_y) * (height - 1) as f64).round() as usize;
+        let row = (height - 1).saturating_sub(row.min(height - 1));
+        grid[row][col] = '*';
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_y:10.1} |")
+        } else if i == height - 1 {
+            format!("{:10.1} |", 0.0)
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10}  0 {:->width$}\n",
+        "",
+        format!(" {:.0}s", end.as_secs_f64()),
+        width = width
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for &(t, v) in points {
+            s.push(SimTime::from_secs(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let t = render_table(
+            "Scheduler comparison",
+            &["n", "ULE", "4BSD"],
+            &[
+                vec!["1".into(), "1.69".into(), "1.69".into()],
+                vec!["1000".into(), "1.65".into(), "1.648".into()],
+            ],
+        );
+        assert!(t.contains("# Scheduler comparison"));
+        assert!(t.contains("ULE"));
+        assert!(t.contains("1.648"));
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        render_table("x", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_has_grid_and_all_series() {
+        let a = series(&[(0, 0.0), (10, 100.0)]);
+        let b = series(&[(0, 0.0), (10, 50.0)]);
+        let csv = series_to_csv(
+            &[("a", &a), ("b", &b)],
+            SimDuration::from_secs(5),
+            SimTime::from_secs(10),
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with("10.0,100.000,50.000"));
+    }
+
+    #[test]
+    fn points_csv() {
+        let csv = points_to_csv("rules", "rtt_ms", &[(0.0, 0.2), (50_000.0, 5.0)]);
+        assert!(csv.starts_with("rules,rtt_ms\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn ascii_plot_has_requested_dimensions() {
+        let s = series(&[(0, 0.0), (50, 50.0), (100, 100.0)]);
+        let plot = ascii_plot("ramp", &s, 40, 8);
+        assert!(plot.contains("# ramp"));
+        assert!(plot.lines().count() >= 9);
+        assert!(plot.contains('*'));
+        let empty = ascii_plot("empty", &TimeSeries::new(), 40, 8);
+        assert!(empty.contains("(empty series)"));
+    }
+}

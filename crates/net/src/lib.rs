@@ -1,0 +1,41 @@
+//! # p2plab-net — the network-emulation substrate
+//!
+//! This crate models the part of P2PLab that makes many folded virtual nodes "look like real
+//! separate nodes from the outside": per-virtual-node IP addresses configured as interface
+//! aliases, a libc interception shim that binds each process to its own address, and a
+//! decentralized Dummynet/IPFW network model where every physical machine shapes the traffic of
+//! the virtual nodes it hosts (access-link bandwidth/latency/loss plus inter-group latency).
+//!
+//! Layers, from bottom to top:
+//!
+//! * [`addr`], [`iface`] — virtual IPv4 addressing and interface aliases;
+//! * [`pipe`], [`firewall`] — dummynet pipes and linearly evaluated IPFW rules;
+//! * [`topology`] — the edge-centric topology description (groups + access links);
+//! * [`network`] — per-machine/per-node data-plane state;
+//! * [`transport`] — reliable connections and datagrams walking the emulated path;
+//! * [`intercept`] — the BINDIP libc shim and its cost model;
+//! * [`ping`] — the echo application used by the accuracy experiments.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod firewall;
+pub mod iface;
+pub mod intercept;
+pub mod network;
+pub mod ping;
+pub mod pipe;
+pub mod topology;
+pub mod transport;
+
+pub use addr::{AddrParseError, SocketAddr, Subnet, VirtAddr};
+pub use firewall::{Classification, Direction, Firewall, FirewallStats, Rule, RuleAction};
+pub use iface::{Interface, IfaceError};
+pub use intercept::InterceptConfig;
+pub use network::{
+    ConnId, ConnState, Connection, MachineId, MachineNet, NetError, NetStats, Network,
+    NetworkConfig, VNodeId, VNodeNet,
+};
+pub use pipe::{DropReason, EnqueueOutcome, Pipe, PipeConfig, PipeId, PipeStats};
+pub use topology::{AccessLinkClass, GroupId, GroupSpec, TopologySpec};
+pub use transport::{close, connect, listen, send, send_datagram, NetHost, SockEvent};

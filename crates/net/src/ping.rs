@@ -1,0 +1,198 @@
+//! A self-contained ping (echo request/reply) application.
+//!
+//! The paper uses `ping` for the two emulation-accuracy experiments: Figure 6 (round-trip time
+//! as a function of the number of firewall rules) and the Figure 7 latency-decomposition check
+//! (853 ms between `10.1.3.207` and `10.2.2.117`). [`PingWorld`] is a minimal [`NetHost`] whose
+//! only application is an echo responder, used by those benches and by integration tests.
+
+use crate::addr::SocketAddr;
+use crate::network::{Network, VNodeId};
+use crate::transport::{send_datagram, NetHost, SockEvent};
+use p2plab_sim::{SimDuration, SimTime, Simulation};
+use std::collections::HashMap;
+
+/// The ICMP-like echo port.
+pub const ECHO_PORT: u16 = 7;
+
+/// Payload of the echo protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PingPayload {
+    /// Echo request.
+    Echo {
+        /// Sequence number.
+        seq: u64,
+    },
+    /// Echo reply.
+    Reply {
+        /// Sequence number of the request being answered.
+        seq: u64,
+    },
+}
+
+/// A world whose virtual nodes all run an echo responder.
+pub struct PingWorld {
+    /// The emulated network.
+    pub net: Network,
+    /// Completed round trips: `(pinging node, rtt)`.
+    pub rtts: Vec<(VNodeId, SimDuration)>,
+    pending: HashMap<u64, (VNodeId, SimTime)>,
+    next_seq: u64,
+    packet_size: u64,
+}
+
+impl PingWorld {
+    /// Creates a ping world over the given network. `packet_size` is the echo payload size
+    /// (a standard ping uses 56 bytes of payload).
+    pub fn new(net: Network, packet_size: u64) -> PingWorld {
+        PingWorld {
+            net,
+            rtts: Vec::new(),
+            pending: HashMap::new(),
+            next_seq: 0,
+            packet_size,
+        }
+    }
+
+    /// Average measured round-trip time, if any pings completed.
+    pub fn average_rtt(&self) -> Option<SimDuration> {
+        if self.rtts.is_empty() {
+            return None;
+        }
+        let total: u64 = self.rtts.iter().map(|(_, d)| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(total / self.rtts.len() as u64))
+    }
+
+    /// Minimum and maximum measured round-trip times.
+    pub fn min_max_rtt(&self) -> Option<(SimDuration, SimDuration)> {
+        let min = self.rtts.iter().map(|(_, d)| *d).min()?;
+        let max = self.rtts.iter().map(|(_, d)| *d).max()?;
+        Some((min, max))
+    }
+}
+
+impl NetHost for PingWorld {
+    type Payload = PingPayload;
+
+    fn network(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<PingPayload>) {
+        match event {
+            SockEvent::Datagram { from, payload: PingPayload::Echo { seq }, size } => {
+                // Echo responder: send the reply back to wherever the request came from.
+                let _ = send_datagram(
+                    sim,
+                    node,
+                    ECHO_PORT,
+                    from,
+                    size,
+                    PingPayload::Reply { seq },
+                );
+            }
+            SockEvent::Datagram { payload: PingPayload::Reply { seq }, .. } => {
+                let now = sim.now();
+                if let Some((origin, sent_at)) = sim.world_mut().pending.remove(&seq) {
+                    sim.world_mut().rtts.push((origin, now - sent_at));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Sends one echo request from `from` to `to`. The RTT is recorded in
+/// [`PingWorld::rtts`] when (and if) the reply arrives.
+pub fn ping(sim: &mut Simulation<PingWorld>, from: VNodeId, to: VNodeId) {
+    let seq = sim.world().next_seq;
+    sim.world_mut().next_seq += 1;
+    let now = sim.now();
+    sim.world_mut().pending.insert(seq, (from, now));
+    let to_addr = sim.world_mut().net.addr_of(to);
+    let size = sim.world().packet_size;
+    let _ = send_datagram(
+        sim,
+        from,
+        ECHO_PORT,
+        SocketAddr::new(to_addr, ECHO_PORT),
+        size,
+        PingPayload::Echo { seq },
+    );
+}
+
+/// Sends `count` echo requests from `from` to `to`, spaced by `interval`, runs the simulation to
+/// completion, and returns the measured RTTs.
+pub fn ping_series(
+    world: PingWorld,
+    from: VNodeId,
+    to: VNodeId,
+    count: usize,
+    interval: SimDuration,
+    seed: u64,
+) -> (PingWorld, Vec<SimDuration>) {
+    let mut sim = Simulation::new(world, seed);
+    for i in 0..count {
+        sim.schedule_at(SimTime::ZERO + interval * i as u64, move |sim| {
+            ping(sim, from, to);
+        });
+    }
+    sim.run();
+    let world = sim.into_world();
+    let rtts = world.rtts.iter().map(|(_, d)| *d).collect();
+    (world, rtts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::VirtAddr;
+    use crate::network::NetworkConfig;
+    use crate::topology::{AccessLinkClass, GroupId, TopologySpec};
+
+    fn two_node_world(rules_on_sender: usize) -> PingWorld {
+        let topo = TopologySpec::uniform("lan", 2, AccessLinkClass::symmetric(100_000_000, SimDuration::from_micros(100)));
+        let mut net = Network::new(NetworkConfig::default(), topo);
+        let m0 = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
+        let m1 = net.add_machine("pm1", VirtAddr::new(192, 168, 38, 2));
+        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0)).unwrap();
+        net.add_vnode(m1, VirtAddr::new(10, 0, 0, 2), GroupId(0)).unwrap();
+        net.machine_mut(crate::network::MachineId(0))
+            .firewall
+            .add_dummy_rules(rules_on_sender);
+        PingWorld::new(net, 56)
+    }
+
+    #[test]
+    fn ping_measures_round_trip() {
+        let world = two_node_world(0);
+        let (world, rtts) = ping_series(world, VNodeId(0), VNodeId(1), 5, SimDuration::from_millis(100), 1);
+        assert_eq!(rtts.len(), 5);
+        // Two traversals of the 100 us links in each direction: at least 400 us.
+        assert!(rtts.iter().all(|r| r.as_micros() >= 400));
+        assert!(world.average_rtt().unwrap().as_micros() >= 400);
+        let (min, max) = world.min_max_rtt().unwrap();
+        assert!(min <= max);
+    }
+
+    #[test]
+    fn rtt_grows_linearly_with_rule_count() {
+        // The Figure 6 mechanism, end to end: more rules on the sending physical node's
+        // firewall means proportionally larger RTT.
+        let rtt_with = |rules: usize| {
+            let world = two_node_world(rules);
+            let (_, rtts) =
+                ping_series(world, VNodeId(0), VNodeId(1), 3, SimDuration::from_millis(50), 1);
+            rtts.iter().map(|r| r.as_nanos()).sum::<u64>() as f64 / rtts.len() as f64
+        };
+        let base = rtt_with(0);
+        let mid = rtt_with(10_000);
+        let big = rtt_with(20_000);
+        // Each outgoing packet on the sender scans the dummy rules once per direction
+        // (request out, reply in), so the RTT delta should double when the rule count doubles.
+        let d1 = mid - base;
+        let d2 = big - base;
+        assert!(d1 > 0.0);
+        let ratio = d2 / d1;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio={ratio}");
+    }
+}

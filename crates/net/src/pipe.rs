@@ -1,0 +1,318 @@
+//! Dummynet-style pipes.
+//!
+//! Dummynet (the FreeBSD traffic shaper P2PLab relies on) shapes traffic through *pipes*: a
+//! packet entering a pipe is queued behind earlier packets, drained at the pipe's configured
+//! bandwidth, then held for the pipe's propagation delay before being released. Pipes can also
+//! drop packets, either randomly (packet loss rate) or because the bounded queue overflows.
+//!
+//! The model here is exact for FIFO fixed-rate queues: the departure time of a packet is
+//! `max(arrival, previous departure) + size/bandwidth`, so per-packet state is just the time the
+//! queue becomes idle plus a short window of recent departures for occupancy accounting.
+
+use p2plab_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Index of a pipe in the network's pipe arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PipeId(pub usize);
+
+/// Configuration of a dummynet pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipeConfig {
+    /// Drain rate in bits per second. `None` means unlimited (a pure-delay pipe, as used for
+    /// inter-group latency rules).
+    pub bandwidth_bps: Option<u64>,
+    /// Propagation delay added after the packet leaves the queue.
+    pub delay: SimDuration,
+    /// Random packet loss rate in `[0, 1]`.
+    pub loss_rate: f64,
+    /// Queue bound in bytes; arrivals that would push occupancy beyond this are dropped.
+    /// `None` means unbounded.
+    pub queue_limit_bytes: Option<u64>,
+}
+
+impl PipeConfig {
+    /// A pipe that only rate-limits and delays, with dummynet's default 50-slot (~75 KB) queue.
+    pub fn shaped(bandwidth_bps: u64, delay: SimDuration) -> PipeConfig {
+        PipeConfig {
+            bandwidth_bps: Some(bandwidth_bps),
+            delay,
+            loss_rate: 0.0,
+            queue_limit_bytes: Some(75_000),
+        }
+    }
+
+    /// A pure-delay pipe (used for inter-group latency).
+    pub fn delay_only(delay: SimDuration) -> PipeConfig {
+        PipeConfig {
+            bandwidth_bps: None,
+            delay,
+            loss_rate: 0.0,
+            queue_limit_bytes: None,
+        }
+    }
+
+    /// Adds a random loss rate.
+    pub fn with_loss(mut self, loss_rate: f64) -> PipeConfig {
+        assert!((0.0..=1.0).contains(&loss_rate), "loss rate must be in [0,1]");
+        self.loss_rate = loss_rate;
+        self
+    }
+
+    /// Overrides the queue bound.
+    pub fn with_queue_limit(mut self, bytes: Option<u64>) -> PipeConfig {
+        self.queue_limit_bytes = bytes;
+        self
+    }
+}
+
+/// Why a packet was dropped by a pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Random loss (the pipe's configured packet loss rate).
+    RandomLoss,
+    /// The bounded queue was full.
+    QueueOverflow,
+}
+
+/// Result of offering a packet to a pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The packet will be released at the given time (queueing + transmission + delay).
+    Forwarded {
+        /// Time the packet leaves the pipe (including propagation delay).
+        exit: SimTime,
+    },
+    /// The packet was dropped.
+    Dropped(DropReason),
+}
+
+/// Counters kept by every pipe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipeStats {
+    /// Packets forwarded.
+    pub forwarded_packets: u64,
+    /// Bytes forwarded.
+    pub forwarded_bytes: u64,
+    /// Packets dropped by random loss.
+    pub dropped_loss: u64,
+    /// Packets dropped by queue overflow.
+    pub dropped_overflow: u64,
+}
+
+/// A dummynet pipe instance.
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    config: PipeConfig,
+    /// Time at which the transmission queue becomes idle.
+    busy_until: SimTime,
+    /// Recent departures `(queue exit time, size)` kept for occupancy accounting.
+    in_queue: VecDeque<(SimTime, u64)>,
+    stats: PipeStats,
+}
+
+impl Pipe {
+    /// Creates a pipe from its configuration.
+    pub fn new(config: PipeConfig) -> Pipe {
+        Pipe {
+            config,
+            busy_until: SimTime::ZERO,
+            in_queue: VecDeque::new(),
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// The pipe's configuration.
+    pub fn config(&self) -> &PipeConfig {
+        &self.config
+    }
+
+    /// Replaces the pipe's configuration (used when reconfiguring an emulated link mid-run).
+    /// Queued traffic keeps its already-computed departure times.
+    pub fn reconfigure(&mut self, config: PipeConfig) {
+        self.config = config;
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> PipeStats {
+        self.stats
+    }
+
+    /// Bytes currently waiting in (or being serialized by) the transmission queue at `now`.
+    pub fn queued_bytes(&mut self, now: SimTime) -> u64 {
+        self.prune(now);
+        self.in_queue.iter().map(|&(_, size)| size).sum()
+    }
+
+    /// Offers a packet of `size` bytes to the pipe at time `now`.
+    pub fn enqueue(&mut self, now: SimTime, size: u64, rng: &mut SimRng) -> EnqueueOutcome {
+        if rng.chance(self.config.loss_rate) {
+            self.stats.dropped_loss += 1;
+            return EnqueueOutcome::Dropped(DropReason::RandomLoss);
+        }
+        self.prune(now);
+        if let Some(limit) = self.config.queue_limit_bytes {
+            let queued: u64 = self.in_queue.iter().map(|&(_, s)| s).sum();
+            if queued + size > limit && !self.in_queue.is_empty() {
+                self.stats.dropped_overflow += 1;
+                return EnqueueOutcome::Dropped(DropReason::QueueOverflow);
+            }
+        }
+        let queue_exit = match self.config.bandwidth_bps {
+            Some(bps) => {
+                let start = self.busy_until.max(now);
+                let exit = start + SimDuration::transmission(size, bps);
+                self.busy_until = exit;
+                self.in_queue.push_back((exit, size));
+                exit
+            }
+            None => now,
+        };
+        self.stats.forwarded_packets += 1;
+        self.stats.forwarded_bytes += size;
+        EnqueueOutcome::Forwarded {
+            exit: queue_exit + self.config.delay,
+        }
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        while let Some(&(exit, _)) = self.in_queue.front() {
+            if exit <= now {
+                self.in_queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(99)
+    }
+
+    #[test]
+    fn delay_only_pipe_adds_latency() {
+        let mut p = Pipe::new(PipeConfig::delay_only(SimDuration::from_millis(400)));
+        let mut r = rng();
+        match p.enqueue(SimTime::from_secs(1), 1500, &mut r) {
+            EnqueueOutcome::Forwarded { exit } => {
+                assert_eq!(exit, SimTime::from_secs(1) + SimDuration::from_millis(400));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bandwidth_serialization_delay() {
+        // 128 kbps uplink, 16 KiB block: ~1.024 s of serialization plus 30 ms of delay.
+        let mut p = Pipe::new(PipeConfig::shaped(128_000, SimDuration::from_millis(30)));
+        let mut r = rng();
+        let out = p.enqueue(SimTime::ZERO, 16 * 1024, &mut r);
+        match out {
+            EnqueueOutcome::Forwarded { exit } => {
+                let secs = exit.as_secs_f64();
+                assert!((secs - 1.054).abs() < 0.001, "exit={secs}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut p = Pipe::new(
+            PipeConfig::shaped(1_000_000, SimDuration::ZERO).with_queue_limit(None),
+        );
+        let mut r = rng();
+        // Each 1250-byte packet takes 10 ms at 1 Mbps.
+        let exits: Vec<SimTime> = (0..3)
+            .map(|_| match p.enqueue(SimTime::ZERO, 1250, &mut r) {
+                EnqueueOutcome::Forwarded { exit } => exit,
+                other => panic!("unexpected: {other:?}"),
+            })
+            .collect();
+        assert_eq!(exits[0], SimTime::from_millis(10));
+        assert_eq!(exits[1], SimTime::from_millis(20));
+        assert_eq!(exits[2], SimTime::from_millis(30));
+        // After the queue drains, a later packet is not delayed by history.
+        match p.enqueue(SimTime::from_secs(1), 1250, &mut r) {
+            EnqueueOutcome::Forwarded { exit } => {
+                assert_eq!(exit, SimTime::from_secs(1) + SimDuration::from_millis(10));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_limit_drops_excess() {
+        let mut p = Pipe::new(
+            PipeConfig::shaped(8_000, SimDuration::ZERO).with_queue_limit(Some(3000)),
+        );
+        let mut r = rng();
+        // 1000-byte packets take 1 s each at 8 kbps; the 4th arrival exceeds the 3000-byte bound.
+        let mut outcomes = Vec::new();
+        for _ in 0..4 {
+            outcomes.push(p.enqueue(SimTime::ZERO, 1000, &mut r));
+        }
+        assert!(matches!(outcomes[0], EnqueueOutcome::Forwarded { .. }));
+        assert!(matches!(outcomes[1], EnqueueOutcome::Forwarded { .. }));
+        assert!(matches!(outcomes[2], EnqueueOutcome::Forwarded { .. }));
+        assert_eq!(
+            outcomes[3],
+            EnqueueOutcome::Dropped(DropReason::QueueOverflow)
+        );
+        assert_eq!(p.stats().dropped_overflow, 1);
+        assert_eq!(p.stats().forwarded_packets, 3);
+    }
+
+    #[test]
+    fn full_loss_rate_drops_everything() {
+        let mut p = Pipe::new(PipeConfig::delay_only(SimDuration::ZERO).with_loss(1.0));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                p.enqueue(SimTime::ZERO, 100, &mut r),
+                EnqueueOutcome::Dropped(DropReason::RandomLoss)
+            );
+        }
+        assert_eq!(p.stats().dropped_loss, 10);
+    }
+
+    #[test]
+    fn partial_loss_rate_is_statistically_plausible() {
+        let mut p = Pipe::new(PipeConfig::delay_only(SimDuration::ZERO).with_loss(0.2));
+        let mut r = rng();
+        let dropped = (0..10_000)
+            .filter(|_| matches!(p.enqueue(SimTime::ZERO, 100, &mut r), EnqueueOutcome::Dropped(_)))
+            .count();
+        assert!((1700..2300).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn queued_bytes_tracks_occupancy() {
+        let mut p = Pipe::new(
+            PipeConfig::shaped(8_000, SimDuration::ZERO).with_queue_limit(None),
+        );
+        let mut r = rng();
+        p.enqueue(SimTime::ZERO, 1000, &mut r); // drains at t=1s
+        p.enqueue(SimTime::ZERO, 1000, &mut r); // drains at t=2s
+        assert_eq!(p.queued_bytes(SimTime::from_millis(500)), 2000);
+        assert_eq!(p.queued_bytes(SimTime::from_millis(1500)), 1000);
+        assert_eq!(p.queued_bytes(SimTime::from_secs(3)), 0);
+    }
+
+    #[test]
+    fn reconfigure_changes_future_traffic() {
+        let mut p = Pipe::new(PipeConfig::shaped(1_000_000, SimDuration::ZERO));
+        let mut r = rng();
+        p.reconfigure(PipeConfig::shaped(2_000_000, SimDuration::ZERO));
+        match p.enqueue(SimTime::ZERO, 2500, &mut r) {
+            EnqueueOutcome::Forwarded { exit } => assert_eq!(exit, SimTime::from_millis(10)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

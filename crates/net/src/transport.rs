@@ -1,0 +1,830 @@
+//! The transport layer: reliable connections and datagrams over the emulated data plane.
+//!
+//! This is the active half of the network substrate. Every message walks the same path a packet
+//! takes in P2PLab:
+//!
+//! 1. the sending physical node's firewall classifies it (paying the linear rule-evaluation
+//!    cost) and pushes it through the matching dummynet pipes — the virtual node's upload pipe
+//!    and, if the destination is in another group, the inter-group latency pipe;
+//! 2. it crosses the cluster's real network (NIC transmit pipe, switch, NIC receive pipe) unless
+//!    source and destination are folded onto the same physical node;
+//! 3. the receiving physical node's firewall classifies it again and pushes it through the
+//!    destination virtual node's download pipe;
+//! 4. it is delivered to the destination application via [`NetHost::on_socket_event`].
+//!
+//! Connections are TCP-like: establishment costs one round trip (plus the interception shim's
+//! system calls), data messages preserve boundaries, and messages dropped by a lossy pipe are
+//! retransmitted after an exponentially backed-off timeout. Datagrams are fire-and-forget.
+
+use crate::addr::{SocketAddr, VirtAddr};
+use crate::firewall::Direction;
+use crate::network::{ConnId, ConnState, NetError, Network, VNodeId};
+use crate::pipe::EnqueueOutcome;
+use p2plab_sim::{SimDuration, Simulation};
+
+/// World types that embed an emulated [`Network`] and receive socket events.
+pub trait NetHost: Sized + 'static {
+    /// Application payload carried by data messages and datagrams.
+    type Payload: Clone + 'static;
+
+    /// Access to the embedded network.
+    fn network(&mut self) -> &mut Network;
+
+    /// Called when a socket event (connection established/accepted/refused/closed, data or
+    /// datagram delivery) reaches a virtual node.
+    fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<Self::Payload>);
+}
+
+/// Events delivered to applications.
+#[derive(Debug, Clone)]
+pub enum SockEvent<P> {
+    /// An outgoing `connect()` completed.
+    Connected {
+        /// The connection.
+        conn: ConnId,
+        /// The remote endpoint.
+        peer: SocketAddr,
+    },
+    /// An outgoing `connect()` was refused (no listener at the destination).
+    Refused {
+        /// The attempted connection.
+        conn: ConnId,
+        /// The remote endpoint.
+        peer: SocketAddr,
+    },
+    /// A listener accepted an incoming connection.
+    Accepted {
+        /// The connection.
+        conn: ConnId,
+        /// The connecting endpoint.
+        peer: SocketAddr,
+    },
+    /// Data arrived on a connection.
+    Data {
+        /// The connection.
+        conn: ConnId,
+        /// The sending endpoint.
+        from: SocketAddr,
+        /// Application payload.
+        payload: P,
+        /// Application bytes.
+        size: u64,
+    },
+    /// A datagram arrived.
+    Datagram {
+        /// The sending endpoint.
+        from: SocketAddr,
+        /// Application payload.
+        payload: P,
+        /// Application bytes.
+        size: u64,
+    },
+    /// The peer closed the connection.
+    Closed {
+        /// The connection.
+        conn: ConnId,
+    },
+}
+
+/// Protocol frames carried through the data plane.
+#[derive(Debug, Clone)]
+enum Frame<P> {
+    Syn { conn: ConnId },
+    SynAck { conn: ConnId },
+    Rst { conn: ConnId },
+    Data { conn: ConnId, payload: P, size: u64 },
+    Fin { conn: ConnId },
+    Dgram { from_port: u16, payload: P, size: u64 },
+}
+
+impl<P> Frame<P> {
+    /// Bytes the frame occupies on the wire (payload + header).
+    fn wire_size(&self) -> u64 {
+        match self {
+            Frame::Syn { .. } | Frame::SynAck { .. } | Frame::Rst { .. } | Frame::Fin { .. } => 64,
+            Frame::Data { size, .. } => size + 40,
+            Frame::Dgram { size, .. } => size + 28,
+        }
+    }
+
+    /// Whether the transport retransmits the frame if a pipe drops it.
+    fn reliable(&self) -> bool {
+        !matches!(self, Frame::Dgram { .. })
+    }
+}
+
+/// A message in flight, carrying everything needed to retry it after a drop.
+struct InFlight<P> {
+    src: VNodeId,
+    dst: VNodeId,
+    src_addr: VirtAddr,
+    dst_addr: VirtAddr,
+    frame: Frame<P>,
+    attempts: u32,
+}
+
+/// Registers a listener on `(node, port)`.
+pub fn listen<W: NetHost>(
+    sim: &mut Simulation<W>,
+    node: VNodeId,
+    port: u16,
+) -> Result<(), NetError> {
+    let net = sim.world_mut().network();
+    if node.0 >= net.vnode_count() {
+        return Err(NetError::UnknownVNode(node));
+    }
+    if !net.listeners.insert((node, port)) {
+        return Err(NetError::PortInUse(node, port));
+    }
+    Ok(())
+}
+
+/// Initiates a connection from `node` to `remote`. The result (`Connected`, `Refused`) is
+/// reported asynchronously through [`NetHost::on_socket_event`].
+pub fn connect<W: NetHost>(
+    sim: &mut Simulation<W>,
+    node: VNodeId,
+    remote: SocketAddr,
+) -> Result<ConnId, NetError> {
+    let net = sim.world_mut().network();
+    if node.0 >= net.vnode_count() {
+        return Err(NetError::UnknownVNode(node));
+    }
+    let dst = net.resolve(remote.addr).ok_or(NetError::NoRouteToHost(remote.addr))?;
+    let port = net.allocate_ephemeral_port();
+    let conn = net.allocate_conn((node, port), (dst, remote.port));
+    let config = *net.config();
+    let syscall_cost = config.intercept.connect_cost(&config.syscalls);
+    let flight = make_flight(net, node, dst, Frame::Syn { conn });
+    transmit(sim, flight, syscall_cost);
+    Ok(conn)
+}
+
+/// Sends `payload` (`size` application bytes) from `node` over an established connection.
+pub fn send<W: NetHost>(
+    sim: &mut Simulation<W>,
+    node: VNodeId,
+    conn: ConnId,
+    size: u64,
+    payload: W::Payload,
+) -> Result<(), NetError> {
+    let net = sim.world_mut().network();
+    if size > net.config().max_message_bytes {
+        return Err(NetError::MessageTooLarge(size));
+    }
+    let c = *net.connection(conn).ok_or(NetError::UnknownConnection(conn))?;
+    if c.client.0 != node && c.server.0 != node {
+        return Err(NetError::UnknownConnection(conn));
+    }
+    if c.state != ConnState::Established {
+        return Err(NetError::NotEstablished(conn));
+    }
+    let dst = c.peer_of(node);
+    net.vnode_mut(node).bytes_sent += size;
+    let flight = make_flight(net, node, dst, Frame::Data { conn, payload, size });
+    transmit(sim, flight, SimDuration::ZERO);
+    Ok(())
+}
+
+/// Sends an unreliable datagram from `node:from_port` to `remote`.
+pub fn send_datagram<W: NetHost>(
+    sim: &mut Simulation<W>,
+    node: VNodeId,
+    from_port: u16,
+    remote: SocketAddr,
+    size: u64,
+    payload: W::Payload,
+) -> Result<(), NetError> {
+    let net = sim.world_mut().network();
+    if size > net.config().max_message_bytes {
+        return Err(NetError::MessageTooLarge(size));
+    }
+    if node.0 >= net.vnode_count() {
+        return Err(NetError::UnknownVNode(node));
+    }
+    let dst = net.resolve(remote.addr).ok_or(NetError::NoRouteToHost(remote.addr))?;
+    net.vnode_mut(node).bytes_sent += size;
+    let flight = make_flight(net, node, dst, Frame::Dgram { from_port, payload, size });
+    transmit(sim, flight, SimDuration::ZERO);
+    Ok(())
+}
+
+/// Closes a connection from `node`'s side and notifies the peer.
+pub fn close<W: NetHost>(
+    sim: &mut Simulation<W>,
+    node: VNodeId,
+    conn: ConnId,
+) -> Result<(), NetError> {
+    let net = sim.world_mut().network();
+    let c = *net.connection(conn).ok_or(NetError::UnknownConnection(conn))?;
+    if c.client.0 != node && c.server.0 != node {
+        return Err(NetError::UnknownConnection(conn));
+    }
+    if c.state == ConnState::Closed {
+        return Ok(());
+    }
+    net.conns.get_mut(&conn).expect("checked above").state = ConnState::Closed;
+    let dst = c.peer_of(node);
+    let flight = make_flight(net, node, dst, Frame::Fin { conn });
+    transmit(sim, flight, SimDuration::ZERO);
+    Ok(())
+}
+
+fn make_flight<P>(net: &Network, src: VNodeId, dst: VNodeId, frame: Frame<P>) -> InFlight<P> {
+    let src_node = net.vnode(src);
+    let admin = net.machine(src_node.machine).iface.admin_addr();
+    InFlight {
+        src,
+        dst,
+        src_addr: net.config().intercept.source_addr(src_node.addr, admin),
+        dst_addr: net.vnode(dst).addr,
+        frame,
+        attempts: 0,
+    }
+}
+
+/// Sender-side processing: firewall classification, sender pipes, then hand-off to the cluster
+/// network (or directly to the receiver side when both nodes share a physical machine).
+fn transmit<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>, extra_delay: SimDuration) {
+    let now = sim.now();
+    let wire = flight.frame.wire_size();
+    let (world, rng) = sim.world_and_rng();
+    let net = world.network();
+    if flight.attempts == 0 {
+        net.stats.messages_sent += 1;
+    }
+    let src_machine = net.vnode(flight.src).machine;
+    let dst_machine = net.vnode(flight.dst).machine;
+    let classification = net
+        .machine_mut(src_machine)
+        .firewall
+        .classify(flight.src_addr, flight.dst_addr, Direction::Out);
+    if !classification.accepted {
+        net.stats.messages_dropped += 1;
+        return;
+    }
+    let mut t = now + extra_delay + classification.evaluation_cost;
+    for pipe in classification.pipes {
+        match net.pipe_mut(pipe).enqueue(t, wire, rng) {
+            EnqueueOutcome::Forwarded { exit } => t = exit,
+            EnqueueOutcome::Dropped(_) => {
+                handle_drop(sim, flight);
+                return;
+            }
+        }
+    }
+    if src_machine == dst_machine {
+        // Folded nodes: traffic stays inside the machine (loopback), no NIC involved.
+        sim.schedule_at(t, move |sim| receiver_side(sim, flight, None));
+    } else {
+        sim.schedule_at(t, move |sim| {
+            let now = sim.now();
+            let (world, rng) = sim.world_and_rng();
+            let net = world.network();
+            let nic_tx = net.machine(src_machine).nic_tx;
+            match net.pipe_mut(nic_tx).enqueue(now, wire, rng) {
+                EnqueueOutcome::Forwarded { exit } => {
+                    sim.schedule_at(exit, move |sim| receiver_side(sim, flight, Some(dst_machine)));
+                }
+                EnqueueOutcome::Dropped(_) => handle_drop(sim, flight),
+            }
+        });
+    }
+}
+
+/// Receiver-side processing: NIC receive pipe (if the message crossed the cluster network), the
+/// receiving machine's firewall and the destination node's download pipe, then delivery.
+fn receiver_side<W: NetHost>(
+    sim: &mut Simulation<W>,
+    flight: InFlight<W::Payload>,
+    via_machine: Option<crate::network::MachineId>,
+) {
+    let now = sim.now();
+    let wire = flight.frame.wire_size();
+    let (world, rng) = sim.world_and_rng();
+    let net = world.network();
+    let mut t = now;
+    if let Some(machine) = via_machine {
+        let nic_rx = net.machine(machine).nic_rx;
+        match net.pipe_mut(nic_rx).enqueue(now, wire, rng) {
+            EnqueueOutcome::Forwarded { exit } => t = exit,
+            EnqueueOutcome::Dropped(_) => {
+                handle_drop(sim, flight);
+                return;
+            }
+        }
+    }
+    let dst_machine = net.vnode(flight.dst).machine;
+    let classification = net
+        .machine_mut(dst_machine)
+        .firewall
+        .classify(flight.src_addr, flight.dst_addr, Direction::In);
+    if !classification.accepted {
+        net.stats.messages_dropped += 1;
+        return;
+    }
+    t = t + classification.evaluation_cost;
+    for pipe in classification.pipes {
+        match net.pipe_mut(pipe).enqueue(t, wire, rng) {
+            EnqueueOutcome::Forwarded { exit } => t = exit,
+            EnqueueOutcome::Dropped(_) => {
+                handle_drop(sim, flight);
+                return;
+            }
+        }
+    }
+    sim.schedule_at(t, move |sim| deliver(sim, flight));
+}
+
+/// Retransmission policy for reliable frames; unreliable frames are simply counted as dropped.
+fn handle_drop<W: NetHost>(sim: &mut Simulation<W>, mut flight: InFlight<W::Payload>) {
+    let config = *sim.world_mut().network().config();
+    if flight.frame.reliable() && flight.attempts + 1 < config.max_attempts {
+        flight.attempts += 1;
+        let backoff = config.rto * (1u64 << flight.attempts.min(5)) / 2;
+        sim.world_mut().network().stats.retransmissions += 1;
+        sim.schedule_in(backoff, move |sim| transmit(sim, flight, SimDuration::ZERO));
+    } else {
+        sim.world_mut().network().stats.messages_dropped += 1;
+    }
+}
+
+/// Final delivery: updates connection/node counters and raises the application event.
+fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
+    let now = sim.now();
+    let dst = flight.dst;
+    let src_addr = flight.src_addr;
+    let net = sim.world_mut().network();
+    net.stats.messages_delivered += 1;
+
+    match flight.frame {
+        Frame::Syn { conn } => {
+            let c = match net.connection(conn) {
+                Some(c) => *c,
+                None => return,
+            };
+            let listening = net.is_listening(dst, c.server.1);
+            if listening {
+                {
+                    let entry = net.conns.get_mut(&conn).expect("connection exists");
+                    entry.state = ConnState::Established;
+                    entry.established_at = Some(now);
+                }
+                let peer = SocketAddr::new(src_addr, c.client.1);
+                let reply = make_flight(net, dst, flight.src, Frame::SynAck { conn });
+                transmit(sim, reply, SimDuration::ZERO);
+                W::on_socket_event(sim, dst, SockEvent::Accepted { conn, peer });
+            } else {
+                let reply = make_flight(net, dst, flight.src, Frame::Rst { conn });
+                transmit(sim, reply, SimDuration::ZERO);
+            }
+        }
+        Frame::SynAck { conn } => {
+            let c = match net.connection(conn) {
+                Some(c) => *c,
+                None => return,
+            };
+            {
+                let entry = net.conns.get_mut(&conn).expect("connection exists");
+                if entry.state == ConnState::Connecting {
+                    entry.state = ConnState::Established;
+                }
+                if entry.established_at.is_none() {
+                    entry.established_at = Some(now);
+                }
+            }
+            let peer = SocketAddr::new(net.addr_of(c.server.0), c.server.1);
+            W::on_socket_event(sim, dst, SockEvent::Connected { conn, peer });
+        }
+        Frame::Rst { conn } => {
+            let c = match net.connection(conn) {
+                Some(c) => *c,
+                None => return,
+            };
+            net.conns.get_mut(&conn).expect("connection exists").state = ConnState::Refused;
+            let peer = SocketAddr::new(net.addr_of(c.server.0), c.server.1);
+            W::on_socket_event(sim, dst, SockEvent::Refused { conn, peer });
+        }
+        Frame::Data { conn, payload, size } => {
+            let c = match net.connection(conn) {
+                Some(c) => *c,
+                None => return,
+            };
+            if c.state == ConnState::Closed {
+                return;
+            }
+            {
+                let entry = net.conns.get_mut(&conn).expect("connection exists");
+                if dst == entry.server.0 {
+                    entry.bytes_from_client += size;
+                } else {
+                    entry.bytes_from_server += size;
+                }
+            }
+            net.vnode_mut(dst).bytes_received += size;
+            net.stats.bytes_delivered += size;
+            let from_port = c.port_of(c.peer_of(dst));
+            let from = SocketAddr::new(src_addr, from_port);
+            W::on_socket_event(sim, dst, SockEvent::Data { conn, from, payload, size });
+        }
+        Frame::Fin { conn } => {
+            let entry = match net.conns.get_mut(&conn) {
+                Some(e) => e,
+                None => return,
+            };
+            // The initiator already marked the connection closed before sending the FIN; the
+            // receiving endpoint still gets its Closed notification.
+            entry.state = ConnState::Closed;
+            W::on_socket_event(sim, dst, SockEvent::Closed { conn });
+        }
+        Frame::Dgram { from_port, payload, size } => {
+            net.vnode_mut(dst).bytes_received += size;
+            net.stats.bytes_delivered += size;
+            let from = SocketAddr::new(src_addr, from_port);
+            W::on_socket_event(sim, dst, SockEvent::Datagram { from, payload, size });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use crate::topology::{AccessLinkClass, GroupId, TopologySpec};
+    use p2plab_sim::SimTime;
+
+    /// Minimal world for transport tests: records every socket event with its timestamp.
+    struct TestWorld {
+        net: Network,
+        events: Vec<(SimTime, VNodeId, String)>,
+        received_payloads: Vec<(VNodeId, u32)>,
+        echo_data: bool,
+    }
+
+    impl NetHost for TestWorld {
+        type Payload = u32;
+
+        fn network(&mut self) -> &mut Network {
+            &mut self.net
+        }
+
+        fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<u32>) {
+            let now = sim.now();
+            let label = match &event {
+                SockEvent::Connected { .. } => "connected".to_string(),
+                SockEvent::Refused { .. } => "refused".to_string(),
+                SockEvent::Accepted { .. } => "accepted".to_string(),
+                SockEvent::Data { payload, .. } => format!("data:{payload}"),
+                SockEvent::Datagram { payload, .. } => format!("dgram:{payload}"),
+                SockEvent::Closed { .. } => "closed".to_string(),
+            };
+            sim.world_mut().events.push((now, node, label));
+            match event {
+                SockEvent::Data { conn, payload, size, .. } => {
+                    sim.world_mut().received_payloads.push((node, payload));
+                    if sim.world().echo_data {
+                        // Echo back on the same connection.
+                        send(sim, node, conn, size, payload + 1000).unwrap();
+                    }
+                }
+                SockEvent::Datagram { payload, .. } => {
+                    sim.world_mut().received_payloads.push((node, payload));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Builds a world with `machines` physical nodes and `per_machine` DSL virtual nodes each.
+    fn build_world(machines: usize, per_machine: usize, config: NetworkConfig) -> TestWorld {
+        let topo = TopologySpec::uniform(
+            "dsl",
+            machines * per_machine,
+            AccessLinkClass::bittorrent_dsl(),
+        );
+        let mut net = Network::new(config, topo);
+        let mut next = 0u32;
+        for m in 0..machines {
+            let mid = net.add_machine(format!("pm{m}"), VirtAddr::new(192, 168, 38, m as u8 + 1));
+            for _ in 0..per_machine {
+                next += 1;
+                net.add_vnode(mid, VirtAddr::new(10, 0, 0, 0).offset(next), GroupId(0))
+                    .unwrap();
+            }
+        }
+        TestWorld {
+            net,
+            events: Vec::new(),
+            received_payloads: Vec::new(),
+            echo_data: false,
+        }
+    }
+
+    fn remote(world: &TestWorld, node: VNodeId, port: u16) -> SocketAddr {
+        SocketAddr::new(world.net.addr_of(node), port)
+    }
+
+    #[test]
+    fn connect_and_exchange_data() {
+        let world = build_world(2, 1, NetworkConfig::default());
+        let peer = remote(&world, VNodeId(1), 6881);
+        let mut sim = Simulation::new(world, 1);
+        listen(&mut sim, VNodeId(1), 6881).unwrap();
+        let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
+        sim.run();
+        let labels: Vec<&str> = sim.world().events.iter().map(|(_, _, l)| l.as_str()).collect();
+        assert!(labels.contains(&"accepted"));
+        assert!(labels.contains(&"connected"));
+        // Handshake takes roughly one round trip of the 30 ms + 30 ms access links.
+        let connected_at = sim
+            .world()
+            .events
+            .iter()
+            .find(|(_, _, l)| l == "connected")
+            .map(|(t, _, _)| *t)
+            .unwrap();
+        assert!(connected_at.as_millis() >= 120, "connected at {connected_at}");
+        assert!(connected_at.as_millis() < 300, "connected at {connected_at}");
+
+        // Now send data in both directions.
+        let mut sim2 = sim;
+        send(&mut sim2, VNodeId(0), conn, 1024, 7).unwrap();
+        sim2.run();
+        assert!(sim2.world().received_payloads.contains(&(VNodeId(1), 7)));
+        let c = sim2.world_mut().net.connection(conn).unwrap();
+        assert_eq!(c.state, ConnState::Established);
+        assert_eq!(c.bytes_from_client, 1024);
+        assert_eq!(sim2.world_mut().net.vnode(VNodeId(1)).bytes_received, 1024);
+    }
+
+    #[test]
+    fn connection_refused_without_listener() {
+        let world = build_world(2, 1, NetworkConfig::default());
+        let peer = remote(&world, VNodeId(1), 6881);
+        let mut sim = Simulation::new(world, 1);
+        let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
+        sim.run();
+        let labels: Vec<&str> = sim.world().events.iter().map(|(_, _, l)| l.as_str()).collect();
+        assert!(labels.contains(&"refused"));
+        assert!(!labels.contains(&"connected"));
+        assert_eq!(sim.world_mut().net.connection(conn).unwrap().state, ConnState::Refused);
+    }
+
+    #[test]
+    fn send_requires_established_connection() {
+        let world = build_world(2, 1, NetworkConfig::default());
+        let peer = remote(&world, VNodeId(1), 6881);
+        let mut sim = Simulation::new(world, 1);
+        listen(&mut sim, VNodeId(1), 6881).unwrap();
+        let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
+        // Not yet established: the SYN has not even left.
+        assert_eq!(
+            send(&mut sim, VNodeId(0), conn, 10, 1),
+            Err(NetError::NotEstablished(conn))
+        );
+        assert_eq!(
+            send(&mut sim, VNodeId(0), ConnId(999), 10, 1),
+            Err(NetError::UnknownConnection(ConnId(999)))
+        );
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let world = build_world(2, 1, NetworkConfig::default());
+        let peer = remote(&world, VNodeId(1), 6881);
+        let mut sim = Simulation::new(world, 1);
+        listen(&mut sim, VNodeId(1), 6881).unwrap();
+        let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
+        sim.run();
+        let max = sim.world_mut().net.config().max_message_bytes;
+        assert_eq!(
+            send(&mut sim, VNodeId(0), conn, max + 1, 1),
+            Err(NetError::MessageTooLarge(max + 1))
+        );
+    }
+
+    #[test]
+    fn duplicate_listener_rejected() {
+        let world = build_world(1, 2, NetworkConfig::default());
+        let mut sim = Simulation::new(world, 1);
+        listen(&mut sim, VNodeId(0), 6881).unwrap();
+        assert_eq!(
+            listen(&mut sim, VNodeId(0), 6881),
+            Err(NetError::PortInUse(VNodeId(0), 6881))
+        );
+        // Same port on another node is fine.
+        listen(&mut sim, VNodeId(1), 6881).unwrap();
+    }
+
+    #[test]
+    fn close_notifies_peer() {
+        let world = build_world(2, 1, NetworkConfig::default());
+        let peer = remote(&world, VNodeId(1), 6881);
+        let mut sim = Simulation::new(world, 1);
+        listen(&mut sim, VNodeId(1), 6881).unwrap();
+        let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
+        sim.run();
+        close(&mut sim, VNodeId(0), conn).unwrap();
+        sim.run();
+        let labels: Vec<&str> = sim.world().events.iter().map(|(_, _, l)| l.as_str()).collect();
+        assert!(labels.contains(&"closed"));
+        assert_eq!(sim.world_mut().net.connection(conn).unwrap().state, ConnState::Closed);
+        // Closing again is a no-op.
+        close(&mut sim, VNodeId(0), conn).unwrap();
+    }
+
+    #[test]
+    fn datagram_roundtrip_and_counters() {
+        let world = build_world(2, 1, NetworkConfig::default());
+        let peer = remote(&world, VNodeId(1), 9);
+        let mut sim = Simulation::new(world, 1);
+        send_datagram(&mut sim, VNodeId(0), 9, peer, 100, 42).unwrap();
+        sim.run();
+        assert!(sim.world().received_payloads.contains(&(VNodeId(1), 42)));
+        let stats = sim.world_mut().net.stats();
+        assert_eq!(stats.messages_delivered, 1);
+        assert_eq!(stats.bytes_delivered, 100);
+    }
+
+    #[test]
+    fn folded_nodes_still_see_emulated_latency() {
+        // Two virtual nodes on the SAME physical machine: traffic must still traverse both
+        // access links (the whole point of the decentralized emulation model).
+        let world = build_world(1, 2, NetworkConfig::default());
+        let peer = remote(&world, VNodeId(1), 9);
+        let mut sim = Simulation::new(world, 1);
+        send_datagram(&mut sim, VNodeId(0), 9, peer, 100, 1).unwrap();
+        sim.run();
+        let (t, _, _) = sim.world().events[0];
+        // 30 ms up + 30 ms down plus serialization: at least 60 ms even though it never left
+        // the machine.
+        assert!(t.as_millis() >= 60, "delivered at {t}");
+    }
+
+    #[test]
+    fn same_machine_and_cross_machine_latency_are_close() {
+        // The folding-invariance property at the single-message level: an emulated DSL link
+        // dominates, so crossing the real cluster network adds only a negligible amount.
+        let run = |machines: usize, per_machine: usize| {
+            let world = build_world(machines, per_machine, NetworkConfig::default());
+            let peer = remote(&world, VNodeId(1), 9);
+            let mut sim = Simulation::new(world, 1);
+            send_datagram(&mut sim, VNodeId(0), 9, peer, 1000, 1).unwrap();
+            sim.run();
+            sim.world().events[0].0.as_secs_f64()
+        };
+        let folded = run(1, 2);
+        let spread = run(2, 1);
+        assert!((folded - spread).abs() < 0.002, "folded={folded} spread={spread}");
+    }
+
+    #[test]
+    fn lossy_link_retransmits_reliable_data() {
+        let topo = TopologySpec::uniform(
+            "lossy",
+            2,
+            AccessLinkClass::bittorrent_dsl().with_loss(0.4),
+        );
+        let mut net = Network::new(NetworkConfig::default(), topo);
+        let m0 = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
+        let m1 = net.add_machine("pm1", VirtAddr::new(192, 168, 38, 2));
+        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0)).unwrap();
+        net.add_vnode(m1, VirtAddr::new(10, 0, 0, 2), GroupId(0)).unwrap();
+        let world = TestWorld { net, events: Vec::new(), received_payloads: Vec::new(), echo_data: false };
+        let peer = SocketAddr::new(VirtAddr::new(10, 0, 0, 2), 6881);
+        let mut sim = Simulation::new(world, 3);
+        listen(&mut sim, VNodeId(1), 6881).unwrap();
+        let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
+        sim.run();
+        assert_eq!(
+            sim.world_mut().net.connection(conn).unwrap().state,
+            ConnState::Established,
+            "handshake must survive 40% loss via retransmission"
+        );
+        for i in 0..20 {
+            send(&mut sim, VNodeId(0), conn, 1000, i).unwrap();
+        }
+        sim.run();
+        let received: Vec<u32> = sim
+            .world()
+            .received_payloads
+            .iter()
+            .filter(|(n, _)| *n == VNodeId(1))
+            .map(|(_, p)| *p)
+            .collect();
+        assert_eq!(received.len(), 20, "all reliable messages eventually delivered");
+        assert!(sim.world_mut().net.stats().retransmissions > 0);
+    }
+
+    #[test]
+    fn datagrams_are_lost_on_lossy_links() {
+        let topo = TopologySpec::uniform(
+            "lossy",
+            2,
+            AccessLinkClass::bittorrent_dsl().with_loss(1.0),
+        );
+        let mut net = Network::new(NetworkConfig::default(), topo);
+        let m0 = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
+        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0)).unwrap();
+        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 2), GroupId(0)).unwrap();
+        let world = TestWorld { net, events: Vec::new(), received_payloads: Vec::new(), echo_data: false };
+        let peer = SocketAddr::new(VirtAddr::new(10, 0, 0, 2), 9);
+        let mut sim = Simulation::new(world, 3);
+        send_datagram(&mut sim, VNodeId(0), 9, peer, 100, 1).unwrap();
+        sim.run();
+        assert!(sim.world().received_payloads.is_empty());
+        assert_eq!(sim.world_mut().net.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn upload_bandwidth_limits_throughput() {
+        // 10 x 16 KiB from a DSL node (128 kbps up): about 10.5 s of serialization.
+        let world = build_world(2, 1, NetworkConfig::default());
+        let peer = remote(&world, VNodeId(1), 6881);
+        let mut sim = Simulation::new(world, 1);
+        listen(&mut sim, VNodeId(1), 6881).unwrap();
+        let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
+        sim.run();
+        let start = sim.now();
+        for i in 0..10 {
+            send(&mut sim, VNodeId(0), conn, 16 * 1024, i).unwrap();
+        }
+        sim.run();
+        let last = sim
+            .world()
+            .events
+            .iter()
+            .filter(|(_, n, l)| *n == VNodeId(1) && l.starts_with("data"))
+            .map(|(t, _, _)| *t)
+            .max()
+            .unwrap();
+        let elapsed = (last - start).as_secs_f64();
+        let ideal = 10.0 * (16.0 * 1024.0 + 40.0) * 8.0 / 128_000.0;
+        assert!(elapsed > ideal * 0.95, "elapsed={elapsed} ideal={ideal}");
+        assert!(elapsed < ideal * 1.15, "elapsed={elapsed} ideal={ideal}");
+    }
+
+    #[test]
+    fn download_link_is_shared_between_senders() {
+        // Two uploaders at 128 kbps each cannot exceed the receiver's 2 Mbps download link, but
+        // together they roughly double the throughput seen from one uploader.
+        let world = build_world(3, 1, NetworkConfig::default());
+        let receiver_addr = remote(&world, VNodeId(2), 6881);
+        let mut sim = Simulation::new(world, 1);
+        listen(&mut sim, VNodeId(2), 6881).unwrap();
+        let c0 = connect(&mut sim, VNodeId(0), receiver_addr).unwrap();
+        let c1 = connect(&mut sim, VNodeId(1), receiver_addr).unwrap();
+        sim.run();
+        for i in 0..5 {
+            send(&mut sim, VNodeId(0), c0, 16 * 1024, i).unwrap();
+            send(&mut sim, VNodeId(1), c1, 16 * 1024, 100 + i).unwrap();
+        }
+        sim.run();
+        assert_eq!(
+            sim.world()
+                .received_payloads
+                .iter()
+                .filter(|(n, _)| *n == VNodeId(2))
+                .count(),
+            10
+        );
+        assert_eq!(sim.world_mut().net.vnode(VNodeId(2)).bytes_received, 10 * 16 * 1024);
+    }
+
+    #[test]
+    fn disabling_interception_bypasses_upload_shaping() {
+        // Without the BINDIP shim the connection is attributed to the physical node's admin
+        // address, so the virtual node's outgoing dummynet rule never matches and upload shaping
+        // is lost — the mechanism the paper's libc modification exists to provide.
+        let mut config = NetworkConfig::default();
+        config.intercept = crate::intercept::InterceptConfig::disabled();
+        let run = |config: NetworkConfig| {
+            let world = build_world(2, 1, config);
+            let peer = remote(&world, VNodeId(1), 6881);
+            let mut sim = Simulation::new(world, 1);
+            listen(&mut sim, VNodeId(1), 6881).unwrap();
+            let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
+            sim.run();
+            let start = sim.now();
+            for i in 0..10 {
+                send(&mut sim, VNodeId(0), conn, 16 * 1024, i).unwrap();
+            }
+            sim.run();
+            let last = sim
+                .world()
+                .events
+                .iter()
+                .filter(|(_, n, l)| *n == VNodeId(1) && l.starts_with("data"))
+                .map(|(t, _, _)| *t)
+                .max()
+                .unwrap();
+            (last - start).as_secs_f64()
+        };
+        let with_shim = run(NetworkConfig::default());
+        let without_shim = run(config);
+        assert!(
+            with_shim > 5.0 * without_shim,
+            "with={with_shim} without={without_shim}"
+        );
+    }
+}

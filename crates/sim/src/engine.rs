@@ -1,0 +1,350 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a user-defined *world* `W` (the mutable state of the whole experiment:
+//! physical nodes, network, applications), a virtual clock, a deterministic RNG and an event
+//! queue. Events are closures that receive `&mut Simulation<W>`, so a handler can both mutate
+//! the world and schedule follow-up events.
+//!
+//! ```
+//! use p2plab_sim::{Simulation, SimDuration};
+//!
+//! let mut sim = Simulation::new(0u64, 42);
+//! sim.schedule_in(SimDuration::from_secs(1), |sim| {
+//!     *sim.world_mut() += 1;
+//!     sim.schedule_in(SimDuration::from_secs(1), |sim| *sim.world_mut() += 10);
+//! });
+//! sim.run();
+//! assert_eq!(*sim.world(), 11);
+//! assert_eq!(sim.now().as_secs_f64(), 2.0);
+//! ```
+
+use crate::event::{EventId, EventQueue};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// An event handler: a one-shot closure run when its scheduled time is reached.
+pub type EventFn<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
+
+/// Outcome of [`Simulation::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the deadline.
+    Drained,
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The configured event budget was exhausted (runaway protection).
+    EventBudgetExhausted,
+}
+
+/// A deterministic discrete-event simulation over a world `W`.
+pub struct Simulation<W> {
+    now: SimTime,
+    queue: EventQueue<EventFn<W>>,
+    world: W,
+    rng: SimRng,
+    executed_events: u64,
+    event_budget: u64,
+}
+
+impl<W> Simulation<W> {
+    /// Creates a simulation at time zero with the given world and RNG seed.
+    pub fn new(world: W, seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            world,
+            rng: SimRng::new(seed),
+            executed_events: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// The engine's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Simultaneous mutable access to the world and the RNG (common in handlers that both
+    /// mutate state and draw random numbers).
+    pub fn world_and_rng(&mut self) -> (&mut W, &mut SimRng) {
+        (&mut self.world, &mut self.rng)
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed_events
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Limits the total number of events the run loop will execute (runaway protection for
+    /// property tests and CI). Default is unlimited.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Schedules `f` to run at absolute time `at`. Times in the past are clamped to "now"
+    /// (the event still runs, immediately after the current one).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.queue.push(at, Box::new(f))
+    }
+
+    /// Schedules `f` to run after `delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedules `f` to run at the current instant, after all handlers already queued for this
+    /// instant.
+    pub fn schedule_now<F>(&mut self, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation<W>) + 'static,
+    {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancels a scheduled event. Returns true if the event had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Runs a single event, if any, and returns whether one was executed.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((time, _id, f)) => {
+                debug_assert!(time >= self.now, "time must be monotonic");
+                self.now = time;
+                self.executed_events += 1;
+                f(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains or virtual time would pass `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` are executed. On return with
+    /// [`RunOutcome::DeadlineReached`] the clock is advanced to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            if self.executed_events >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > deadline => {
+                    self.now = deadline.max(self.now);
+                    return RunOutcome::DeadlineReached;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) -> RunOutcome {
+        self.run_until(self.now + span)
+    }
+
+    /// Consumes the simulation and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+/// Schedules `f` every `period`, starting at `start`, until `f` returns `false`.
+///
+/// This is the building block for the periodic timers used all over the substrates
+/// (choker rounds, tracker re-announces, rate estimators).
+pub fn schedule_periodic<W, F>(sim: &mut Simulation<W>, start: SimTime, period: SimDuration, f: F)
+where
+    W: 'static,
+    F: FnMut(&mut Simulation<W>) -> bool + 'static,
+{
+    struct Periodic<W, F> {
+        period: SimDuration,
+        f: F,
+        _marker: std::marker::PhantomData<fn(&mut W)>,
+    }
+
+    fn tick<W, F>(mut state: Periodic<W, F>, sim: &mut Simulation<W>)
+    where
+        W: 'static,
+        F: FnMut(&mut Simulation<W>) -> bool + 'static,
+    {
+        if (state.f)(sim) {
+            let period = state.period;
+            sim.schedule_in(period, move |sim| tick(state, sim));
+        }
+    }
+
+    let state = Periodic {
+        period,
+        f,
+        _marker: std::marker::PhantomData,
+    };
+    sim.schedule_at(start, move |sim| tick(state, sim));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new(), 1);
+        sim.schedule_in(SimDuration::from_secs(3), |s| s.world_mut().push(3));
+        sim.schedule_in(SimDuration::from_secs(1), |s| s.world_mut().push(1));
+        sim.schedule_in(SimDuration::from_secs(2), |s| s.world_mut().push(2));
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(sim.world(), &vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert_eq!(sim.executed_events(), 3);
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let mut sim = Simulation::new(0u32, 1);
+        sim.schedule_in(SimDuration::from_secs(1), |s| {
+            *s.world_mut() += 1;
+            s.schedule_in(SimDuration::from_secs(1), |s| *s.world_mut() += 100);
+        });
+        sim.run();
+        assert_eq!(*sim.world(), 101);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(0u32, 1);
+        for i in 1..=10 {
+            sim.schedule_in(SimDuration::from_secs(i), |s| *s.world_mut() += 1);
+        }
+        let outcome = sim.run_until(SimTime::from_secs(5));
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(*sim.world(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        // Remaining events still runnable.
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut sim = Simulation::new(Vec::new(), 1);
+        sim.schedule_in(SimDuration::from_secs(5), |s| {
+            // Scheduling "in the past" must not move time backwards.
+            s.schedule_at(SimTime::from_secs(1), |s| {
+                let now = s.now();
+                s.world_mut().push(now);
+            });
+        });
+        sim.run();
+        assert_eq!(sim.world(), &vec![SimTime::from_secs(5)]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulation::new(0u32, 1);
+        let id = sim.schedule_in(SimDuration::from_secs(1), |s| *s.world_mut() += 1);
+        sim.schedule_in(SimDuration::from_secs(2), |s| *s.world_mut() += 10);
+        assert!(sim.cancel(id));
+        sim.run();
+        assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn event_budget_stops_runaway() {
+        let mut sim = Simulation::new((), 1);
+        fn forever(sim: &mut Simulation<()>) {
+            sim.schedule_in(SimDuration::from_nanos(1), forever);
+        }
+        sim.schedule_now(forever);
+        sim.set_event_budget(1000);
+        assert_eq!(sim.run(), RunOutcome::EventBudgetExhausted);
+        assert_eq!(sim.executed_events(), 1000);
+    }
+
+    #[test]
+    fn periodic_runs_until_false() {
+        let counter = Rc::new(RefCell::new(0));
+        let c2 = counter.clone();
+        let mut sim = Simulation::new((), 1);
+        schedule_periodic(
+            &mut sim,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            move |_sim| {
+                *c2.borrow_mut() += 1;
+                *c2.borrow() < 5
+            },
+        );
+        sim.run();
+        assert_eq!(*counter.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn same_instant_fifo() {
+        let mut sim = Simulation::new(Vec::new(), 1);
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            sim.schedule_at(t, move |s| s.world_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(sim.world(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_draws() {
+        let run = |seed| {
+            let mut sim = Simulation::new(Vec::new(), seed);
+            for _ in 0..100 {
+                let d = SimDuration::from_nanos(sim.rng().gen_range(1..1_000_000));
+                sim.schedule_in(d, move |s| {
+                    let now = s.now();
+                    s.world_mut().push(now);
+                });
+            }
+            sim.run();
+            sim.into_world()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

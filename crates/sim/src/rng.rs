@@ -1,0 +1,203 @@
+//! Deterministic random number generation.
+//!
+//! Experiment reproducibility is one of the paper's motivations, so every source of randomness
+//! in the framework flows through [`SimRng`]: a seeded PRNG with helpers for the distributions
+//! the substrates need (uniform ranges, Bernoulli packet loss, exponential inter-arrivals,
+//! shuffles, weighted picks). Child generators can be split off by label so that adding a new
+//! consumer of randomness does not perturb the draws seen by existing ones.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, splittable random number generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator from this generator's seed and a label.
+    ///
+    /// The child depends only on `(seed, label)`, not on how many numbers were already drawn,
+    /// so different subsystems can own independent streams.
+    pub fn split(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        SimRng::new(h)
+    }
+
+    /// Uniform draw from a range, e.g. `rng.gen_range(0..10)`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Normally distributed value (Box-Muller) with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0_f64 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        slice.shuffle(&mut self.inner);
+    }
+
+    /// Chooses up to `n` distinct elements uniformly at random, preserving no particular order.
+    pub fn sample<'a, T>(&mut self, slice: &'a [T], n: usize) -> Vec<&'a T> {
+        slice.choose_multiple(&mut self.inner, n).collect()
+    }
+
+    /// Chooses one element uniformly at random.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        slice.choose(&mut self.inner)
+    }
+
+    /// Access to the raw `rand` generator for anything not covered by the helpers.
+    pub fn raw(&mut self) -> &mut impl RngCore {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(3);
+        let mut b = SimRng::new(3);
+        let va: Vec<u32> = (0..32).map(|_| a.gen_range(0..1000)).collect();
+        let vb: Vec<u32> = (0..32).map(|_| b.gen_range(0..1000)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seed_different_sequence() {
+        let mut a = SimRng::new(3);
+        let mut b = SimRng::new(4);
+        let va: Vec<u32> = (0..32).map(|_| a.gen_range(0..1000)).collect();
+        let vb: Vec<u32> = (0..32).map(|_| b.gen_range(0..1000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn split_is_label_dependent_and_stable() {
+        let root = SimRng::new(11);
+        let mut a1 = root.split("net");
+        let mut a2 = root.split("net");
+        let mut b = root.split("os");
+        assert_eq!(a1.gen_range(0..u64::MAX), a2.gen_range(0..u64::MAX));
+        assert_ne!(
+            root.split("net").gen_range(0..u64::MAX),
+            b.gen_range(0..u64::MAX)
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = SimRng::new(5);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::new(13);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn sample_returns_distinct_elements() {
+        let mut rng = SimRng::new(17);
+        let items: Vec<u32> = (0..100).collect();
+        let picked = rng.sample(&items, 10);
+        assert_eq!(picked.len(), 10);
+        let mut vals: Vec<u32> = picked.into_iter().copied().collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 10);
+        // Asking for more than available returns all.
+        assert_eq!(rng.sample(&items, 1000).len(), 100);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the discrete-event engine and the measurement types.
+
+use p2plab_sim::{Cdf, EventQueue, SimDuration, SimTime, Simulation, Summary, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever the insertion order, events pop in non-decreasing time order, and equal times
+    /// pop in insertion order.
+    #[test]
+    fn queue_pops_in_time_then_insertion_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, _, payload)) = q.pop() {
+            popped.push((t, payload));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "ties must preserve insertion order");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn queue_cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().enumerate().map(|(i, &t)| (i, q.push(SimTime::from_micros(t), i))).collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, id) in &ids {
+            if *cancel_mask.get(*i % cancel_mask.len()).unwrap_or(&false) {
+                q.cancel(*id);
+                cancelled.insert(*i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, _, payload)) = q.pop() {
+            seen.insert(payload);
+        }
+        prop_assert_eq!(seen.len() + cancelled.len(), times.len());
+        prop_assert!(seen.is_disjoint(&cancelled));
+    }
+
+    /// The simulation clock never goes backwards, no matter how events are scheduled.
+    #[test]
+    fn simulation_time_is_monotonic(delays in prop::collection::vec(0u64..5_000_000u64, 1..100)) {
+        let mut sim = Simulation::new(Vec::<SimTime>::new(), 1);
+        for &d in &delays {
+            sim.schedule_in(SimDuration::from_nanos(d), move |sim| {
+                let now = sim.now();
+                sim.world_mut().push(now);
+                // Nested event with another arbitrary delay.
+                sim.schedule_in(SimDuration::from_nanos(d / 2 + 1), move |sim| {
+                    let now = sim.now();
+                    sim.world_mut().push(now);
+                });
+            });
+        }
+        sim.run();
+        let observed = sim.world();
+        prop_assert_eq!(observed.len(), delays.len() * 2);
+        for w in observed.windows(2) {
+            prop_assert!(w[0] <= w[1], "time went backwards: {} then {}", w[0], w[1]);
+        }
+    }
+
+    /// Time arithmetic: (t + d) - t == d for any representable values.
+    #[test]
+    fn time_addition_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+        prop_assert!(t0 + dur >= t0);
+    }
+
+    /// Transmission delay is monotone in size and antitone in bandwidth.
+    #[test]
+    fn transmission_delay_monotonicity(bytes in 1u64..10_000_000, bps in 1u64..10_000_000_000) {
+        let d = SimDuration::transmission(bytes, bps);
+        prop_assert!(d >= SimDuration::transmission(bytes / 2, bps));
+        prop_assert!(d >= SimDuration::transmission(bytes, bps * 2));
+        prop_assert!(d > SimDuration::ZERO);
+    }
+
+    /// A CDF built from any sample set is a valid distribution function: monotone, 0 below the
+    /// minimum, 1 at and above the maximum, and quantiles are actual samples.
+    #[test]
+    fn cdf_is_a_distribution_function(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(cdf.fraction_at(min - 1.0), 0.0);
+        prop_assert_eq!(cdf.fraction_at(max), 1.0);
+        let mut last = 0.0;
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let x = cdf.quantile(q).unwrap();
+            prop_assert!(samples.contains(&x));
+            let f = cdf.fraction_at(x);
+            prop_assert!(f >= last - 1e-12);
+            last = f;
+        }
+    }
+
+    /// Summary statistics are internally consistent.
+    #[test]
+    fn summary_is_consistent(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&samples).unwrap();
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.std_dev <= (s.max - s.min) + 1e-9);
+    }
+
+    /// Step interpolation of a time series always returns either the default or one of the
+    /// recorded values, and `time_to_reach` is consistent with the samples.
+    #[test]
+    fn time_series_step_interpolation(values in prop::collection::vec(0f64..100.0, 1..50)) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut ts = TimeSeries::new();
+        for (i, v) in sorted.iter().enumerate() {
+            ts.push(SimTime::from_secs(i as u64 + 1), *v);
+        }
+        prop_assert_eq!(ts.value_at(SimTime::ZERO, -1.0), -1.0);
+        for (i, v) in sorted.iter().enumerate() {
+            prop_assert_eq!(ts.value_at(SimTime::from_secs(i as u64 + 1), -1.0), *v);
+        }
+        if let Some(t) = ts.time_to_reach(sorted[sorted.len() - 1]) {
+            prop_assert!(t <= SimTime::from_secs(sorted.len() as u64));
+        }
+    }
+}

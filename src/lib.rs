@@ -1,0 +1,47 @@
+//! # p2plab — lightweight emulation to study peer-to-peer systems
+//!
+//! A Rust reproduction of *"Lightweight emulation to study peer-to-peer systems"*
+//! (Nussbaum & Richard): the P2PLab framework, rebuilt on a deterministic discrete-event
+//! engine so that the paper's full evaluation — scheduler suitability, emulation accuracy and
+//! the BitTorrent case study — runs on a laptop in seconds and is exactly reproducible.
+//!
+//! This facade crate simply re-exports the workspace crates:
+//!
+//! * [`sim`] — discrete-event engine, deterministic RNG, measurement types;
+//! * [`os`] — physical-node substrate (CPU schedulers, memory/swap, syscall costs);
+//! * [`net`] — network emulation (dummynet pipes, IPFW rules, topologies, sockets, BINDIP shim);
+//! * [`bittorrent`] — the studied application (tracker, peer wire protocol, choking, swarms);
+//! * [`core`] — the P2PLab framework (deployment/folding, experiments, analysis, reports).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use p2plab::core::{run_swarm_experiment, SwarmExperiment};
+//!
+//! // A small BitTorrent swarm on emulated access links, folded onto 4 physical machines.
+//! let mut cfg = SwarmExperiment::quick();
+//! cfg.leechers = 6;
+//! let result = run_swarm_experiment(&cfg);
+//! assert!(result.finished);
+//! println!("{}", result.summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use p2plab_bittorrent as bittorrent;
+pub use p2plab_core as core;
+pub use p2plab_net as net;
+pub use p2plab_os as os;
+pub use p2plab_sim as sim;
+
+/// The most commonly used items, for glob-importing in examples and experiments.
+pub mod prelude {
+    pub use p2plab_bittorrent::{ClientConfig, SwarmWorld, Torrent};
+    pub use p2plab_core::{
+        compare_folding, deploy, run_swarm_experiment, DeploymentSpec, SwarmExperiment,
+        SwarmResult,
+    };
+    pub use p2plab_net::{AccessLinkClass, Network, NetworkConfig, TopologySpec};
+    pub use p2plab_os::{Machine, MachineSpec, OsKind, SchedulerKind};
+    pub use p2plab_sim::{SimDuration, SimTime, Simulation};
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: a full BitTorrent experiment through the public facade —
+//! deployment, network emulation, protocol dynamics, analysis.
+
+use p2plab::core::{
+    compare_folding, completion_summary, download_phases, run_swarm_experiment, SwarmExperiment,
+};
+use p2plab::net::AccessLinkClass;
+use p2plab::sim::SimDuration;
+
+fn small_paper_swarm(leechers: usize, machines: usize, seed: u64) -> SwarmExperiment {
+    // A scaled-down Figure 8: the paper's DSL profile and 10 s start interval, but a 2 MB file
+    // and a handful of clients so the test stays fast.
+    let mut cfg = SwarmExperiment::paper_figure8();
+    cfg.name = format!("it-swarm-{leechers}x{machines}-{seed}");
+    cfg.leechers = leechers;
+    cfg.machines = machines;
+    cfg.file_bytes = 2 * 1024 * 1024;
+    cfg.start_interval = SimDuration::from_secs(5);
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn paper_style_swarm_completes_with_consistent_accounting() {
+    let cfg = small_paper_swarm(16, 21, 1);
+    let r = run_swarm_experiment(&cfg);
+    assert!(r.finished, "{}", r.summary());
+    assert_eq!(r.completed, 16);
+
+    // Byte conservation across the whole system: uploads equal downloads, and every client
+    // received at least the file. Endgame mode may fetch the last blocks twice; with a 2 MB
+    // file that waste is proportionally larger than in the paper's 16 MB experiments (where it
+    // stays below ~3%), so allow up to 12% here.
+    let total_down: f64 = r.total_downloaded.last().unwrap().1;
+    assert!(total_down >= (16 * cfg.file_bytes) as f64);
+    assert!(
+        total_down <= 1.12 * (16 * cfg.file_bytes) as f64,
+        "wasted transfer too high: {total_down} vs {} useful",
+        16 * cfg.file_bytes
+    );
+    assert_eq!(
+        r.seeder_upload_bytes + r.leecher_upload_bytes,
+        total_down as u64
+    );
+
+    // Downloaders reciprocated (tit-for-tat) rather than leaving all work to the seeders.
+    assert!(r.leecher_upload_bytes > 0);
+
+    // The three phases of Figure 8 are identifiable and ordered.
+    let phases = download_phases(&r).expect("phases");
+    assert!(phases.seeder_only_until <= phases.first_completion);
+    assert!(phases.first_completion < phases.last_completion);
+
+    // Completion statistics are coherent.
+    let s = completion_summary(&r).expect("summary");
+    assert_eq!(s.completed, 16);
+    assert!(s.first <= s.median && s.median <= s.last);
+}
+
+#[test]
+fn folding_invariance_holds_at_test_scale() {
+    // The Figure 9 claim: deploying the same swarm on fewer machines does not change the
+    // aggregate results. Compare 1-ish clients per machine against everything on one machine.
+    let spread = run_swarm_experiment(&small_paper_swarm(12, 17, 3));
+    let folded = run_swarm_experiment(&small_paper_swarm(12, 1, 3));
+    assert!(spread.finished && folded.finished);
+    let cmp = compare_folding(&spread, &[&folded]);
+    assert!(
+        cmp.worst_deviation() < 0.10,
+        "folding changed the aggregate curve by {:.1}%",
+        100.0 * cmp.worst_deviation()
+    );
+    assert!(cmp.rows[0].completion_ks_distance < 0.5);
+    assert_eq!(cmp.rows[0].completion_fraction, 1.0);
+}
+
+#[test]
+fn runs_are_reproducible_from_the_seed() {
+    let a = run_swarm_experiment(&small_paper_swarm(8, 5, 11));
+    let b = run_swarm_experiment(&small_paper_swarm(8, 5, 11));
+    assert_eq!(a.completion_times, b.completion_times);
+    assert_eq!(a.events_executed, b.events_executed);
+    assert_eq!(a.net_stats, b.net_stats);
+    let c = run_swarm_experiment(&small_paper_swarm(8, 5, 12));
+    assert_ne!(
+        a.completion_times, c.completion_times,
+        "different seeds should give different runs"
+    );
+}
+
+#[test]
+fn slower_access_links_slow_the_swarm_down() {
+    // Sanity of the network emulation as seen from the application: halving the upload
+    // bandwidth must increase completion times (the swarm is upload-bound).
+    let mut fast = small_paper_swarm(8, 11, 5);
+    fast.link = AccessLinkClass::new(2_000_000, 256_000, SimDuration::from_millis(30));
+    let mut slow = small_paper_swarm(8, 11, 5);
+    slow.link = AccessLinkClass::new(2_000_000, 128_000, SimDuration::from_millis(30));
+    let rf = run_swarm_experiment(&fast);
+    let rs = run_swarm_experiment(&slow);
+    assert!(rf.finished && rs.finished);
+    let f = rf.median_completion().unwrap().as_secs_f64();
+    let s = rs.median_completion().unwrap().as_secs_f64();
+    assert!(
+        s > 1.3 * f,
+        "halving upload bandwidth should visibly slow completion: fast={f:.0}s slow={s:.0}s"
+    );
+}
