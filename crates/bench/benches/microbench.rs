@@ -32,7 +32,9 @@ fn bench_event_engine(c: &mut Criterion) {
 
 fn bench_pipe(c: &mut Criterion) {
     c.bench_function("dummynet_pipe_enqueue", |b| {
-        let mut pipe = Pipe::new(PipeConfig::shaped(128_000, SimDuration::from_millis(30)).with_queue_limit(None));
+        let mut pipe = Pipe::new(
+            PipeConfig::shaped(128_000, SimDuration::from_millis(30)).with_queue_limit(None),
+        );
         let mut rng = SimRng::new(1);
         let mut t = 0u64;
         b.iter(|| {

@@ -25,7 +25,10 @@ fn main() {
     without_choking.name = "no-choking".into();
     without_choking.client_config.choke = no_choking();
 
-    println!("running {} clients with tit-for-tat choking...", base.leechers);
+    println!(
+        "running {} clients with tit-for-tat choking...",
+        base.leechers
+    );
     let a = run_swarm_experiment(&with_choking);
     println!("  {}", a.summary());
     println!("running {} clients with choking disabled...", base.leechers);
@@ -37,10 +40,14 @@ fn main() {
         vec![
             r.name.clone(),
             format!("{}/{}", r.completed, r.leechers),
-            s.map(|s| format!("{:.0}", s.first.as_secs_f64())).unwrap_or_else(|| "-".into()),
-            s.map(|s| format!("{:.0}", s.median.as_secs_f64())).unwrap_or_else(|| "-".into()),
-            s.map(|s| format!("{:.0}", s.last.as_secs_f64())).unwrap_or_else(|| "-".into()),
-            s.map(|s| format!("{:.0}", s.p5_p95_spread_secs)).unwrap_or_else(|| "-".into()),
+            s.map(|s| format!("{:.0}", s.first.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+            s.map(|s| format!("{:.0}", s.median.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+            s.map(|s| format!("{:.0}", s.last.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+            s.map(|s| format!("{:.0}", s.p5_p95_spread_secs))
+                .unwrap_or_else(|| "-".into()),
             format!("{:.1}", r.seeder_upload_bytes as f64 / (1024.0 * 1024.0)),
             format!("{:.1}", r.leecher_upload_bytes as f64 / (1024.0 * 1024.0)),
         ]
@@ -49,10 +56,21 @@ fn main() {
         "{}",
         render_table(
             "Choking ablation",
-            &["policy", "completed", "first (s)", "median (s)", "last (s)", "p5-p95 (s)", "seeder up (MB)", "peer up (MB)"],
+            &[
+                "policy",
+                "completed",
+                "first (s)",
+                "median (s)",
+                "last (s)",
+                "p5-p95 (s)",
+                "seeder up (MB)",
+                "peer up (MB)"
+            ],
             &[row(&a), row(&b)]
         )
     );
-    println!("Tit-for-tat concentrates each uploader's narrow 128 kbps uplink on a few peers at a time;");
+    println!(
+        "Tit-for-tat concentrates each uploader's narrow 128 kbps uplink on a few peers at a time;"
+    );
     println!("disabling it spreads the same capacity over every interested peer, changing the completion profile.");
 }

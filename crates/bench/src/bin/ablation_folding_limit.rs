@@ -34,7 +34,11 @@ fn main() {
         cfg.name = format!("fast-links-{per_machine}-per-machine");
         println!("running {} ({} machines)...", cfg.name, cfg.machines);
         let r = run_swarm_experiment(&cfg);
-        println!("  {} (peak NIC utilization {:.0}%)", r.summary(), 100.0 * r.peak_nic_utilization);
+        println!(
+            "  {} (peak NIC utilization {:.0}%)",
+            r.summary(),
+            100.0 * r.peak_nic_utilization
+        );
         results.push(r);
     }
 
@@ -60,10 +64,17 @@ fn main() {
         "{}",
         render_table(
             "Folding beyond the paper: fast emulated links vs the shared physical Gigabit NIC",
-            &["clients/machine", "max curve deviation", "median completion", "completed"],
+            &[
+                "clients/machine",
+                "max curve deviation",
+                "median completion",
+                "completed"
+            ],
             &rows
         )
     );
     println!("With faster emulated links, extreme folding makes the shared physical NIC the bottleneck and");
-    println!("the curves drift from the baseline — exactly the limit the paper reports hitting first.");
+    println!(
+        "the curves drift from the baseline — exactly the limit the paper reports hitting first."
+    );
 }

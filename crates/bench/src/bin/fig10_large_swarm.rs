@@ -42,9 +42,15 @@ fn main() {
     // The paper plots clients 50, 100, 150, ... 5750; sample the same way, scaled.
     let stride = (result.progress.len() / 115).max(1);
     println!("Selected clients (the paper samples every 50th client):");
-    println!("{:>8}  {:>10}  {:>10}  {:>10}", "client", "25% at", "75% at", "done at");
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>10}",
+        "client", "25% at", "75% at", "done at"
+    );
     for (i, p) in result.progress.iter().enumerate().step_by(stride * 8) {
-        let fmt = |t: Option<SimTime>| t.map(|t| format!("{:.0}s", t.as_secs_f64())).unwrap_or_else(|| "-".into());
+        let fmt = |t: Option<SimTime>| {
+            t.map(|t| format!("{:.0}s", t.as_secs_f64()))
+                .unwrap_or_else(|| "-".into())
+        };
         println!(
             "{:>8}  {:>10}  {:>10}  {:>10}",
             i,

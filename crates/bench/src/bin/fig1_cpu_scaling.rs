@@ -11,7 +11,9 @@ use p2plab_os::experiments::figure1_sweep;
 use p2plab_os::SchedulerKind;
 
 fn main() {
-    let concurrencies = [1usize, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+    let concurrencies = [
+        1usize, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000,
+    ];
     let sweeps: Vec<(SchedulerKind, Vec<(usize, f64)>)> = SchedulerKind::ALL
         .iter()
         .map(|&s| (s, figure1_sweep(s, &concurrencies)))
@@ -42,7 +44,10 @@ fn main() {
     for (sched, sweep) in &sweeps {
         let points: Vec<(f64, f64)> = sweep.iter().map(|&(n, v)| (n as f64, v)).collect();
         write_results_file(
-            &format!("fig1_{}.csv", sched.label().replace(' ', "_").to_lowercase()),
+            &format!(
+                "fig1_{}.csv",
+                sched.label().replace(' ', "_").to_lowercase()
+            ),
             &points_to_csv("processes", "avg_exec_time_s", &points),
         );
     }

@@ -44,7 +44,10 @@ fn main() {
     for (sched, sweep) in &sweeps {
         let points: Vec<(f64, f64)> = sweep.iter().map(|&(n, v)| (n as f64, v)).collect();
         write_results_file(
-            &format!("fig2_{}.csv", sched.label().replace(' ', "_").to_lowercase()),
+            &format!(
+                "fig2_{}.csv",
+                sched.label().replace(' ', "_").to_lowercase()
+            ),
             &points_to_csv("processes", "avg_exec_time_s", &points),
         );
     }

@@ -21,7 +21,11 @@ fn main() {
         .iter()
         .map(|(s, cdf)| {
             let mut row = vec![s.label().to_string()];
-            row.extend(quantiles.iter().map(|&q| format!("{:.1}", cdf.quantile(q).unwrap())));
+            row.extend(
+                quantiles
+                    .iter()
+                    .map(|&q| format!("{:.1}", cdf.quantile(q).unwrap())),
+            );
             row.push(format!(
                 "{:.1}",
                 cdf.quantile(0.95).unwrap() - cdf.quantile(0.05).unwrap()
@@ -33,7 +37,15 @@ fn main() {
         "{}",
         render_table(
             "Figure 3: completion times of 100 concurrent 5 s jobs (seconds)",
-            &["scheduler", "p5", "p25", "median", "p75", "p95", "p5-p95 spread"],
+            &[
+                "scheduler",
+                "p5",
+                "p25",
+                "median",
+                "p75",
+                "p95",
+                "p5-p95 spread"
+            ],
             &rows
         )
     );
@@ -42,7 +54,10 @@ fn main() {
 
     for (s, cdf) in &cdfs {
         write_results_file(
-            &format!("fig3_cdf_{}.csv", s.label().replace(' ', "_").to_lowercase()),
+            &format!(
+                "fig3_cdf_{}.csv",
+                s.label().replace(' ', "_").to_lowercase()
+            ),
             &points_to_csv("execution_time_s", "F", &cdf.points()),
         );
     }

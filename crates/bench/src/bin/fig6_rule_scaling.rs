@@ -9,7 +9,9 @@ use p2plab_bench::write_results_file;
 use p2plab_core::{points_to_csv, render_table, rule_scaling_experiment};
 
 fn main() {
-    let rule_counts = [0usize, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000, 35_000, 40_000, 45_000, 50_000];
+    let rule_counts = [
+        0usize, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000, 35_000, 40_000, 45_000, 50_000,
+    ];
     let points = rule_scaling_experiment(&rule_counts, 10);
 
     let rows: Vec<Vec<String>> = points
@@ -38,5 +40,8 @@ fn main() {
         .iter()
         .map(|p| (p.rules as f64, p.avg_rtt.as_secs_f64() * 1000.0))
         .collect();
-    write_results_file("fig6_rule_scaling.csv", &points_to_csv("rules", "avg_rtt_ms", &csv_points));
+    write_results_file(
+        "fig6_rule_scaling.csv",
+        &points_to_csv("rules", "avg_rtt_ms", &csv_points),
+    );
 }

@@ -38,9 +38,18 @@ fn main() {
     }
     if let Some(p) = download_phases(&result) {
         println!("download phases (as read off the curves):");
-        println!("  1. seeders-only uploading until about {}", p.seeder_only_until);
-        println!("  2. downloaders contributing to each other until {}", p.first_completion);
-        println!("  3. finished clients seeding the rest until {}", p.last_completion);
+        println!(
+            "  1. seeders-only uploading until about {}",
+            p.seeder_only_until
+        );
+        println!(
+            "  2. downloaders contributing to each other until {}",
+            p.first_completion
+        );
+        println!(
+            "  3. finished clients seeding the rest until {}",
+            p.last_completion
+        );
     }
 
     // The figure plots every client's progress; print a sample of clients and write all curves
@@ -60,7 +69,9 @@ fn main() {
         );
     }
 
-    let names: Vec<String> = (0..result.progress.len()).map(|i| format!("client{i}")).collect();
+    let names: Vec<String> = (0..result.progress.len())
+        .map(|i| format!("client{i}"))
+        .collect();
     let series: Vec<(&str, &p2plab_sim::TimeSeries)> = names
         .iter()
         .map(|n| n.as_str())
@@ -72,7 +83,12 @@ fn main() {
     println!();
     println!(
         "{}",
-        ascii_plot("median client progress shape (percent)", &median_curve(&result), 70, 12)
+        ascii_plot(
+            "median client progress shape (percent)",
+            &median_curve(&result),
+            70,
+            12
+        )
     );
     println!("Paper: all three phases of a BitTorrent download are visible, and clients finish around 1500-2000 s.");
 }
@@ -89,7 +105,7 @@ fn median_curve(result: &p2plab_core::SwarmResult) -> p2plab_sim::TimeSeries {
         if !vals.is_empty() {
             out.push(t, vals[vals.len() / 2]);
         }
-        t = t + step;
+        t += step;
     }
     out
 }

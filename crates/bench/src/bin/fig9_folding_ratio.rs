@@ -31,7 +31,11 @@ fn main() {
             cfg.folding_ratio()
         );
         let r = run_swarm_experiment(&cfg);
-        println!("  {} (peak NIC utilization {:.0}%)", r.summary(), 100.0 * r.peak_nic_utilization);
+        println!(
+            "  {} (peak NIC utilization {:.0}%)",
+            r.summary(),
+            100.0 * r.peak_nic_utilization
+        );
         results.push(r);
     }
 
@@ -58,7 +62,13 @@ fn main() {
         "{}",
         render_table(
             "Figure 9: deviation of folded deployments from the 1-client-per-machine baseline",
-            &["clients/machine", "max curve deviation", "KS distance", "median completion", "completed"],
+            &[
+                "clients/machine",
+                "max curve deviation",
+                "KS distance",
+                "median completion",
+                "completed"
+            ],
             &rows
         )
     );

@@ -32,7 +32,8 @@ pub fn write_results_file(name: &str, contents: &str) -> PathBuf {
     std::fs::create_dir_all(&dir).expect("create results directory");
     let path = dir.join(name);
     let mut f = std::fs::File::create(&path).expect("create results file");
-    f.write_all(contents.as_bytes()).expect("write results file");
+    f.write_all(contents.as_bytes())
+        .expect("write results file");
     println!("[results written to {}]", path.display());
     path
 }

@@ -116,7 +116,8 @@ impl Choker {
             .collect();
 
         if self.config.optimistic_slots > 0 {
-            let rotate = self.round % self.config.optimistic_rounds == 1 || self.optimistic.is_none();
+            let rotate =
+                self.round % self.config.optimistic_rounds == 1 || self.optimistic.is_none();
             let still_valid = self
                 .optimistic
                 .map(|c| peers.iter().any(|p| p.conn == c && p.interested))
@@ -178,10 +179,7 @@ mod tests {
     fn uninterested_peers_never_take_slots() {
         let mut choker = Choker::new(ChokeConfig::default());
         let mut rng = SimRng::new(1);
-        let peers = vec![
-            peer(1, false, 1000.0, 0.0),
-            peer(2, true, 10.0, 0.0),
-        ];
+        let peers = vec![peer(1, false, 1000.0, 0.0), peer(2, true, 10.0, 0.0)];
         let unchoked = choker.run_round(&peers, false, &mut rng);
         assert!(!unchoked.contains(&ConnId(1)));
         assert!(unchoked.contains(&ConnId(2)));
@@ -189,7 +187,10 @@ mod tests {
 
     #[test]
     fn seeder_ranks_by_upload_rate() {
-        let mut choker = Choker::new(ChokeConfig { optimistic_slots: 0, ..Default::default() });
+        let mut choker = Choker::new(ChokeConfig {
+            optimistic_slots: 0,
+            ..Default::default()
+        });
         let mut rng = SimRng::new(1);
         let peers = vec![
             peer(1, true, 0.0, 10.0),
@@ -218,7 +219,10 @@ mod tests {
                 seen.insert(o);
             }
         }
-        assert!(seen.len() >= 3, "optimistic unchoke should rotate, saw {seen:?}");
+        assert!(
+            seen.len() >= 3,
+            "optimistic unchoke should rotate, saw {seen:?}"
+        );
     }
 
     #[test]

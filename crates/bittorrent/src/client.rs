@@ -258,8 +258,7 @@ impl Client {
 
     /// The addresses the client could still try to connect to.
     pub fn unconnected_known_peers(&self) -> Vec<SocketAddr> {
-        let connected: HashSet<SocketAddr> =
-            self.peers.values().map(|p| p.peer_addr).collect();
+        let connected: HashSet<SocketAddr> = self.peers.values().map(|p| p.peer_addr).collect();
         self.known_peers
             .iter()
             .copied()

@@ -151,12 +151,20 @@ mod tests {
 
     #[test]
     fn wire_sizes_match_protocol() {
-        assert_eq!(PeerMessage::Handshake { peer_id: PeerId(1) }.wire_size(), 68);
+        assert_eq!(
+            PeerMessage::Handshake { peer_id: PeerId(1) }.wire_size(),
+            68
+        );
         assert_eq!(PeerMessage::Have(3).wire_size(), 9);
         assert_eq!(PeerMessage::Choke.wire_size(), 5);
         assert_eq!(PeerMessage::Request { piece: 0, block: 0 }.wire_size(), 17);
         assert_eq!(
-            PeerMessage::Piece { piece: 0, block: 0, data_len: 16384 }.wire_size(),
+            PeerMessage::Piece {
+                piece: 0,
+                block: 0,
+                data_len: 16384
+            }
+            .wire_size(),
             16384 + 13
         );
         assert_eq!(PeerMessage::Bitfield(Bitfield::new(64)).wire_size(), 13);
@@ -167,7 +175,12 @@ mod tests {
     fn piece_messages_dominate_traffic() {
         // Sanity: a block message is two orders of magnitude larger than control traffic,
         // which is why the paper can treat the access link as the bottleneck.
-        let piece = PeerMessage::Piece { piece: 0, block: 0, data_len: 16384 }.wire_size();
+        let piece = PeerMessage::Piece {
+            piece: 0,
+            block: 0,
+            data_len: 16384,
+        }
+        .wire_size();
         let control = PeerMessage::Request { piece: 0, block: 0 }.wire_size();
         assert!(piece > 100 * control);
     }
@@ -177,8 +190,14 @@ mod tests {
         let peers: Vec<SocketAddr> = (0..50)
             .map(|i| SocketAddr::new(VirtAddr::new(10, 0, 0, i as u8 + 1), 6881))
             .collect();
-        let small = TrackerMessage::Response { peers: peers[..5].to_vec(), interval_secs: 120 };
-        let large = TrackerMessage::Response { peers, interval_secs: 120 };
+        let small = TrackerMessage::Response {
+            peers: peers[..5].to_vec(),
+            interval_secs: 120,
+        };
+        let large = TrackerMessage::Response {
+            peers,
+            interval_secs: 120,
+        };
         assert!(large.wire_size() > small.wire_size());
         assert_eq!(
             BtPayload::Tracker(small.clone()).wire_size(),

@@ -62,7 +62,11 @@ impl PieceManager {
     /// (`complete = true`).
     pub fn new(torrent: Torrent, complete: bool) -> PieceManager {
         let n = torrent.num_pieces();
-        let have = if complete { Bitfield::full(n) } else { Bitfield::new(n) };
+        let have = if complete {
+            Bitfield::full(n)
+        } else {
+            Bitfield::new(n)
+        };
         let bytes_done = if complete { torrent.total_bytes } else { 0 };
         PieceManager {
             availability: vec![0; n as usize],
@@ -132,13 +136,13 @@ impl PieceManager {
         if self.is_complete() {
             return false;
         }
-        self.have.iter_missing().all(|p| {
-            match self.partial.get(&p) {
+        self.have
+            .iter_missing()
+            .all(|p| match self.partial.get(&p) {
                 Some(pp) => (0..self.torrent.blocks_in_piece(p))
                     .all(|b| pp.received.get(b) || pp.requested.contains_key(&b)),
                 None => false,
-            }
-        })
+            })
     }
 
     /// Picks up to `max` blocks to request from a peer owning `peer_have`, marking them as
@@ -212,7 +216,13 @@ impl PieceManager {
                 }
                 match entry.requested.get_mut(&b) {
                     None => {
-                        entry.requested.insert(b, BlockRequest { first_at: now, count: 1 });
+                        entry.requested.insert(
+                            b,
+                            BlockRequest {
+                                first_at: now,
+                                count: 1,
+                            },
+                        );
                         picked.push((piece, b));
                     }
                     Some(req) if endgame && req.count < MAX_ENDGAME_DUPLICATION => {
@@ -326,7 +336,10 @@ mod tests {
         let mut received = 0u64;
         while !done {
             let blocks = pm.pick_blocks(&seeder, 8, SimTime::ZERO, &mut r);
-            assert!(!blocks.is_empty(), "must always find blocks while incomplete");
+            assert!(
+                !blocks.is_empty(),
+                "must always find blocks while incomplete"
+            );
             for (p, b) in blocks {
                 received += 1;
                 match pm.block_received(p, b) {
@@ -389,7 +402,10 @@ mod tests {
         let first = pm.pick_blocks(&peer, 10, SimTime::ZERO, &mut r);
         let second = pm.pick_blocks(&peer, 10, SimTime::ZERO, &mut r);
         for b in &first {
-            assert!(!second.contains(b), "block {b:?} requested twice outside endgame");
+            assert!(
+                !second.contains(b),
+                "block {b:?} requested twice outside endgame"
+            );
         }
     }
 

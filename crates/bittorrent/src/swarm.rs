@@ -211,7 +211,14 @@ pub fn stop_client(sim: &mut Simulation<SwarmWorld>, idx: usize) {
 fn handle_tracker_event(sim: &mut Simulation<SwarmWorld>, event: SockEvent<BtPayload>) {
     if let SockEvent::Datagram {
         from,
-        payload: BtPayload::Tracker(TrackerMessage::Announce { peer_id, port, event, left, numwant }),
+        payload:
+            BtPayload::Tracker(TrackerMessage::Announce {
+                peer_id,
+                port,
+                event,
+                left,
+                numwant,
+            }),
         ..
     } = event
     {
@@ -223,7 +230,10 @@ fn handle_tracker_event(sim: &mut Simulation<SwarmWorld>, event: SockEvent<BtPay
             .handle_announce(now, peer_id, peer_addr, event, left, numwant, rng);
         let tracker_vnode = world.tracker.vnode;
         let tracker_port = world.tracker.port;
-        let response = TrackerMessage::Response { peers, interval_secs: 120 };
+        let response = TrackerMessage::Response {
+            peers,
+            interval_secs: 120,
+        };
         let size = response.wire_size();
         let _ = send_datagram(
             sim,
@@ -282,9 +292,10 @@ fn handle_client_event(sim: &mut Simulation<SwarmWorld>, idx: usize, event: Sock
                 return;
             }
             let client = &mut sim.world_mut().clients[idx];
-            client
-                .peers
-                .insert(conn, PeerConn::new(conn, peer, false, num_pieces, rate_window));
+            client.peers.insert(
+                conn,
+                PeerConn::new(conn, peer, false, num_pieces, rate_window),
+            );
         }
         SockEvent::Refused { peer, .. } => {
             sim.world_mut().clients[idx].connecting.remove(&peer);
@@ -292,7 +303,11 @@ fn handle_client_event(sim: &mut Simulation<SwarmWorld>, idx: usize, event: Sock
         SockEvent::Closed { conn } => {
             drop_peer(sim, idx, conn);
         }
-        SockEvent::Data { conn, payload: BtPayload::Peer(msg), .. } => {
+        SockEvent::Data {
+            conn,
+            payload: BtPayload::Peer(msg),
+            ..
+        } => {
             handle_peer_message(sim, idx, conn, msg);
         }
         SockEvent::Datagram {
@@ -313,7 +328,12 @@ fn drop_peer(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
     }
 }
 
-fn handle_peer_message(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId, msg: PeerMessage) {
+fn handle_peer_message(
+    sim: &mut Simulation<SwarmWorld>,
+    idx: usize,
+    conn: ConnId,
+    msg: PeerMessage,
+) {
     match msg {
         PeerMessage::Handshake { peer_id } => {
             let reply = {
@@ -411,10 +431,23 @@ fn handle_peer_message(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnI
                 }
             };
             if let Some(data_len) = respond {
-                send_peer(sim, idx, conn, PeerMessage::Piece { piece, block, data_len });
+                send_peer(
+                    sim,
+                    idx,
+                    conn,
+                    PeerMessage::Piece {
+                        piece,
+                        block,
+                        data_len,
+                    },
+                );
             }
         }
-        PeerMessage::Piece { piece, block, data_len } => {
+        PeerMessage::Piece {
+            piece,
+            block,
+            data_len,
+        } => {
             handle_piece(sim, idx, conn, piece, block, data_len);
         }
         PeerMessage::Cancel { .. } | PeerMessage::KeepAlive => {}
@@ -432,7 +465,9 @@ fn handle_piece(
     let now = sim.now();
     let (completed_piece, file_complete, broadcast_conns) = {
         let client = &mut sim.world_mut().clients[idx];
-        let Some(p) = client.peers.get_mut(&conn) else { return };
+        let Some(p) = client.peers.get_mut(&conn) else {
+            return;
+        };
         p.inflight.retain(|&b| b != (piece, block));
         p.download.record(now, data_len as u64);
         p.blocks_received += 1;
@@ -509,7 +544,10 @@ fn request_blocks(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
         let client = &mut world.clients[idx];
         match client.peers.get_mut(&conn) {
             Some(p) if p.handshaken && p.am_interested && !p.peer_choking => {
-                let budget = client.config.request_pipeline.saturating_sub(p.inflight.len());
+                let budget = client
+                    .config
+                    .request_pipeline
+                    .saturating_sub(p.inflight.len());
                 let picked = client.pieces.pick_blocks(&p.bitfield, budget, now, rng);
                 // Endgame mode may hand back blocks this very peer already has in flight;
                 // re-requesting them from the same peer would only waste its upload link.
@@ -611,10 +649,22 @@ fn announce(sim: &mut Simulation<SwarmWorld>, idx: usize, event: AnnounceEvent) 
             left: client.pieces.bytes_left(),
             numwant: client.config.numwant,
         };
-        (client.vnode, client.config.listen_port, client.tracker_addr, msg)
+        (
+            client.vnode,
+            client.config.listen_port,
+            client.tracker_addr,
+            msg,
+        )
     };
     let size = msg.wire_size();
-    let _ = send_datagram(sim, vnode, listen_port, tracker_addr, size, BtPayload::Tracker(msg));
+    let _ = send_datagram(
+        sim,
+        vnode,
+        listen_port,
+        tracker_addr,
+        size,
+        BtPayload::Tracker(msg),
+    );
 }
 
 fn handle_tracker_response(sim: &mut Simulation<SwarmWorld>, idx: usize, peers: Vec<SocketAddr>) {
@@ -714,10 +764,20 @@ mod tests {
         let torrent = Torrent::new("test", total_bytes);
         let mut world = SwarmWorld::new(net, vnodes[0]);
         for i in 0..seeders {
-            world.add_client(vnodes[1 + i], torrent.clone(), true, ClientConfig::default());
+            world.add_client(
+                vnodes[1 + i],
+                torrent.clone(),
+                true,
+                ClientConfig::default(),
+            );
         }
         for i in 0..leechers {
-            world.add_client(vnodes[1 + seeders + i], torrent.clone(), false, ClientConfig::default());
+            world.add_client(
+                vnodes[1 + seeders + i],
+                torrent.clone(),
+                false,
+                ClientConfig::default(),
+            );
         }
         world
     }
@@ -761,7 +821,10 @@ mod tests {
         for c in sim.world().clients.iter().filter(|c| !c.initial_seeder) {
             let samples = c.progress.samples();
             assert!(samples.len() >= 2, "at least start and completion samples");
-            assert!(samples.windows(2).all(|w| w[0].1 <= w[1].1), "monotonic progress");
+            assert!(
+                samples.windows(2).all(|w| w[0].1 <= w[1].1),
+                "monotonic progress"
+            );
             assert_eq!(samples.last().unwrap().1, 100.0);
             assert_eq!(samples[0].1, 0.0);
         }
@@ -861,7 +924,10 @@ mod tests {
         let last = *sim.world().completion_times().last().unwrap();
         let download_bound = 1024.0 * 1024.0 * 8.0 / 2_000_000.0; // ~4 s
         let upload_bound = 1024.0 * 1024.0 * 8.0 / 128_000.0; // ~65 s if one uploader at a time
-        assert!(last.as_secs_f64() > 3.0 * download_bound, "too fast: {last}");
+        assert!(
+            last.as_secs_f64() > 3.0 * download_bound,
+            "too fast: {last}"
+        );
         assert!(last.as_secs_f64() < 5.0 * upload_bound, "too slow: {last}");
     }
 }

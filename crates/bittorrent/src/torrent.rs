@@ -59,14 +59,19 @@ impl Torrent {
 
     /// Size in bytes of block `block` of piece `piece`.
     pub fn block_len(&self, piece: u32, block: u32) -> u32 {
-        assert!(block < self.blocks_in_piece(piece), "block index out of range");
+        assert!(
+            block < self.blocks_in_piece(piece),
+            "block index out of range"
+        );
         let start = block * self.block_size;
         (self.piece_len(piece) - start).min(self.block_size)
     }
 
     /// Total number of blocks in the torrent.
     pub fn total_blocks(&self) -> u64 {
-        (0..self.num_pieces()).map(|p| self.blocks_in_piece(p) as u64).sum()
+        (0..self.num_pieces())
+            .map(|p| self.blocks_in_piece(p) as u64)
+            .sum()
     }
 }
 

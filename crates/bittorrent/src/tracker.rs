@@ -69,6 +69,7 @@ impl Tracker {
     }
 
     /// Handles an announce and returns the peer list for the response.
+    #[allow(clippy::too_many_arguments)] // mirrors the announce request's field list
     pub fn handle_announce(
         &mut self,
         now: SimTime,
@@ -128,13 +129,37 @@ mod tests {
     fn announce_registers_and_returns_other_peers() {
         let mut t = Tracker::new(VNodeId(0));
         let mut rng = SimRng::new(1);
-        let p1 = t.handle_announce(SimTime::ZERO, PeerId(1), addr(1), AnnounceEvent::Started, 100, 50, &mut rng);
+        let p1 = t.handle_announce(
+            SimTime::ZERO,
+            PeerId(1),
+            addr(1),
+            AnnounceEvent::Started,
+            100,
+            50,
+            &mut rng,
+        );
         assert!(p1.is_empty(), "first peer sees an empty swarm");
-        let p2 = t.handle_announce(SimTime::ZERO, PeerId(2), addr(2), AnnounceEvent::Started, 100, 50, &mut rng);
+        let p2 = t.handle_announce(
+            SimTime::ZERO,
+            PeerId(2),
+            addr(2),
+            AnnounceEvent::Started,
+            100,
+            50,
+            &mut rng,
+        );
         assert_eq!(p2, vec![addr(1)]);
         assert_eq!(t.member_count(), 2);
         // A peer never gets itself back.
-        let p1_again = t.handle_announce(SimTime::ZERO, PeerId(1), addr(1), AnnounceEvent::Periodic, 100, 50, &mut rng);
+        let p1_again = t.handle_announce(
+            SimTime::ZERO,
+            PeerId(1),
+            addr(1),
+            AnnounceEvent::Periodic,
+            100,
+            50,
+            &mut rng,
+        );
         assert_eq!(p1_again, vec![addr(2)]);
     }
 
@@ -143,7 +168,15 @@ mod tests {
         let mut t = Tracker::new(VNodeId(0));
         let mut rng = SimRng::new(1);
         for i in 1..=100u8 {
-            t.handle_announce(SimTime::ZERO, PeerId(i as u32), addr(i), AnnounceEvent::Started, 100, 0, &mut rng);
+            t.handle_announce(
+                SimTime::ZERO,
+                PeerId(i as u32),
+                addr(i),
+                AnnounceEvent::Started,
+                100,
+                0,
+                &mut rng,
+            );
         }
         let peers = t.handle_announce(
             SimTime::ZERO,
@@ -166,13 +199,37 @@ mod tests {
     fn completed_and_stopped_events() {
         let mut t = Tracker::new(VNodeId(0));
         let mut rng = SimRng::new(1);
-        t.handle_announce(SimTime::ZERO, PeerId(1), addr(1), AnnounceEvent::Started, 100, 50, &mut rng);
+        t.handle_announce(
+            SimTime::ZERO,
+            PeerId(1),
+            addr(1),
+            AnnounceEvent::Started,
+            100,
+            50,
+            &mut rng,
+        );
         assert_eq!(t.seeder_count(), 0);
-        t.handle_announce(SimTime::from_secs(10), PeerId(1), addr(1), AnnounceEvent::Completed, 0, 50, &mut rng);
+        t.handle_announce(
+            SimTime::from_secs(10),
+            PeerId(1),
+            addr(1),
+            AnnounceEvent::Completed,
+            0,
+            50,
+            &mut rng,
+        );
         assert_eq!(t.seeder_count(), 1);
         assert_eq!(t.stats().completed, 1);
         assert_eq!(t.last_announce(PeerId(1)), Some(SimTime::from_secs(10)));
-        t.handle_announce(SimTime::from_secs(20), PeerId(1), addr(1), AnnounceEvent::Stopped, 0, 50, &mut rng);
+        t.handle_announce(
+            SimTime::from_secs(20),
+            PeerId(1),
+            addr(1),
+            AnnounceEvent::Stopped,
+            0,
+            50,
+            &mut rng,
+        );
         assert_eq!(t.member_count(), 0);
         assert_eq!(t.stats().stopped, 1);
         assert_eq!(t.last_announce(PeerId(1)), None);
@@ -182,8 +239,24 @@ mod tests {
     fn seeders_counted_by_left_field() {
         let mut t = Tracker::new(VNodeId(0));
         let mut rng = SimRng::new(1);
-        t.handle_announce(SimTime::ZERO, PeerId(1), addr(1), AnnounceEvent::Started, 0, 50, &mut rng);
-        t.handle_announce(SimTime::ZERO, PeerId(2), addr(2), AnnounceEvent::Started, 10, 50, &mut rng);
+        t.handle_announce(
+            SimTime::ZERO,
+            PeerId(1),
+            addr(1),
+            AnnounceEvent::Started,
+            0,
+            50,
+            &mut rng,
+        );
+        t.handle_announce(
+            SimTime::ZERO,
+            PeerId(2),
+            addr(2),
+            AnnounceEvent::Started,
+            10,
+            50,
+            &mut rng,
+        );
         assert_eq!(t.seeder_count(), 1);
         assert_eq!(t.member_count(), 2);
     }

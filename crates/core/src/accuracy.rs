@@ -26,7 +26,10 @@ pub struct RuleScalingPoint {
 /// Reproduces Figure 6: round-trip time between two nodes as the number of firewall rules on
 /// the first node varies. The paper sweeps 0 to 50 000 rules and observes linear growth because
 /// IPFW evaluates rules linearly.
-pub fn rule_scaling_experiment(rule_counts: &[usize], pings_per_point: usize) -> Vec<RuleScalingPoint> {
+pub fn rule_scaling_experiment(
+    rule_counts: &[usize],
+    pings_per_point: usize,
+) -> Vec<RuleScalingPoint> {
     rule_counts
         .iter()
         .map(|&rules| {
@@ -39,7 +42,10 @@ pub fn rule_scaling_experiment(rule_counts: &[usize], pings_per_point: usize) ->
             );
             let mut d = deploy(&topo, DeploymentSpec::new(2), NetworkConfig::default())
                 .expect("two-node deployment");
-            d.net.machine_mut(MachineId(0)).firewall.add_dummy_rules(rules);
+            d.net
+                .machine_mut(MachineId(0))
+                .firewall
+                .add_dummy_rules(rules);
             let world = PingWorld::new(d.net, 56);
             let (world, rtts) = ping_series(
                 world,
@@ -52,7 +58,12 @@ pub fn rule_scaling_experiment(rule_counts: &[usize], pings_per_point: usize) ->
             let (min, max) = world.min_max_rtt().expect("pings completed");
             let avg = world.average_rtt().expect("pings completed");
             let _ = rtts;
-            RuleScalingPoint { rules, avg_rtt: avg, min_rtt: min, max_rtt: max }
+            RuleScalingPoint {
+                rules,
+                avg_rtt: avg,
+                min_rtt: min,
+                max_rtt: max,
+            }
         })
         .collect()
 }
@@ -86,8 +97,12 @@ impl LatencyDecomposition {
 /// 850 ms are configured delays and ~3 ms overhead).
 pub fn figure7_latency_experiment(machines: usize, pings: usize) -> LatencyDecomposition {
     let topo = TopologySpec::paper_figure7();
-    let d = deploy(&topo, DeploymentSpec::new(machines), NetworkConfig::default())
-        .expect("figure 7 deployment");
+    let d = deploy(
+        &topo,
+        DeploymentSpec::new(machines),
+        NetworkConfig::default(),
+    )
+    .expect("figure 7 deployment");
     let src_addr: VirtAddr = "10.1.3.207".parse().expect("valid address");
     let dst_addr: VirtAddr = "10.2.2.117".parse().expect("valid address");
     let src = d.net.resolve(src_addr).expect("10.1.3.207 deployed");

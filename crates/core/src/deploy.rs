@@ -104,9 +104,7 @@ pub fn deploy(
         for i in 0..group.node_count {
             let machine = match spec.placement {
                 Placement::RoundRobin => global_index % spec.machines,
-                Placement::Blocks => {
-                    global_index * spec.machines / topology.total_nodes().max(1)
-                }
+                Placement::Blocks => global_index * spec.machines / topology.total_nodes().max(1),
             };
             let addr = topology.node_addr(GroupId(gi), i);
             let id = net.add_vnode(p2plab_net::MachineId(machine), addr, GroupId(gi))?;
@@ -128,7 +126,12 @@ mod tests {
 
     #[test]
     fn round_robin_spreads_nodes_evenly() {
-        let d = deploy(&dsl_topology(160), DeploymentSpec::new(16), NetworkConfig::default()).unwrap();
+        let d = deploy(
+            &dsl_topology(160),
+            DeploymentSpec::new(16),
+            NetworkConfig::default(),
+        )
+        .unwrap();
         assert_eq!(d.vnodes.len(), 160);
         assert!((d.folding_ratio() - 10.0).abs() < 1e-9);
         for m in 0..16 {
@@ -144,7 +147,12 @@ mod tests {
 
     #[test]
     fn block_placement_fills_machines_in_order() {
-        let d = deploy(&dsl_topology(100), DeploymentSpec::blocks(4), NetworkConfig::default()).unwrap();
+        let d = deploy(
+            &dsl_topology(100),
+            DeploymentSpec::blocks(4),
+            NetworkConfig::default(),
+        )
+        .unwrap();
         // First 25 nodes on machine 0, next 25 on machine 1, ...
         let first = d.net.vnode(d.vnodes[0]).machine;
         let last_of_first_block = d.net.vnode(d.vnodes[24]).machine;
@@ -157,8 +165,14 @@ mod tests {
     fn paper_folding_ratios() {
         // The folding-ratio experiment of Figure 9 deploys 160 clients on 160, 16, 8, 4 and 2
         // physical nodes.
-        for (machines, expected_ratio) in [(160, 1.0), (16, 10.0), (8, 20.0), (4, 40.0), (2, 80.0)] {
-            let d = deploy(&dsl_topology(160), DeploymentSpec::new(machines), NetworkConfig::default()).unwrap();
+        for (machines, expected_ratio) in [(160, 1.0), (16, 10.0), (8, 20.0), (4, 40.0), (2, 80.0)]
+        {
+            let d = deploy(
+                &dsl_topology(160),
+                DeploymentSpec::new(machines),
+                NetworkConfig::default(),
+            )
+            .unwrap();
             assert!((d.folding_ratio() - expected_ratio).abs() < 1e-9);
         }
     }
@@ -172,7 +186,7 @@ mod tests {
         assert_eq!(d.vnodes.len(), 2750);
         let m0 = d.rules_on_machine(0);
         // 27 or 28 hosted vnodes x 2 rules + at most 4 rules per hosted group (5 groups).
-        assert!(m0 >= 54 && m0 <= 56 + 20, "rules on machine 0: {m0}");
+        assert!((54..=56 + 20).contains(&m0), "rules on machine 0: {m0}");
         // Every vnode's address must belong to its group's subnet.
         for &v in &d.vnodes {
             let vn = d.net.vnode(v);
@@ -183,7 +197,12 @@ mod tests {
 
     #[test]
     fn admin_addresses_are_distinct_from_vnode_addresses() {
-        let d = deploy(&dsl_topology(20), DeploymentSpec::new(5), NetworkConfig::default()).unwrap();
+        let d = deploy(
+            &dsl_topology(20),
+            DeploymentSpec::new(5),
+            NetworkConfig::default(),
+        )
+        .unwrap();
         for m in 0..5 {
             let machine = d.net.machine(p2plab_net::MachineId(m));
             let admin = machine.iface.admin_addr();
@@ -194,7 +213,12 @@ mod tests {
 
     #[test]
     fn single_machine_deployment_hosts_everything() {
-        let d = deploy(&dsl_topology(50), DeploymentSpec::new(1), NetworkConfig::default()).unwrap();
+        let d = deploy(
+            &dsl_topology(50),
+            DeploymentSpec::new(1),
+            NetworkConfig::default(),
+        )
+        .unwrap();
         assert!((d.folding_ratio() - 50.0).abs() < 1e-9);
         assert_eq!(d.rules_on_machine(0), 100);
     }

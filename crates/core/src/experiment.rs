@@ -1,30 +1,22 @@
-//! BitTorrent experiment definitions and the orchestration runner.
+//! BitTorrent experiment definitions and the legacy orchestration entry point.
 //!
 //! These are the experiment descriptions of the paper's evaluation section, expressed as data:
 //! how many clients and seeders, which access-link profile, how many physical machines the
 //! virtual nodes are folded onto, how clients are started over time, and what gets sampled.
-//! [`run_swarm_experiment`] builds the deployment, wires up the swarm and runs it to completion
-//! (or to the configured deadline), returning everything the figures need.
+//!
+//! Since the scenario-API redesign the actual runner is the generic
+//! [`run_scenario`](crate::scenario::run_scenario) loop with the swarm expressed as a
+//! [`SwarmWorkload`](crate::workloads::SwarmWorkload); [`run_swarm_experiment`] remains as a
+//! thin compatibility wrapper over it.
 
-use crate::deploy::{deploy, DeploymentSpec};
-use crate::monitor::ResourceMonitor;
-use p2plab_bittorrent::{schedule_client_start, start_client, stop_client, ClientConfig, SwarmWorld, Torrent};
-use p2plab_net::{AccessLinkClass, NetStats, NetworkConfig, TopologySpec};
-use p2plab_sim::{schedule_periodic, RunOutcome, SimDuration, SimTime, Simulation, TimeSeries};
+use crate::scenario::{run_scenario, ScenarioBuilder};
+use crate::workloads::SwarmWorkload;
+use p2plab_bittorrent::ClientConfig;
+use p2plab_net::{AccessLinkClass, NetStats, TopologySpec};
+use p2plab_sim::{SimDuration, SimTime, TimeSeries};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
 
-/// Node churn model: downloaders alternate between online sessions and offline periods, both
-/// exponentially distributed, until their download completes (finished clients stay online and
-/// seed, as in the paper's experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ChurnSpec {
-    /// Mean online-session duration.
-    pub mean_session: SimDuration,
-    /// Mean offline duration between sessions.
-    pub mean_downtime: SimDuration,
-}
+pub use crate::scenario::ChurnSpec;
 
 /// Description of one BitTorrent swarm experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -220,142 +212,34 @@ impl SwarmResult {
 }
 
 /// Builds, runs and measures one swarm experiment.
+///
+/// **Deprecated in favour of the scenario API**: this is now a thin wrapper that expresses the
+/// experiment as a [`SwarmWorkload`] and runs it through the generic
+/// [`run_scenario`](crate::scenario::run_scenario) loop. It produces byte-identical results for
+/// a given config (pinned by the `scenario_api` integration test) and is kept so existing
+/// binaries, examples and tests continue to work; new code should use [`ScenarioBuilder`] and
+/// `run_scenario` directly.
+///
+/// # Panics
+///
+/// Panics when the config describes an invalid scenario (zero machines, zero deadline, zero
+/// sample interval) or when the deployment fails. The legacy runner either asserted or hung on
+/// those same degenerate configs; the scenario layer turns them into errors, which this
+/// wrapper surfaces as panics to keep its infallible signature.
 pub fn run_swarm_experiment(cfg: &SwarmExperiment) -> SwarmResult {
-    let topology = TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link);
-    let deployment = deploy(&topology, DeploymentSpec::new(cfg.machines), NetworkConfig::default())
-        .expect("deployment must succeed");
-    let torrent = Torrent::new(cfg.name.clone(), cfg.file_bytes);
-
-    // Virtual node 0 hosts the tracker; seeders follow; downloaders after that.
-    let mut world = SwarmWorld::new(deployment.net, deployment.vnodes[0]);
-    for s in 0..cfg.seeders {
-        world.add_client(
-            deployment.vnodes[1 + s],
-            torrent.clone(),
-            true,
-            cfg.client_config,
-        );
-    }
-    for l in 0..cfg.leechers {
-        world.add_client(
-            deployment.vnodes[1 + cfg.seeders + l],
-            torrent.clone(),
-            false,
-            cfg.client_config,
-        );
-    }
-
-    let mut sim = Simulation::new(world, cfg.seed);
-    // Seeders (and the tracker, which is passive) come online first.
-    for s in 0..cfg.seeders {
-        schedule_client_start(&mut sim, s, SimTime::ZERO + SimDuration::from_secs(s as u64));
-    }
-    // Downloaders join at the configured interval.
-    for l in 0..cfg.leechers {
-        let at = SimTime::ZERO + cfg.seeder_head_start + cfg.start_interval * l as u64;
-        schedule_client_start(&mut sim, cfg.seeders + l, at);
-    }
-
-    // Node churn (extension): each downloader alternates online sessions and offline periods
-    // until its download completes.
-    if let Some(churn) = cfg.churn {
-        for l in 0..cfg.leechers {
-            let idx = cfg.seeders + l;
-            let first_start = SimTime::ZERO + cfg.seeder_head_start + cfg.start_interval * l as u64;
-            schedule_departure(&mut sim, idx, first_start, churn);
-        }
-    }
-
-    // Periodic sampling of the global download counter (Figure 9's y axis) and of the physical
-    // machines' NIC utilization.
-    let samples: Rc<RefCell<TimeSeries>> = Rc::new(RefCell::new(TimeSeries::new()));
-    let monitor: Rc<RefCell<ResourceMonitor>> =
-        Rc::new(RefCell::new(ResourceMonitor::new(&sim.world().net)));
-    let sampler = samples.clone();
-    let monitor_handle = monitor.clone();
-    schedule_periodic(&mut sim, SimTime::ZERO, cfg.sample_interval, move |sim| {
-        let now = sim.now();
-        let world = sim.world();
-        sampler
-            .borrow_mut()
-            .push(now, world.total_bytes_downloaded() as f64);
-        monitor_handle.borrow_mut().sample(now, &world.net);
-        !world.swarm_finished()
-    });
-
-    let outcome = sim.run_until(SimTime::ZERO + cfg.deadline);
-    let stopped_at = sim.now();
-    let events_executed = sim.executed_events();
-    let world = sim.into_world();
-
-    // Final sample so the curve extends to the stop time.
-    samples
-        .borrow_mut()
-        .push(stopped_at, world.total_bytes_downloaded() as f64);
-
-    let downloaders: Vec<&p2plab_bittorrent::Client> = world
-        .clients
-        .iter()
-        .filter(|c| !c.initial_seeder)
-        .collect();
-    let seeder_upload_bytes = world
-        .clients
-        .iter()
-        .filter(|c| c.initial_seeder)
-        .map(|c| c.stats.bytes_uploaded)
-        .sum();
-    let leecher_upload_bytes = downloaders.iter().map(|c| c.stats.bytes_uploaded).sum();
-
-    let result = SwarmResult {
-        name: cfg.name.clone(),
-        folding_ratio: cfg.folding_ratio(),
-        leechers: cfg.leechers,
-        completed: world.completed_count(),
-        progress: downloaders.iter().map(|c| c.progress.clone()).collect(),
-        completion_curve: world.completion_curve(),
-        total_downloaded: samples.borrow().clone(),
-        completion_times: world.completion_times(),
-        finished: world.swarm_finished(),
-        stopped_at,
-        events_executed,
-        net_stats: world.net.stats(),
-        seeder_upload_bytes,
-        leecher_upload_bytes,
-        peak_nic_utilization: monitor.borrow().peak_utilization(),
-        churn_departures: world.tracker.stats().stopped,
-    };
-    debug_assert!(
-        outcome != RunOutcome::EventBudgetExhausted,
-        "no event budget is configured"
-    );
-    result
-}
-
-/// Schedules the next churn departure of downloader `idx`, drawn from the session-length
-/// distribution, and chains the following rejoin/departure events.
-fn schedule_departure(sim: &mut Simulation<SwarmWorld>, idx: usize, not_before: SimTime, churn: ChurnSpec) {
-    let session = SimDuration::from_secs_f64(
-        sim.rng().exponential(churn.mean_session.as_secs_f64()),
-    );
-    sim.schedule_at(not_before + session, move |sim| {
-        let done = sim.world().clients[idx].completed_at.is_some();
-        if done || !sim.world().clients[idx].online {
-            // Finished clients stay online and seed; offline clients are between sessions.
-            return;
-        }
-        stop_client(sim, idx);
-        let downtime = SimDuration::from_secs_f64(
-            sim.rng().exponential(churn.mean_downtime.as_secs_f64()),
-        );
-        sim.schedule_in(downtime, move |sim| {
-            if sim.world().clients[idx].completed_at.is_some() {
-                return;
-            }
-            start_client(sim, idx);
-            let now = sim.now();
-            schedule_departure(sim, idx, now, churn);
-        });
-    });
+    let workload = SwarmWorkload::new(cfg.clone());
+    let spec = ScenarioBuilder::new(
+        &cfg.name,
+        TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link),
+    )
+    .machines(cfg.machines)
+    .churn_opt(cfg.churn)
+    .deadline(cfg.deadline)
+    .sample_interval(cfg.sample_interval)
+    .seed(cfg.seed)
+    .build()
+    .expect("swarm experiment config describes an invalid scenario");
+    run_scenario(&spec, workload).expect("deployment must succeed")
 }
 
 #[cfg(test)]
@@ -443,16 +327,26 @@ mod tests {
         steady.name = "churn-baseline".into();
         let mut churny = steady.clone();
         churny.name = "churn-on".into();
+        // Sessions must be shorter than the ~37 s undisturbed download time, otherwise most
+        // clients finish before their first departure and the comparison is pure noise.
         churny.churn = Some(ChurnSpec {
-            mean_session: SimDuration::from_secs(60),
+            mean_session: SimDuration::from_secs(15),
             mean_downtime: SimDuration::from_secs(30),
         });
         churny.deadline = SimDuration::from_secs(6000);
         let a = run_swarm_experiment(&steady);
         let b = run_swarm_experiment(&churny);
-        assert!(a.finished && b.finished, "a={} b={}", a.summary(), b.summary());
+        assert!(
+            a.finished && b.finished,
+            "a={} b={}",
+            a.summary(),
+            b.summary()
+        );
         assert_eq!(a.churn_departures, 0);
-        assert!(b.churn_departures > 0, "churn must actually interrupt sessions");
+        assert!(
+            b.churn_departures > 0,
+            "churn must actually interrupt sessions"
+        );
         assert!(
             b.median_completion().unwrap() > a.median_completion().unwrap(),
             "interrupted downloads should take longer"
@@ -462,7 +356,10 @@ mod tests {
     #[test]
     fn nic_utilization_is_monitored_and_bounded() {
         let r = run_swarm_experiment(&SwarmExperiment::quick());
-        assert!(r.peak_nic_utilization > 0.0, "cross-machine traffic must show up");
+        assert!(
+            r.peak_nic_utilization > 0.0,
+            "cross-machine traffic must show up"
+        );
         assert!(r.peak_nic_utilization <= 1.0);
     }
 }

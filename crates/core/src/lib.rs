@@ -5,8 +5,13 @@
 //!
 //! * [`deploy`] — fold virtual nodes onto physical machines, configure interface aliases and
 //!   generate the per-machine dummynet/IPFW rules (the decentralized network-emulation model);
+//! * [`scenario`] — the workload-agnostic experiment layer: the [`Workload`] trait,
+//!   [`ScenarioBuilder`] and the single generic [`run_scenario`] loop every experiment runs
+//!   through;
+//! * [`workloads`] — the first-class workloads: the BitTorrent swarm of the evaluation section
+//!   and the ping-mesh latency probe;
 //! * [`experiment`] — the BitTorrent experiment descriptions of the evaluation section
-//!   (Figures 8-11) and the orchestration runner;
+//!   (Figures 8-11) and the legacy [`run_swarm_experiment`] wrapper;
 //! * [`accuracy`] — the emulation-accuracy experiments (rule-count scaling of Figure 6, the
 //!   Figure 7 latency decomposition, the libc-interception overhead table);
 //! * [`analysis`] — folding-invariance comparison and completion statistics;
@@ -20,6 +25,8 @@ pub mod deploy;
 pub mod experiment;
 pub mod monitor;
 pub mod report;
+pub mod scenario;
+pub mod workloads;
 
 pub use accuracy::{
     figure7_latency_experiment, interception_overhead, rule_scaling_experiment,
@@ -30,6 +37,10 @@ pub use analysis::{
     FoldingComparison, FoldingRow,
 };
 pub use deploy::{deploy, Deployment, DeploymentSpec, Placement};
-pub use experiment::{run_swarm_experiment, ChurnSpec, SwarmExperiment, SwarmResult};
+pub use experiment::{run_swarm_experiment, SwarmExperiment, SwarmResult};
 pub use monitor::{MachineSample, ResourceMonitor};
 pub use report::{ascii_plot, points_to_csv, render_table, series_to_csv};
+pub use scenario::{
+    run_scenario, ChurnSpec, ScenarioBuilder, ScenarioError, ScenarioRun, ScenarioSpec, Workload,
+};
+pub use workloads::{MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload, SwarmWorkload};

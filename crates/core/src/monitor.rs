@@ -164,7 +164,10 @@ mod tests {
         monitor.last_rx = vec![0, 0];
         let samples = monitor.sample(SimTime::from_secs(1), net);
         let total_tx: u64 = samples.iter().map(|s| s.nic_tx_bytes).sum();
-        assert!(total_tx > 20 * 1000, "all pings crossed the cluster network");
+        assert!(
+            total_tx > 20 * 1000,
+            "all pings crossed the cluster network"
+        );
         assert!(monitor.peak_utilization() > 0.0);
         assert!(monitor.peak_machine().is_some());
         assert!(monitor.machine_utilization(MachineId(0)).len() == 1);

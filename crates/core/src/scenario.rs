@@ -1,0 +1,523 @@
+//! The workload-agnostic scenario layer: [`Workload`], [`ScenarioBuilder`] and [`run_scenario`].
+//!
+//! The paper presents P2PLab as a platform for studying P2P *applications* in general, not just
+//! BitTorrent. This module is the framework half of that claim: everything an experiment needs
+//! besides the application itself — topology, deployment/folding, network configuration, node
+//! churn, resource monitoring, time-series sampling, deadline and seed — is composed by
+//! [`ScenarioBuilder`] into a [`ScenarioSpec`], and [`run_scenario`] drives any application that
+//! implements [`Workload`] through the same deploy → schedule → run → sample → finalize loop.
+//!
+//! Two first-class workloads ship with the framework (see [`crate::workloads`]): the BitTorrent
+//! swarm of the paper's evaluation and a ping-mesh latency probe built on the echo application
+//! from the accuracy experiments. Every new scenario is expected to follow the same pattern:
+//! implement [`Workload`], then run it with [`run_scenario`].
+//!
+//! ```
+//! use p2plab_core::scenario::{run_scenario, ScenarioBuilder};
+//! use p2plab_core::workloads::SwarmWorkload;
+//! use p2plab_core::SwarmExperiment;
+//! use p2plab_net::TopologySpec;
+//!
+//! let mut cfg = SwarmExperiment::quick();
+//! cfg.leechers = 4;
+//! let spec = ScenarioBuilder::new("doc", TopologySpec::uniform("doc", cfg.total_vnodes(), cfg.link))
+//!     .machines(cfg.machines)
+//!     .deadline(cfg.deadline)
+//!     .sample_interval(cfg.sample_interval)
+//!     .seed(cfg.seed)
+//!     .build()
+//!     .unwrap();
+//! let result = run_scenario(&spec, SwarmWorkload::new(cfg)).unwrap();
+//! assert!(result.finished);
+//! ```
+
+use crate::deploy::{deploy, Deployment, DeploymentSpec};
+use crate::monitor::ResourceMonitor;
+use p2plab_net::{NetError, Network, NetworkConfig, TopologySpec};
+use p2plab_sim::{schedule_periodic, RunOutcome, SimDuration, SimTime, Simulation, TimeSeries};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Node churn model: nodes alternate between online sessions and offline periods, both
+/// exponentially distributed. How departures and rejoins map onto application actions is up to
+/// each [`Workload::schedule_churn`] implementation (the BitTorrent workload stops and restarts
+/// clients until their download completes, as in the paper's extension experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Mean online-session duration.
+    pub mean_session: SimDuration,
+    /// Mean offline duration between sessions.
+    pub mean_downtime: SimDuration,
+}
+
+/// An application that can be run by [`run_scenario`].
+///
+/// The trait splits an experiment's application side into the phases the generic runner needs
+/// to interleave with its own work (deployment, monitoring, sampling, deadline handling):
+///
+/// 1. [`build_world`](Workload::build_world) turns the finished [`Deployment`] into the
+///    simulation world (network + application state);
+/// 2. [`on_deployed`](Workload::on_deployed) schedules the infrastructure that must exist
+///    before any arrivals (seeders, servers, bootstrap nodes);
+/// 3. [`schedule_arrivals`](Workload::schedule_arrivals) schedules the participants joining
+///    over time;
+/// 4. [`schedule_churn`](Workload::schedule_churn) (optional) applies a [`ChurnSpec`];
+/// 5. [`sample`](Workload::sample) is called on the sampling grid and feeds the scenario's
+///    global progress curve; [`is_complete`](Workload::is_complete) lets the runner stop
+///    sampling once the workload is done;
+/// 6. [`finalize`](Workload::finalize) consumes the world and the runner's measurements and
+///    produces the workload-specific result type.
+pub trait Workload {
+    /// The simulation world (application state plus the emulated network).
+    type World: 'static;
+    /// What the workload produces after a run.
+    type Output;
+
+    /// Number of virtual nodes the workload needs. The scenario's topology must provide at
+    /// least this many.
+    fn vnodes_required(&self) -> usize;
+
+    /// Builds the simulation world from the finished deployment.
+    fn build_world(&mut self, deployment: Deployment) -> Self::World;
+
+    /// Schedules the infrastructure that comes online before any arrivals.
+    fn on_deployed(&mut self, sim: &mut Simulation<Self::World>);
+
+    /// Schedules the participants' arrival events.
+    fn schedule_arrivals(&mut self, sim: &mut Simulation<Self::World>);
+
+    /// Applies the churn model. The default implementation ignores churn.
+    fn schedule_churn(&mut self, _sim: &mut Simulation<Self::World>, _churn: ChurnSpec) {}
+
+    /// Access to the emulated network inside the world (for resource monitoring).
+    fn network(world: &Self::World) -> &Network;
+
+    /// One sample of the workload's global progress metric (fed to the scenario's progress
+    /// time series on every sampling tick).
+    fn sample(&self, now: SimTime, world: &Self::World) -> f64;
+
+    /// Whether the workload has reached its natural end (stops the periodic sampler; the
+    /// simulation itself still drains remaining events up to the deadline).
+    fn is_complete(&self, world: &Self::World) -> bool;
+
+    /// Consumes the workload and the run's measurements into the output type.
+    fn finalize(self, world: Self::World, run: ScenarioRun) -> Self::Output;
+}
+
+/// A fully specified scenario, produced by [`ScenarioBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Name used in reports and results.
+    pub name: String,
+    /// Virtual-node topology (groups, subnets, access links).
+    pub topology: TopologySpec,
+    /// How virtual nodes fold onto physical machines.
+    pub deployment: DeploymentSpec,
+    /// Data-plane tunables of the emulated network.
+    pub network: NetworkConfig,
+    /// Optional node-churn model, interpreted by the workload.
+    pub churn: Option<ChurnSpec>,
+    /// Hard stop for the experiment (virtual time).
+    pub deadline: SimDuration,
+    /// Sampling period of the progress curve and the resource monitor.
+    pub sample_interval: SimDuration,
+    /// Whether per-machine NIC utilization is monitored during the run.
+    pub monitor_resources: bool,
+    /// Duration of the arrival ramp, when the caller knows it (used for validation only:
+    /// a deadline shorter than the ramp cannot possibly let the workload finish).
+    pub arrival_ramp: Option<SimDuration>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The folding ratio this scenario deploys at.
+    pub fn folding_ratio(&self) -> f64 {
+        self.topology.total_nodes() as f64 / self.deployment.machines as f64
+    }
+}
+
+/// Why a scenario could not be built or run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The deployment requests zero physical machines.
+    NoMachines,
+    /// The topology contains no virtual nodes.
+    EmptyTopology,
+    /// The deadline is zero.
+    ZeroDeadline,
+    /// The sampling interval is zero.
+    ZeroSampleInterval,
+    /// The deadline ends before the declared arrival ramp completes.
+    DeadlineBeforeArrivalRamp {
+        /// Duration of the arrival ramp.
+        ramp: SimDuration,
+        /// The configured deadline.
+        deadline: SimDuration,
+    },
+    /// The topology has fewer virtual nodes than the workload needs.
+    TopologyTooSmall {
+        /// Nodes the workload requires.
+        needed: usize,
+        /// Nodes the topology provides.
+        available: usize,
+    },
+    /// The network deployment failed.
+    DeploymentFailed(NetError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoMachines => write!(f, "scenario needs at least one physical machine"),
+            ScenarioError::EmptyTopology => write!(f, "scenario topology has no virtual nodes"),
+            ScenarioError::ZeroDeadline => write!(f, "scenario deadline must be positive"),
+            ScenarioError::ZeroSampleInterval => {
+                write!(f, "scenario sample interval must be positive")
+            }
+            ScenarioError::DeadlineBeforeArrivalRamp { ramp, deadline } => write!(
+                f,
+                "deadline {deadline} ends before the arrival ramp {ramp} completes"
+            ),
+            ScenarioError::TopologyTooSmall { needed, available } => write!(
+                f,
+                "workload needs {needed} virtual nodes but the topology provides {available}"
+            ),
+            ScenarioError::DeploymentFailed(e) => write!(f, "deployment failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Composes everything around a workload — topology, folding, network, churn, monitoring,
+/// sampling, deadline, seed — and validates the combination.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario with the given name and topology. Defaults: one machine (everything
+    /// folded), default network config, no churn, 1 h deadline, 10 s sampling, resource
+    /// monitoring on, seed 0.
+    pub fn new(name: impl Into<String>, topology: TopologySpec) -> ScenarioBuilder {
+        ScenarioBuilder {
+            spec: ScenarioSpec {
+                name: name.into(),
+                topology,
+                deployment: DeploymentSpec::new(1),
+                network: NetworkConfig::default(),
+                churn: None,
+                deadline: SimDuration::from_secs(3600),
+                sample_interval: SimDuration::from_secs(10),
+                monitor_resources: true,
+                arrival_ramp: None,
+                seed: 0,
+            },
+        }
+    }
+
+    /// Folds the topology onto `machines` physical machines (round-robin placement).
+    pub fn machines(mut self, machines: usize) -> Self {
+        self.spec.deployment = DeploymentSpec::new(machines);
+        self
+    }
+
+    /// Uses an explicit deployment spec (machine count + placement policy).
+    pub fn deployment(mut self, deployment: DeploymentSpec) -> Self {
+        self.spec.deployment = deployment;
+        self
+    }
+
+    /// Overrides the emulated network's data-plane tunables.
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.spec.network = network;
+        self
+    }
+
+    /// Applies a churn model to the workload's participants.
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.spec.churn = Some(churn);
+        self
+    }
+
+    /// Applies an optional churn model (convenience for porting configs that carry
+    /// `Option<ChurnSpec>`).
+    pub fn churn_opt(mut self, churn: Option<ChurnSpec>) -> Self {
+        self.spec.churn = churn;
+        self
+    }
+
+    /// Sets the virtual-time deadline.
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.spec.deadline = deadline;
+        self
+    }
+
+    /// Sets the sampling period of the progress curve and resource monitor.
+    pub fn sample_interval(mut self, interval: SimDuration) -> Self {
+        self.spec.sample_interval = interval;
+        self
+    }
+
+    /// Enables or disables per-machine resource monitoring.
+    pub fn monitor_resources(mut self, on: bool) -> Self {
+        self.spec.monitor_resources = on;
+        self
+    }
+
+    /// Declares how long the workload's arrival ramp lasts, so `build` can reject deadlines
+    /// that end before every participant has even joined.
+    pub fn arrival_ramp(mut self, ramp: SimDuration) -> Self {
+        self.spec.arrival_ramp = Some(ramp);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Validates the composition and returns the finished spec.
+    pub fn build(self) -> Result<ScenarioSpec, ScenarioError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+impl ScenarioSpec {
+    /// Checks the spec's internal consistency. [`ScenarioBuilder::build`] calls this, and
+    /// [`run_scenario`] re-checks it so hand-constructed specs (the fields are public) cannot
+    /// hang the runner — a zero sample interval, for instance, would reschedule the periodic
+    /// sampler at the same instant forever.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.deployment.machines == 0 {
+            return Err(ScenarioError::NoMachines);
+        }
+        if self.topology.total_nodes() == 0 {
+            return Err(ScenarioError::EmptyTopology);
+        }
+        if self.deadline == SimDuration::ZERO {
+            return Err(ScenarioError::ZeroDeadline);
+        }
+        if self.sample_interval == SimDuration::ZERO {
+            return Err(ScenarioError::ZeroSampleInterval);
+        }
+        if let Some(ramp) = self.arrival_ramp {
+            if self.deadline < ramp {
+                return Err(ScenarioError::DeadlineBeforeArrivalRamp {
+                    ramp,
+                    deadline: self.deadline,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything the generic runner measured during a scenario, handed to
+/// [`Workload::finalize`] alongside the world.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The scenario name.
+    pub name: String,
+    /// Folding ratio of the deployment.
+    pub folding_ratio: f64,
+    /// The RNG seed the run used.
+    pub seed: u64,
+    /// Virtual time when the run stopped.
+    pub stopped_at: SimTime,
+    /// Number of simulation events executed.
+    pub events_executed: u64,
+    /// How the run ended (queue drained vs deadline).
+    pub outcome: RunOutcome,
+    /// The workload's progress metric sampled on the scenario grid (plus one final sample at
+    /// the stop time).
+    pub samples: TimeSeries,
+    /// Highest NIC utilization reached by any physical machine (0 when monitoring is off).
+    pub peak_nic_utilization: f64,
+    /// The full resource monitor, when monitoring was enabled.
+    pub monitor: Option<ResourceMonitor>,
+}
+
+/// Runs `workload` under `spec`: deploy and fold the topology, build the world, schedule
+/// infrastructure / arrivals / churn, run to completion or deadline while sampling progress and
+/// machine resources, then let the workload turn everything into its output type.
+///
+/// This is the single generic experiment loop of the framework — the BitTorrent runner
+/// [`crate::run_swarm_experiment`] is a thin wrapper over it, and every new workload uses it
+/// directly.
+pub fn run_scenario<W: Workload + 'static>(
+    spec: &ScenarioSpec,
+    workload: W,
+) -> Result<W::Output, ScenarioError> {
+    spec.validate()?;
+    let needed = workload.vnodes_required();
+    let available = spec.topology.total_nodes();
+    if needed > available {
+        return Err(ScenarioError::TopologyTooSmall { needed, available });
+    }
+
+    let deployment = deploy(&spec.topology, spec.deployment, spec.network)
+        .map_err(ScenarioError::DeploymentFailed)?;
+
+    let mut workload = workload;
+    let world = workload.build_world(deployment);
+    let mut sim = Simulation::new(world, spec.seed);
+
+    workload.on_deployed(&mut sim);
+    workload.schedule_arrivals(&mut sim);
+    if let Some(churn) = spec.churn {
+        workload.schedule_churn(&mut sim, churn);
+    }
+
+    // Periodic sampling of the workload's progress metric and of the physical machines' NIC
+    // utilization, on the same grid the figures use.
+    let samples: Rc<RefCell<TimeSeries>> = Rc::new(RefCell::new(TimeSeries::new()));
+    let monitor: Rc<RefCell<Option<ResourceMonitor>>> = Rc::new(RefCell::new(
+        spec.monitor_resources
+            .then(|| ResourceMonitor::new(W::network(sim.world()))),
+    ));
+    let workload = Rc::new(RefCell::new(workload));
+    {
+        let sampler = samples.clone();
+        let monitor = monitor.clone();
+        let workload = workload.clone();
+        schedule_periodic(&mut sim, SimTime::ZERO, spec.sample_interval, move |sim| {
+            let now = sim.now();
+            let world = sim.world();
+            let workload = workload.borrow();
+            sampler.borrow_mut().push(now, workload.sample(now, world));
+            if let Some(m) = monitor.borrow_mut().as_mut() {
+                m.sample(now, W::network(world));
+            }
+            !workload.is_complete(world)
+        });
+    }
+
+    let outcome = sim.run_until(SimTime::ZERO + spec.deadline);
+    debug_assert!(
+        outcome != RunOutcome::EventBudgetExhausted,
+        "no event budget is configured"
+    );
+    let stopped_at = sim.now();
+    let events_executed = sim.executed_events();
+    let world = sim.into_world();
+
+    // Dropping the simulation released the queued sampler closure, so the workload and
+    // measurement handles are unique again.
+    let workload = Rc::try_unwrap(workload)
+        .unwrap_or_else(|_| unreachable!("sampler closures were dropped with the simulation"))
+        .into_inner();
+
+    // Final sample so the progress curve extends to the stop time.
+    samples
+        .borrow_mut()
+        .push(stopped_at, workload.sample(stopped_at, &world));
+
+    let monitor = monitor.borrow_mut().take();
+    let run = ScenarioRun {
+        name: spec.name.clone(),
+        folding_ratio: spec.folding_ratio(),
+        seed: spec.seed,
+        stopped_at,
+        events_executed,
+        outcome,
+        samples: samples.borrow().clone(),
+        peak_nic_utilization: monitor.as_ref().map_or(0.0, |m| m.peak_utilization()),
+        monitor,
+    };
+    Ok(workload.finalize(world, run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2plab_net::AccessLinkClass;
+
+    fn topo(n: usize) -> TopologySpec {
+        TopologySpec::uniform(
+            "t",
+            n,
+            AccessLinkClass::symmetric(10_000_000, SimDuration::from_millis(1)),
+        )
+    }
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let spec = ScenarioBuilder::new("ok", topo(4)).build().unwrap();
+        assert_eq!(spec.name, "ok");
+        assert_eq!(spec.deployment.machines, 1);
+        assert!(spec.monitor_resources);
+        assert!((spec.folding_ratio() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_zero_machines() {
+        let err = ScenarioBuilder::new("bad", topo(4)).machines(0).build();
+        assert_eq!(err.unwrap_err(), ScenarioError::NoMachines);
+    }
+
+    #[test]
+    fn builder_rejects_empty_topology() {
+        let err = ScenarioBuilder::new("bad", topo(0)).build();
+        assert_eq!(err.unwrap_err(), ScenarioError::EmptyTopology);
+    }
+
+    #[test]
+    fn builder_rejects_zero_deadline_and_interval() {
+        let err = ScenarioBuilder::new("bad", topo(2))
+            .deadline(SimDuration::ZERO)
+            .build();
+        assert_eq!(err.unwrap_err(), ScenarioError::ZeroDeadline);
+        let err = ScenarioBuilder::new("bad", topo(2))
+            .sample_interval(SimDuration::ZERO)
+            .build();
+        assert_eq!(err.unwrap_err(), ScenarioError::ZeroSampleInterval);
+    }
+
+    #[test]
+    fn builder_rejects_deadline_shorter_than_arrival_ramp() {
+        let err = ScenarioBuilder::new("bad", topo(2))
+            .arrival_ramp(SimDuration::from_secs(100))
+            .deadline(SimDuration::from_secs(50))
+            .build();
+        assert_eq!(
+            err.unwrap_err(),
+            ScenarioError::DeadlineBeforeArrivalRamp {
+                ramp: SimDuration::from_secs(100),
+                deadline: SimDuration::from_secs(50),
+            }
+        );
+        // Equal is fine.
+        assert!(ScenarioBuilder::new("ok", topo(2))
+            .arrival_ramp(SimDuration::from_secs(50))
+            .deadline(SimDuration::from_secs(50))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn errors_display_something_readable() {
+        for e in [
+            ScenarioError::NoMachines,
+            ScenarioError::EmptyTopology,
+            ScenarioError::ZeroDeadline,
+            ScenarioError::ZeroSampleInterval,
+            ScenarioError::DeadlineBeforeArrivalRamp {
+                ramp: SimDuration::from_secs(2),
+                deadline: SimDuration::from_secs(1),
+            },
+            ScenarioError::TopologyTooSmall {
+                needed: 5,
+                available: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

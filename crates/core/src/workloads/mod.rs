@@ -1,0 +1,14 @@
+//! First-class [`Workload`](crate::scenario::Workload) implementations.
+//!
+//! Every application studied on the framework lives here as a `Workload` impl, runnable by
+//! [`run_scenario`](crate::scenario::run_scenario):
+//!
+//! * [`SwarmWorkload`] — the BitTorrent swarm of the paper's evaluation (Figures 8-11);
+//! * [`PingMeshWorkload`] — an all-pairs/ring latency probe built on the echo application the
+//!   paper uses for its accuracy experiments.
+
+pub mod ping_mesh;
+pub mod swarm;
+
+pub use ping_mesh::{MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload};
+pub use swarm::SwarmWorkload;

@@ -1,0 +1,235 @@
+//! The BitTorrent swarm as a [`Workload`].
+//!
+//! This is the paper's evaluation application, ported from the original hardwired runner onto
+//! the generic scenario loop. The wiring (tracker on virtual node 0, seeders next, downloaders
+//! after, staggered starts, optional churn) is byte-for-byte the same as the legacy
+//! [`run_swarm_experiment`](crate::run_swarm_experiment), which now simply delegates here — a
+//! guarantee pinned by the `scenario_api` integration test.
+
+use crate::deploy::Deployment;
+use crate::experiment::{SwarmExperiment, SwarmResult};
+use crate::scenario::{ChurnSpec, ScenarioRun, Workload};
+use p2plab_bittorrent::{schedule_client_start, start_client, stop_client, SwarmWorld, Torrent};
+use p2plab_net::Network;
+use p2plab_sim::{SimDuration, SimTime, Simulation};
+
+/// The BitTorrent swarm workload: one tracker, `cfg.seeders` initial seeders and
+/// `cfg.leechers` downloaders joining at `cfg.start_interval`.
+#[derive(Debug, Clone)]
+pub struct SwarmWorkload {
+    cfg: SwarmExperiment,
+}
+
+impl SwarmWorkload {
+    /// Wraps a swarm experiment description as a workload.
+    pub fn new(cfg: SwarmExperiment) -> SwarmWorkload {
+        SwarmWorkload { cfg }
+    }
+
+    /// The experiment description this workload runs.
+    pub fn config(&self) -> &SwarmExperiment {
+        &self.cfg
+    }
+
+    /// When the last client arrival is scheduled: the later of the seeder stagger (seeder `s`
+    /// starts at `s` seconds) and the downloader ramp (the first downloader starts at the head
+    /// start itself, so `leechers - 1` intervals after it).
+    pub fn arrival_ramp(&self) -> SimDuration {
+        let seeder_ramp = SimDuration::from_secs(self.cfg.seeders.saturating_sub(1) as u64);
+        let downloader_ramp = self.cfg.seeder_head_start
+            + self.cfg.start_interval * self.cfg.leechers.saturating_sub(1) as u64;
+        seeder_ramp.max(downloader_ramp)
+    }
+}
+
+impl Workload for SwarmWorkload {
+    type World = SwarmWorld;
+    type Output = SwarmResult;
+
+    fn vnodes_required(&self) -> usize {
+        self.cfg.total_vnodes()
+    }
+
+    fn build_world(&mut self, deployment: Deployment) -> SwarmWorld {
+        let cfg = &self.cfg;
+        let torrent = Torrent::new(cfg.name.clone(), cfg.file_bytes);
+        // Virtual node 0 hosts the tracker; seeders follow; downloaders after that.
+        let mut world = SwarmWorld::new(deployment.net, deployment.vnodes[0]);
+        for s in 0..cfg.seeders {
+            world.add_client(
+                deployment.vnodes[1 + s],
+                torrent.clone(),
+                true,
+                cfg.client_config,
+            );
+        }
+        for l in 0..cfg.leechers {
+            world.add_client(
+                deployment.vnodes[1 + cfg.seeders + l],
+                torrent.clone(),
+                false,
+                cfg.client_config,
+            );
+        }
+        world
+    }
+
+    fn on_deployed(&mut self, sim: &mut Simulation<SwarmWorld>) {
+        // Seeders (and the tracker, which is passive) come online first.
+        for s in 0..self.cfg.seeders {
+            schedule_client_start(sim, s, SimTime::ZERO + SimDuration::from_secs(s as u64));
+        }
+    }
+
+    fn schedule_arrivals(&mut self, sim: &mut Simulation<SwarmWorld>) {
+        // Downloaders join at the configured interval.
+        for l in 0..self.cfg.leechers {
+            let at =
+                SimTime::ZERO + self.cfg.seeder_head_start + self.cfg.start_interval * l as u64;
+            schedule_client_start(sim, self.cfg.seeders + l, at);
+        }
+    }
+
+    fn schedule_churn(&mut self, sim: &mut Simulation<SwarmWorld>, churn: ChurnSpec) {
+        // Each downloader alternates online sessions and offline periods until its download
+        // completes (finished clients stay online and seed, as in the paper's experiments).
+        for l in 0..self.cfg.leechers {
+            let idx = self.cfg.seeders + l;
+            let first_start =
+                SimTime::ZERO + self.cfg.seeder_head_start + self.cfg.start_interval * l as u64;
+            schedule_departure(sim, idx, first_start, churn);
+        }
+    }
+
+    fn network(world: &SwarmWorld) -> &Network {
+        &world.net
+    }
+
+    fn sample(&self, _now: SimTime, world: &SwarmWorld) -> f64 {
+        world.total_bytes_downloaded() as f64
+    }
+
+    fn is_complete(&self, world: &SwarmWorld) -> bool {
+        world.swarm_finished()
+    }
+
+    fn finalize(self, world: SwarmWorld, run: ScenarioRun) -> SwarmResult {
+        let cfg = &self.cfg;
+        let downloaders: Vec<&p2plab_bittorrent::Client> =
+            world.clients.iter().filter(|c| !c.initial_seeder).collect();
+        let seeder_upload_bytes = world
+            .clients
+            .iter()
+            .filter(|c| c.initial_seeder)
+            .map(|c| c.stats.bytes_uploaded)
+            .sum();
+        let leecher_upload_bytes = downloaders.iter().map(|c| c.stats.bytes_uploaded).sum();
+
+        SwarmResult {
+            // Scenario-level facts come from the run, not the embedded config: the builder may
+            // legitimately deploy this workload onto a different machine count or under a
+            // different name than cfg suggests.
+            name: run.name,
+            folding_ratio: run.folding_ratio,
+            leechers: cfg.leechers,
+            completed: world.completed_count(),
+            progress: downloaders.iter().map(|c| c.progress.clone()).collect(),
+            completion_curve: world.completion_curve(),
+            total_downloaded: run.samples,
+            completion_times: world.completion_times(),
+            finished: world.swarm_finished(),
+            stopped_at: run.stopped_at,
+            events_executed: run.events_executed,
+            net_stats: world.net.stats(),
+            seeder_upload_bytes,
+            leecher_upload_bytes,
+            peak_nic_utilization: run.peak_nic_utilization,
+            churn_departures: world.tracker.stats().stopped,
+        }
+    }
+}
+
+/// Schedules the next churn departure of downloader `idx`, drawn from the session-length
+/// distribution, and chains the following rejoin/departure events.
+fn schedule_departure(
+    sim: &mut Simulation<SwarmWorld>,
+    idx: usize,
+    not_before: SimTime,
+    churn: ChurnSpec,
+) {
+    let session =
+        SimDuration::from_secs_f64(sim.rng().exponential(churn.mean_session.as_secs_f64()));
+    sim.schedule_at(not_before + session, move |sim| {
+        let done = sim.world().clients[idx].completed_at.is_some();
+        if done || !sim.world().clients[idx].online {
+            // Finished clients stay online and seed; offline clients are between sessions.
+            return;
+        }
+        stop_client(sim, idx);
+        let downtime =
+            SimDuration::from_secs_f64(sim.rng().exponential(churn.mean_downtime.as_secs_f64()));
+        sim.schedule_in(downtime, move |sim| {
+            if sim.world().clients[idx].completed_at.is_some() {
+                return;
+            }
+            start_client(sim, idx);
+            let now = sim.now();
+            schedule_departure(sim, idx, now, churn);
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, ScenarioBuilder};
+    use p2plab_net::TopologySpec;
+
+    #[test]
+    fn arrival_ramp_matches_last_scheduled_arrival() {
+        let mut cfg = SwarmExperiment::quick();
+        cfg.leechers = 5;
+        let w = SwarmWorkload::new(cfg.clone());
+        // First downloader starts at the head start, so the ramp spans leechers - 1 intervals.
+        assert_eq!(
+            w.arrival_ramp(),
+            cfg.seeder_head_start + cfg.start_interval * 4
+        );
+        // Many slow-staggered seeders can arrive after the last downloader.
+        let mut seeder_heavy = cfg.clone();
+        seeder_heavy.seeders = 100;
+        seeder_heavy.leechers = 1;
+        assert_eq!(
+            SwarmWorkload::new(seeder_heavy).arrival_ramp(),
+            SimDuration::from_secs(99)
+        );
+        cfg.leechers = 0;
+        assert_eq!(
+            SwarmWorkload::new(cfg.clone()).arrival_ramp(),
+            cfg.seeder_head_start
+        );
+    }
+
+    #[test]
+    fn result_reports_the_scenario_deployment_not_the_embedded_config() {
+        // The builder deploys onto a different machine count (and under a different name) than
+        // the embedded SwarmExperiment claims; the result must describe the actual deployment.
+        let mut cfg = SwarmExperiment::quick();
+        cfg.leechers = 4;
+        cfg.machines = 2;
+        let total = cfg.total_vnodes();
+        let spec = ScenarioBuilder::new(
+            "actual-name",
+            TopologySpec::uniform("actual-name", total, cfg.link),
+        )
+        .machines(7)
+        .deadline(cfg.deadline)
+        .sample_interval(cfg.sample_interval)
+        .seed(cfg.seed)
+        .build()
+        .unwrap();
+        let r = run_scenario(&spec, SwarmWorkload::new(cfg)).unwrap();
+        assert_eq!(r.name, "actual-name");
+        assert!((r.folding_ratio - total as f64 / 7.0).abs() < 1e-9);
+    }
+}

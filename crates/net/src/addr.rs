@@ -135,7 +135,9 @@ impl FromStr for Subnet {
     type Err = AddrParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, prefix) = s.split_once('/').ok_or_else(|| AddrParseError(s.to_string()))?;
+        let (addr, prefix) = s
+            .split_once('/')
+            .ok_or_else(|| AddrParseError(s.to_string()))?;
         let base: VirtAddr = addr.parse()?;
         let prefix: u8 = prefix.parse().map_err(|_| AddrParseError(s.to_string()))?;
         if prefix > 32 {

@@ -132,7 +132,7 @@ impl Firewall {
 
     /// Appends `count` never-matching rules (Figure 6 experiment).
     pub fn add_dummy_rules(&mut self, count: usize) {
-        self.rules.extend(std::iter::repeat(Rule::dummy()).take(count));
+        self.rules.extend(std::iter::repeat_n(Rule::dummy(), count));
     }
 
     /// Removes all rules.
@@ -158,7 +158,12 @@ impl Firewall {
     /// Classifies a packet: walks the rule list in order, collecting every matching pipe, until
     /// a terminal Allow/Deny rule matches or the list ends (packets are accepted by default, as
     /// P2PLab's generated rule sets end with an implicit allow).
-    pub fn classify(&mut self, src: VirtAddr, dst: VirtAddr, direction: Direction) -> Classification {
+    pub fn classify(
+        &mut self,
+        src: VirtAddr,
+        dst: VirtAddr,
+        direction: Direction,
+    ) -> Classification {
         let mut pipes = Vec::new();
         let mut examined = 0;
         let mut accepted = true;
@@ -205,12 +210,42 @@ mod tests {
     fn paper_firewall() -> Firewall {
         // The rule set of the physical node hosting 10.1.3.207 in the paper's Figure 7 example.
         let mut fw = Firewall::new(SimDuration::from_nanos(100));
-        fw.add_rule(Rule::pipe(subnet("10.1.3.207/32"), Subnet::any(), Direction::Out, PipeId(0)));
-        fw.add_rule(Rule::pipe(Subnet::any(), subnet("10.1.3.207/32"), Direction::In, PipeId(1)));
-        fw.add_rule(Rule::pipe(subnet("10.1.3.0/24"), subnet("10.1.1.0/24"), Direction::Out, PipeId(2)));
-        fw.add_rule(Rule::pipe(subnet("10.1.3.0/24"), subnet("10.1.2.0/24"), Direction::Out, PipeId(3)));
-        fw.add_rule(Rule::pipe(subnet("10.1.0.0/16"), subnet("10.2.0.0/16"), Direction::Out, PipeId(4)));
-        fw.add_rule(Rule::pipe(subnet("10.1.0.0/16"), subnet("10.3.0.0/16"), Direction::Out, PipeId(5)));
+        fw.add_rule(Rule::pipe(
+            subnet("10.1.3.207/32"),
+            Subnet::any(),
+            Direction::Out,
+            PipeId(0),
+        ));
+        fw.add_rule(Rule::pipe(
+            Subnet::any(),
+            subnet("10.1.3.207/32"),
+            Direction::In,
+            PipeId(1),
+        ));
+        fw.add_rule(Rule::pipe(
+            subnet("10.1.3.0/24"),
+            subnet("10.1.1.0/24"),
+            Direction::Out,
+            PipeId(2),
+        ));
+        fw.add_rule(Rule::pipe(
+            subnet("10.1.3.0/24"),
+            subnet("10.1.2.0/24"),
+            Direction::Out,
+            PipeId(3),
+        ));
+        fw.add_rule(Rule::pipe(
+            subnet("10.1.0.0/16"),
+            subnet("10.2.0.0/16"),
+            Direction::Out,
+            PipeId(4),
+        ));
+        fw.add_rule(Rule::pipe(
+            subnet("10.1.0.0/16"),
+            subnet("10.3.0.0/16"),
+            Direction::Out,
+            PipeId(5),
+        ));
         fw
     }
 
@@ -247,7 +282,12 @@ mod tests {
             direction: None,
             action: RuleAction::Allow,
         });
-        fw.add_rule(Rule::pipe(Subnet::any(), Subnet::any(), Direction::Out, PipeId(9)));
+        fw.add_rule(Rule::pipe(
+            Subnet::any(),
+            Subnet::any(),
+            Direction::Out,
+            PipeId(9),
+        ));
         let c = fw.classify(addr("10.0.0.1"), addr("10.0.0.2"), Direction::Out);
         assert!(c.pipes.is_empty());
         assert_eq!(c.rules_examined, 1);
@@ -272,13 +312,23 @@ mod tests {
         // The mechanism behind Figure 6.
         let mut fw = Firewall::new(SimDuration::from_nanos(100));
         fw.add_dummy_rules(10_000);
-        fw.add_rule(Rule::pipe(Subnet::any(), Subnet::any(), Direction::Out, PipeId(0)));
+        fw.add_rule(Rule::pipe(
+            Subnet::any(),
+            Subnet::any(),
+            Direction::Out,
+            PipeId(0),
+        ));
         let c = fw.classify(addr("10.0.0.1"), addr("10.0.0.2"), Direction::Out);
         assert_eq!(c.rules_examined, 10_001);
         assert_eq!(c.evaluation_cost, SimDuration::from_nanos(100) * 10_001);
 
         let mut small = Firewall::new(SimDuration::from_nanos(100));
-        small.add_rule(Rule::pipe(Subnet::any(), Subnet::any(), Direction::Out, PipeId(0)));
+        small.add_rule(Rule::pipe(
+            Subnet::any(),
+            Subnet::any(),
+            Direction::Out,
+            PipeId(0),
+        ));
         let c_small = small.classify(addr("10.0.0.1"), addr("10.0.0.2"), Direction::Out);
         assert!(c.evaluation_cost > c_small.evaluation_cost * 5_000);
     }

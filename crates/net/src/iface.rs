@@ -116,7 +116,9 @@ mod tests {
         let mut iface = Interface::new(VirtAddr::new(192, 168, 38, 1));
         assert_eq!(
             iface.add_alias(VirtAddr::new(192, 168, 38, 1)),
-            Err(IfaceError::CollidesWithAdmin(VirtAddr::new(192, 168, 38, 1)))
+            Err(IfaceError::CollidesWithAdmin(VirtAddr::new(
+                192, 168, 38, 1
+            )))
         );
     }
 

@@ -57,7 +57,12 @@ impl InterceptConfig {
     /// The system-call sequence one passive open (`listen()`) performs.
     pub fn listen_syscalls(&self) -> &'static [Syscall] {
         if self.enabled {
-            &[Syscall::Socket, Syscall::Bind, Syscall::Bind, Syscall::Listen]
+            &[
+                Syscall::Socket,
+                Syscall::Bind,
+                Syscall::Bind,
+                Syscall::Listen,
+            ]
         } else {
             &[Syscall::Socket, Syscall::Bind, Syscall::Listen]
         }
@@ -106,7 +111,10 @@ mod tests {
     fn interception_adds_exactly_one_bind_to_connect() {
         let on = InterceptConfig::enabled();
         let off = InterceptConfig::disabled();
-        assert_eq!(on.connect_syscalls().len(), off.connect_syscalls().len() + 1);
+        assert_eq!(
+            on.connect_syscalls().len(),
+            off.connect_syscalls().len() + 1
+        );
         assert!(on.connect_syscalls().contains(&Syscall::Bind));
         assert!(!off.connect_syscalls().contains(&Syscall::Bind));
     }
@@ -133,7 +141,11 @@ mod tests {
     #[test]
     fn listen_keeps_existing_bind_and_adds_one() {
         let on = InterceptConfig::enabled();
-        let binds = on.listen_syscalls().iter().filter(|&&c| c == Syscall::Bind).count();
+        let binds = on
+            .listen_syscalls()
+            .iter()
+            .filter(|&&c| c == Syscall::Bind)
+            .count();
         assert_eq!(binds, 2, "the application's own bind plus the shim's");
     }
 }

@@ -30,12 +30,13 @@ pub mod transport;
 
 pub use addr::{AddrParseError, SocketAddr, Subnet, VirtAddr};
 pub use firewall::{Classification, Direction, Firewall, FirewallStats, Rule, RuleAction};
-pub use iface::{Interface, IfaceError};
+pub use iface::{IfaceError, Interface};
 pub use intercept::InterceptConfig;
 pub use network::{
     ConnId, ConnState, Connection, MachineId, MachineNet, NetError, NetStats, Network,
     NetworkConfig, VNodeId, VNodeNet,
 };
+pub use ping::{ping, ping_series, PingPayload, PingWorld, ECHO_PORT};
 pub use pipe::{DropReason, EnqueueOutcome, Pipe, PipeConfig, PipeId, PipeStats};
 pub use topology::{AccessLinkClass, GroupId, GroupSpec, TopologySpec};
 pub use transport::{close, connect, listen, send, send_datagram, NetHost, SockEvent};

@@ -266,8 +266,13 @@ impl Network {
 
     /// Adds a physical machine with the given administration address.
     pub fn add_machine(&mut self, name: impl Into<String>, admin_addr: VirtAddr) -> MachineId {
-        let nic_tx = self.add_pipe(PipeConfig::shaped(self.config.nic_bps, self.config.switch_latency).with_queue_limit(None));
-        let nic_rx = self.add_pipe(PipeConfig::shaped(self.config.nic_bps, SimDuration::ZERO).with_queue_limit(None));
+        let nic_tx = self.add_pipe(
+            PipeConfig::shaped(self.config.nic_bps, self.config.switch_latency)
+                .with_queue_limit(None),
+        );
+        let nic_rx = self.add_pipe(
+            PipeConfig::shaped(self.config.nic_bps, SimDuration::ZERO).with_queue_limit(None),
+        );
         self.machines.push(MachineNet {
             name: name.into(),
             iface: Interface::new(admin_addr),
@@ -347,7 +352,10 @@ impl Network {
     /// Installs the inter-group latency rules for traffic of `group` leaving `machine`, if they
     /// are not already present.
     fn install_group_rules(&mut self, machine: MachineId, group: GroupId) {
-        if self.machines[machine.0].group_rules_installed.contains(&group) {
+        if self.machines[machine.0]
+            .group_rules_installed
+            .contains(&group)
+        {
             return;
         }
         let src_subnet = self.topology.groups[group.0].subnet;
@@ -457,7 +465,11 @@ impl Network {
         self.machines.iter().map(|m| m.firewall.rule_count()).sum()
     }
 
-    pub(crate) fn allocate_conn(&mut self, client: (VNodeId, u16), server: (VNodeId, u16)) -> ConnId {
+    pub(crate) fn allocate_conn(
+        &mut self,
+        client: (VNodeId, u16),
+        server: (VNodeId, u16),
+    ) -> ConnId {
         let id = ConnId(self.next_conn);
         self.next_conn += 1;
         self.conns.insert(
@@ -532,7 +544,10 @@ mod tests {
         let m = net.add_machine("node0", VirtAddr::new(192, 168, 38, 1));
         let addr = VirtAddr::new(10, 0, 0, 1);
         net.add_vnode(m, addr, GroupId(0)).unwrap();
-        assert_eq!(net.add_vnode(m, addr, GroupId(0)), Err(NetError::AddressInUse(addr)));
+        assert_eq!(
+            net.add_vnode(m, addr, GroupId(0)),
+            Err(NetError::AddressInUse(addr))
+        );
     }
 
     #[test]
@@ -556,7 +571,10 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), topo);
         let m = net.add_machine("node0", VirtAddr::new(192, 168, 38, 1));
         // Host two vnodes of the 10.1.3.0/24 group (group 2 in paper_figure7 construction).
-        let g = net.topology().group_of("10.1.3.1".parse().unwrap()).unwrap();
+        let g = net
+            .topology()
+            .group_of("10.1.3.1".parse().unwrap())
+            .unwrap();
         net.add_vnode(m, "10.1.3.1".parse().unwrap(), g).unwrap();
         net.add_vnode(m, "10.1.3.2".parse().unwrap(), g).unwrap();
         // 2 vnodes x 2 rules + 4 group rules (to 10.1.1, 10.1.2, 10.2, 10.3) = 8.
@@ -569,8 +587,14 @@ mod tests {
         let topo = TopologySpec::paper_figure7();
         let mut net = Network::new(NetworkConfig::default(), topo);
         let m = net.add_machine("node0", VirtAddr::new(192, 168, 38, 1));
-        let g1 = net.topology().group_of("10.1.3.1".parse().unwrap()).unwrap();
-        let g2 = net.topology().group_of("10.2.0.1".parse().unwrap()).unwrap();
+        let g1 = net
+            .topology()
+            .group_of("10.1.3.1".parse().unwrap())
+            .unwrap();
+        let g2 = net
+            .topology()
+            .group_of("10.2.0.1".parse().unwrap())
+            .unwrap();
         net.add_vnode(m, "10.1.3.1".parse().unwrap(), g1).unwrap();
         net.add_vnode(m, "10.2.0.1".parse().unwrap(), g2).unwrap();
         // 4 vnode rules + 4 group rules for 10.1.3 + 4 group rules for 10.2 = 12.

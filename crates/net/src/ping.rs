@@ -79,18 +79,18 @@ impl NetHost for PingWorld {
 
     fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<PingPayload>) {
         match event {
-            SockEvent::Datagram { from, payload: PingPayload::Echo { seq }, size } => {
+            SockEvent::Datagram {
+                from,
+                payload: PingPayload::Echo { seq },
+                size,
+            } => {
                 // Echo responder: send the reply back to wherever the request came from.
-                let _ = send_datagram(
-                    sim,
-                    node,
-                    ECHO_PORT,
-                    from,
-                    size,
-                    PingPayload::Reply { seq },
-                );
+                let _ = send_datagram(sim, node, ECHO_PORT, from, size, PingPayload::Reply { seq });
             }
-            SockEvent::Datagram { payload: PingPayload::Reply { seq }, .. } => {
+            SockEvent::Datagram {
+                payload: PingPayload::Reply { seq },
+                ..
+            } => {
                 let now = sim.now();
                 if let Some((origin, sent_at)) = sim.world_mut().pending.remove(&seq) {
                     sim.world_mut().rtts.push((origin, now - sent_at));
@@ -150,12 +150,18 @@ mod tests {
     use crate::topology::{AccessLinkClass, GroupId, TopologySpec};
 
     fn two_node_world(rules_on_sender: usize) -> PingWorld {
-        let topo = TopologySpec::uniform("lan", 2, AccessLinkClass::symmetric(100_000_000, SimDuration::from_micros(100)));
+        let topo = TopologySpec::uniform(
+            "lan",
+            2,
+            AccessLinkClass::symmetric(100_000_000, SimDuration::from_micros(100)),
+        );
         let mut net = Network::new(NetworkConfig::default(), topo);
         let m0 = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
         let m1 = net.add_machine("pm1", VirtAddr::new(192, 168, 38, 2));
-        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0)).unwrap();
-        net.add_vnode(m1, VirtAddr::new(10, 0, 0, 2), GroupId(0)).unwrap();
+        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0))
+            .unwrap();
+        net.add_vnode(m1, VirtAddr::new(10, 0, 0, 2), GroupId(0))
+            .unwrap();
         net.machine_mut(crate::network::MachineId(0))
             .firewall
             .add_dummy_rules(rules_on_sender);
@@ -165,7 +171,14 @@ mod tests {
     #[test]
     fn ping_measures_round_trip() {
         let world = two_node_world(0);
-        let (world, rtts) = ping_series(world, VNodeId(0), VNodeId(1), 5, SimDuration::from_millis(100), 1);
+        let (world, rtts) = ping_series(
+            world,
+            VNodeId(0),
+            VNodeId(1),
+            5,
+            SimDuration::from_millis(100),
+            1,
+        );
         assert_eq!(rtts.len(), 5);
         // Two traversals of the 100 us links in each direction: at least 400 us.
         assert!(rtts.iter().all(|r| r.as_micros() >= 400));
@@ -180,8 +193,14 @@ mod tests {
         // firewall means proportionally larger RTT.
         let rtt_with = |rules: usize| {
             let world = two_node_world(rules);
-            let (_, rtts) =
-                ping_series(world, VNodeId(0), VNodeId(1), 3, SimDuration::from_millis(50), 1);
+            let (_, rtts) = ping_series(
+                world,
+                VNodeId(0),
+                VNodeId(1),
+                3,
+                SimDuration::from_millis(50),
+                1,
+            );
             rtts.iter().map(|r| r.as_nanos()).sum::<u64>() as f64 / rtts.len() as f64
         };
         let base = rtt_with(0);

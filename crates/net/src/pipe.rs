@@ -55,7 +55,10 @@ impl PipeConfig {
 
     /// Adds a random loss rate.
     pub fn with_loss(mut self, loss_rate: f64) -> PipeConfig {
-        assert!((0.0..=1.0).contains(&loss_rate), "loss rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss rate must be in [0,1]"
+        );
         self.loss_rate = loss_rate;
         self
     }
@@ -224,9 +227,8 @@ mod tests {
 
     #[test]
     fn back_to_back_packets_queue_behind_each_other() {
-        let mut p = Pipe::new(
-            PipeConfig::shaped(1_000_000, SimDuration::ZERO).with_queue_limit(None),
-        );
+        let mut p =
+            Pipe::new(PipeConfig::shaped(1_000_000, SimDuration::ZERO).with_queue_limit(None));
         let mut r = rng();
         // Each 1250-byte packet takes 10 ms at 1 Mbps.
         let exits: Vec<SimTime> = (0..3)
@@ -249,9 +251,8 @@ mod tests {
 
     #[test]
     fn queue_limit_drops_excess() {
-        let mut p = Pipe::new(
-            PipeConfig::shaped(8_000, SimDuration::ZERO).with_queue_limit(Some(3000)),
-        );
+        let mut p =
+            Pipe::new(PipeConfig::shaped(8_000, SimDuration::ZERO).with_queue_limit(Some(3000)));
         let mut r = rng();
         // 1000-byte packets take 1 s each at 8 kbps; the 4th arrival exceeds the 3000-byte bound.
         let mut outcomes = Vec::new();
@@ -287,16 +288,19 @@ mod tests {
         let mut p = Pipe::new(PipeConfig::delay_only(SimDuration::ZERO).with_loss(0.2));
         let mut r = rng();
         let dropped = (0..10_000)
-            .filter(|_| matches!(p.enqueue(SimTime::ZERO, 100, &mut r), EnqueueOutcome::Dropped(_)))
+            .filter(|_| {
+                matches!(
+                    p.enqueue(SimTime::ZERO, 100, &mut r),
+                    EnqueueOutcome::Dropped(_)
+                )
+            })
             .count();
         assert!((1700..2300).contains(&dropped), "dropped={dropped}");
     }
 
     #[test]
     fn queued_bytes_tracks_occupancy() {
-        let mut p = Pipe::new(
-            PipeConfig::shaped(8_000, SimDuration::ZERO).with_queue_limit(None),
-        );
+        let mut p = Pipe::new(PipeConfig::shaped(8_000, SimDuration::ZERO).with_queue_limit(None));
         let mut r = rng();
         p.enqueue(SimTime::ZERO, 1000, &mut r); // drains at t=1s
         p.enqueue(SimTime::ZERO, 1000, &mut r); // drains at t=2s

@@ -137,7 +137,10 @@ impl TopologySpec {
 
     /// Sets the (symmetric) one-way latency between two groups.
     pub fn set_group_latency(&mut self, a: GroupId, b: GroupId, latency: SimDuration) {
-        assert!(a.0 < self.groups.len() && b.0 < self.groups.len(), "unknown group");
+        assert!(
+            a.0 < self.groups.len() && b.0 < self.groups.len(),
+            "unknown group"
+        );
         let key = (a.0.min(b.0), a.0.max(b.0));
         self.inter_group_latency.insert(key, latency);
     }

@@ -89,12 +89,28 @@ pub enum SockEvent<P> {
 /// Protocol frames carried through the data plane.
 #[derive(Debug, Clone)]
 enum Frame<P> {
-    Syn { conn: ConnId },
-    SynAck { conn: ConnId },
-    Rst { conn: ConnId },
-    Data { conn: ConnId, payload: P, size: u64 },
-    Fin { conn: ConnId },
-    Dgram { from_port: u16, payload: P, size: u64 },
+    Syn {
+        conn: ConnId,
+    },
+    SynAck {
+        conn: ConnId,
+    },
+    Rst {
+        conn: ConnId,
+    },
+    Data {
+        conn: ConnId,
+        payload: P,
+        size: u64,
+    },
+    Fin {
+        conn: ConnId,
+    },
+    Dgram {
+        from_port: u16,
+        payload: P,
+        size: u64,
+    },
 }
 
 impl<P> Frame<P> {
@@ -150,7 +166,9 @@ pub fn connect<W: NetHost>(
     if node.0 >= net.vnode_count() {
         return Err(NetError::UnknownVNode(node));
     }
-    let dst = net.resolve(remote.addr).ok_or(NetError::NoRouteToHost(remote.addr))?;
+    let dst = net
+        .resolve(remote.addr)
+        .ok_or(NetError::NoRouteToHost(remote.addr))?;
     let port = net.allocate_ephemeral_port();
     let conn = net.allocate_conn((node, port), (dst, remote.port));
     let config = *net.config();
@@ -172,7 +190,9 @@ pub fn send<W: NetHost>(
     if size > net.config().max_message_bytes {
         return Err(NetError::MessageTooLarge(size));
     }
-    let c = *net.connection(conn).ok_or(NetError::UnknownConnection(conn))?;
+    let c = *net
+        .connection(conn)
+        .ok_or(NetError::UnknownConnection(conn))?;
     if c.client.0 != node && c.server.0 != node {
         return Err(NetError::UnknownConnection(conn));
     }
@@ -181,7 +201,16 @@ pub fn send<W: NetHost>(
     }
     let dst = c.peer_of(node);
     net.vnode_mut(node).bytes_sent += size;
-    let flight = make_flight(net, node, dst, Frame::Data { conn, payload, size });
+    let flight = make_flight(
+        net,
+        node,
+        dst,
+        Frame::Data {
+            conn,
+            payload,
+            size,
+        },
+    );
     transmit(sim, flight, SimDuration::ZERO);
     Ok(())
 }
@@ -202,9 +231,20 @@ pub fn send_datagram<W: NetHost>(
     if node.0 >= net.vnode_count() {
         return Err(NetError::UnknownVNode(node));
     }
-    let dst = net.resolve(remote.addr).ok_or(NetError::NoRouteToHost(remote.addr))?;
+    let dst = net
+        .resolve(remote.addr)
+        .ok_or(NetError::NoRouteToHost(remote.addr))?;
     net.vnode_mut(node).bytes_sent += size;
-    let flight = make_flight(net, node, dst, Frame::Dgram { from_port, payload, size });
+    let flight = make_flight(
+        net,
+        node,
+        dst,
+        Frame::Dgram {
+            from_port,
+            payload,
+            size,
+        },
+    );
     transmit(sim, flight, SimDuration::ZERO);
     Ok(())
 }
@@ -216,7 +256,9 @@ pub fn close<W: NetHost>(
     conn: ConnId,
 ) -> Result<(), NetError> {
     let net = sim.world_mut().network();
-    let c = *net.connection(conn).ok_or(NetError::UnknownConnection(conn))?;
+    let c = *net
+        .connection(conn)
+        .ok_or(NetError::UnknownConnection(conn))?;
     if c.client.0 != node && c.server.0 != node {
         return Err(NetError::UnknownConnection(conn));
     }
@@ -245,7 +287,11 @@ fn make_flight<P>(net: &Network, src: VNodeId, dst: VNodeId, frame: Frame<P>) ->
 
 /// Sender-side processing: firewall classification, sender pipes, then hand-off to the cluster
 /// network (or directly to the receiver side when both nodes share a physical machine).
-fn transmit<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>, extra_delay: SimDuration) {
+fn transmit<W: NetHost>(
+    sim: &mut Simulation<W>,
+    flight: InFlight<W::Payload>,
+    extra_delay: SimDuration,
+) {
     let now = sim.now();
     let wire = flight.frame.wire_size();
     let (world, rng) = sim.world_and_rng();
@@ -255,10 +301,11 @@ fn transmit<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>, e
     }
     let src_machine = net.vnode(flight.src).machine;
     let dst_machine = net.vnode(flight.dst).machine;
-    let classification = net
-        .machine_mut(src_machine)
-        .firewall
-        .classify(flight.src_addr, flight.dst_addr, Direction::Out);
+    let classification = net.machine_mut(src_machine).firewall.classify(
+        flight.src_addr,
+        flight.dst_addr,
+        Direction::Out,
+    );
     if !classification.accepted {
         net.stats.messages_dropped += 1;
         return;
@@ -284,7 +331,9 @@ fn transmit<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>, e
             let nic_tx = net.machine(src_machine).nic_tx;
             match net.pipe_mut(nic_tx).enqueue(now, wire, rng) {
                 EnqueueOutcome::Forwarded { exit } => {
-                    sim.schedule_at(exit, move |sim| receiver_side(sim, flight, Some(dst_machine)));
+                    sim.schedule_at(exit, move |sim| {
+                        receiver_side(sim, flight, Some(dst_machine))
+                    });
                 }
                 EnqueueOutcome::Dropped(_) => handle_drop(sim, flight),
             }
@@ -315,15 +364,16 @@ fn receiver_side<W: NetHost>(
         }
     }
     let dst_machine = net.vnode(flight.dst).machine;
-    let classification = net
-        .machine_mut(dst_machine)
-        .firewall
-        .classify(flight.src_addr, flight.dst_addr, Direction::In);
+    let classification = net.machine_mut(dst_machine).firewall.classify(
+        flight.src_addr,
+        flight.dst_addr,
+        Direction::In,
+    );
     if !classification.accepted {
         net.stats.messages_dropped += 1;
         return;
     }
-    t = t + classification.evaluation_cost;
+    t += classification.evaluation_cost;
     for pipe in classification.pipes {
         match net.pipe_mut(pipe).enqueue(t, wire, rng) {
             EnqueueOutcome::Forwarded { exit } => t = exit,
@@ -405,7 +455,11 @@ fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
             let peer = SocketAddr::new(net.addr_of(c.server.0), c.server.1);
             W::on_socket_event(sim, dst, SockEvent::Refused { conn, peer });
         }
-        Frame::Data { conn, payload, size } => {
+        Frame::Data {
+            conn,
+            payload,
+            size,
+        } => {
             let c = match net.connection(conn) {
                 Some(c) => *c,
                 None => return,
@@ -425,7 +479,16 @@ fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
             net.stats.bytes_delivered += size;
             let from_port = c.port_of(c.peer_of(dst));
             let from = SocketAddr::new(src_addr, from_port);
-            W::on_socket_event(sim, dst, SockEvent::Data { conn, from, payload, size });
+            W::on_socket_event(
+                sim,
+                dst,
+                SockEvent::Data {
+                    conn,
+                    from,
+                    payload,
+                    size,
+                },
+            );
         }
         Frame::Fin { conn } => {
             let entry = match net.conns.get_mut(&conn) {
@@ -437,11 +500,23 @@ fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
             entry.state = ConnState::Closed;
             W::on_socket_event(sim, dst, SockEvent::Closed { conn });
         }
-        Frame::Dgram { from_port, payload, size } => {
+        Frame::Dgram {
+            from_port,
+            payload,
+            size,
+        } => {
             net.vnode_mut(dst).bytes_received += size;
             net.stats.bytes_delivered += size;
             let from = SocketAddr::new(src_addr, from_port);
-            W::on_socket_event(sim, dst, SockEvent::Datagram { from, payload, size });
+            W::on_socket_event(
+                sim,
+                dst,
+                SockEvent::Datagram {
+                    from,
+                    payload,
+                    size,
+                },
+            );
         }
     }
 }
@@ -480,7 +555,12 @@ mod tests {
             };
             sim.world_mut().events.push((now, node, label));
             match event {
-                SockEvent::Data { conn, payload, size, .. } => {
+                SockEvent::Data {
+                    conn,
+                    payload,
+                    size,
+                    ..
+                } => {
                     sim.world_mut().received_payloads.push((node, payload));
                     if sim.world().echo_data {
                         // Echo back on the same connection.
@@ -532,7 +612,12 @@ mod tests {
         listen(&mut sim, VNodeId(1), 6881).unwrap();
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         sim.run();
-        let labels: Vec<&str> = sim.world().events.iter().map(|(_, _, l)| l.as_str()).collect();
+        let labels: Vec<&str> = sim
+            .world()
+            .events
+            .iter()
+            .map(|(_, _, l)| l.as_str())
+            .collect();
         assert!(labels.contains(&"accepted"));
         assert!(labels.contains(&"connected"));
         // Handshake takes roughly one round trip of the 30 ms + 30 ms access links.
@@ -543,8 +628,14 @@ mod tests {
             .find(|(_, _, l)| l == "connected")
             .map(|(t, _, _)| *t)
             .unwrap();
-        assert!(connected_at.as_millis() >= 120, "connected at {connected_at}");
-        assert!(connected_at.as_millis() < 300, "connected at {connected_at}");
+        assert!(
+            connected_at.as_millis() >= 120,
+            "connected at {connected_at}"
+        );
+        assert!(
+            connected_at.as_millis() < 300,
+            "connected at {connected_at}"
+        );
 
         // Now send data in both directions.
         let mut sim2 = sim;
@@ -564,10 +655,18 @@ mod tests {
         let mut sim = Simulation::new(world, 1);
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         sim.run();
-        let labels: Vec<&str> = sim.world().events.iter().map(|(_, _, l)| l.as_str()).collect();
+        let labels: Vec<&str> = sim
+            .world()
+            .events
+            .iter()
+            .map(|(_, _, l)| l.as_str())
+            .collect();
         assert!(labels.contains(&"refused"));
         assert!(!labels.contains(&"connected"));
-        assert_eq!(sim.world_mut().net.connection(conn).unwrap().state, ConnState::Refused);
+        assert_eq!(
+            sim.world_mut().net.connection(conn).unwrap().state,
+            ConnState::Refused
+        );
     }
 
     #[test]
@@ -626,9 +725,17 @@ mod tests {
         sim.run();
         close(&mut sim, VNodeId(0), conn).unwrap();
         sim.run();
-        let labels: Vec<&str> = sim.world().events.iter().map(|(_, _, l)| l.as_str()).collect();
+        let labels: Vec<&str> = sim
+            .world()
+            .events
+            .iter()
+            .map(|(_, _, l)| l.as_str())
+            .collect();
         assert!(labels.contains(&"closed"));
-        assert_eq!(sim.world_mut().net.connection(conn).unwrap().state, ConnState::Closed);
+        assert_eq!(
+            sim.world_mut().net.connection(conn).unwrap().state,
+            ConnState::Closed
+        );
         // Closing again is a no-op.
         close(&mut sim, VNodeId(0), conn).unwrap();
     }
@@ -675,22 +782,29 @@ mod tests {
         };
         let folded = run(1, 2);
         let spread = run(2, 1);
-        assert!((folded - spread).abs() < 0.002, "folded={folded} spread={spread}");
+        assert!(
+            (folded - spread).abs() < 0.002,
+            "folded={folded} spread={spread}"
+        );
     }
 
     #[test]
     fn lossy_link_retransmits_reliable_data() {
-        let topo = TopologySpec::uniform(
-            "lossy",
-            2,
-            AccessLinkClass::bittorrent_dsl().with_loss(0.4),
-        );
+        let topo =
+            TopologySpec::uniform("lossy", 2, AccessLinkClass::bittorrent_dsl().with_loss(0.4));
         let mut net = Network::new(NetworkConfig::default(), topo);
         let m0 = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
         let m1 = net.add_machine("pm1", VirtAddr::new(192, 168, 38, 2));
-        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0)).unwrap();
-        net.add_vnode(m1, VirtAddr::new(10, 0, 0, 2), GroupId(0)).unwrap();
-        let world = TestWorld { net, events: Vec::new(), received_payloads: Vec::new(), echo_data: false };
+        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0))
+            .unwrap();
+        net.add_vnode(m1, VirtAddr::new(10, 0, 0, 2), GroupId(0))
+            .unwrap();
+        let world = TestWorld {
+            net,
+            events: Vec::new(),
+            received_payloads: Vec::new(),
+            echo_data: false,
+        };
         let peer = SocketAddr::new(VirtAddr::new(10, 0, 0, 2), 6881);
         let mut sim = Simulation::new(world, 3);
         listen(&mut sim, VNodeId(1), 6881).unwrap();
@@ -712,22 +826,30 @@ mod tests {
             .filter(|(n, _)| *n == VNodeId(1))
             .map(|(_, p)| *p)
             .collect();
-        assert_eq!(received.len(), 20, "all reliable messages eventually delivered");
+        assert_eq!(
+            received.len(),
+            20,
+            "all reliable messages eventually delivered"
+        );
         assert!(sim.world_mut().net.stats().retransmissions > 0);
     }
 
     #[test]
     fn datagrams_are_lost_on_lossy_links() {
-        let topo = TopologySpec::uniform(
-            "lossy",
-            2,
-            AccessLinkClass::bittorrent_dsl().with_loss(1.0),
-        );
+        let topo =
+            TopologySpec::uniform("lossy", 2, AccessLinkClass::bittorrent_dsl().with_loss(1.0));
         let mut net = Network::new(NetworkConfig::default(), topo);
         let m0 = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
-        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0)).unwrap();
-        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 2), GroupId(0)).unwrap();
-        let world = TestWorld { net, events: Vec::new(), received_payloads: Vec::new(), echo_data: false };
+        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 1), GroupId(0))
+            .unwrap();
+        net.add_vnode(m0, VirtAddr::new(10, 0, 0, 2), GroupId(0))
+            .unwrap();
+        let world = TestWorld {
+            net,
+            events: Vec::new(),
+            received_payloads: Vec::new(),
+            echo_data: false,
+        };
         let peer = SocketAddr::new(VirtAddr::new(10, 0, 0, 2), 9);
         let mut sim = Simulation::new(world, 3);
         send_datagram(&mut sim, VNodeId(0), 9, peer, 100, 1).unwrap();
@@ -788,7 +910,10 @@ mod tests {
                 .count(),
             10
         );
-        assert_eq!(sim.world_mut().net.vnode(VNodeId(2)).bytes_received, 10 * 16 * 1024);
+        assert_eq!(
+            sim.world_mut().net.vnode(VNodeId(2)).bytes_received,
+            10 * 16 * 1024
+        );
     }
 
     #[test]
@@ -796,8 +921,10 @@ mod tests {
         // Without the BINDIP shim the connection is attributed to the physical node's admin
         // address, so the virtual node's outgoing dummynet rule never matches and upload shaping
         // is lost — the mechanism the paper's libc modification exists to provide.
-        let mut config = NetworkConfig::default();
-        config.intercept = crate::intercept::InterceptConfig::disabled();
+        let config = NetworkConfig {
+            intercept: crate::intercept::InterceptConfig::disabled(),
+            ..NetworkConfig::default()
+        };
         let run = |config: NetworkConfig| {
             let world = build_world(2, 1, config);
             let peer = remote(&world, VNodeId(1), 6881);

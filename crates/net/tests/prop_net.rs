@@ -1,8 +1,6 @@
 //! Property-based tests of the network substrate: addressing, pipes and firewalls.
 
-use p2plab_net::{
-    Direction, Firewall, Pipe, PipeConfig, PipeId, Rule, Subnet, VirtAddr,
-};
+use p2plab_net::{Direction, Firewall, Pipe, PipeConfig, PipeId, Rule, Subnet, VirtAddr};
 use p2plab_sim::{SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
@@ -45,7 +43,7 @@ proptest! {
         let mut exits = Vec::new();
         let mut total_bytes = 0u64;
         for (i, &size) in sizes.iter().enumerate() {
-            now = now + SimDuration::from_micros(gap_us[i % gap_us.len()]);
+            now += SimDuration::from_micros(gap_us[i % gap_us.len()]);
             match pipe.enqueue(now, size, &mut rng) {
                 p2plab_net::EnqueueOutcome::Forwarded { exit } => {
                     // Never earlier than arrival + own serialization + delay.

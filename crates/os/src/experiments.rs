@@ -192,10 +192,7 @@ mod tests {
         for sched in SchedulerKind::ALL {
             let points = figure1_sweep(sched, &[1, 2, 10, 100, 400]);
             for (n, avg) in &points {
-                assert!(
-                    (*avg - 1.65).abs() < 0.06,
-                    "{sched:?} at n={n}: avg={avg}"
-                );
+                assert!((*avg - 1.65).abs() < 0.06, "{sched:?} at n={n}: avg={avg}");
             }
             // And it decreases (amortized fixed costs), as the paper observes.
             assert!(points.first().unwrap().1 > points.last().unwrap().1);
@@ -212,7 +209,10 @@ mod tests {
         let bsd_50 = bsd[2].1;
         let linux_50 = linux[2].1;
         assert!(bsd_50 > 3.0 * linux_50, "bsd={bsd_50} linux={linux_50}");
-        assert!(bsd_50 > 4.0, "bsd at 50 procs should be several seconds: {bsd_50}");
+        assert!(
+            bsd_50 > 4.0,
+            "bsd at 50 procs should be several seconds: {bsd_50}"
+        );
         assert!(linux_50 < 2.5, "linux should stay nearly flat: {linux_50}");
     }
 
@@ -222,7 +222,12 @@ mod tests {
         let bsd = figure3_fairness(SchedulerKind::Bsd4);
         let linux = figure3_fairness(SchedulerKind::Linux26);
         let spread = |cdf: &Cdf| cdf.quantile(0.95).unwrap() - cdf.quantile(0.05).unwrap();
-        assert!(spread(&ule) > 2.0 * spread(&bsd), "ule={} bsd={}", spread(&ule), spread(&bsd));
+        assert!(
+            spread(&ule) > 2.0 * spread(&bsd),
+            "ule={} bsd={}",
+            spread(&ule),
+            spread(&bsd)
+        );
         assert!(spread(&ule) > 2.0 * spread(&linux));
         // All centred near 100 * 5 s / 2 cores = 250 s.
         for cdf in [&ule, &bsd, &linux] {

@@ -28,8 +28,14 @@ pub enum SpawnError {
 impl std::fmt::Display for SpawnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpawnError::OutOfMemory { requested, available } => {
-                write!(f, "out of memory: requested {requested} bytes, {available} available")
+            SpawnError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of memory: requested {requested} bytes, {available} available"
+                )
             }
         }
     }
@@ -223,7 +229,9 @@ impl Machine {
     /// Current per-process CPU rates (CPU-seconds per second), after memory thrashing.
     pub fn current_rates(&self) -> BTreeMap<Pid, f64> {
         let refs: Vec<&SimProcess> = self.procs.values().collect();
-        let raw = self.sched.allocate_rates(&refs, self.cores, self.core_speed);
+        let raw = self
+            .sched
+            .allocate_rates(&refs, self.cores, self.core_speed);
         let thrash = self.memory.thrash_factor(self.resident_memory());
         raw.into_iter().map(|(pid, r)| (pid, r / thrash)).collect()
     }
@@ -356,7 +364,8 @@ mod tests {
     fn single_process_runs_at_full_speed() {
         let mut m = quiet_machine(2);
         let mut rng = test_rng();
-        m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(3.0), &mut rng).unwrap();
+        m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(3.0), &mut rng)
+            .unwrap();
         let (t, _) = m.next_completion(SimTime::ZERO).unwrap();
         assert!((t.as_secs_f64() - 3.0).abs() < 1e-9);
         let done = m.complete_due(t);
@@ -369,7 +378,8 @@ mod tests {
         let mut m = quiet_machine(2);
         let mut rng = test_rng();
         for _ in 0..4 {
-            m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(1.0), &mut rng).unwrap();
+            m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(1.0), &mut rng)
+                .unwrap();
         }
         let (t, _) = m.next_completion(SimTime::ZERO).unwrap();
         assert!((t.as_secs_f64() - 2.0).abs() < 1e-9, "t={t}");
@@ -382,8 +392,10 @@ mod tests {
     fn completion_frees_capacity_for_remaining() {
         let mut m = quiet_machine(1);
         let mut rng = test_rng();
-        m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(1.0), &mut rng).unwrap();
-        m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(2.0), &mut rng).unwrap();
+        m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(1.0), &mut rng)
+            .unwrap();
+        m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(2.0), &mut rng)
+            .unwrap();
         // Shared: both at 0.5 cps. First finishes at t=2 having used 1.0 CPU-s; the second has
         // 1.0 CPU-s left and then runs alone, finishing at t=3.
         let (t1, _) = m.next_completion(SimTime::ZERO).unwrap();
@@ -439,7 +451,9 @@ mod tests {
     fn kill_removes_without_completion_record() {
         let mut m = quiet_machine(2);
         let mut rng = test_rng();
-        let pid = m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(10.0), &mut rng).unwrap();
+        let pid = m
+            .spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(10.0), &mut rng)
+            .unwrap();
         assert!(m.kill(SimTime::from_secs(1), pid));
         assert!(!m.kill(SimTime::from_secs(1), pid));
         assert_eq!(m.completed().len(), 0);
@@ -451,7 +465,8 @@ mod tests {
         let mut m = quiet_machine(2);
         let mut rng = test_rng();
         let e0 = m.epoch();
-        m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(1.0), &mut rng).unwrap();
+        m.spawn(SimTime::ZERO, WorkloadSpec::cpu_bound(1.0), &mut rng)
+            .unwrap();
         let e1 = m.epoch();
         assert!(e1 > e0);
         let (t, _) = m.next_completion(SimTime::ZERO).unwrap();
@@ -467,7 +482,9 @@ mod tests {
             sim.schedule_at(SimTime::from_secs(i), |sim| {
                 let now = sim.now();
                 let (world, rng) = sim.world_and_rng();
-                world.spawn(now, WorkloadSpec::cpu_bound(1.65), rng).unwrap();
+                world
+                    .spawn(now, WorkloadSpec::cpu_bound(1.65), rng)
+                    .unwrap();
                 arm_machine_completion(sim);
             });
         }
@@ -482,8 +499,18 @@ mod tests {
     fn load_and_resident_memory_reporting() {
         let mut m = quiet_machine(2);
         let mut rng = test_rng();
-        m.spawn(SimTime::ZERO, WorkloadSpec::memory_intensive(1.0, 100 << 20), &mut rng).unwrap();
-        m.spawn(SimTime::ZERO, WorkloadSpec::memory_intensive(1.0, 100 << 20), &mut rng).unwrap();
+        m.spawn(
+            SimTime::ZERO,
+            WorkloadSpec::memory_intensive(1.0, 100 << 20),
+            &mut rng,
+        )
+        .unwrap();
+        m.spawn(
+            SimTime::ZERO,
+            WorkloadSpec::memory_intensive(1.0, 100 << 20),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(m.running(), 2);
         assert_eq!(m.resident_memory(), 200 << 20);
         assert!((m.load() - 1.0).abs() < 1e-12);

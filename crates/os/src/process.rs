@@ -70,7 +70,7 @@ mod tests {
             finished_at: SimTime::from_secs(10),
             wall_seconds: 10.0,
             cpu_seconds: 5.0,
-            };
+        };
         assert!((c.slowdown() - 2.0).abs() < 1e-12);
     }
 

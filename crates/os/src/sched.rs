@@ -34,7 +34,11 @@ pub enum SchedulerKind {
 
 impl SchedulerKind {
     /// All modelled schedulers, in the order the paper's figures list them.
-    pub const ALL: [SchedulerKind; 3] = [SchedulerKind::Ule, SchedulerKind::Bsd4, SchedulerKind::Linux26];
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Ule,
+        SchedulerKind::Bsd4,
+        SchedulerKind::Linux26,
+    ];
 
     /// Human-readable label used in figure output.
     pub fn label(self) -> &'static str {
@@ -81,7 +85,7 @@ impl SchedulerModel {
             },
             SchedulerKind::Ule => SchedulerModel {
                 kind,
-                fairness_jitter: 0.055,
+                fairness_jitter: 0.09,
                 context_switch_cost: 5e-6,
                 timeslice: 0.1,
                 per_cpu_queues: true,
@@ -102,7 +106,7 @@ impl SchedulerModel {
     /// processes were excessively privileged by the scheduler. Used by the ablation bench.
     pub fn ule_freebsd5() -> SchedulerModel {
         SchedulerModel {
-            fairness_jitter: 0.25,
+            fairness_jitter: 0.35,
             balance_loss: 0.5,
             ..SchedulerModel::new(SchedulerKind::Ule)
         }
@@ -285,7 +289,12 @@ mod tests {
     #[test]
     fn weights_bias_shares() {
         let m = SchedulerModel::new(SchedulerKind::Bsd4);
-        let procs = vec![proc(1, 2.0, 0), proc(2, 1.0, 0), proc(3, 1.0, 0), proc(4, 1.0, 0)];
+        let procs = vec![
+            proc(1, 2.0, 0),
+            proc(2, 1.0, 0),
+            proc(3, 1.0, 0),
+            proc(4, 1.0, 0),
+        ];
         let r = rates_of(&m, &procs, 2);
         assert!(r[0] > r[1]);
         assert!((r[1] - r[2]).abs() < 1e-9);
@@ -307,9 +316,17 @@ mod tests {
         let m = SchedulerModel::new(SchedulerKind::Ule);
         // 3 processes on queue 0, 1 process on queue 1, 2 cores: the lone process gets a full
         // core while the others share one.
-        let procs = vec![proc(1, 1.0, 0), proc(2, 1.0, 0), proc(3, 1.0, 0), proc(4, 1.0, 1)];
+        let procs = vec![
+            proc(1, 1.0, 0),
+            proc(2, 1.0, 0),
+            proc(3, 1.0, 0),
+            proc(4, 1.0, 1),
+        ];
         let r = rates_of(&m, &procs, 2);
-        assert!(r[3] > r[0] * 2.0, "lone queue process should be privileged: {r:?}");
+        assert!(
+            r[3] > r[0] * 2.0,
+            "lone queue process should be privileged: {r:?}"
+        );
     }
 
     #[test]
@@ -317,7 +334,12 @@ mod tests {
         let mut m = SchedulerModel::new(SchedulerKind::Ule);
         m.balance_loss = 0.0;
         // All processes on queue 0, queue 1 idle: with perfect stealing both cores are used.
-        let procs = vec![proc(1, 1.0, 0), proc(2, 1.0, 0), proc(3, 1.0, 0), proc(4, 1.0, 0)];
+        let procs = vec![
+            proc(1, 1.0, 0),
+            proc(2, 1.0, 0),
+            proc(3, 1.0, 0),
+            proc(4, 1.0, 0),
+        ];
         let r = rates_of(&m, &procs, 2);
         let total: f64 = r.iter().sum();
         let expected = 2.0 * (1.0 - m.switch_overhead(4, 2));

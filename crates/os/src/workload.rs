@@ -74,6 +74,9 @@ mod tests {
         let ram: u64 = 2 << 30;
         let per = WorkloadSpec::matrix().memory_bytes;
         let crossover = ram / per;
-        assert!((5..50).contains(&(crossover as i32)), "crossover={crossover}");
+        assert!(
+            (5..50).contains(&(crossover as i32)),
+            "crossover={crossover}"
+        );
     }
 }

@@ -16,7 +16,9 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
-        TimeSeries { samples: Vec::new() }
+        TimeSeries {
+            samples: Vec::new(),
+        }
     }
 
     /// Appends a sample. Samples are expected in non-decreasing time order; out-of-order
@@ -73,7 +75,7 @@ impl TimeSeries {
             if t >= end {
                 break;
             }
-            t = t + step;
+            t += step;
         }
         out
     }

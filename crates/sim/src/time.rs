@@ -152,7 +152,10 @@ impl SimDuration {
 
     /// Multiplies by a float factor, rounding to the nearest nanosecond.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor: {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -165,7 +168,7 @@ impl SimDuration {
             return SimDuration::MAX;
         }
         let bits = bytes as u128 * 8;
-        let nanos = (bits * 1_000_000_000 + bits_per_sec as u128 - 1) / bits_per_sec as u128;
+        let nanos = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
         SimDuration(u64::try_from(nanos).unwrap_or(u64::MAX))
     }
 }
@@ -317,6 +320,9 @@ mod tests {
     fn mul_div() {
         assert_eq!(SimDuration::from_secs(2) * 3, SimDuration::from_secs(6));
         assert_eq!(SimDuration::from_secs(6) / 3, SimDuration::from_secs(2));
-        assert_eq!(SimDuration::from_secs(1).mul_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 }

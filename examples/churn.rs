@@ -28,10 +28,16 @@ fn main() {
     println!("running '{}'...", baseline.name);
     let a = run_swarm_experiment(&baseline);
     println!("  {}", a.summary());
-    println!("running '{}' (mean session 90 s, mean downtime 45 s)...", churny.name);
+    println!(
+        "running '{}' (mean session 90 s, mean downtime 45 s)...",
+        churny.name
+    );
     let b = run_swarm_experiment(&churny);
     println!("  {}", b.summary());
-    println!("  churn departures observed by the tracker: {}", b.churn_departures);
+    println!(
+        "  churn departures observed by the tracker: {}",
+        b.churn_departures
+    );
 
     for (label, r) in [("no churn", &a), ("with churn", &b)] {
         if let Some(s) = completion_summary(r) {
@@ -43,6 +49,10 @@ fn main() {
             );
         }
     }
-    println!("\nInterrupted sessions lose their open connections (but keep downloaded pieces), so the");
-    println!("median completion time grows with the downtime fraction, while the swarm still finishes.");
+    println!(
+        "\nInterrupted sessions lose their open connections (but keep downloaded pieces), so the"
+    );
+    println!(
+        "median completion time grows with the downtime fraction, while the swarm still finishes."
+    );
 }

@@ -58,7 +58,13 @@ fn main() {
                 "Folding invariance vs baseline ({:.1} virtual nodes per machine)",
                 cmp.baseline_ratio
             ),
-            &["folding", "max curve deviation", "KS distance", "median completion", "completed"],
+            &[
+                "folding",
+                "max curve deviation",
+                "KS distance",
+                "median completion",
+                "completed"
+            ],
             &rows,
         )
     );

@@ -29,7 +29,9 @@ fn main() {
         cfg.machines,
         cfg.folding_ratio()
     );
-    println!("(pass a scale factor between 0.002 and 1.0 as the first argument; 1.0 = paper scale)\n");
+    println!(
+        "(pass a scale factor between 0.002 and 1.0 as the first argument; 1.0 = paper scale)\n"
+    );
 
     let result = run_swarm_experiment(&cfg);
     println!("{}", result.summary());

@@ -18,23 +18,25 @@ fn main() {
     for (i, g) in topo.groups.iter().enumerate() {
         println!(
             "  group {}: {:28} {} nodes, {:>9} bps down / {:>9} bps up, {} latency",
-            i,
-            g.name,
-            g.node_count,
-            g.link.down_bps,
-            g.link.up_bps,
-            g.link.latency
+            i, g.name, g.node_count, g.link.down_bps, g.link.up_bps, g.link.latency
         );
     }
     println!("\nInter-group one-way latencies:");
     for (a, b, d) in topo.group_latencies() {
-        println!("  {} <-> {}: {}", topo.groups[a.0].name, topo.groups[b.0].name, d);
+        println!(
+            "  {} <-> {}: {}",
+            topo.groups[a.0].name, topo.groups[b.0].name, d
+        );
     }
 
     // Deploy on 30 machines and show the rule accounting the paper walks through.
     let machines = 30;
-    let d = deploy(&topo, DeploymentSpec::new(machines), NetworkConfig::default())
-        .expect("deployment");
+    let d = deploy(
+        &topo,
+        DeploymentSpec::new(machines),
+        NetworkConfig::default(),
+    )
+    .expect("deployment");
     println!(
         "\nDeployed {} virtual nodes on {} machines (folding {:.1}:1)",
         d.vnodes.len(),
@@ -59,7 +61,10 @@ fn main() {
             &rows
         )
     );
-    println!("largest rule list on any machine: {} rules", d.max_rules_per_machine());
+    println!(
+        "largest rule list on any machine: {} rules",
+        d.max_rules_per_machine()
+    );
 
     // The paper's measurement: 10.1.3.207 -> 10.2.2.117 round trip.
     let lat = figure7_latency_experiment(machines, 10);

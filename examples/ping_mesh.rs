@@ -1,0 +1,66 @@
+//! Ping mesh: probe the latency structure of an emulated topology end to end.
+//!
+//! ```text
+//! cargo run --release --example ping_mesh
+//! ```
+//!
+//! This is the second first-class workload of the scenario API: every virtual node runs an echo
+//! responder, a full mesh of probes measures round-trip times across the emulated access links,
+//! and the generic `run_scenario` loop provides deployment, folding, resource monitoring and
+//! sampling — exactly the services the BitTorrent workload gets, with zero swarm code involved.
+
+use p2plab::core::{run_scenario, PingMeshSpec, PingMeshWorkload, ScenarioBuilder};
+use p2plab::net::{AccessLinkClass, TopologySpec};
+use p2plab::sim::SimDuration;
+
+fn main() {
+    // 12 nodes on DSL-like access links (2 Mbps down / 128 kbps up, 30 ms one-way), folded
+    // onto 3 emulated physical machines.
+    let nodes = 12;
+    let mesh = PingMeshSpec::full("ping-mesh", nodes);
+    let topology = TopologySpec::uniform("ping-mesh", nodes, AccessLinkClass::bittorrent_dsl());
+
+    let scenario = ScenarioBuilder::new("ping-mesh", topology)
+        .machines(3)
+        .arrival_ramp(mesh.arrival_ramp())
+        .deadline(SimDuration::from_secs(300))
+        .sample_interval(SimDuration::from_secs(1))
+        .seed(2006)
+        .build()
+        .expect("scenario is valid");
+
+    println!(
+        "Probing a full mesh of {} nodes ({} probe pairs, {} echo requests), folding {:.0}:1",
+        nodes,
+        mesh.pairs().len(),
+        mesh.expected_probes(),
+        scenario.folding_ratio(),
+    );
+
+    let result = run_scenario(&scenario, PingMeshWorkload::new(mesh)).expect("mesh runs");
+
+    println!("\n{}", result.summary());
+    if let Some(s) = result.rtt_summary() {
+        println!(
+            "rtt over {} replies: min {:.1} ms / mean {:.1} ms / max {:.1} ms / stddev {:.2} ms",
+            s.count,
+            s.min * 1e3,
+            s.mean * 1e3,
+            s.max * 1e3,
+            s.std_dev * 1e3,
+        );
+    }
+    println!(
+        "network: {} messages delivered, peak NIC utilization {:.1}%",
+        result.net_stats.messages_delivered,
+        100.0 * result.peak_nic_utilization,
+    );
+
+    println!("\nPer-node mean RTT:");
+    for (i, mean) in result.per_node_mean_rtt.iter().enumerate() {
+        match mean {
+            Some(d) => println!("  node {i:2}: {:.1} ms", d.as_secs_f64() * 1e3),
+            None => println!("  node {i:2}: no replies"),
+        }
+    }
+}

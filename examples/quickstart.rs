@@ -4,12 +4,16 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! This is the smallest end-to-end use of the framework: describe a swarm experiment, run it
-//! (deployment, network emulation and the BitTorrent protocol all happen inside the
-//! deterministic simulation), then inspect per-client progress and aggregate curves.
+//! This is the smallest end-to-end use of the framework, written against the scenario API:
+//! describe the application side as a workload (`SwarmWorkload`), compose everything around it
+//! (topology, folding, deadline, sampling, seed) with `ScenarioBuilder`, and hand both to the
+//! generic `run_scenario` loop. Deployment, network emulation, the BitTorrent protocol and the
+//! resource monitoring all happen inside the deterministic simulation.
 
-use p2plab::core::{ascii_plot, completion_summary, run_swarm_experiment, SwarmExperiment};
-use p2plab::sim::SimDuration;
+use p2plab::core::{
+    ascii_plot, completion_summary, run_scenario, ScenarioBuilder, SwarmExperiment, SwarmWorkload,
+};
+use p2plab::net::TopologySpec;
 
 fn main() {
     // A 2 MB file shared by 2 seeders with 12 downloaders on 8 Mbps / 1 Mbps access links,
@@ -27,7 +31,24 @@ fn main() {
         cfg.folding_ratio(),
     );
 
-    let result = run_swarm_experiment(&cfg);
+    // The workload carries the application (tracker + seeders + downloaders + arrival ramp);
+    // the builder carries everything else. `run_swarm_experiment(&cfg)` is the legacy one-liner
+    // for exactly this composition.
+    let workload = SwarmWorkload::new(cfg.clone());
+    let scenario = ScenarioBuilder::new(
+        &cfg.name,
+        TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link),
+    )
+    .machines(cfg.machines)
+    .arrival_ramp(workload.arrival_ramp())
+    .churn_opt(cfg.churn)
+    .deadline(cfg.deadline)
+    .sample_interval(cfg.sample_interval)
+    .seed(cfg.seed)
+    .build()
+    .expect("scenario is valid");
+
+    let result = run_scenario(&scenario, workload).expect("swarm runs");
 
     println!("\n{}", result.summary());
     if let Some(s) = completion_summary(&result) {
@@ -55,7 +76,8 @@ fn main() {
         println!(
             "  client {:2}: {}",
             i,
-            done.map(|t| t.to_string()).unwrap_or_else(|| "did not finish".into())
+            done.map(|t| t.to_string())
+                .unwrap_or_else(|| "did not finish".into())
         );
     }
 
@@ -69,5 +91,4 @@ fn main() {
             12
         )
     );
-    let _ = SimDuration::from_secs(1);
 }

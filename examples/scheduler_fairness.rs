@@ -75,7 +75,10 @@ fn main() {
                 format!("{:.1}", cdf.quantile(0.05).unwrap()),
                 format!("{:.1}", cdf.quantile(0.5).unwrap()),
                 format!("{:.1}", cdf.quantile(0.95).unwrap()),
-                format!("{:.1}", cdf.quantile(0.95).unwrap() - cdf.quantile(0.05).unwrap()),
+                format!(
+                    "{:.1}",
+                    cdf.quantile(0.95).unwrap() - cdf.quantile(0.05).unwrap()
+                ),
             ]
         })
         .collect();
@@ -87,5 +90,7 @@ fn main() {
             &rows
         )
     );
-    println!("(the ULE scheduler shows the widest spread, as in the paper; 4BSD and Linux are tight)");
+    println!(
+        "(the ULE scheduler shows the widest spread, as in the paper; 4BSD and Linux are tight)"
+    );
 }

@@ -11,20 +11,43 @@
 //! * [`os`] — physical-node substrate (CPU schedulers, memory/swap, syscall costs);
 //! * [`net`] — network emulation (dummynet pipes, IPFW rules, topologies, sockets, BINDIP shim);
 //! * [`bittorrent`] — the studied application (tracker, peer wire protocol, choking, swarms);
-//! * [`core`] — the P2PLab framework (deployment/folding, experiments, analysis, reports).
+//! * [`core`] — the P2PLab framework: the workload-agnostic scenario API
+//!   (`Workload` + `ScenarioBuilder` + `run_scenario`), deployment/folding, the shipped
+//!   workloads (BitTorrent swarm, ping mesh), analysis and reports.
 //!
 //! ## Quickstart
 //!
+//! Experiments are *scenarios*: an application implementing
+//! [`Workload`](p2plab_core::scenario::Workload), composed with topology, folding, network
+//! config, churn, deadline and seed by a [`ScenarioBuilder`](p2plab_core::ScenarioBuilder), and
+//! driven by the generic [`run_scenario`](p2plab_core::run_scenario) loop:
+//!
 //! ```
-//! use p2plab::core::{run_swarm_experiment, SwarmExperiment};
+//! use p2plab::core::{run_scenario, ScenarioBuilder, SwarmExperiment, SwarmWorkload};
+//! use p2plab::net::TopologySpec;
 //!
 //! // A small BitTorrent swarm on emulated access links, folded onto 4 physical machines.
 //! let mut cfg = SwarmExperiment::quick();
 //! cfg.leechers = 6;
-//! let result = run_swarm_experiment(&cfg);
+//! let spec = ScenarioBuilder::new(
+//!     &cfg.name,
+//!     TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link),
+//! )
+//! .machines(cfg.machines)
+//! .churn_opt(cfg.churn)
+//! .deadline(cfg.deadline)
+//! .sample_interval(cfg.sample_interval)
+//! .seed(cfg.seed)
+//! .build()
+//! .unwrap();
+//! let result = run_scenario(&spec, SwarmWorkload::new(cfg)).unwrap();
 //! assert!(result.finished);
 //! println!("{}", result.summary());
 //! ```
+//!
+//! The legacy one-liner `run_swarm_experiment(&cfg)` still works and delegates to exactly the
+//! composition above. The same loop runs every other workload — e.g.
+//! [`PingMeshWorkload`](p2plab_core::PingMeshWorkload) (see `examples/ping_mesh.rs`).
 
 #![warn(missing_docs)]
 
@@ -38,8 +61,8 @@ pub use p2plab_sim as sim;
 pub mod prelude {
     pub use p2plab_bittorrent::{ClientConfig, SwarmWorld, Torrent};
     pub use p2plab_core::{
-        compare_folding, deploy, run_swarm_experiment, DeploymentSpec, SwarmExperiment,
-        SwarmResult,
+        compare_folding, deploy, run_scenario, run_swarm_experiment, DeploymentSpec, PingMeshSpec,
+        PingMeshWorkload, ScenarioBuilder, SwarmExperiment, SwarmResult, SwarmWorkload, Workload,
     };
     pub use p2plab_net::{AccessLinkClass, Network, NetworkConfig, TopologySpec};
     pub use p2plab_os::{Machine, MachineSpec, OsKind, SchedulerKind};

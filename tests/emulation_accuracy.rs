@@ -51,7 +51,10 @@ fn figure7_topology_deploys_with_paper_rule_accounting() {
         let machine = d.net.machine(p2plab::net::MachineId(m));
         let hosted = machine.iface.alias_count();
         let rules = machine.firewall.rule_count();
-        assert!(rules >= 2 * hosted, "machine {m}: {rules} rules for {hosted} nodes");
+        assert!(
+            rules >= 2 * hosted,
+            "machine {m}: {rules} rules for {hosted} nodes"
+        );
         assert!(
             rules <= 2 * hosted + 4 * topo.groups.len(),
             "machine {m}: {rules} rules for {hosted} nodes"
@@ -65,7 +68,10 @@ fn interception_overhead_table_matches_paper() {
     let plain_us = o.plain.as_nanos() as f64 / 1000.0;
     let shim_us = o.intercepted.as_nanos() as f64 / 1000.0;
     assert!((plain_us - 10.22).abs() < 0.4, "plain cycle {plain_us} us");
-    assert!((shim_us - 10.79).abs() < 0.4, "intercepted cycle {shim_us} us");
+    assert!(
+        (shim_us - 10.79).abs() < 0.4,
+        "intercepted cycle {shim_us} us"
+    );
     assert!(shim_us > plain_us);
     assert!(o.relative() < 0.1, "overhead should be 'very low'");
 }

@@ -1,0 +1,139 @@
+//! Integration tests of the workload-agnostic scenario API through the public facade:
+//! the generic `run_scenario` loop must carry both shipped workloads, and the legacy
+//! `run_swarm_experiment` wrapper must stay byte-identical to an explicit scenario run.
+
+use p2plab::core::{
+    run_scenario, run_swarm_experiment, ChurnSpec, PingMeshSpec, PingMeshWorkload, ScenarioBuilder,
+    ScenarioError, SwarmExperiment, SwarmWorkload,
+};
+use p2plab::net::{AccessLinkClass, TopologySpec};
+use p2plab::sim::SimDuration;
+
+/// Builds the scenario spec equivalent to what the legacy wrapper constructs internally.
+fn swarm_scenario(cfg: &SwarmExperiment) -> p2plab::core::ScenarioSpec {
+    ScenarioBuilder::new(
+        &cfg.name,
+        TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link),
+    )
+    .machines(cfg.machines)
+    .churn_opt(cfg.churn)
+    .deadline(cfg.deadline)
+    .sample_interval(cfg.sample_interval)
+    .seed(cfg.seed)
+    .build()
+    .expect("valid scenario")
+}
+
+#[test]
+fn legacy_wrapper_and_scenario_run_are_byte_identical() {
+    // The determinism guard of the API redesign: for the same seed, the deprecated
+    // `run_swarm_experiment` wrapper and an explicit `run_scenario` with the swarm workload
+    // must produce identical results in every observable field.
+    let mut cfg = SwarmExperiment::quick();
+    cfg.name = "determinism-guard".into();
+    cfg.leechers = 8;
+
+    let legacy = run_swarm_experiment(&cfg);
+    let scenario = run_scenario(&swarm_scenario(&cfg), SwarmWorkload::new(cfg.clone())).unwrap();
+
+    assert_eq!(legacy.completion_times, scenario.completion_times);
+    assert_eq!(legacy.events_executed, scenario.events_executed);
+    assert_eq!(legacy.net_stats, scenario.net_stats);
+    assert_eq!(legacy.total_downloaded, scenario.total_downloaded);
+    assert_eq!(legacy.completion_curve, scenario.completion_curve);
+    assert_eq!(legacy.progress, scenario.progress);
+    assert_eq!(legacy.completed, scenario.completed);
+    assert_eq!(legacy.finished, scenario.finished);
+    assert_eq!(legacy.stopped_at, scenario.stopped_at);
+    assert_eq!(legacy.seeder_upload_bytes, scenario.seeder_upload_bytes);
+    assert_eq!(legacy.leecher_upload_bytes, scenario.leecher_upload_bytes);
+    assert_eq!(legacy.peak_nic_utilization, scenario.peak_nic_utilization);
+    assert_eq!(legacy.churn_departures, scenario.churn_departures);
+}
+
+#[test]
+fn byte_identity_survives_churn() {
+    // Churn draws from the simulation RNG at schedule time, so it is the part most likely to
+    // diverge if event-scheduling order ever changes between the two paths.
+    let mut cfg = SwarmExperiment::quick();
+    cfg.name = "determinism-guard-churn".into();
+    cfg.leechers = 6;
+    cfg.churn = Some(ChurnSpec {
+        mean_session: SimDuration::from_secs(20),
+        mean_downtime: SimDuration::from_secs(20),
+    });
+    cfg.deadline = SimDuration::from_secs(6000);
+
+    let legacy = run_swarm_experiment(&cfg);
+    let scenario = run_scenario(&swarm_scenario(&cfg), SwarmWorkload::new(cfg.clone())).unwrap();
+
+    assert_eq!(legacy.completion_times, scenario.completion_times);
+    assert_eq!(legacy.events_executed, scenario.events_executed);
+    assert_eq!(legacy.net_stats, scenario.net_stats);
+    assert!(legacy.churn_departures > 0, "churn must actually fire");
+    assert_eq!(legacy.churn_departures, scenario.churn_departures);
+}
+
+#[test]
+fn both_workloads_run_through_the_same_generic_loop() {
+    // One scenario layer, two applications: the swarm and a ping mesh both run via
+    // `run_scenario` with nothing BitTorrent-specific in between.
+    let mut cfg = SwarmExperiment::quick();
+    cfg.name = "generic-swarm".into();
+    cfg.leechers = 4;
+    let swarm = run_scenario(&swarm_scenario(&cfg), SwarmWorkload::new(cfg)).unwrap();
+    assert!(swarm.finished);
+
+    let mesh = PingMeshSpec::full("generic-mesh", 5);
+    let spec = ScenarioBuilder::new(
+        "generic-mesh",
+        TopologySpec::uniform(
+            "generic-mesh",
+            5,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(5)),
+        ),
+    )
+    .machines(2)
+    .arrival_ramp(mesh.arrival_ramp())
+    .deadline(SimDuration::from_secs(120))
+    .sample_interval(SimDuration::from_secs(1))
+    .seed(3)
+    .build()
+    .unwrap();
+    let mesh = run_scenario(&spec, PingMeshWorkload::new(mesh)).unwrap();
+    assert!(mesh.finished, "{}", mesh.summary());
+    assert_eq!(mesh.replies_received, mesh.probes_scheduled);
+    // 5 ms links, two hops each way: at least 20 ms per round trip.
+    assert!(mesh.rtts.iter().all(|d| d.as_millis() >= 20));
+}
+
+#[test]
+fn builder_validation_is_enforced_through_the_facade() {
+    let topo = TopologySpec::uniform(
+        "v",
+        4,
+        AccessLinkClass::symmetric(1_000_000, SimDuration::from_millis(1)),
+    );
+    assert_eq!(
+        ScenarioBuilder::new("v", topo.clone()).machines(0).build(),
+        Err(ScenarioError::NoMachines)
+    );
+    assert_eq!(
+        ScenarioBuilder::new("v", topo.clone())
+            .deadline(SimDuration::ZERO)
+            .build()
+            .unwrap_err(),
+        ScenarioError::ZeroDeadline
+    );
+    assert_eq!(
+        ScenarioBuilder::new("v", topo)
+            .arrival_ramp(SimDuration::from_secs(10))
+            .deadline(SimDuration::from_secs(5))
+            .build()
+            .unwrap_err(),
+        ScenarioError::DeadlineBeforeArrivalRamp {
+            ramp: SimDuration::from_secs(10),
+            deadline: SimDuration::from_secs(5),
+        }
+    );
+}

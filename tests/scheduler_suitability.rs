@@ -1,6 +1,8 @@
 //! Cross-crate integration tests for the host-OS suitability results (Figures 1-3).
 
-use p2plab::os::experiments::{figure1_sweep, figure2_sweep, figure3_fairness, run_batch, BatchConfig};
+use p2plab::os::experiments::{
+    figure1_sweep, figure2_sweep, figure3_fairness, run_batch, BatchConfig,
+};
 use p2plab::os::SchedulerKind;
 
 #[test]

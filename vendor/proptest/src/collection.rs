@@ -1,0 +1,30 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start + 1 >= self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.start..self.size.end)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy for vectors whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

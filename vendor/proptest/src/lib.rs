@@ -1,0 +1,95 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no registry access, so this crate implements the subset of the
+//! proptest API the workspace's property tests use: the `proptest!` macro, `prop_assert*`
+//! macros, `any::<T>()`, range strategies, tuple strategies and `prop::collection::vec`.
+//!
+//! Semantics: each test body runs `PROPTEST_CASES` times (default 64) with inputs sampled from
+//! a deterministic per-test RNG (seeded from the test name), so failures are reproducible.
+//! There is no shrinking — a failing case panics with the sampled inputs left to the assert
+//! message.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::{any, Any, Arbitrary, Strategy};
+
+/// The deterministic RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Returns the number of cases to run per property, honouring `PROPTEST_CASES`.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Builds the deterministic RNG for one case of one named test.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5bd1_e995))
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`, `prop::sample::select(...)`).
+    pub mod prop {
+        /// Collection strategies.
+        pub mod collection {
+            pub use crate::collection::vec;
+        }
+        /// Fixed-collection sampling strategies.
+        pub mod sample {
+            pub use crate::sample::select;
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// that samples the strategies and runs the body for [`cases`] iterations.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            for case in 0..$crate::cases() {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

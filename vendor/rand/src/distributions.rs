@@ -1,0 +1,167 @@
+//! Uniform sampling over ranges.
+
+/// Uniform-distribution machinery (`rand::distributions::uniform`).
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[low, high)` (`inclusive = false`) or `[low, high]`
+        /// (`inclusive = true`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// Range types usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(!self.is_empty(), "cannot sample empty range");
+            T::sample_uniform(self.start, self.end, false, rng)
+        }
+        fn is_empty(&self) -> bool {
+            self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(!self.is_empty(), "cannot sample empty range");
+            T::sample_uniform(*self.start(), *self.end(), true, rng)
+        }
+        fn is_empty(&self) -> bool {
+            matches!(
+                self.start().partial_cmp(self.end()),
+                None | Some(std::cmp::Ordering::Greater)
+            )
+        }
+    }
+
+    /// Maps 64 random bits onto `[0, width)` without modulo bias worth worrying about here
+    /// (Lemire's multiply-shift; the emulator only needs uniformity, not crypto quality).
+    fn bounded_u64<R: RngCore + ?Sized>(width: u64, rng: &mut R) -> u64 {
+        if width == 0 {
+            // Width 0 encodes the full 2^64 range (e.g. `0..=u64::MAX`).
+            return rng.next_u64();
+        }
+        ((rng.next_u64() as u128 * width as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_sample_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let span = (high as u64).wrapping_sub(low as u64);
+                    let width = if inclusive { span.wrapping_add(1) } else { span };
+                    low.wrapping_add(bounded_u64(width, rng) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let span = (high as $u).wrapping_sub(low as $u) as u64;
+                    let width = if inclusive { span.wrapping_add(1) } else { span };
+                    low.wrapping_add(bounded_u64(width, rng) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = low + (high - low) * unit;
+            // Guard against rounding up to `high` on a half-open range.
+            if v >= high {
+                low.max(high - (high - low) * f64::EPSILON)
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
+            f64::sample_uniform(low as f64, high as f64, inclusive, rng) as f32
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::SmallRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn ranges_stay_in_bounds() {
+            let mut rng = SmallRng::seed_from_u64(42);
+            for _ in 0..10_000 {
+                let v: u32 = (10u32..20).sample_single(&mut rng);
+                assert!((10..20).contains(&v));
+                let w: u8 = (8u8..=30).sample_single(&mut rng);
+                assert!((8..=30).contains(&w));
+                let f: f64 = (f64::MIN_POSITIVE..1.0).sample_single(&mut rng);
+                assert!(f > 0.0 && f < 1.0);
+            }
+        }
+
+        #[test]
+        fn full_u64_range_is_usable() {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut any_high = false;
+            for _ in 0..64 {
+                let v: u64 = (0u64..u64::MAX).sample_single(&mut rng);
+                any_high |= v > u64::MAX / 2;
+            }
+            assert!(any_high);
+        }
+
+        #[test]
+        fn rough_uniformity() {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let n = 100_000;
+            let mean = (0..n)
+                .map(|_| (0u32..1000).sample_single(&mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!((mean - 499.5).abs() < 10.0, "mean={mean}");
+        }
+    }
+}

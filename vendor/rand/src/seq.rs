@@ -1,0 +1,109 @@
+//! Slice helpers: shuffle, choose, choose_multiple.
+
+use crate::distributions::uniform::SampleRange;
+use crate::RngCore;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher-Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Up to `amount` distinct elements, uniformly chosen without replacement.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+}
+
+/// Iterator over elements picked by [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    items: std::vec::IntoIter<&'a T>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        self.items.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.items.size_hint()
+    }
+}
+
+impl<'a, T> ExactSizeIterator for SliceChooseIter<'a, T> {}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample_single(rng)])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        // Partial Fisher-Yates over an index vector: the first `amount` slots end up holding a
+        // uniform sample without replacement.
+        let amount = amount.min(self.len());
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = (i..indices.len()).sample_single(rng);
+            indices.swap(i, j);
+        }
+        let picked: Vec<&T> = indices[..amount].iter().map(|&i| &self[i]).collect();
+        SliceChooseIter {
+            items: picked.into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_permutes_and_choose_is_in_slice() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+        assert!(Vec::<u32>::new().choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_is_without_replacement() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let v: Vec<u32> = (0..50).collect();
+        let mut picked: Vec<u32> = v.choose_multiple(&mut rng, 20).copied().collect();
+        assert_eq!(picked.len(), 20);
+        picked.sort_unstable();
+        picked.dedup();
+        assert_eq!(picked.len(), 20);
+        assert_eq!(v.choose_multiple(&mut rng, 500).count(), 50);
+    }
+}

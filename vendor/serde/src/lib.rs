@@ -1,0 +1,14 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace uses serde only through `#[derive(Serialize, Deserialize)]` markers — nothing
+//! is ever serialized to a concrete format, and no generic code bounds on the traits. This stub
+//! provides the two trait names plus the (no-op) derive macros so the real `serde` can be
+//! swapped back in without source changes when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

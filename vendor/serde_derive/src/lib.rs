@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this workspace actually
+//! serializes data (the derives only mark types as serializable for downstream users), so the
+//! derive macros expand to nothing. They still accept the `#[serde(...)]` helper attribute so
+//! annotated types keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
