@@ -6,10 +6,12 @@
 //! * [`deploy`] — fold virtual nodes onto physical machines, configure interface aliases and
 //!   generate the per-machine dummynet/IPFW rules (the decentralized network-emulation model);
 //! * [`scenario`] — the workload-agnostic experiment layer: the [`Workload`] trait,
-//!   [`ScenarioBuilder`] and the single generic [`run_scenario`] loop every experiment runs
-//!   through;
-//! * [`workloads`] — the first-class workloads: the BitTorrent swarm of the evaluation section
-//!   and the ping-mesh latency probe;
+//!   [`ScenarioBuilder`], the single generic [`run_scenario`] loop every experiment runs
+//!   through, and the arrival/session process library
+//!   ([`scenario::processes`]: Poisson, uniform-ramp, flash-crowd and trace arrivals;
+//!   exponential, Pareto and trace-driven churn sessions);
+//! * [`workloads`] — the first-class workloads: the BitTorrent swarm of the evaluation section,
+//!   the ping-mesh latency probe and the gossip (epidemic broadcast) workload;
 //! * [`experiment`] — the BitTorrent experiment descriptions of the evaluation section
 //!   (Figures 8-11) and the legacy [`run_swarm_experiment`] wrapper;
 //! * [`accuracy`] — the emulation-accuracy experiments (rule-count scaling of Figure 6, the
@@ -41,6 +43,10 @@ pub use experiment::{run_swarm_experiment, SwarmExperiment, SwarmResult};
 pub use monitor::{MachineSample, ResourceMonitor};
 pub use report::{ascii_plot, points_to_csv, render_table, series_to_csv};
 pub use scenario::{
-    run_scenario, ChurnSpec, ScenarioBuilder, ScenarioError, ScenarioRun, ScenarioSpec, Workload,
+    run_scenario, ArrivalProcess, ArrivalSchedule, ArrivalSpec, ChurnSpec, ScenarioBuilder,
+    ScenarioError, ScenarioRun, ScenarioSpec, SessionProcess, Workload,
 };
-pub use workloads::{MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload, SwarmWorkload};
+pub use workloads::{
+    GossipResult, GossipSpec, GossipWorkload, MeshPattern, PingMeshResult, PingMeshSpec,
+    PingMeshWorkload, SwarmWorkload,
+};

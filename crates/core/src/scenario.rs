@@ -7,10 +7,17 @@
 //! [`ScenarioBuilder`] into a [`ScenarioSpec`], and [`run_scenario`] drives any application that
 //! implements [`Workload`] through the same deploy → schedule → run → sample → finalize loop.
 //!
-//! Two first-class workloads ship with the framework (see [`crate::workloads`]): the BitTorrent
-//! swarm of the paper's evaluation and a ping-mesh latency probe built on the echo application
-//! from the accuracy experiments. Every new scenario is expected to follow the same pattern:
-//! implement [`Workload`], then run it with [`run_scenario`].
+//! Three first-class workloads ship with the framework (see [`crate::workloads`]): the
+//! BitTorrent swarm of the paper's evaluation, a ping-mesh latency probe built on the echo
+//! application from the accuracy experiments, and an epidemic-broadcast (gossip) workload.
+//! Every new scenario is expected to follow the same pattern: implement [`Workload`], then run
+//! it with [`run_scenario`].
+//!
+//! Participant dynamics — *when nodes join* and *how long they stay* — are owned by the
+//! scenario layer's process library ([`processes`]): the runner resolves the scenario's
+//! [`ArrivalSpec`] into a concrete [`ArrivalSchedule`] and hands it (plus the optional
+//! [`SessionProcess`]) to the workload. Workloads consume these schedules; they do not
+//! re-derive them.
 //!
 //! ```
 //! use p2plab_core::scenario::{run_scenario, ScenarioBuilder};
@@ -31,26 +38,22 @@
 //! assert!(result.finished);
 //! ```
 
+pub mod processes;
+
 use crate::deploy::{deploy, Deployment, DeploymentSpec};
 use crate::monitor::ResourceMonitor;
 use p2plab_net::{NetError, Network, NetworkConfig, TopologySpec};
-use p2plab_sim::{schedule_periodic, RunOutcome, SimDuration, SimTime, Simulation, TimeSeries};
-use serde::{Deserialize, Serialize};
+use p2plab_sim::{
+    schedule_periodic, RunOutcome, SimDuration, SimRng, SimTime, Simulation, TimeSeries,
+};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-/// Node churn model: nodes alternate between online sessions and offline periods, both
-/// exponentially distributed. How departures and rejoins map onto application actions is up to
-/// each [`Workload::schedule_churn`] implementation (the BitTorrent workload stops and restarts
-/// clients until their download completes, as in the paper's extension experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ChurnSpec {
-    /// Mean online-session duration.
-    pub mean_session: SimDuration,
-    /// Mean offline duration between sessions.
-    pub mean_downtime: SimDuration,
-}
+pub use processes::{
+    schedule_session_chain, ArrivalProcess, ArrivalSchedule, ArrivalSpec, ChurnSpec,
+    FlashCrowdProcess, PoissonProcess, RampProcess, SessionAction, SessionProcess, TraceProcess,
+};
 
 /// An application that can be run by [`run_scenario`].
 ///
@@ -79,17 +82,35 @@ pub trait Workload {
     /// least this many.
     fn vnodes_required(&self) -> usize;
 
+    /// Number of participants whose arrival instants come from the scenario's arrival process
+    /// (downloaders for the swarm, probe pairs for the ping mesh, nodes for gossip).
+    fn participants(&self) -> usize;
+
+    /// The workload's natural arrival pattern, used when the scenario does not override it
+    /// with [`ScenarioBuilder::arrivals`].
+    fn default_arrivals(&self) -> ArrivalSpec;
+
     /// Builds the simulation world from the finished deployment.
     fn build_world(&mut self, deployment: Deployment) -> Self::World;
 
     /// Schedules the infrastructure that comes online before any arrivals.
     fn on_deployed(&mut self, sim: &mut Simulation<Self::World>);
 
-    /// Schedules the participants' arrival events.
-    fn schedule_arrivals(&mut self, sim: &mut Simulation<Self::World>);
+    /// Schedules the participants' arrival events. `arrivals` holds one concrete instant per
+    /// participant, drawn by the runner from the scenario's arrival process — the workload
+    /// consumes the schedule, it does not re-derive it.
+    fn schedule_arrivals(&mut self, sim: &mut Simulation<Self::World>, arrivals: &ArrivalSchedule);
 
-    /// Applies the churn model. The default implementation ignores churn.
-    fn schedule_churn(&mut self, _sim: &mut Simulation<Self::World>, _churn: ChurnSpec) {}
+    /// Applies the session (churn) process. `arrivals` is the same schedule handed to
+    /// [`schedule_arrivals`](Workload::schedule_arrivals), so churn chains can anchor on each
+    /// participant's actual join time. The default implementation ignores churn.
+    fn schedule_churn(
+        &mut self,
+        _sim: &mut Simulation<Self::World>,
+        _sessions: &SessionProcess,
+        _arrivals: &ArrivalSchedule,
+    ) {
+    }
 
     /// Access to the emulated network inside the world (for resource monitoring).
     fn network(world: &Self::World) -> &Network;
@@ -117,8 +138,11 @@ pub struct ScenarioSpec {
     pub deployment: DeploymentSpec,
     /// Data-plane tunables of the emulated network.
     pub network: NetworkConfig,
-    /// Optional node-churn model, interpreted by the workload.
-    pub churn: Option<ChurnSpec>,
+    /// Optional override of the workload's arrival process. When `None`, the runner uses
+    /// [`Workload::default_arrivals`].
+    pub arrivals: Option<ArrivalSpec>,
+    /// Optional session (churn) process, interpreted by the workload.
+    pub sessions: Option<SessionProcess>,
     /// Hard stop for the experiment (virtual time).
     pub deadline: SimDuration,
     /// Sampling period of the progress curve and the resource monitor.
@@ -157,6 +181,18 @@ pub enum ScenarioError {
         /// The configured deadline.
         deadline: SimDuration,
     },
+    /// The arrival process is degenerate (non-finite or non-positive rate, unsorted or
+    /// too-short trace).
+    InvalidArrivals {
+        /// What is wrong with the arrival process.
+        reason: String,
+    },
+    /// The session (churn) process is degenerate — zero or non-finite means would draw
+    /// zero-length sessions and spin depart/rejoin events at one instant forever.
+    InvalidChurn {
+        /// What is wrong with the session process.
+        reason: String,
+    },
     /// The topology has fewer virtual nodes than the workload needs.
     TopologyTooSmall {
         /// Nodes the workload requires.
@@ -181,6 +217,12 @@ impl fmt::Display for ScenarioError {
                 f,
                 "deadline {deadline} ends before the arrival ramp {ramp} completes"
             ),
+            ScenarioError::InvalidArrivals { reason } => {
+                write!(f, "invalid arrival process: {reason}")
+            }
+            ScenarioError::InvalidChurn { reason } => {
+                write!(f, "invalid churn/session process: {reason}")
+            }
             ScenarioError::TopologyTooSmall { needed, available } => write!(
                 f,
                 "workload needs {needed} virtual nodes but the topology provides {available}"
@@ -210,7 +252,8 @@ impl ScenarioBuilder {
                 topology,
                 deployment: DeploymentSpec::new(1),
                 network: NetworkConfig::default(),
-                churn: None,
+                arrivals: None,
+                sessions: None,
                 deadline: SimDuration::from_secs(3600),
                 sample_interval: SimDuration::from_secs(10),
                 monitor_resources: true,
@@ -238,16 +281,30 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Applies a churn model to the workload's participants.
+    /// Overrides the workload's natural arrival pattern with an explicit arrival process
+    /// (Poisson, uniform ramp, flash crowd or trace).
+    pub fn arrivals(mut self, arrivals: ArrivalSpec) -> Self {
+        self.spec.arrivals = Some(arrivals);
+        self
+    }
+
+    /// Applies a session (churn) process to the workload's participants.
+    pub fn sessions(mut self, sessions: SessionProcess) -> Self {
+        self.spec.sessions = Some(sessions);
+        self
+    }
+
+    /// Applies an exponential churn model to the workload's participants (shorthand for
+    /// [`sessions`](ScenarioBuilder::sessions) with the exponential process).
     pub fn churn(mut self, churn: ChurnSpec) -> Self {
-        self.spec.churn = Some(churn);
+        self.spec.sessions = Some(churn.into());
         self
     }
 
     /// Applies an optional churn model (convenience for porting configs that carry
     /// `Option<ChurnSpec>`).
     pub fn churn_opt(mut self, churn: Option<ChurnSpec>) -> Self {
-        self.spec.churn = churn;
+        self.spec.sessions = churn.map(SessionProcess::from);
         self
     }
 
@@ -315,6 +372,16 @@ impl ScenarioSpec {
                 });
             }
         }
+        if let Some(arrivals) = &self.arrivals {
+            arrivals
+                .validate()
+                .map_err(|reason| ScenarioError::InvalidArrivals { reason })?;
+        }
+        if let Some(sessions) = &self.sessions {
+            sessions
+                .validate()
+                .map_err(|reason| ScenarioError::InvalidChurn { reason })?;
+        }
         Ok(())
     }
 }
@@ -344,9 +411,13 @@ pub struct ScenarioRun {
     pub monitor: Option<ResourceMonitor>,
 }
 
-/// Runs `workload` under `spec`: deploy and fold the topology, build the world, schedule
-/// infrastructure / arrivals / churn, run to completion or deadline while sampling progress and
-/// machine resources, then let the workload turn everything into its output type.
+/// Runs `workload` under `spec`: deploy and fold the topology, build the world, draw the
+/// arrival schedule from the scenario's arrival process, schedule infrastructure / arrivals /
+/// churn, run to completion or deadline while sampling progress and machine resources, then let
+/// the workload turn everything into its output type.
+///
+/// Arrival instants are drawn from a dedicated RNG stream (split off the scenario seed by
+/// label), so switching arrival processes never perturbs the draws the simulation itself makes.
 ///
 /// This is the single generic experiment loop of the framework — the BitTorrent runner
 /// [`crate::run_swarm_experiment`] is a thin wrapper over it, and every new workload uses it
@@ -362,6 +433,27 @@ pub fn run_scenario<W: Workload + 'static>(
         return Err(ScenarioError::TopologyTooSmall { needed, available });
     }
 
+    // Resolve the arrival process (scenario override or the workload's natural pattern) into
+    // one concrete instant per participant.
+    let arrival_spec = spec
+        .arrivals
+        .clone()
+        .unwrap_or_else(|| workload.default_arrivals());
+    let mut arrival_rng = SimRng::new(spec.seed).split("scenario-arrivals");
+    let arrivals = arrival_spec
+        .schedule(workload.participants(), &mut arrival_rng)
+        .map_err(|reason| ScenarioError::InvalidArrivals { reason })?;
+    // The builder can only check a *declared* ramp; here the concrete schedule is known, so a
+    // deadline that ends before the last participant even joins is rejected outright instead
+    // of silently dropping the tail of the crowd.
+    let ramp = arrivals.ramp();
+    if spec.deadline < ramp {
+        return Err(ScenarioError::DeadlineBeforeArrivalRamp {
+            ramp,
+            deadline: spec.deadline,
+        });
+    }
+
     let deployment = deploy(&spec.topology, spec.deployment, spec.network)
         .map_err(ScenarioError::DeploymentFailed)?;
 
@@ -370,9 +462,9 @@ pub fn run_scenario<W: Workload + 'static>(
     let mut sim = Simulation::new(world, spec.seed);
 
     workload.on_deployed(&mut sim);
-    workload.schedule_arrivals(&mut sim);
-    if let Some(churn) = spec.churn {
-        workload.schedule_churn(&mut sim, churn);
+    workload.schedule_arrivals(&mut sim, &arrivals);
+    if let Some(sessions) = &spec.sessions {
+        workload.schedule_churn(&mut sim, sessions, &arrivals);
     }
 
     // Periodic sampling of the workload's progress metric and of the physical machines' NIC
@@ -502,6 +594,66 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_degenerate_churn() {
+        // Regression: a zero mean-session or mean-downtime used to pass validation and then
+        // livelock `schedule_departure` by drawing zero-length exponential delays — the
+        // depart/rejoin pair re-fired at the same instant until the event budget died.
+        let err = ScenarioBuilder::new("bad", topo(4))
+            .churn(ChurnSpec {
+                mean_session: SimDuration::ZERO,
+                mean_downtime: SimDuration::from_secs(10),
+            })
+            .build();
+        assert!(
+            matches!(err, Err(ScenarioError::InvalidChurn { .. })),
+            "{err:?}"
+        );
+        let err = ScenarioBuilder::new("bad", topo(4))
+            .churn(ChurnSpec {
+                mean_session: SimDuration::from_secs(10),
+                mean_downtime: SimDuration::ZERO,
+            })
+            .build();
+        assert!(
+            matches!(err, Err(ScenarioError::InvalidChurn { .. })),
+            "{err:?}"
+        );
+        // The generalized session processes are validated through the same gate.
+        let err = ScenarioBuilder::new("bad", topo(4))
+            .sessions(SessionProcess::Pareto {
+                scale_session: SimDuration::from_secs(10),
+                shape: f64::NAN,
+                mean_downtime: SimDuration::from_secs(5),
+            })
+            .build();
+        assert!(
+            matches!(err, Err(ScenarioError::InvalidChurn { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_arrivals() {
+        let err = ScenarioBuilder::new("bad", topo(4))
+            .arrivals(ArrivalSpec::poisson(f64::NAN))
+            .build();
+        assert!(
+            matches!(err, Err(ScenarioError::InvalidArrivals { .. })),
+            "{err:?}"
+        );
+        let err = ScenarioBuilder::new("bad", topo(4))
+            .arrivals(ArrivalSpec::trace(vec![
+                SimDuration::from_secs(3),
+                SimDuration::from_secs(1),
+            ]))
+            .build();
+        assert!(
+            matches!(err, Err(ScenarioError::InvalidArrivals { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn errors_display_something_readable() {
         for e in [
             ScenarioError::NoMachines,
@@ -511,6 +663,12 @@ mod tests {
             ScenarioError::DeadlineBeforeArrivalRamp {
                 ramp: SimDuration::from_secs(2),
                 deadline: SimDuration::from_secs(1),
+            },
+            ScenarioError::InvalidArrivals {
+                reason: "rate must be positive".into(),
+            },
+            ScenarioError::InvalidChurn {
+                reason: "mean session duration must be positive".into(),
             },
             ScenarioError::TopologyTooSmall {
                 needed: 5,

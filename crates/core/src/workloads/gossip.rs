@@ -1,0 +1,476 @@
+//! Epidemic broadcast (gossip) as a [`Workload`].
+//!
+//! The third first-class workload of the scenario layer, and the one that exercises the arrival
+//! library hardest: a rumor starts at the first node to arrive and spreads by periodic push
+//! gossip — every informed, online node picks `fanout` random peers each round and sends them
+//! the rumor. Nodes join the overlay at the instants the scenario's arrival process draws
+//! (steady ramp, Poisson, flash crowd, replayed trace), may churn offline and back via the
+//! session process, and the measured quantity is the dissemination curve: how fast the rumor
+//! reaches everyone under each arrival and churn regime.
+
+use crate::deploy::Deployment;
+use crate::scenario::{
+    schedule_session_chain, ArrivalSchedule, ArrivalSpec, ScenarioRun, SessionProcess, Workload,
+};
+use p2plab_net::{send_datagram, NetHost, NetStats, Network, SockEvent, SocketAddr, VNodeId};
+use p2plab_sim::{schedule_periodic, RunOutcome, SimDuration, SimTime, Simulation, TimeSeries};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The UDP-like port the gossip protocol runs on.
+pub const GOSSIP_PORT: u16 = 4100;
+
+/// Description of a gossip experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GossipSpec {
+    /// Name used in reports.
+    pub name: String,
+    /// Number of gossiping nodes.
+    pub nodes: usize,
+    /// How many random peers each informed node pushes the rumor to per round.
+    pub fanout: usize,
+    /// Spacing between a node's gossip rounds.
+    pub round_interval: SimDuration,
+    /// Rumor payload size in bytes.
+    pub rumor_bytes: u64,
+}
+
+impl GossipSpec {
+    /// A gossip experiment over `nodes` nodes with fanout 3, 1 s rounds and a 256-byte rumor.
+    pub fn new(name: impl Into<String>, nodes: usize) -> GossipSpec {
+        assert!(nodes >= 2, "gossip needs at least two nodes");
+        GossipSpec {
+            name: name.into(),
+            nodes,
+            fanout: 3,
+            round_interval: SimDuration::from_secs(1),
+            rumor_bytes: 256,
+        }
+    }
+}
+
+/// Payload of the gossip protocol: the rumor, tagged with how many hops it has travelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rumor {
+    /// Number of forwarding hops since the origin.
+    pub hops: u32,
+}
+
+/// The gossip world: the emulated network plus per-node arrival/infection state.
+pub struct GossipWorld {
+    /// The emulated network.
+    pub net: Network,
+    /// Virtual-node handles, indexed by gossip node id.
+    pub vnodes: Vec<VNodeId>,
+    /// Whether each node is currently online (arrived and not churned away).
+    pub online: Vec<bool>,
+    /// When each node first heard the rumor.
+    pub informed_at: Vec<Option<SimTime>>,
+    /// Number of informed nodes.
+    pub informed: usize,
+    /// Rumor datagrams pushed so far.
+    pub rumors_sent: u64,
+    /// Rumor datagrams that reached an already-informed node.
+    pub duplicate_receipts: u64,
+    /// Rumor datagrams that reached a node that was offline (not yet arrived or churned away).
+    pub missed_receipts: u64,
+    rumor_bytes: u64,
+    fanout: usize,
+    round_interval: SimDuration,
+    vnode_index: HashMap<VNodeId, usize>,
+}
+
+impl GossipWorld {
+    fn new(net: Network, vnodes: Vec<VNodeId>, spec: &GossipSpec) -> GossipWorld {
+        let n = spec.nodes;
+        // Rumor receipts resolve the receiving vnode through this map; a linear scan per
+        // datagram would make every gossip round O(nodes^2).
+        let vnode_index = vnodes
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        GossipWorld {
+            net,
+            vnodes,
+            vnode_index,
+            online: vec![false; n],
+            informed_at: vec![None; n],
+            informed: 0,
+            rumors_sent: 0,
+            duplicate_receipts: 0,
+            missed_receipts: 0,
+            rumor_bytes: spec.rumor_bytes,
+            fanout: spec.fanout,
+            round_interval: spec.round_interval,
+        }
+    }
+
+    /// Number of gossiping nodes.
+    pub fn nodes(&self) -> usize {
+        self.online.len()
+    }
+
+    /// True once every node has heard the rumor.
+    pub fn fully_informed(&self) -> bool {
+        self.informed >= self.nodes()
+    }
+
+    fn index_of(&self, vnode: VNodeId) -> Option<usize> {
+        self.vnode_index.get(&vnode).copied()
+    }
+}
+
+impl NetHost for GossipWorld {
+    type Payload = Rumor;
+
+    fn network(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<Rumor>) {
+        if let SockEvent::Datagram {
+            payload: Rumor { hops },
+            ..
+        } = event
+        {
+            let Some(idx) = sim.world().index_of(node) else {
+                return;
+            };
+            let world = sim.world_mut();
+            if !world.online[idx] {
+                // The node has not arrived yet (or is churned away): it misses the rumor and
+                // must be re-infected by a later round once it is back online.
+                world.missed_receipts += 1;
+            } else if world.informed_at[idx].is_some() {
+                world.duplicate_receipts += 1;
+            } else {
+                start_gossip(sim, idx, hops + 1);
+            }
+        }
+    }
+}
+
+/// Marks node `idx` informed (hop count `hops`) and starts its periodic gossip rounds. The
+/// rounds stop on their own once the whole overlay is informed, so the event queue drains
+/// instead of ticking until the deadline.
+fn start_gossip(sim: &mut Simulation<GossipWorld>, idx: usize, hops: u32) {
+    let now = sim.now();
+    let round = sim.world().round_interval;
+    {
+        let world = sim.world_mut();
+        if world.informed_at[idx].is_some() {
+            return;
+        }
+        world.informed_at[idx] = Some(now);
+        world.informed += 1;
+        if world.fully_informed() {
+            return;
+        }
+    }
+    schedule_periodic(sim, now, round, move |sim| {
+        if sim.world().fully_informed() {
+            return false;
+        }
+        if sim.world().online[idx] {
+            push_rumor(sim, idx, hops);
+        }
+        true
+    });
+}
+
+/// Pushes the rumor from `idx` to `fanout` random peers (sampled with replacement, self
+/// excluded — the classic blind-push peer selection; pushes to offline peers are simply
+/// missed).
+fn push_rumor(sim: &mut Simulation<GossipWorld>, idx: usize, hops: u32) {
+    let n = sim.world().nodes();
+    let fanout = sim.world().fanout;
+    for _ in 0..fanout {
+        let mut target = sim.rng().gen_range(0..n - 1);
+        if target >= idx {
+            target += 1;
+        }
+        let world = sim.world_mut();
+        let from = world.vnodes[idx];
+        let to_addr = world.net.addr_of(world.vnodes[target]);
+        let size = world.rumor_bytes;
+        world.rumors_sent += 1;
+        let _ = send_datagram(
+            sim,
+            from,
+            GOSSIP_PORT,
+            SocketAddr::new(to_addr, GOSSIP_PORT),
+            size,
+            Rumor { hops },
+        );
+    }
+}
+
+/// Everything a gossip run produces.
+#[derive(Debug, Clone)]
+pub struct GossipResult {
+    /// The experiment name.
+    pub name: String,
+    /// Folding ratio of the deployment.
+    pub folding_ratio: f64,
+    /// Number of gossiping nodes.
+    pub nodes: usize,
+    /// Configured fanout.
+    pub fanout: usize,
+    /// Nodes that heard the rumor before the run stopped.
+    pub informed: usize,
+    /// When each node first heard the rumor, indexed by node.
+    pub informed_at: Vec<Option<SimTime>>,
+    /// Virtual time at which the last node was informed, when dissemination completed.
+    pub time_to_full: Option<SimTime>,
+    /// Informed-node count over time (the scenario progress metric).
+    pub dissemination: TimeSeries,
+    /// Rumor datagrams pushed.
+    pub rumors_sent: u64,
+    /// Rumors that reached already-informed nodes.
+    pub duplicate_receipts: u64,
+    /// Rumors that reached offline nodes.
+    pub missed_receipts: u64,
+    /// Whether every node was informed before the deadline.
+    pub finished: bool,
+    /// Virtual time when the run stopped.
+    pub stopped_at: SimTime,
+    /// Number of simulation events executed.
+    pub events_executed: u64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Data-plane counters of the emulated network.
+    pub net_stats: NetStats,
+    /// Highest NIC utilization reached by any physical machine.
+    pub peak_nic_utilization: f64,
+}
+
+impl GossipResult {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}/{} nodes informed{}, {} rumors sent ({} duplicates), folding {:.0}:1",
+            self.name,
+            self.informed,
+            self.nodes,
+            self.time_to_full
+                .map(|t| format!(" (full at {t})"))
+                .unwrap_or_default(),
+            self.rumors_sent,
+            self.duplicate_receipts,
+            self.folding_ratio,
+        )
+    }
+}
+
+/// The epidemic-broadcast workload over the scenario's topology.
+#[derive(Debug, Clone)]
+pub struct GossipWorkload {
+    spec: GossipSpec,
+}
+
+impl GossipWorkload {
+    /// Wraps a gossip description as a workload.
+    pub fn new(spec: GossipSpec) -> GossipWorkload {
+        GossipWorkload { spec }
+    }
+
+    /// The gossip description this workload runs.
+    pub fn config(&self) -> &GossipSpec {
+        &self.spec
+    }
+}
+
+impl Workload for GossipWorkload {
+    type World = GossipWorld;
+    type Output = GossipResult;
+
+    fn vnodes_required(&self) -> usize {
+        self.spec.nodes
+    }
+
+    fn participants(&self) -> usize {
+        self.spec.nodes
+    }
+
+    fn default_arrivals(&self) -> ArrivalSpec {
+        // A steady one-node-per-second join ramp; scenarios interested in crowd dynamics
+        // override this with Poisson / flash-crowd / trace arrivals.
+        ArrivalSpec::ramp(SimDuration::ZERO, SimDuration::from_secs(1))
+    }
+
+    fn build_world(&mut self, deployment: Deployment) -> GossipWorld {
+        GossipWorld::new(deployment.net, deployment.vnodes, &self.spec)
+    }
+
+    fn on_deployed(&mut self, _sim: &mut Simulation<GossipWorld>) {
+        // Nothing exists before the first arrival: the origin is the first node to join.
+    }
+
+    fn schedule_arrivals(&mut self, sim: &mut Simulation<GossipWorld>, arrivals: &ArrivalSchedule) {
+        for (k, &at) in arrivals.times().iter().enumerate() {
+            sim.schedule_at(at, move |sim| {
+                sim.world_mut().online[k] = true;
+                // The first participant to arrive carries the rumor.
+                if k == 0 {
+                    start_gossip(sim, k, 0);
+                }
+            });
+        }
+    }
+
+    fn schedule_churn(
+        &mut self,
+        sim: &mut Simulation<GossipWorld>,
+        sessions: &SessionProcess,
+        arrivals: &ArrivalSchedule,
+    ) {
+        // Every node alternates online sessions and offline periods; offline nodes miss rumors
+        // and are re-infected by later rounds after they rejoin. The depart/rejoin chain is
+        // the scenario layer's shared helper and ends once the overlay is fully informed.
+        let sessions = Rc::new(sessions.clone());
+        for k in 0..self.spec.nodes {
+            let first_start = arrivals.get(k).unwrap_or(SimTime::ZERO);
+            let depart = Rc::new(move |sim: &mut Simulation<GossipWorld>| {
+                if sim.world().fully_informed() || !sim.world().online[k] {
+                    return false;
+                }
+                sim.world_mut().online[k] = false;
+                true
+            });
+            let rejoin = Rc::new(move |sim: &mut Simulation<GossipWorld>| {
+                sim.world_mut().online[k] = true;
+                !sim.world().fully_informed()
+            });
+            schedule_session_chain(sim, first_start, sessions.clone(), 0, depart, rejoin);
+        }
+    }
+
+    fn network(world: &GossipWorld) -> &Network {
+        &world.net
+    }
+
+    fn sample(&self, _now: SimTime, world: &GossipWorld) -> f64 {
+        world.informed as f64
+    }
+
+    fn is_complete(&self, world: &GossipWorld) -> bool {
+        world.fully_informed()
+    }
+
+    fn finalize(self, world: GossipWorld, run: ScenarioRun) -> GossipResult {
+        let time_to_full = world
+            .fully_informed()
+            .then(|| world.informed_at.iter().filter_map(|&t| t).max())
+            .flatten();
+        GossipResult {
+            name: run.name,
+            folding_ratio: run.folding_ratio,
+            nodes: self.spec.nodes,
+            fanout: self.spec.fanout,
+            informed: world.informed,
+            finished: world.fully_informed(),
+            informed_at: world.informed_at,
+            time_to_full,
+            dissemination: run.samples,
+            rumors_sent: world.rumors_sent,
+            duplicate_receipts: world.duplicate_receipts,
+            missed_receipts: world.missed_receipts,
+            stopped_at: run.stopped_at,
+            events_executed: run.events_executed,
+            outcome: run.outcome,
+            net_stats: world.net.stats(),
+            peak_nic_utilization: run.peak_nic_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, ChurnSpec, ScenarioBuilder};
+    use p2plab_net::{AccessLinkClass, TopologySpec};
+
+    fn lan(n: usize) -> TopologySpec {
+        TopologySpec::uniform(
+            "lan",
+            n,
+            AccessLinkClass::symmetric(100_000_000, SimDuration::from_micros(500)),
+        )
+    }
+
+    fn scenario(name: &str, n: usize) -> ScenarioBuilder {
+        ScenarioBuilder::new(name, lan(n))
+            .machines(4)
+            .deadline(SimDuration::from_secs(600))
+            .sample_interval(SimDuration::from_secs(1))
+            .seed(11)
+    }
+
+    #[test]
+    fn rumor_reaches_every_node() {
+        let spec = GossipSpec::new("gossip16", 16);
+        let s = scenario("gossip16", 16).build().unwrap();
+        let r = run_scenario(&s, GossipWorkload::new(spec)).unwrap();
+        assert!(r.finished, "{}", r.summary());
+        assert_eq!(r.informed, 16);
+        assert!(r.informed_at.iter().all(|t| t.is_some()));
+        assert!(r.time_to_full.is_some());
+        // The origin is informed first.
+        let origin = r.informed_at[0].unwrap();
+        assert!(r.informed_at.iter().all(|&t| t.unwrap() >= origin));
+        assert!(r.rumors_sent > 0);
+        // Dissemination curve is non-decreasing and ends at the node count.
+        let samples = r.dissemination.samples();
+        assert!(samples.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(samples.last().unwrap().1, 16.0);
+    }
+
+    #[test]
+    fn flash_crowd_arrivals_disseminate() {
+        let spec = GossipSpec::new("gossip-flash", 24);
+        let s = scenario("gossip-flash", 24)
+            .arrivals(ArrivalSpec::flash_crowd(
+                0.2,
+                SimDuration::from_secs(30),
+                20.0,
+            ))
+            .build()
+            .unwrap();
+        let r = run_scenario(&s, GossipWorkload::new(spec)).unwrap();
+        assert!(r.finished, "{}", r.summary());
+        assert_eq!(r.informed, 24);
+    }
+
+    #[test]
+    fn gossip_survives_churn() {
+        let spec = GossipSpec::new("gossip-churn", 12);
+        let s = scenario("gossip-churn", 12)
+            .churn(ChurnSpec {
+                mean_session: SimDuration::from_secs(20),
+                mean_downtime: SimDuration::from_secs(10),
+            })
+            .build()
+            .unwrap();
+        let r = run_scenario(&s, GossipWorkload::new(spec)).unwrap();
+        assert!(r.finished, "{}", r.summary());
+        assert_eq!(r.informed, 12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let spec = GossipSpec::new("gossip-det", 10);
+            let s = scenario("gossip-det", 10).seed(seed).build().unwrap();
+            run_scenario(&s, GossipWorkload::new(spec)).unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        let c = run(6);
+        assert_eq!(a.informed_at, b.informed_at);
+        assert_eq!(a.events_executed, b.events_executed);
+        assert_ne!(a.informed_at, c.informed_at);
+    }
+}

@@ -5,10 +5,18 @@
 //!
 //! * [`SwarmWorkload`] — the BitTorrent swarm of the paper's evaluation (Figures 8-11);
 //! * [`PingMeshWorkload`] — an all-pairs/ring latency probe built on the echo application the
-//!   paper uses for its accuracy experiments.
+//!   paper uses for its accuracy experiments;
+//! * [`GossipWorkload`] — epidemic broadcast with configurable fanout, driven by the scenario
+//!   layer's arrival and session processes (flash crowds, Poisson joins, churn).
+//!
+//! Arrival and churn schedules come from the scenario layer
+//! ([`scenario::processes`](crate::scenario::processes)); workloads consume them, they do not
+//! re-derive them.
 
+pub mod gossip;
 pub mod ping_mesh;
 pub mod swarm;
 
+pub use gossip::{GossipResult, GossipSpec, GossipWorkload, GossipWorld, Rumor, GOSSIP_PORT};
 pub use ping_mesh::{MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload};
 pub use swarm::SwarmWorkload;

@@ -9,7 +9,7 @@
 //! express, proving the [`Workload`] abstraction carries more than BitTorrent.
 
 use crate::deploy::Deployment;
-use crate::scenario::{ScenarioRun, Workload};
+use crate::scenario::{ArrivalSchedule, ArrivalSpec, ScenarioRun, Workload};
 use p2plab_net::ping::{ping, PingWorld};
 use p2plab_net::{NetStats, Network, VNodeId};
 use p2plab_sim::{RunOutcome, SimDuration, SimTime, Simulation, Summary, TimeSeries};
@@ -199,6 +199,16 @@ impl Workload for PingMeshWorkload {
         self.spec.nodes
     }
 
+    fn participants(&self) -> usize {
+        self.spec.pair_count()
+    }
+
+    fn default_arrivals(&self) -> ArrivalSpec {
+        // One probe stream per pair, offset by the configured stagger so distinct pairs never
+        // all fire on the same instant.
+        ArrivalSpec::ramp(SimDuration::ZERO, self.spec.stagger)
+    }
+
     fn build_world(&mut self, deployment: Deployment) -> PingWorld {
         self.vnodes = deployment.vnodes;
         PingWorld::new(deployment.net, self.spec.packet_bytes)
@@ -208,13 +218,14 @@ impl Workload for PingMeshWorkload {
         // The echo responders are passive: they answer whatever arrives, no warm-up needed.
     }
 
-    fn schedule_arrivals(&mut self, sim: &mut Simulation<PingWorld>) {
+    fn schedule_arrivals(&mut self, sim: &mut Simulation<PingWorld>, arrivals: &ArrivalSchedule) {
+        // Each probe pair starts at the instant the scenario's arrival process drew for it and
+        // then sends its pings at the configured interval.
         for (pair_idx, (i, j)) in self.spec.pairs().into_iter().enumerate() {
             let (from, to) = (self.vnodes[i], self.vnodes[j]);
+            let start = arrivals.get(pair_idx).unwrap_or(SimTime::ZERO);
             for round in 0..self.spec.pings_per_pair {
-                let at = SimTime::ZERO
-                    + self.spec.interval * round as u64
-                    + self.spec.stagger * pair_idx as u64;
+                let at = start + self.spec.interval * round as u64;
                 sim.schedule_at(at, move |sim| ping(sim, from, to));
             }
         }

@@ -8,10 +8,13 @@
 
 use crate::deploy::Deployment;
 use crate::experiment::{SwarmExperiment, SwarmResult};
-use crate::scenario::{ChurnSpec, ScenarioRun, Workload};
+use crate::scenario::{
+    schedule_session_chain, ArrivalSchedule, ArrivalSpec, ScenarioRun, SessionProcess, Workload,
+};
 use p2plab_bittorrent::{schedule_client_start, start_client, stop_client, SwarmWorld, Torrent};
 use p2plab_net::Network;
 use p2plab_sim::{SimDuration, SimTime, Simulation};
+use std::rc::Rc;
 
 /// The BitTorrent swarm workload: one tracker, `cfg.seeders` initial seeders and
 /// `cfg.leechers` downloaders joining at `cfg.start_interval`.
@@ -50,6 +53,16 @@ impl Workload for SwarmWorkload {
         self.cfg.total_vnodes()
     }
 
+    fn participants(&self) -> usize {
+        self.cfg.leechers
+    }
+
+    fn default_arrivals(&self) -> ArrivalSpec {
+        // The paper's staggered start: the first downloader joins after the seeder head start,
+        // one more every start_interval.
+        ArrivalSpec::ramp(self.cfg.seeder_head_start, self.cfg.start_interval)
+    }
+
     fn build_world(&mut self, deployment: Deployment) -> SwarmWorld {
         let cfg = &self.cfg;
         let torrent = Torrent::new(cfg.name.clone(), cfg.file_bytes);
@@ -81,23 +94,44 @@ impl Workload for SwarmWorkload {
         }
     }
 
-    fn schedule_arrivals(&mut self, sim: &mut Simulation<SwarmWorld>) {
-        // Downloaders join at the configured interval.
-        for l in 0..self.cfg.leechers {
-            let at =
-                SimTime::ZERO + self.cfg.seeder_head_start + self.cfg.start_interval * l as u64;
+    fn schedule_arrivals(&mut self, sim: &mut Simulation<SwarmWorld>, arrivals: &ArrivalSchedule) {
+        // Downloaders join at the instants the scenario's arrival process drew.
+        for (l, &at) in arrivals.times().iter().enumerate() {
             schedule_client_start(sim, self.cfg.seeders + l, at);
         }
     }
 
-    fn schedule_churn(&mut self, sim: &mut Simulation<SwarmWorld>, churn: ChurnSpec) {
+    fn schedule_churn(
+        &mut self,
+        sim: &mut Simulation<SwarmWorld>,
+        sessions: &SessionProcess,
+        arrivals: &ArrivalSchedule,
+    ) {
         // Each downloader alternates online sessions and offline periods until its download
         // completes (finished clients stay online and seed, as in the paper's experiments).
+        // The depart/rejoin chain itself is the scenario layer's shared helper.
+        let sessions = Rc::new(sessions.clone());
         for l in 0..self.cfg.leechers {
             let idx = self.cfg.seeders + l;
-            let first_start =
-                SimTime::ZERO + self.cfg.seeder_head_start + self.cfg.start_interval * l as u64;
-            schedule_departure(sim, idx, first_start, churn);
+            let first_start = arrivals.get(l).unwrap_or(SimTime::ZERO);
+            let depart = Rc::new(move |sim: &mut Simulation<SwarmWorld>| {
+                let done = sim.world().clients[idx].completed_at.is_some();
+                if done || !sim.world().clients[idx].online {
+                    // Finished clients stay online and seed; offline clients are between
+                    // sessions.
+                    return false;
+                }
+                stop_client(sim, idx);
+                true
+            });
+            let rejoin = Rc::new(move |sim: &mut Simulation<SwarmWorld>| {
+                if sim.world().clients[idx].completed_at.is_some() {
+                    return false;
+                }
+                start_client(sim, idx);
+                true
+            });
+            schedule_session_chain(sim, first_start, sessions.clone(), 0, depart, rejoin);
         }
     }
 
@@ -147,36 +181,6 @@ impl Workload for SwarmWorkload {
             churn_departures: world.tracker.stats().stopped,
         }
     }
-}
-
-/// Schedules the next churn departure of downloader `idx`, drawn from the session-length
-/// distribution, and chains the following rejoin/departure events.
-fn schedule_departure(
-    sim: &mut Simulation<SwarmWorld>,
-    idx: usize,
-    not_before: SimTime,
-    churn: ChurnSpec,
-) {
-    let session =
-        SimDuration::from_secs_f64(sim.rng().exponential(churn.mean_session.as_secs_f64()));
-    sim.schedule_at(not_before + session, move |sim| {
-        let done = sim.world().clients[idx].completed_at.is_some();
-        if done || !sim.world().clients[idx].online {
-            // Finished clients stay online and seed; offline clients are between sessions.
-            return;
-        }
-        stop_client(sim, idx);
-        let downtime =
-            SimDuration::from_secs_f64(sim.rng().exponential(churn.mean_downtime.as_secs_f64()));
-        sim.schedule_in(downtime, move |sim| {
-            if sim.world().clients[idx].completed_at.is_some() {
-                return;
-            }
-            start_client(sim, idx);
-            let now = sim.now();
-            schedule_departure(sim, idx, now, churn);
-        });
-    });
 }
 
 #[cfg(test)]

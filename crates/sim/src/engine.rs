@@ -189,11 +189,20 @@ impl<W> Simulation<W> {
 ///
 /// This is the building block for the periodic timers used all over the substrates
 /// (choker rounds, tracker re-announces, rate estimators).
+///
+/// # Panics
+///
+/// Panics on a zero `period`: the timer would reschedule itself at the current instant
+/// forever, livelocking the run loop without ever advancing virtual time.
 pub fn schedule_periodic<W, F>(sim: &mut Simulation<W>, start: SimTime, period: SimDuration, f: F)
 where
     W: 'static,
     F: FnMut(&mut Simulation<W>) -> bool + 'static,
 {
+    assert!(
+        !period.is_zero(),
+        "schedule_periodic needs a non-zero period (a zero period livelocks the event loop)"
+    );
     struct Periodic<W, F> {
         period: SimDuration,
         f: F,
@@ -317,6 +326,15 @@ mod tests {
         sim.run();
         assert_eq!(*counter.borrow(), 5);
         assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero period")]
+    fn periodic_rejects_zero_period() {
+        // A zero period would reschedule the timer at the same instant until the event budget
+        // (or the operator's patience) runs out; it must be refused up front.
+        let mut sim = Simulation::new((), 1);
+        schedule_periodic(&mut sim, SimTime::ZERO, SimDuration::ZERO, |_| true);
     }
 
     #[test]

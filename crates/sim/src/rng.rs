@@ -77,6 +77,18 @@ impl SimRng {
         -mean * u.ln()
     }
 
+    /// Pareto-distributed value with minimum `scale` and tail index `shape` (inverse-CDF
+    /// method). Smaller shapes give heavier tails; the mean `scale * shape / (shape - 1)` is
+    /// finite only for `shape > 1`.
+    pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(
+            scale > 0.0 && scale.is_finite() && shape > 0.0 && shape.is_finite(),
+            "invalid Pareto parameters: scale={scale} shape={shape}"
+        );
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        scale / u.powf(1.0 / shape)
+    }
+
     /// Normally distributed value (Box-Muller) with the given mean and standard deviation.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
@@ -164,6 +176,24 @@ mod tests {
         let sum: f64 = (0..n).map(|_| rng.exponential(2.0)).sum();
         let mean = sum / n as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn pareto_support_and_mean() {
+        let mut rng = SimRng::new(21);
+        let (scale, shape) = (2.0, 3.0);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.pareto(scale, shape)).collect();
+        assert!(xs.iter().all(|&x| x >= scale), "support starts at scale");
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let expected = scale * shape / (shape - 1.0);
+        assert!((mean - expected).abs() / expected < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Pareto parameters")]
+    fn pareto_rejects_zero_scale() {
+        SimRng::new(1).pareto(0.0, 2.0);
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl TimeSeries {
     }
 
     /// Resamples the series on a regular grid of `step` from 0 to `end` (inclusive), carrying
-    /// the last value forward. Useful to compare runs with different event times.
+    /// the last value forward. When `end` is not a multiple of `step`, the final sample is
+    /// clamped to `end` itself — the grid never extends past the requested range. Useful to
+    /// compare runs with different event times.
     pub fn resample(&self, step: SimDuration, end: SimTime, default: f64) -> Vec<(SimTime, f64)> {
         assert!(!step.is_zero(), "step must be non-zero");
         let mut out = Vec::new();
@@ -75,7 +77,7 @@ impl TimeSeries {
             if t >= end {
                 break;
             }
-            t += step;
+            t = (t + step).min(end);
         }
         out
     }
@@ -368,6 +370,24 @@ mod tests {
         assert!((diff - 10.0).abs() < 1e-9);
         let grid = a.resample(SimDuration::from_secs(5), SimTime::from_secs(10), 0.0);
         assert_eq!(grid.len(), 3);
+    }
+
+    #[test]
+    fn resample_clamps_final_sample_to_end() {
+        // Regression: with end not a multiple of step, the last grid point used to land past
+        // end (step 4, end 10 produced 0, 4, 8, 12). The grid must stop exactly at end.
+        let s = ts(&[(0, 0.0), (9, 90.0)]);
+        let grid = s.resample(SimDuration::from_secs(4), SimTime::from_secs(10), 0.0);
+        let times: Vec<u64> = grid
+            .iter()
+            .map(|(t, _)| t.as_nanos() / 1_000_000_000)
+            .collect();
+        assert_eq!(times, vec![0, 4, 8, 10]);
+        assert_eq!(grid.last().unwrap().1, 90.0);
+        // max_abs_difference rides on the same grid, so it too stays inside [0, end].
+        let o = ts(&[(0, 0.0), (9, 50.0)]);
+        let d = s.max_abs_difference(&o, SimDuration::from_secs(4), SimTime::from_secs(10), 0.0);
+        assert!((d - 40.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Epidemic broadcast under a flash crowd.
+//!
+//! ```text
+//! cargo run --release --example gossip_flash_crowd
+//! ```
+//!
+//! The third first-class workload of the scenario API, driven by the arrival-process library:
+//! a rumor spreads by push gossip (fanout 3, 1 s rounds) through an overlay whose nodes join as
+//! a *flash crowd* — a thin Poisson trickle until the trigger instant, then a burst of joins at
+//! fifty times the rate, the arrival pattern a popular torrent or a viral link produces. The
+//! same scenario is run once more with a steady one-per-second ramp so the two dissemination
+//! curves can be compared directly.
+
+use p2plab::core::{run_scenario, ArrivalSpec, GossipSpec, GossipWorkload, ScenarioBuilder};
+use p2plab::net::{AccessLinkClass, TopologySpec};
+use p2plab::sim::SimDuration;
+
+fn main() {
+    let nodes = 48;
+    let topology = || {
+        TopologySpec::uniform(
+            "gossip",
+            nodes,
+            AccessLinkClass::symmetric(20_000_000, SimDuration::from_millis(10)),
+        )
+    };
+
+    let flash = ArrivalSpec::flash_crowd(0.5, SimDuration::from_secs(60), 25.0);
+    let ramp = ArrivalSpec::ramp(SimDuration::ZERO, SimDuration::from_secs(1));
+
+    for (label, arrivals) in [("flash-crowd", flash), ("steady-ramp", ramp)] {
+        let scenario = ScenarioBuilder::new(format!("gossip-{label}"), topology())
+            .machines(6)
+            .arrivals(arrivals)
+            .deadline(SimDuration::from_secs(1200))
+            .sample_interval(SimDuration::from_secs(1))
+            .seed(2006)
+            .build()
+            .expect("scenario is valid");
+
+        let spec = GossipSpec::new(format!("gossip-{label}"), nodes);
+        println!(
+            "running '{label}': {nodes} nodes, fanout {}, {} rounds...",
+            spec.fanout, spec.round_interval,
+        );
+        let r = run_scenario(&scenario, GossipWorkload::new(spec)).expect("gossip runs");
+
+        println!("  {}", r.summary());
+        if let Some(full) = r.time_to_full {
+            let origin = r.informed_at[0].expect("origin is informed");
+            println!(
+                "  rumor born at {origin}, everyone informed at {full} ({:.1} s of spreading)",
+                (full - origin).as_secs_f64()
+            );
+        }
+        println!(
+            "  traffic: {} rumors pushed, {} duplicates, {} missed (offline targets), peak NIC {:.1}%",
+            r.rumors_sent,
+            r.duplicate_receipts,
+            r.missed_receipts,
+            100.0 * r.peak_nic_utilization,
+        );
+        println!();
+    }
+
+    println!("The flash crowd spends most of its wall-clock waiting for the trigger: almost");
+    println!("nobody is there to infect before it, and after it the burst joins faster than one");
+    println!("gossip round, so dissemination finishes within a few rounds of the trigger.");
+}

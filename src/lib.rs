@@ -12,8 +12,10 @@
 //! * [`net`] — network emulation (dummynet pipes, IPFW rules, topologies, sockets, BINDIP shim);
 //! * [`bittorrent`] — the studied application (tracker, peer wire protocol, choking, swarms);
 //! * [`core`] — the P2PLab framework: the workload-agnostic scenario API
-//!   (`Workload` + `ScenarioBuilder` + `run_scenario`), deployment/folding, the shipped
-//!   workloads (BitTorrent swarm, ping mesh), analysis and reports.
+//!   (`Workload` + `ScenarioBuilder` + `run_scenario`), the arrival/session process library
+//!   (Poisson, ramp, flash-crowd, trace arrivals; exponential, Pareto, trace churn),
+//!   deployment/folding, the shipped workloads (BitTorrent swarm, ping mesh, gossip),
+//!   analysis and reports.
 //!
 //! ## Quickstart
 //!
@@ -61,8 +63,9 @@ pub use p2plab_sim as sim;
 pub mod prelude {
     pub use p2plab_bittorrent::{ClientConfig, SwarmWorld, Torrent};
     pub use p2plab_core::{
-        compare_folding, deploy, run_scenario, run_swarm_experiment, DeploymentSpec, PingMeshSpec,
-        PingMeshWorkload, ScenarioBuilder, SwarmExperiment, SwarmResult, SwarmWorkload, Workload,
+        compare_folding, deploy, run_scenario, run_swarm_experiment, ArrivalSpec, ChurnSpec,
+        DeploymentSpec, GossipSpec, GossipWorkload, PingMeshSpec, PingMeshWorkload,
+        ScenarioBuilder, SessionProcess, SwarmExperiment, SwarmResult, SwarmWorkload, Workload,
     };
     pub use p2plab_net::{AccessLinkClass, Network, NetworkConfig, TopologySpec};
     pub use p2plab_os::{Machine, MachineSpec, OsKind, SchedulerKind};

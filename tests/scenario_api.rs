@@ -3,8 +3,9 @@
 //! `run_swarm_experiment` wrapper must stay byte-identical to an explicit scenario run.
 
 use p2plab::core::{
-    run_scenario, run_swarm_experiment, ChurnSpec, PingMeshSpec, PingMeshWorkload, ScenarioBuilder,
-    ScenarioError, SwarmExperiment, SwarmWorkload,
+    run_scenario, run_swarm_experiment, ArrivalSpec, ChurnSpec, GossipSpec, GossipWorkload,
+    PingMeshSpec, PingMeshWorkload, ScenarioBuilder, ScenarioError, SessionProcess,
+    SwarmExperiment, SwarmWorkload,
 };
 use p2plab::net::{AccessLinkClass, TopologySpec};
 use p2plab::sim::SimDuration;
@@ -105,6 +106,99 @@ fn both_workloads_run_through_the_same_generic_loop() {
     assert_eq!(mesh.replies_received, mesh.probes_scheduled);
     // 5 ms links, two hops each way: at least 20 ms per round trip.
     assert!(mesh.rtts.iter().all(|d| d.as_millis() >= 20));
+}
+
+#[test]
+fn gossip_runs_under_multiple_arrival_processes() {
+    // The arrival library is scenario-level, not workload-level: the same gossip workload runs
+    // unchanged under a deterministic ramp, a Poisson crowd and a flash crowd, only the
+    // `.arrivals(...)` line differs.
+    let nodes = 16;
+    let topo = || {
+        TopologySpec::uniform(
+            "gossip",
+            nodes,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(2)),
+        )
+    };
+    let processes = [
+        ("ramp", None),
+        ("poisson", Some(ArrivalSpec::poisson(0.5))),
+        (
+            "flash-crowd",
+            Some(ArrivalSpec::flash_crowd(
+                0.2,
+                SimDuration::from_secs(20),
+                25.0,
+            )),
+        ),
+    ];
+    for (label, arrivals) in processes {
+        let mut b = ScenarioBuilder::new(format!("gossip-{label}"), topo())
+            .machines(4)
+            .deadline(SimDuration::from_secs(600))
+            .sample_interval(SimDuration::from_secs(1))
+            .seed(9);
+        if let Some(a) = arrivals {
+            b = b.arrivals(a);
+        }
+        let spec = b.build().unwrap();
+        let r = run_scenario(&spec, GossipWorkload::new(GossipSpec::new("gossip", nodes)))
+            .expect("gossip runs");
+        assert!(r.finished, "{label}: {}", r.summary());
+        assert_eq!(r.informed, nodes, "{label}");
+        assert!(r.time_to_full.is_some(), "{label}");
+    }
+}
+
+#[test]
+fn degenerate_churn_is_rejected_not_livelocked() {
+    // Regression for the churn livelock: a zero mean used to make schedule_departure draw
+    // zero-length exponential delays and spin depart/rejoin at one instant until the event
+    // budget died. It must now be rejected by validation before the run starts.
+    let mut cfg = SwarmExperiment::quick();
+    cfg.leechers = 2;
+    cfg.churn = Some(ChurnSpec {
+        mean_session: SimDuration::ZERO,
+        mean_downtime: SimDuration::ZERO,
+    });
+    let err = ScenarioBuilder::new(
+        &cfg.name,
+        TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link),
+    )
+    .churn_opt(cfg.churn)
+    .deadline(cfg.deadline)
+    .build()
+    .unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidChurn { .. }), "{err}");
+}
+
+#[test]
+fn swarm_completes_under_pareto_sessions() {
+    // The swarm workload runs on the generalized session process too: heavy-tailed Pareto
+    // sessions interrupt downloads but the swarm still finishes.
+    let mut cfg = SwarmExperiment::quick();
+    cfg.name = "pareto-churn".into();
+    cfg.leechers = 6;
+    cfg.deadline = SimDuration::from_secs(6000);
+    let spec = ScenarioBuilder::new(
+        &cfg.name,
+        TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link),
+    )
+    .machines(cfg.machines)
+    .sessions(SessionProcess::Pareto {
+        scale_session: SimDuration::from_secs(10),
+        shape: 1.5,
+        mean_downtime: SimDuration::from_secs(20),
+    })
+    .deadline(cfg.deadline)
+    .sample_interval(cfg.sample_interval)
+    .seed(cfg.seed)
+    .build()
+    .unwrap();
+    let r = run_scenario(&spec, SwarmWorkload::new(cfg.clone())).unwrap();
+    assert!(r.finished, "{}", r.summary());
+    assert!(r.churn_departures > 0, "Pareto churn must actually fire");
 }
 
 #[test]
