@@ -9,9 +9,9 @@
 //! changes how upload capacity is partitioned (every interested peer competes for each uploader's
 //! access link at once) and with it the per-client completion profile.
 
-use p2plab_bench::arg_scale;
+use p2plab_bench::{arg_scale, write_run_report};
 use p2plab_bittorrent::no_choking;
-use p2plab_core::{completion_summary, render_table, run_swarm_experiment, SwarmExperiment};
+use p2plab_core::{completion_summary, render_table, run_reported, SwarmExperiment, SwarmWorkload};
 
 fn main() {
     let scale = arg_scale(0.25, 0.05);
@@ -29,10 +29,20 @@ fn main() {
         "running {} clients with tit-for-tat choking...",
         base.leechers
     );
-    let a = run_swarm_experiment(&with_choking);
+    let (a, report_a) = run_reported(
+        &with_choking.to_scenario(),
+        SwarmWorkload::new(with_choking.clone()),
+    )
+    .expect("scenario runs");
+    write_run_report("", &report_a);
     println!("  {}", a.summary());
     println!("running {} clients with choking disabled...", base.leechers);
-    let b = run_swarm_experiment(&without_choking);
+    let (b, report_b) = run_reported(
+        &without_choking.to_scenario(),
+        SwarmWorkload::new(without_choking.clone()),
+    )
+    .expect("scenario runs");
+    write_run_report("", &report_b);
     println!("  {}\n", b.summary());
 
     let row = |r: &p2plab_core::SwarmResult| {

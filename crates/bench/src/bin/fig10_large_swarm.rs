@@ -8,8 +8,10 @@
 //! cargo run --release -p p2plab-bench --bin fig10_large_swarm
 //! ```
 
-use p2plab_bench::{arg_scale, write_results_file};
-use p2plab_core::{completion_summary, run_swarm_experiment, series_to_csv, SwarmExperiment};
+use p2plab_bench::{arg_scale, write_results_file, write_run_report};
+use p2plab_core::{
+    completion_summary, run_reported, series_to_csv, SwarmExperiment, SwarmWorkload,
+};
 use p2plab_sim::{SimDuration, SimTime};
 
 fn main() {
@@ -23,7 +25,9 @@ fn main() {
         cfg.folding_ratio(),
         cfg.start_interval
     );
-    let result = run_swarm_experiment(&cfg);
+    let (result, report) =
+        run_reported(&cfg.to_scenario(), SwarmWorkload::new(cfg.clone())).expect("scenario runs");
+    write_run_report("", &report);
     println!("{}", result.summary());
     println!("simulation executed {} events\n", result.events_executed);
 

@@ -8,10 +8,10 @@
 //! The optional `scale` argument (0..1] shrinks the number of clients proportionally; the
 //! default reproduces the paper's 160 clients.
 
-use p2plab_bench::{arg_scale, write_results_file};
+use p2plab_bench::{arg_scale, write_results_file, write_run_report};
 use p2plab_core::{
-    ascii_plot, completion_summary, download_phases, run_swarm_experiment, series_to_csv,
-    SwarmExperiment,
+    ascii_plot, completion_summary, download_phases, run_reported, series_to_csv, SwarmExperiment,
+    SwarmWorkload,
 };
 use p2plab_sim::SimDuration;
 
@@ -27,7 +27,9 @@ fn main() {
         "Figure 8: {} clients + {} seeders, 16 MB file, DSL 2 Mbps/128 kbps/30 ms, start interval {}",
         cfg.leechers, cfg.seeders, cfg.start_interval
     );
-    let result = run_swarm_experiment(&cfg);
+    let (result, report) =
+        run_reported(&cfg.to_scenario(), SwarmWorkload::new(cfg.clone())).expect("scenario runs");
+    write_run_report("", &report);
     println!("{}\n", result.summary());
 
     if let Some(s) = completion_summary(&result) {

@@ -6,9 +6,9 @@
 //! cargo run --release -p p2plab-bench --bin fig9_folding_ratio [scale]
 //! ```
 
-use p2plab_bench::{arg_scale, write_results_file};
+use p2plab_bench::{arg_scale, write_results_file, write_run_report};
 use p2plab_core::{
-    compare_folding, render_table, run_swarm_experiment, series_to_csv, SwarmExperiment,
+    compare_folding, render_table, run_reported, series_to_csv, SwarmExperiment, SwarmWorkload,
 };
 use p2plab_sim::SimDuration;
 
@@ -30,7 +30,9 @@ fn main() {
             cfg.machines,
             cfg.folding_ratio()
         );
-        let r = run_swarm_experiment(&cfg);
+        let (r, report) = run_reported(&cfg.to_scenario(), SwarmWorkload::new(cfg.clone()))
+            .expect("scenario runs");
+        write_run_report("", &report);
         println!(
             "  {} (peak NIC utilization {:.0}%)",
             r.summary(),

@@ -10,8 +10,8 @@
 //! the scenario-diversity counterpart of the paper's BitTorrent figures: one workload, one
 //! topology, only the arrival dynamics change.
 
-use p2plab_bench::{arg_scale, write_results_file};
-use p2plab_core::{run_scenario, ArrivalSpec, GossipSpec, GossipWorkload, ScenarioBuilder};
+use p2plab_bench::{arg_scale, write_results_file, write_run_report};
+use p2plab_core::{run_reported, ArrivalSpec, GossipSpec, GossipWorkload, ScenarioBuilder};
 use p2plab_net::{AccessLinkClass, TopologySpec};
 use p2plab_sim::SimDuration;
 
@@ -66,11 +66,12 @@ fn main() {
         .build()
         .expect("scenario is valid");
 
-        let r = run_scenario(
+        let (r, report) = run_reported(
             &scenario,
             GossipWorkload::new(GossipSpec::new(label, nodes)),
         )
         .expect("gossip runs");
+        write_run_report("", &report);
         assert!(r.finished, "{}", r.summary());
 
         let origin = r.informed_at[0].expect("origin informed");

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+use p2plab_core::RunReport;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -21,6 +22,37 @@ pub fn arg_scale(default: f64, min: f64) -> f64 {
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(default)
         .clamp(min, 1.0)
+}
+
+/// Writes a run's [`RunReport`] as JSON (plus its scalar-metrics CSV) under `results/`,
+/// verifying on the way out that the JSON round-trips through the loader — a bench binary can
+/// never leave behind an artifact the tooling cannot read back. Returns the JSON path.
+///
+/// `label` distinguishes multiple reports of one binary (`""` uses the scenario name alone).
+pub fn write_run_report(label: &str, report: &RunReport) -> PathBuf {
+    let json = report.to_json();
+    let loaded = RunReport::from_json(&json).expect("run report JSON must parse back");
+    assert_eq!(
+        &loaded, report,
+        "run report drifted through JSON round-trip"
+    );
+    let stem: String = format!(
+        "{}{}{}",
+        report.scenario,
+        if label.is_empty() { "" } else { "-" },
+        label
+    )
+    .chars()
+    .map(|c| {
+        if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+            c
+        } else {
+            '_'
+        }
+    })
+    .collect();
+    write_results_file(&format!("{stem}.metrics.csv"), &report.scalars_csv());
+    write_results_file(&format!("{stem}.report.json"), &json)
 }
 
 /// Writes `contents` into `results/<name>` at the workspace root (creating the directory)
@@ -57,5 +89,34 @@ mod tests {
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(contents.starts_with("a,b"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_reports_land_in_results_dir_and_parse_back() {
+        use p2plab_sim::{Recorder, RunOutcome, SimTime};
+        let mut rec = Recorder::new();
+        let c = rec.counter("events");
+        rec.add(c, 3);
+        let report = RunReport {
+            workload: "selftest".into(),
+            scenario: "bench selftest/report".into(), // exercises filename sanitization
+            seed: 1,
+            machines: 1,
+            vnodes: 2,
+            participants: 2,
+            folding_ratio: 2.0,
+            wall_secs: 0.0,
+            stopped_at: SimTime::from_secs(1),
+            events_executed: 9,
+            outcome: RunOutcome::Drained,
+            spec: vec![("name".into(), "selftest".into())],
+            metrics: rec.finish(),
+        };
+        let path = write_run_report("unit", &report);
+        assert!(path.ends_with("bench_selftest_report-unit.report.json"));
+        let loaded = RunReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded, report);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("").with_extension("metrics.csv")).ok();
     }
 }

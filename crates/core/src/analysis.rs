@@ -5,9 +5,18 @@
 //! identical", Figure 9). [`compare_folding`] quantifies that: it overlays the total-data curves
 //! of runs with different folding ratios and reports their worst-case relative deviation from
 //! the unfolded baseline.
+//!
+//! Since the metrics redesign the statistical machinery is workload-agnostic: the relative
+//! curve deviation ([`relative_curve_deviation`]), Kolmogorov-Smirnov distances
+//! ([`samples_ks_distance`], [`histogram_ks_distance`]) and the folding comparison over run
+//! reports ([`compare_folding_reports`]) operate on plain series / sample sets / histogram
+//! snapshots, so any workload that records through the [`Recorder`](p2plab_sim::Recorder) gets
+//! the same analysis for free. The original [`compare_folding`] over [`SwarmResult`]s is
+//! re-expressed on top of these primitives.
 
 use crate::experiment::SwarmResult;
-use p2plab_sim::{Cdf, SimDuration, SimTime};
+use crate::report::RunReport;
+use p2plab_sim::{Cdf, HistogramSnapshot, SimDuration, SimTime, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 /// Deviation of one folded run from the baseline run.
@@ -55,7 +64,53 @@ fn completion_cdf(result: &SwarmResult) -> Cdf {
     )
 }
 
-/// Compares folded runs against a baseline run of the same experiment (Figure 9).
+/// Worst-case difference between two curves on a shared regular grid, as a fraction of the
+/// baseline's final value — the workload-agnostic form of the Figure 9 deviation measure.
+/// Works on any non-negative progress-like series (bytes downloaded, nodes informed, replies
+/// received).
+pub fn relative_curve_deviation(
+    baseline: &TimeSeries,
+    other: &TimeSeries,
+    step: SimDuration,
+    end: SimTime,
+) -> f64 {
+    let final_total = baseline.last().map(|(_, v)| v).unwrap_or(0.0).max(1.0);
+    baseline.max_abs_difference(other, step, end, 0.0) / final_total
+}
+
+/// Kolmogorov-Smirnov distance between two empirical sample sets.
+pub fn samples_ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    Cdf::from_samples(a.to_vec()).ks_distance(&Cdf::from_samples(b.to_vec()))
+}
+
+/// Kolmogorov-Smirnov distance between two log-bucket histogram snapshots, computed over the
+/// union of their bucket edges (each bucket's mass sits at its low edge). Exact up to the
+/// bucket resolution: identical histograms give 0, and the error of a true KS distance is
+/// bounded by the mass of the buckets the two histograms split differently.
+pub fn histogram_ks_distance(a: &HistogramSnapshot, b: &HistogramSnapshot) -> f64 {
+    if a.count == 0 || b.count == 0 {
+        return if a.count == b.count { 0.0 } else { 1.0 };
+    }
+    let fraction_at = |h: &HistogramSnapshot, x: f64| -> f64 {
+        let below: u64 = h
+            .buckets
+            .iter()
+            .filter(|&&(edge, _)| edge <= x)
+            .map(|&(_, c)| c)
+            .sum();
+        below as f64 / h.count as f64
+    };
+    let mut d: f64 = 0.0;
+    for &(edge, _) in a.buckets.iter().chain(b.buckets.iter()) {
+        d = d.max((fraction_at(a, edge) - fraction_at(b, edge)).abs());
+    }
+    d
+}
+
+/// Compares folded runs against a baseline run of the same experiment (Figure 9). This is the
+/// swarm-specific entry point, expressed over the generic primitives
+/// ([`relative_curve_deviation`], [`samples_ks_distance`]); for arbitrary workloads compare
+/// their run reports with [`compare_folding_reports`].
 pub fn compare_folding(baseline: &SwarmResult, folded: &[&SwarmResult]) -> FoldingComparison {
     let end = folded
         .iter()
@@ -64,37 +119,91 @@ pub fn compare_folding(baseline: &SwarmResult, folded: &[&SwarmResult]) -> Foldi
         .max()
         .unwrap_or(SimTime::ZERO);
     let step = SimDuration::from_secs(10);
-    let final_total = baseline
-        .total_downloaded
-        .last()
-        .map(|(_, v)| v)
-        .unwrap_or(0.0)
-        .max(1.0);
-    let baseline_cdf = completion_cdf(baseline);
+    let secs = |times: &[SimTime]| -> Vec<f64> { times.iter().map(|t| t.as_secs_f64()).collect() };
+    let baseline_completions = secs(&baseline.completion_times);
     let rows = folded
         .iter()
-        .map(|r| {
-            let max_abs =
-                baseline
-                    .total_downloaded
-                    .max_abs_difference(&r.total_downloaded, step, end, 0.0);
-            FoldingRow {
-                folding_ratio: r.folding_ratio,
-                max_relative_deviation: max_abs / final_total,
-                completion_ks_distance: baseline_cdf.ks_distance(&completion_cdf(r)),
-                median_completion: r.median_completion(),
-                completion_fraction: if r.leechers == 0 {
-                    1.0
-                } else {
-                    r.completed as f64 / r.leechers as f64
-                },
-            }
+        .map(|r| FoldingRow {
+            folding_ratio: r.folding_ratio,
+            max_relative_deviation: relative_curve_deviation(
+                &baseline.total_downloaded,
+                &r.total_downloaded,
+                step,
+                end,
+            ),
+            completion_ks_distance: samples_ks_distance(
+                &baseline_completions,
+                &secs(&r.completion_times),
+            ),
+            median_completion: r.median_completion(),
+            completion_fraction: if r.leechers == 0 {
+                1.0
+            } else {
+                r.completed as f64 / r.leechers as f64
+            },
         })
         .collect();
     FoldingComparison {
         baseline_ratio: baseline.folding_ratio,
         rows,
     }
+}
+
+/// Compares folded runs against a baseline using only their [`RunReport`]s — no
+/// workload-specific result type involved. `curve_metric` names the progress-like series to
+/// overlay (`"progress"` for any scenario run) and `completion_metric` names the histogram of
+/// per-participant completion values whose distributions are compared by KS distance
+/// (`"completion_time_secs"` for the swarm). Returns an error naming the missing metric when a
+/// report does not carry the requested ones.
+pub fn compare_folding_reports(
+    baseline: &RunReport,
+    folded: &[&RunReport],
+    curve_metric: &str,
+    completion_metric: &str,
+) -> Result<FoldingComparison, String> {
+    fn curve_of<'a>(r: &'a RunReport, name: &str) -> Result<&'a TimeSeries, String> {
+        r.metrics
+            .series(name)
+            .ok_or_else(|| format!("report {:?} has no series metric {name:?}", r.scenario))
+    }
+    fn hist_of<'a>(r: &'a RunReport, name: &str) -> Result<&'a HistogramSnapshot, String> {
+        r.metrics
+            .histogram(name)
+            .ok_or_else(|| format!("report {:?} has no histogram metric {name:?}", r.scenario))
+    }
+    let baseline_curve = curve_of(baseline, curve_metric)?;
+    let baseline_hist = hist_of(baseline, completion_metric)?;
+    let end = folded
+        .iter()
+        .map(|r| r.stopped_at)
+        .chain(std::iter::once(baseline.stopped_at))
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let step = SimDuration::from_secs(10);
+    let mut rows = Vec::with_capacity(folded.len());
+    for r in folded {
+        let hist = hist_of(r, completion_metric)?;
+        rows.push(FoldingRow {
+            folding_ratio: r.folding_ratio,
+            max_relative_deviation: relative_curve_deviation(
+                baseline_curve,
+                curve_of(r, curve_metric)?,
+                step,
+                end,
+            ),
+            completion_ks_distance: histogram_ks_distance(baseline_hist, hist),
+            median_completion: hist.p50.map(SimTime::from_secs_f64),
+            completion_fraction: if r.participants == 0 {
+                1.0
+            } else {
+                hist.count as f64 / r.participants as f64
+            },
+        });
+    }
+    Ok(FoldingComparison {
+        baseline_ratio: baseline.folding_ratio,
+        rows,
+    })
 }
 
 /// Summary statistics of a run's completion times.
@@ -235,5 +344,101 @@ mod tests {
         r.completion_times.clear();
         assert!(completion_summary(&r).is_none());
         assert!(download_phases(&r).is_none());
+    }
+
+    #[test]
+    fn generic_primitives_match_direct_computation() {
+        let mut a = TimeSeries::new();
+        let mut b = TimeSeries::new();
+        for t in 0..=10u64 {
+            a.push(SimTime::from_secs(t), (t * 10) as f64);
+            b.push(
+                SimTime::from_secs(t),
+                (t * 10) as f64 + if t == 5 { 7.0 } else { 0.0 },
+            );
+        }
+        let dev =
+            relative_curve_deviation(&a, &b, SimDuration::from_secs(1), SimTime::from_secs(10));
+        assert!((dev - 7.0 / 100.0).abs() < 1e-12);
+        assert_eq!(samples_ks_distance(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(samples_ks_distance(&[1.0, 2.0], &[10.0, 20.0]), 1.0);
+    }
+
+    #[test]
+    fn histogram_ks_is_zero_for_identical_and_one_for_disjoint() {
+        use p2plab_sim::LogHistogram;
+        let mut h1 = LogHistogram::new();
+        let mut h2 = LogHistogram::new();
+        let mut far = LogHistogram::new();
+        for i in 1..=100 {
+            h1.record(i as f64);
+            h2.record(i as f64);
+            far.record(i as f64 * 1e6);
+        }
+        assert_eq!(histogram_ks_distance(&h1.snapshot(), &h2.snapshot()), 0.0);
+        assert_eq!(histogram_ks_distance(&h1.snapshot(), &far.snapshot()), 1.0);
+        let empty = LogHistogram::new().snapshot();
+        assert_eq!(histogram_ks_distance(&empty, &empty), 0.0);
+        assert_eq!(histogram_ks_distance(&h1.snapshot(), &empty), 1.0);
+    }
+
+    #[test]
+    fn folding_comparison_over_reports_matches_result_comparison() {
+        use crate::scenario::{run_reported, ScenarioBuilder};
+        use crate::workloads::SwarmWorkload;
+        use p2plab_net::TopologySpec;
+
+        let run = |machines: usize| {
+            let mut cfg = SwarmExperiment::quick();
+            cfg.leechers = 6;
+            cfg.machines = machines;
+            cfg.name = format!("report-folding-{machines}m");
+            let spec = ScenarioBuilder::new(
+                &cfg.name,
+                TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link),
+            )
+            .machines(cfg.machines)
+            .deadline(cfg.deadline)
+            .sample_interval(cfg.sample_interval)
+            .seed(cfg.seed)
+            .build()
+            .unwrap();
+            run_reported(&spec, SwarmWorkload::new(cfg)).unwrap()
+        };
+        let (spread_result, spread_report) = run(9);
+        let (folded_result, folded_report) = run(1);
+
+        let by_results = compare_folding(&spread_result, &[&folded_result]);
+        let by_reports = compare_folding_reports(
+            &spread_report,
+            &[&folded_report],
+            "progress",
+            "completion_time_secs",
+        )
+        .unwrap();
+
+        assert_eq!(by_reports.rows.len(), 1);
+        assert_eq!(by_reports.baseline_ratio, by_results.baseline_ratio);
+        // The curve deviation is computed from the same "progress" series the result carries,
+        // so the two paths agree exactly.
+        assert!(
+            (by_reports.rows[0].max_relative_deviation - by_results.rows[0].max_relative_deviation)
+                .abs()
+                < 1e-12
+        );
+        // The report path sees bucketized completion times; distances agree up to the
+        // histogram's bucket resolution.
+        assert!(
+            (by_reports.rows[0].completion_ks_distance - by_results.rows[0].completion_ks_distance)
+                .abs()
+                < 0.35
+        );
+        assert_eq!(by_reports.rows[0].completion_fraction, 1.0);
+        assert!(by_reports.rows[0].median_completion.is_some());
+
+        // Missing metrics are named, not silently zeroed.
+        let err = compare_folding_reports(&spread_report, &[&folded_report], "progress", "nope")
+            .unwrap_err();
+        assert!(err.contains("nope"), "{err}");
     }
 }

@@ -135,6 +135,29 @@ impl SwarmExperiment {
     pub fn folding_ratio(&self) -> f64 {
         self.total_vnodes() as f64 / self.machines as f64
     }
+
+    /// Expresses this experiment as a scenario spec — exactly the spec the legacy
+    /// [`run_swarm_experiment`] wrapper builds internally, exposed so callers that want the
+    /// run's [`RunReport`](crate::report::RunReport) can use
+    /// [`run_reported`](crate::scenario::run_reported) with a [`SwarmWorkload`] directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config describes an invalid scenario (zero machines, zero deadline,
+    /// zero sample interval, degenerate churn).
+    pub fn to_scenario(&self) -> crate::scenario::ScenarioSpec {
+        ScenarioBuilder::new(
+            &self.name,
+            TopologySpec::uniform(&self.name, self.total_vnodes(), self.link),
+        )
+        .machines(self.machines)
+        .churn_opt(self.churn)
+        .deadline(self.deadline)
+        .sample_interval(self.sample_interval)
+        .seed(self.seed)
+        .build()
+        .expect("swarm experiment config describes an invalid scenario")
+    }
 }
 
 /// Everything a swarm experiment produces.
@@ -227,19 +250,8 @@ impl SwarmResult {
 /// those same degenerate configs; the scenario layer turns them into errors, which this
 /// wrapper surfaces as panics to keep its infallible signature.
 pub fn run_swarm_experiment(cfg: &SwarmExperiment) -> SwarmResult {
-    let workload = SwarmWorkload::new(cfg.clone());
-    let spec = ScenarioBuilder::new(
-        &cfg.name,
-        TopologySpec::uniform(&cfg.name, cfg.total_vnodes(), cfg.link),
-    )
-    .machines(cfg.machines)
-    .churn_opt(cfg.churn)
-    .deadline(cfg.deadline)
-    .sample_interval(cfg.sample_interval)
-    .seed(cfg.seed)
-    .build()
-    .expect("swarm experiment config describes an invalid scenario");
-    run_scenario(&spec, workload).expect("deployment must succeed")
+    run_scenario(&cfg.to_scenario(), SwarmWorkload::new(cfg.clone()))
+        .expect("deployment must succeed")
 }
 
 #[cfg(test)]

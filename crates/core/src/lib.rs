@@ -35,16 +35,20 @@ pub use accuracy::{
     InterceptionOverhead, LatencyDecomposition, RuleScalingPoint,
 };
 pub use analysis::{
-    compare_folding, completion_summary, download_phases, CompletionSummary, DownloadPhases,
-    FoldingComparison, FoldingRow,
+    compare_folding, compare_folding_reports, completion_summary, download_phases,
+    histogram_ks_distance, relative_curve_deviation, samples_ks_distance, CompletionSummary,
+    DownloadPhases, FoldingComparison, FoldingRow,
 };
 pub use deploy::{deploy, Deployment, DeploymentSpec, Placement};
 pub use experiment::{run_swarm_experiment, SwarmExperiment, SwarmResult};
 pub use monitor::{MachineSample, ResourceMonitor};
-pub use report::{ascii_plot, points_to_csv, render_table, series_to_csv};
+pub use report::{
+    ascii_plot, points_to_csv, render_table, series_to_csv, ReportError, RunReport,
+    RUN_REPORT_SCHEMA,
+};
 pub use scenario::{
-    run_scenario, ArrivalProcess, ArrivalSchedule, ArrivalSpec, ChurnSpec, ScenarioBuilder,
-    ScenarioError, ScenarioRun, ScenarioSpec, SessionProcess, Workload,
+    run_reported, run_scenario, ArrivalProcess, ArrivalSchedule, ArrivalSpec, ChurnSpec,
+    ScenarioBuilder, ScenarioError, ScenarioRun, ScenarioSpec, SessionProcess, Workload,
 };
 pub use workloads::{
     GossipResult, GossipSpec, GossipWorkload, MeshPattern, PingMeshResult, PingMeshSpec,

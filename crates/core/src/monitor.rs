@@ -7,9 +7,15 @@
 //! NIC counters over time and reports utilization, so experiments can verify that the emulation
 //! infrastructure itself did not distort results (and detect when it does, as in the
 //! `ablation_folding_limit` bench).
+//!
+//! Since the metrics redesign the monitor records through the run's shared
+//! [`Recorder`]: every machine gets a `nic_utilization.machine<m>` time series and the
+//! running peak is kept as the `peak_nic_utilization` gauge, so the utilization curves land in
+//! the run's [`MetricSet`](p2plab_sim::MetricSet) next to the workload's own metrics instead of
+//! in a private `Vec<TimeSeries>`.
 
 use p2plab_net::{MachineId, Network};
-use p2plab_sim::{SimTime, TimeSeries};
+use p2plab_sim::{Gauge, Recorder, SimTime, TimeSeriesId};
 use serde::{Deserialize, Serialize};
 
 /// One monitoring sample of one machine.
@@ -32,8 +38,9 @@ pub struct ResourceMonitor {
     last_sample_at: SimTime,
     last_tx: Vec<u64>,
     last_rx: Vec<u64>,
-    /// Per-machine utilization time series.
-    utilization: Vec<TimeSeries>,
+    /// Per-machine utilization series handles in the run's recorder.
+    series: Vec<TimeSeriesId>,
+    peak_gauge: Gauge,
     /// Highest NIC utilization observed on any machine.
     peak_utilization: f64,
     /// The machine that reached the peak.
@@ -41,32 +48,58 @@ pub struct ResourceMonitor {
 }
 
 impl ResourceMonitor {
-    /// Creates a monitor for the machines currently present in `net`.
-    pub fn new(net: &Network) -> ResourceMonitor {
-        let machines = net.machine_count();
+    /// Creates a monitor for the machines currently present in `net`, registering their
+    /// utilization series in `rec`. Machines added to the network later are picked up (and
+    /// registered) lazily by [`sample`](ResourceMonitor::sample).
+    pub fn new(net: &Network, rec: &mut Recorder) -> ResourceMonitor {
         let mut monitor = ResourceMonitor {
             nic_bps: net.config().nic_bps,
             last_sample_at: SimTime::ZERO,
-            last_tx: vec![0; machines],
-            last_rx: vec![0; machines],
-            utilization: vec![TimeSeries::new(); machines],
+            last_tx: Vec::new(),
+            last_rx: Vec::new(),
+            series: Vec::new(),
+            peak_gauge: rec.gauge("peak_nic_utilization"),
             peak_utilization: 0.0,
             peak_machine: None,
         };
-        // Initialize baselines from the current counters.
-        for m in 0..machines {
-            let (tx, rx) = nic_bytes(net, MachineId(m));
-            monitor.last_tx[m] = tx;
-            monitor.last_rx[m] = rx;
-        }
+        monitor.grow_to(net, net.machine_count(), rec, true);
         monitor
     }
 
-    /// Takes one sample of every machine at `now` and returns the per-machine samples.
-    pub fn sample(&mut self, now: SimTime, net: &Network) -> Vec<MachineSample> {
+    /// Extends the per-machine baselines and series up to `machines` (and, crucially, never
+    /// indexes past the end of the vectors — the old fixed-size monitor panicked when the
+    /// network grew after monitor creation). At monitor creation (`from_current`) baselines
+    /// start from the machines' current counters, so a monitor attached to a warm network is
+    /// not charged for traffic it never observed. A machine that appears *mid-run* instead
+    /// baselines from zero: its pipes were created with zeroed counters, so everything it
+    /// forwarded since joining belongs to its first sampling interval.
+    fn grow_to(&mut self, net: &Network, machines: usize, rec: &mut Recorder, from_current: bool) {
+        for m in self.last_tx.len()..machines {
+            let (tx, rx) = if from_current {
+                nic_bytes(net, MachineId(m))
+            } else {
+                (0, 0)
+            };
+            self.last_tx.push(tx);
+            self.last_rx.push(rx);
+            self.series
+                .push(rec.time_series(format!("nic_utilization.machine{m}")));
+        }
+    }
+
+    /// Takes one sample of every machine at `now`, records the utilization series through
+    /// `rec`, and returns the per-machine samples.
+    pub fn sample(
+        &mut self,
+        now: SimTime,
+        net: &Network,
+        rec: &mut Recorder,
+    ) -> Vec<MachineSample> {
+        let machines = net.machine_count();
+        self.grow_to(net, machines, rec, false);
         let interval = now.saturating_since(self.last_sample_at).as_secs_f64();
-        let mut out = Vec::with_capacity(net.machine_count());
-        for m in 0..net.machine_count() {
+        let mut out = Vec::with_capacity(machines);
+        for m in 0..machines {
             let (tx, rx) = nic_bytes(net, MachineId(m));
             let d_tx = tx.saturating_sub(self.last_tx[m]);
             let d_rx = rx.saturating_sub(self.last_rx[m]);
@@ -78,10 +111,11 @@ impl ResourceMonitor {
             } else {
                 0.0
             };
-            self.utilization[m].push(now, utilization);
+            rec.push(self.series[m], now, utilization);
             if utilization > self.peak_utilization {
                 self.peak_utilization = utilization;
                 self.peak_machine = Some(MachineId(m));
+                rec.set(self.peak_gauge, utilization);
             }
             out.push(MachineSample {
                 at: now,
@@ -104,9 +138,9 @@ impl ResourceMonitor {
         self.peak_machine
     }
 
-    /// The utilization time series of one machine.
-    pub fn machine_utilization(&self, m: MachineId) -> &TimeSeries {
-        &self.utilization[m.0]
+    /// Number of machines currently tracked.
+    pub fn machines_tracked(&self) -> usize {
+        self.last_tx.len()
     }
 }
 
@@ -122,7 +156,7 @@ mod tests {
     use super::*;
     use crate::deploy::{deploy, DeploymentSpec};
     use p2plab_net::ping::{ping, PingWorld};
-    use p2plab_net::{AccessLinkClass, NetworkConfig, TopologySpec};
+    use p2plab_net::{AccessLinkClass, NetworkConfig, TopologySpec, VirtAddr};
     use p2plab_sim::{SimDuration, Simulation};
 
     fn two_machine_net() -> (p2plab_net::Network, Vec<p2plab_net::VNodeId>) {
@@ -138,8 +172,9 @@ mod tests {
     #[test]
     fn idle_network_has_zero_utilization() {
         let (net, _) = two_machine_net();
-        let mut monitor = ResourceMonitor::new(&net);
-        let samples = monitor.sample(SimTime::from_secs(10), &net);
+        let mut rec = Recorder::new();
+        let mut monitor = ResourceMonitor::new(&net, &mut rec);
+        let samples = monitor.sample(SimTime::from_secs(10), &net, &mut rec);
         assert_eq!(samples.len(), 2);
         assert!(samples.iter().all(|s| s.nic_utilization == 0.0));
         assert_eq!(monitor.peak_utilization(), 0.0);
@@ -157,12 +192,13 @@ mod tests {
         }
         sim.run();
         let net = &sim.world().net;
-        let mut monitor = ResourceMonitor::new(net);
+        let mut rec = Recorder::new();
+        let mut monitor = ResourceMonitor::new(net, &mut rec);
         // The monitor was created after the traffic, so baselines already include it; force a
         // fresh monitor with zero baselines to observe the counters instead.
         monitor.last_tx = vec![0, 0];
         monitor.last_rx = vec![0, 0];
-        let samples = monitor.sample(SimTime::from_secs(1), net);
+        let samples = monitor.sample(SimTime::from_secs(1), net, &mut rec);
         let total_tx: u64 = samples.iter().map(|s| s.nic_tx_bytes).sum();
         assert!(
             total_tx > 20 * 1000,
@@ -170,17 +206,52 @@ mod tests {
         );
         assert!(monitor.peak_utilization() > 0.0);
         assert!(monitor.peak_machine().is_some());
-        assert!(monitor.machine_utilization(MachineId(0)).len() == 1);
+        // The utilization curves and the peak live in the recorder now.
+        let set = rec.finish();
+        assert_eq!(set.series("nic_utilization.machine0").unwrap().len(), 1);
+        assert_eq!(
+            set.gauge("peak_nic_utilization"),
+            Some(monitor.peak_utilization())
+        );
     }
 
     #[test]
     fn utilization_is_bounded_by_one() {
         let (net, _) = two_machine_net();
-        let mut monitor = ResourceMonitor::new(&net);
+        let mut rec = Recorder::new();
+        let mut monitor = ResourceMonitor::new(&net, &mut rec);
         // Pretend an absurd amount of traffic happened in a tiny interval.
         monitor.last_tx = vec![0, 0];
         monitor.last_rx = vec![0, 0];
-        let samples = monitor.sample(SimTime::from_nanos(1), &net);
+        let samples = monitor.sample(SimTime::from_nanos(1), &net, &mut rec);
         assert!(samples.iter().all(|s| s.nic_utilization <= 1.0));
+    }
+
+    #[test]
+    fn machine_added_after_creation_is_sampled_not_panicked() {
+        // Regression: `sample` used to loop over `net.machine_count()` while the baseline
+        // vectors kept their creation-time size, so a machine added after monitor creation
+        // indexed past the end. The monitor must grow its baselines lazily instead.
+        let (mut net, _) = two_machine_net();
+        let mut rec = Recorder::new();
+        let mut monitor = ResourceMonitor::new(&net, &mut rec);
+        assert_eq!(monitor.machines_tracked(), 2);
+        net.add_machine("late-joiner", VirtAddr::new(192, 168, 77, 9));
+        let samples = monitor.sample(SimTime::from_secs(1), &net, &mut rec);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(monitor.machines_tracked(), 3);
+        // The late machine baselines from zero (its pipes were created with zeroed counters),
+        // so with no traffic since joining its first sample reports exactly nothing — but any
+        // bytes it had forwarded between joining and this tick would have been counted.
+        assert_eq!(samples[2].nic_tx_bytes, 0);
+        assert_eq!(samples[2].nic_rx_bytes, 0);
+        // Its series was registered on the fly.
+        assert_eq!(
+            rec.finish()
+                .series("nic_utilization.machine2")
+                .unwrap()
+                .len(),
+            1
+        );
     }
 }

@@ -42,13 +42,16 @@ pub mod processes;
 
 use crate::deploy::{deploy, Deployment, DeploymentSpec};
 use crate::monitor::ResourceMonitor;
+use crate::report::RunReport;
 use p2plab_net::{NetError, Network, NetworkConfig, TopologySpec};
 use p2plab_sim::{
-    schedule_periodic, RunOutcome, SimDuration, SimRng, SimTime, Simulation, TimeSeries,
+    schedule_periodic, MetricSet, Recorder, RunOutcome, SimDuration, SimRng, SimTime, Simulation,
+    TimeSeries,
 };
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::time::Instant;
 
 pub use processes::{
     schedule_session_chain, ArrivalProcess, ArrivalSchedule, ArrivalSpec, ChurnSpec,
@@ -77,6 +80,11 @@ pub trait Workload {
     type World: 'static;
     /// What the workload produces after a run.
     type Output;
+
+    /// Short workload-kind label used in run reports (`"swarm"`, `"ping-mesh"`, ...).
+    fn kind(&self) -> &'static str {
+        "workload"
+    }
 
     /// Number of virtual nodes the workload needs. The scenario's topology must provide at
     /// least this many.
@@ -115,9 +123,17 @@ pub trait Workload {
     /// Access to the emulated network inside the world (for resource monitoring).
     fn network(world: &Self::World) -> &Network;
 
-    /// One sample of the workload's global progress metric (fed to the scenario's progress
-    /// time series on every sampling tick).
-    fn sample(&self, now: SimTime, world: &Self::World) -> f64;
+    /// Registers the workload's metrics in the run's [`Recorder`] (called once, after
+    /// [`build_world`](Workload::build_world) and before any event runs). Store the returned
+    /// handles; recording through them later is a plain indexed write. The default registers
+    /// nothing.
+    fn setup_metrics(&mut self, _rec: &mut Recorder) {}
+
+    /// One sample of the workload's global progress metric, taken on the scenario's sampling
+    /// grid. The runner feeds the returned value to the run's progress curve; the workload
+    /// records any further metrics of its own through `rec` using the handles it registered in
+    /// [`setup_metrics`](Workload::setup_metrics).
+    fn sample(&mut self, now: SimTime, world: &Self::World, rec: &mut Recorder) -> f64;
 
     /// Whether the workload has reached its natural end (stops the periodic sampler; the
     /// simulation itself still drains remaining events up to the deadline).
@@ -409,6 +425,9 @@ pub struct ScenarioRun {
     pub peak_nic_utilization: f64,
     /// The full resource monitor, when monitoring was enabled.
     pub monitor: Option<ResourceMonitor>,
+    /// Everything recorded through the run's [`Recorder`]: the `progress` curve, the monitor's
+    /// per-machine NIC series and whatever the workload registered.
+    pub metrics: MetricSet,
 }
 
 /// Runs `workload` under `spec`: deploy and fold the topology, build the world, draw the
@@ -421,11 +440,35 @@ pub struct ScenarioRun {
 ///
 /// This is the single generic experiment loop of the framework — the BitTorrent runner
 /// [`crate::run_swarm_experiment`] is a thin wrapper over it, and every new workload uses it
-/// directly.
+/// directly. To also obtain the run's machine-readable [`RunReport`] artifact, use
+/// [`run_reported`].
 pub fn run_scenario<W: Workload + 'static>(
     spec: &ScenarioSpec,
     workload: W,
 ) -> Result<W::Output, ScenarioError> {
+    run_scenario_inner(spec, workload, false).map(|(output, _)| output)
+}
+
+/// Runs `workload` under `spec` exactly like [`run_scenario`] and additionally returns the
+/// run's [`RunReport`]: workload kind, spec echo, seed, wall/sim time and the full
+/// [`MetricSet`] the run recorded. Bench binaries serialize the report to JSON/CSV under
+/// `results/`.
+pub fn run_reported<W: Workload + 'static>(
+    spec: &ScenarioSpec,
+    workload: W,
+) -> Result<(W::Output, RunReport), ScenarioError> {
+    run_scenario_inner(spec, workload, true)
+        .map(|(output, report)| (output, report.expect("report was requested")))
+}
+
+/// The shared run loop. `want_report` gates the [`RunReport`] assembly (and its clone of the
+/// metric set), so plain [`run_scenario`] calls pay nothing for the artifact they discard.
+fn run_scenario_inner<W: Workload + 'static>(
+    spec: &ScenarioSpec,
+    workload: W,
+    want_report: bool,
+) -> Result<(W::Output, Option<RunReport>), ScenarioError> {
+    let wall_start = Instant::now();
     spec.validate()?;
     let needed = workload.vnodes_required();
     let available = spec.topology.total_nodes();
@@ -458,6 +501,8 @@ pub fn run_scenario<W: Workload + 'static>(
         .map_err(ScenarioError::DeploymentFailed)?;
 
     let mut workload = workload;
+    let participants = workload.participants();
+    let workload_kind = workload.kind();
     let world = workload.build_world(deployment);
     let mut sim = Simulation::new(world, spec.seed);
 
@@ -467,25 +512,35 @@ pub fn run_scenario<W: Workload + 'static>(
         workload.schedule_churn(&mut sim, sessions, &arrivals);
     }
 
+    // The run's recorder: one per run, owned by the runner, shared with the periodic sampler.
+    // The runner itself contributes the workload's progress curve; the monitor and the
+    // workload record through the same instance.
+    let recorder: Rc<RefCell<Recorder>> = Rc::new(RefCell::new(Recorder::new()));
+    let progress_id = recorder.borrow_mut().time_series("progress");
+    workload.setup_metrics(&mut recorder.borrow_mut());
+
     // Periodic sampling of the workload's progress metric and of the physical machines' NIC
-    // utilization, on the same grid the figures use.
-    let samples: Rc<RefCell<TimeSeries>> = Rc::new(RefCell::new(TimeSeries::new()));
-    let monitor: Rc<RefCell<Option<ResourceMonitor>>> = Rc::new(RefCell::new(
-        spec.monitor_resources
-            .then(|| ResourceMonitor::new(W::network(sim.world()))),
-    ));
+    // utilization, on the same grid the figures use. The `progress` series in the recorder is
+    // the single copy of the progress curve; `ScenarioRun::samples` is derived from it at the
+    // end.
+    let monitor: Rc<RefCell<Option<ResourceMonitor>>> =
+        Rc::new(RefCell::new(spec.monitor_resources.then(|| {
+            ResourceMonitor::new(W::network(sim.world()), &mut recorder.borrow_mut())
+        })));
     let workload = Rc::new(RefCell::new(workload));
     {
-        let sampler = samples.clone();
         let monitor = monitor.clone();
         let workload = workload.clone();
+        let recorder = recorder.clone();
         schedule_periodic(&mut sim, SimTime::ZERO, spec.sample_interval, move |sim| {
             let now = sim.now();
             let world = sim.world();
-            let workload = workload.borrow();
-            sampler.borrow_mut().push(now, workload.sample(now, world));
+            let mut workload = workload.borrow_mut();
+            let rec = &mut *recorder.borrow_mut();
+            let progress = workload.sample(now, world, rec);
+            rec.push(progress_id, now, progress);
             if let Some(m) = monitor.borrow_mut().as_mut() {
-                m.sample(now, W::network(world));
+                m.sample(now, W::network(world), rec);
             }
             !workload.is_complete(world)
         });
@@ -502,16 +557,41 @@ pub fn run_scenario<W: Workload + 'static>(
 
     // Dropping the simulation released the queued sampler closure, so the workload and
     // measurement handles are unique again.
-    let workload = Rc::try_unwrap(workload)
+    let mut workload = Rc::try_unwrap(workload)
         .unwrap_or_else(|_| unreachable!("sampler closures were dropped with the simulation"))
         .into_inner();
 
     // Final sample so the progress curve extends to the stop time.
-    samples
-        .borrow_mut()
-        .push(stopped_at, workload.sample(stopped_at, &world));
+    {
+        let rec = &mut *recorder.borrow_mut();
+        let progress = workload.sample(stopped_at, &world, rec);
+        rec.push(progress_id, stopped_at, progress);
+    }
 
     let monitor = monitor.borrow_mut().take();
+    let metrics = Rc::try_unwrap(recorder)
+        .unwrap_or_else(|_| unreachable!("sampler closures were dropped with the simulation"))
+        .into_inner()
+        .finish();
+    let samples = metrics
+        .series("progress")
+        .cloned()
+        .expect("the runner registered the progress series");
+    let report = want_report.then(|| RunReport {
+        workload: workload_kind.to_string(),
+        scenario: spec.name.clone(),
+        seed: spec.seed,
+        machines: spec.deployment.machines,
+        vnodes: spec.topology.total_nodes(),
+        participants,
+        folding_ratio: spec.folding_ratio(),
+        wall_secs: wall_start.elapsed().as_secs_f64(),
+        stopped_at,
+        events_executed,
+        outcome,
+        spec: spec_echo(spec),
+        metrics: metrics.clone(),
+    });
     let run = ScenarioRun {
         name: spec.name.clone(),
         folding_ratio: spec.folding_ratio(),
@@ -519,11 +599,43 @@ pub fn run_scenario<W: Workload + 'static>(
         stopped_at,
         events_executed,
         outcome,
-        samples: samples.borrow().clone(),
+        samples,
         peak_nic_utilization: monitor.as_ref().map_or(0.0, |m| m.peak_utilization()),
         monitor,
+        metrics,
     };
-    Ok(workload.finalize(world, run))
+    Ok((workload.finalize(world, run), report))
+}
+
+/// Renders the spec as ordered key/value pairs for the report's provenance block. This is an
+/// *echo* (human-readable, stable keys), not a parseable serialization of the spec.
+fn spec_echo(spec: &ScenarioSpec) -> Vec<(String, String)> {
+    let mut echo = vec![
+        ("name".to_string(), spec.name.clone()),
+        (
+            "topology_nodes".to_string(),
+            spec.topology.total_nodes().to_string(),
+        ),
+        ("machines".to_string(), spec.deployment.machines.to_string()),
+        ("network".to_string(), format!("{:?}", spec.network)),
+        ("deadline".to_string(), spec.deadline.to_string()),
+        (
+            "sample_interval".to_string(),
+            spec.sample_interval.to_string(),
+        ),
+        (
+            "monitor_resources".to_string(),
+            spec.monitor_resources.to_string(),
+        ),
+        ("seed".to_string(), spec.seed.to_string()),
+    ];
+    if let Some(arrivals) = &spec.arrivals {
+        echo.push(("arrivals".to_string(), format!("{arrivals:?}")));
+    }
+    if let Some(sessions) = &spec.sessions {
+        echo.push(("sessions".to_string(), format!("{sessions:?}")));
+    }
+    echo
 }
 
 #[cfg(test)]

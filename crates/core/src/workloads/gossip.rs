@@ -13,7 +13,10 @@ use crate::scenario::{
     schedule_session_chain, ArrivalSchedule, ArrivalSpec, ScenarioRun, SessionProcess, Workload,
 };
 use p2plab_net::{send_datagram, NetHost, NetStats, Network, SockEvent, SocketAddr, VNodeId};
-use p2plab_sim::{schedule_periodic, RunOutcome, SimDuration, SimTime, Simulation, TimeSeries};
+use p2plab_sim::{
+    schedule_periodic, Counter, Gauge, Recorder, RunOutcome, SimDuration, SimTime, Simulation,
+    TimeSeries,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -265,16 +268,31 @@ impl GossipResult {
     }
 }
 
+/// Metric handles registered by [`GossipWorkload::setup_metrics`]. The world keeps the
+/// authoritative counts (the recorder is not reachable from socket-event handlers); the
+/// sampling tick syncs them into the recorder.
+#[derive(Debug, Clone, Copy)]
+struct GossipMetrics {
+    rumors_sent: Counter,
+    duplicate_receipts: Counter,
+    missed_receipts: Counter,
+    online_nodes: Gauge,
+}
+
 /// The epidemic-broadcast workload over the scenario's topology.
 #[derive(Debug, Clone)]
 pub struct GossipWorkload {
     spec: GossipSpec,
+    metrics: Option<GossipMetrics>,
 }
 
 impl GossipWorkload {
     /// Wraps a gossip description as a workload.
     pub fn new(spec: GossipSpec) -> GossipWorkload {
-        GossipWorkload { spec }
+        GossipWorkload {
+            spec,
+            metrics: None,
+        }
     }
 
     /// The gossip description this workload runs.
@@ -286,6 +304,10 @@ impl GossipWorkload {
 impl Workload for GossipWorkload {
     type World = GossipWorld;
     type Output = GossipResult;
+
+    fn kind(&self) -> &'static str {
+        "gossip"
+    }
 
     fn vnodes_required(&self) -> usize {
         self.spec.nodes
@@ -352,7 +374,25 @@ impl Workload for GossipWorkload {
         &world.net
     }
 
-    fn sample(&self, _now: SimTime, world: &GossipWorld) -> f64 {
+    fn setup_metrics(&mut self, rec: &mut Recorder) {
+        self.metrics = Some(GossipMetrics {
+            rumors_sent: rec.counter("rumors_sent"),
+            duplicate_receipts: rec.counter("duplicate_receipts"),
+            missed_receipts: rec.counter("missed_receipts"),
+            online_nodes: rec.gauge("online_nodes"),
+        });
+    }
+
+    fn sample(&mut self, _now: SimTime, world: &GossipWorld, rec: &mut Recorder) -> f64 {
+        if let Some(m) = self.metrics {
+            rec.set_total(m.rumors_sent, world.rumors_sent);
+            rec.set_total(m.duplicate_receipts, world.duplicate_receipts);
+            rec.set_total(m.missed_receipts, world.missed_receipts);
+            rec.set(
+                m.online_nodes,
+                world.online.iter().filter(|&&o| o).count() as f64,
+            );
+        }
         world.informed as f64
     }
 

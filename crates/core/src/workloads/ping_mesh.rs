@@ -12,7 +12,9 @@ use crate::deploy::Deployment;
 use crate::scenario::{ArrivalSchedule, ArrivalSpec, ScenarioRun, Workload};
 use p2plab_net::ping::{ping, PingWorld};
 use p2plab_net::{NetStats, Network, VNodeId};
-use p2plab_sim::{RunOutcome, SimDuration, SimTime, Simulation, Summary, TimeSeries};
+use p2plab_sim::{
+    HistogramId, Recorder, RunOutcome, SimDuration, SimTime, Simulation, Summary, TimeSeries,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which ordered pairs of nodes probe each other.
@@ -174,6 +176,10 @@ impl PingMeshResult {
 pub struct PingMeshWorkload {
     spec: PingMeshSpec,
     vnodes: Vec<VNodeId>,
+    rtt_hist: Option<HistogramId>,
+    /// RTTs already recorded into the histogram (`world.rtts` is append-only, so this is a
+    /// high-water mark).
+    rtts_recorded: usize,
 }
 
 impl PingMeshWorkload {
@@ -182,6 +188,8 @@ impl PingMeshWorkload {
         PingMeshWorkload {
             spec,
             vnodes: Vec::new(),
+            rtt_hist: None,
+            rtts_recorded: 0,
         }
     }
 
@@ -194,6 +202,10 @@ impl PingMeshWorkload {
 impl Workload for PingMeshWorkload {
     type World = PingWorld;
     type Output = PingMeshResult;
+
+    fn kind(&self) -> &'static str {
+        "ping-mesh"
+    }
 
     fn vnodes_required(&self) -> usize {
         self.spec.nodes
@@ -235,7 +247,19 @@ impl Workload for PingMeshWorkload {
         &world.net
     }
 
-    fn sample(&self, _now: SimTime, world: &PingWorld) -> f64 {
+    fn setup_metrics(&mut self, rec: &mut Recorder) {
+        let probes = rec.counter("probes_scheduled");
+        rec.add(probes, self.spec.expected_probes() as u64);
+        self.rtt_hist = Some(rec.histogram("rtt_secs"));
+    }
+
+    fn sample(&mut self, _now: SimTime, world: &PingWorld, rec: &mut Recorder) -> f64 {
+        if let Some(h) = self.rtt_hist {
+            for &(_, rtt) in &world.rtts[self.rtts_recorded..] {
+                rec.record(h, rtt.as_secs_f64());
+            }
+            self.rtts_recorded = world.rtts.len();
+        }
         world.rtts.len() as f64
     }
 

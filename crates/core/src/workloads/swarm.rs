@@ -13,20 +13,39 @@ use crate::scenario::{
 };
 use p2plab_bittorrent::{schedule_client_start, start_client, stop_client, SwarmWorld, Torrent};
 use p2plab_net::Network;
-use p2plab_sim::{SimDuration, SimTime, Simulation};
+use p2plab_sim::{Counter, HistogramId, Recorder, SimDuration, SimTime, Simulation, TimeSeriesId};
 use std::rc::Rc;
+
+/// Metric handles registered by [`SwarmWorkload::setup_metrics`].
+#[derive(Debug, Clone, Copy)]
+struct SwarmMetrics {
+    /// `completed_clients` step curve (Figure 11's quantity).
+    completed: TimeSeriesId,
+    /// `completion_time_secs` distribution of finished downloads.
+    completion_hist: HistogramId,
+    /// `churn_departures` observed by the tracker.
+    departures: Counter,
+}
 
 /// The BitTorrent swarm workload: one tracker, `cfg.seeders` initial seeders and
 /// `cfg.leechers` downloaders joining at `cfg.start_interval`.
 #[derive(Debug, Clone)]
 pub struct SwarmWorkload {
     cfg: SwarmExperiment,
+    metrics: Option<SwarmMetrics>,
+    /// Completion times already recorded into the histogram (completion_times() is sorted, so
+    /// this is a high-water mark).
+    completions_recorded: usize,
 }
 
 impl SwarmWorkload {
     /// Wraps a swarm experiment description as a workload.
     pub fn new(cfg: SwarmExperiment) -> SwarmWorkload {
-        SwarmWorkload { cfg }
+        SwarmWorkload {
+            cfg,
+            metrics: None,
+            completions_recorded: 0,
+        }
     }
 
     /// The experiment description this workload runs.
@@ -48,6 +67,10 @@ impl SwarmWorkload {
 impl Workload for SwarmWorkload {
     type World = SwarmWorld;
     type Output = SwarmResult;
+
+    fn kind(&self) -> &'static str {
+        "swarm"
+    }
 
     fn vnodes_required(&self) -> usize {
         self.cfg.total_vnodes()
@@ -139,7 +162,27 @@ impl Workload for SwarmWorkload {
         &world.net
     }
 
-    fn sample(&self, _now: SimTime, world: &SwarmWorld) -> f64 {
+    fn setup_metrics(&mut self, rec: &mut Recorder) {
+        self.metrics = Some(SwarmMetrics {
+            completed: rec.time_series("completed_clients"),
+            completion_hist: rec.histogram("completion_time_secs"),
+            departures: rec.counter("churn_departures"),
+        });
+    }
+
+    fn sample(&mut self, now: SimTime, world: &SwarmWorld, rec: &mut Recorder) -> f64 {
+        if let Some(m) = self.metrics {
+            let completed = world.completed_count();
+            rec.push(m.completed, now, completed as f64);
+            if completed > self.completions_recorded {
+                // completion_times() is sorted, so everything past the high-water mark is new.
+                for t in &world.completion_times()[self.completions_recorded..] {
+                    rec.record(m.completion_hist, t.as_secs_f64());
+                }
+                self.completions_recorded = completed;
+            }
+            rec.set_total(m.departures, world.tracker.stats().stopped);
+        }
         world.total_bytes_downloaded() as f64
     }
 

@@ -10,18 +10,23 @@
 //!   exactly the fidelity the paper's evaluation requires.
 //!
 //! The main entry point is [`Simulation`]; measurements are collected with the types in
-//! [`stats`].
+//! [`stats`] and recorded through the unified [`metrics`] pipeline ([`Recorder`]/[`MetricSet`]).
 
 #![warn(missing_docs)]
 
 mod engine;
 mod event;
+pub mod metrics;
 mod rng;
 pub mod stats;
 mod time;
 
 pub use engine::{schedule_periodic, EventFn, RunOutcome, Simulation};
 pub use event::{EventId, EventQueue};
+pub use metrics::{
+    Counter, Gauge, HistogramId, HistogramSnapshot, LogHistogram, Metric, MetricSet, MetricValue,
+    Recorder, TimeSeriesId,
+};
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, RateEstimator, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,77 @@
+//! Property-based tests of the metrics pipeline: the log-bucket histogram's quantiles must
+//! track the exact quantiles of whatever was recorded, within the documented bucket-width
+//! error bound.
+
+use p2plab_sim::metrics::LOG_BUCKET_GROWTH;
+use p2plab_sim::{LogHistogram, Recorder, SimTime};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile of a sample set (the definition `LogHistogram::quantile`
+/// approximates bucket-wise).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// For arbitrary positive samples within the histogram's bucket range, every reported
+    /// quantile is within one log-bucket (a factor of `LOG_BUCKET_GROWTH`) of the exact
+    /// nearest-rank quantile of the recorded samples.
+    #[test]
+    fn histogram_quantiles_track_exact_quantiles(
+        samples in prop::collection::vec(1e-9f64..1e15, 1..500),
+        q_millis in 1u64..1000,
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let q = q_millis as f64 / 1000.0;
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q).unwrap();
+        prop_assert!(
+            est / LOG_BUCKET_GROWTH <= exact && exact <= est * LOG_BUCKET_GROWTH,
+            "q={q}: estimated {est} not within one bucket of exact {exact} (n={})",
+            sorted.len()
+        );
+        // The fixed p50/p90/p99 of the snapshot obey the same bound.
+        let snap = h.snapshot();
+        for (p, est) in [(0.50, snap.p50), (0.90, snap.p90), (0.99, snap.p99)] {
+            let exact = exact_quantile(&sorted, p);
+            let est = est.unwrap();
+            prop_assert!(
+                est / LOG_BUCKET_GROWTH <= exact && exact <= est * LOG_BUCKET_GROWTH,
+                "p{}: estimated {est} not within one bucket of exact {exact}",
+                (p * 100.0) as u32
+            );
+        }
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+    }
+
+    /// Counters and gauges survive arbitrary interleavings of updates: a counter sums its
+    /// increments, a gauge keeps the last write, and the finished set reports exactly that.
+    #[test]
+    fn recorder_counter_and_gauge_semantics(
+        increments in prop::collection::vec(0u64..1_000_000, 1..100),
+        gauge_values in prop::collection::vec(-1e9f64..1e9, 1..100),
+    ) {
+        let mut rec = Recorder::new();
+        let c = rec.counter("events");
+        let g = rec.gauge("level");
+        let s = rec.time_series("curve");
+        for (i, (&n, &v)) in increments.iter().zip(gauge_values.iter().cycle()).enumerate() {
+            rec.add(c, n);
+            rec.set(g, v);
+            rec.push(s, SimTime::from_secs(i as u64), v);
+        }
+        let expected_total: u64 = increments.iter().sum();
+        let expected_last = gauge_values[(increments.len() - 1) % gauge_values.len()];
+        let set = rec.finish();
+        prop_assert_eq!(set.counter("events"), Some(expected_total));
+        prop_assert_eq!(set.gauge("level"), Some(expected_last));
+        prop_assert_eq!(set.series("curve").unwrap().len(), increments.len());
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests of the unified metrics & run-report pipeline through the public facade:
+//! every shipped workload must emit a `RunReport` whose JSON round-trips through the loader,
+//! and the recorded metrics must agree with the workload's own result struct.
+
+use p2plab::core::{
+    run_reported, GossipSpec, GossipWorkload, PingMeshSpec, PingMeshWorkload, RunReport,
+    ScenarioBuilder, SwarmExperiment, SwarmWorkload,
+};
+use p2plab::net::{AccessLinkClass, TopologySpec};
+use p2plab::sim::{MetricValue, RunOutcome, SimDuration};
+
+fn round_trip(report: &RunReport) -> RunReport {
+    let json = report.to_json();
+    let loaded = RunReport::from_json(&json).expect("report JSON parses back");
+    assert_eq!(&loaded, report, "report must survive the JSON round-trip");
+    loaded
+}
+
+#[test]
+fn swarm_report_round_trips_and_matches_result() {
+    let mut cfg = SwarmExperiment::quick();
+    cfg.name = "report-swarm".into();
+    cfg.leechers = 6;
+    let (result, report) =
+        run_reported(&cfg.to_scenario(), SwarmWorkload::new(cfg.clone())).unwrap();
+    let loaded = round_trip(&report);
+
+    assert_eq!(loaded.workload, "swarm");
+    assert_eq!(loaded.scenario, "report-swarm");
+    assert_eq!(loaded.seed, cfg.seed);
+    assert_eq!(loaded.participants, cfg.leechers);
+    assert_eq!(loaded.vnodes, cfg.total_vnodes());
+    assert_eq!(loaded.outcome, RunOutcome::Drained);
+    assert!(loaded.wall_secs > 0.0);
+
+    // The progress metric *is* the result's total-downloaded curve.
+    assert_eq!(
+        loaded.metrics.series("progress").unwrap(),
+        &result.total_downloaded
+    );
+    // The completed-clients step curve ends at the downloader count.
+    let completed = loaded.metrics.series("completed_clients").unwrap();
+    assert_eq!(completed.last().unwrap().1, cfg.leechers as f64);
+    // Every finished download landed in the completion-time histogram.
+    let hist = loaded.metrics.histogram("completion_time_secs").unwrap();
+    assert_eq!(hist.count, result.completion_times.len() as u64);
+    assert_eq!(loaded.metrics.counter("churn_departures"), Some(0));
+    // The monitor recorded one NIC-utilization series per machine plus the peak gauge.
+    for m in 0..cfg.machines {
+        assert!(
+            loaded
+                .metrics
+                .series(&format!("nic_utilization.machine{m}"))
+                .is_some(),
+            "machine {m} has no utilization series"
+        );
+    }
+    assert_eq!(
+        loaded.metrics.gauge("peak_nic_utilization"),
+        Some(result.peak_nic_utilization)
+    );
+}
+
+#[test]
+fn ping_mesh_report_round_trips_and_matches_result() {
+    let mesh = PingMeshSpec::full("report-mesh", 4);
+    let spec = ScenarioBuilder::new(
+        "report-mesh",
+        TopologySpec::uniform(
+            "report-mesh",
+            4,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(2)),
+        ),
+    )
+    .machines(2)
+    .arrival_ramp(mesh.arrival_ramp())
+    .deadline(SimDuration::from_secs(120))
+    .sample_interval(SimDuration::from_secs(1))
+    .seed(3)
+    .build()
+    .unwrap();
+    let (result, report) = run_reported(&spec, PingMeshWorkload::new(mesh)).unwrap();
+    let loaded = round_trip(&report);
+
+    assert_eq!(loaded.workload, "ping-mesh");
+    assert!(result.finished);
+    assert_eq!(
+        loaded.metrics.counter("probes_scheduled"),
+        Some(result.probes_scheduled as u64)
+    );
+    let rtt = loaded.metrics.histogram("rtt_secs").unwrap();
+    assert_eq!(rtt.count, result.replies_received as u64);
+    // 2 ms links, two hops each way: every RTT at least 8 ms, and the histogram knows it.
+    assert!(rtt.min.unwrap() >= 0.008);
+    assert!(rtt.p50.is_some() && rtt.p90.is_some() && rtt.p99.is_some());
+}
+
+#[test]
+fn gossip_report_round_trips_and_matches_result() {
+    let spec = ScenarioBuilder::new(
+        "report-gossip",
+        TopologySpec::uniform(
+            "report-gossip",
+            16,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(2)),
+        ),
+    )
+    .machines(4)
+    .deadline(SimDuration::from_secs(600))
+    .sample_interval(SimDuration::from_secs(1))
+    .seed(9)
+    .build()
+    .unwrap();
+    let (result, report) =
+        run_reported(&spec, GossipWorkload::new(GossipSpec::new("gossip", 16))).unwrap();
+    let loaded = round_trip(&report);
+
+    assert_eq!(loaded.workload, "gossip");
+    assert!(result.finished, "{}", result.summary());
+    assert_eq!(
+        loaded.metrics.counter("rumors_sent"),
+        Some(result.rumors_sent)
+    );
+    assert_eq!(
+        loaded.metrics.counter("duplicate_receipts"),
+        Some(result.duplicate_receipts)
+    );
+    // The progress series is the dissemination curve.
+    assert_eq!(
+        loaded.metrics.series("progress").unwrap(),
+        &result.dissemination
+    );
+    assert_eq!(loaded.metrics.gauge("online_nodes"), Some(16.0));
+}
+
+#[test]
+fn reports_are_deterministic_given_seed_apart_from_wall_time() {
+    let run = || {
+        let mut cfg = SwarmExperiment::quick();
+        cfg.name = "report-det".into();
+        cfg.leechers = 5;
+        run_reported(&cfg.to_scenario(), SwarmWorkload::new(cfg))
+            .unwrap()
+            .1
+    };
+    let mut a = run();
+    let mut b = run();
+    // Wall-clock time is the one legitimately non-deterministic field.
+    a.wall_secs = 0.0;
+    b.wall_secs = 0.0;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn run_scenario_still_returns_plain_output() {
+    // The report is opt-in: run_scenario keeps its output-only signature for callers that do
+    // not need the artifact.
+    let mut cfg = SwarmExperiment::quick();
+    cfg.leechers = 4;
+    let result = p2plab::core::run_scenario(&cfg.to_scenario(), SwarmWorkload::new(cfg)).unwrap();
+    assert!(result.finished);
+}
+
+#[test]
+fn metric_order_is_stable_and_progress_comes_first() {
+    // Registration order is the serialization order: the runner registers the progress curve
+    // before the workload and monitor register theirs, so tooling can rely on `progress`
+    // leading every report, and on series metrics actually being series.
+    let mut cfg = SwarmExperiment::quick();
+    cfg.leechers = 4;
+    let (_, report) = run_reported(&cfg.to_scenario(), SwarmWorkload::new(cfg)).unwrap();
+    let first = report.metrics.iter().next().unwrap();
+    assert_eq!(first.name, "progress");
+    assert!(matches!(first.value, MetricValue::Series(_)));
+    assert!(report.metrics.len() >= 4);
+}
