@@ -1,0 +1,279 @@
+//! The standing scale/performance baseline: swarm, ping-mesh and gossip scenarios at
+//! 10^3–10^5 virtual nodes, each emitting its `RunReport` under `results/` and summarized as
+//! `results/scale_sweep.csv`.
+//!
+//! ```text
+//! # full sweep (1k/10k/50k gossip, 1k/10k mesh and swarm, fig10 throughput pin):
+//! cargo run --release -p p2plab-bench --bin scale_sweep
+//! # CI smoke: same scenarios under per-scenario event budgets and a global wall-clock cap,
+//! # exits non-zero if a scenario exhausts its budget or the cap is blown (a queue or
+//! # livelock regression fails CI instead of hanging it):
+//! cargo run --release -p p2plab-bench --bin scale_sweep -- --smoke
+//! ```
+//!
+//! The fig10-configuration run doubles as the **throughput pin**: when the pre-refactor
+//! baseline report (`results/scale_sweep/fig10-1439-clients.baseline.report.json`, schema v1)
+//! is present, the sweep prints the events/sec speedup against it. Perf-relevant changes are
+//! expected to include a before/after `scale_sweep` report in the PR.
+
+use p2plab_bench::{write_results_file, write_run_report};
+use p2plab_core::{
+    render_table, run_reported, ArrivalSpec, GossipSpec, GossipWorkload, PingMeshSpec,
+    PingMeshWorkload, RunReport, ScenarioBuilder, SwarmExperiment, SwarmWorkload,
+};
+use p2plab_net::{AccessLinkClass, TopologySpec};
+use p2plab_sim::{RunOutcome, SimDuration};
+use std::time::Instant;
+
+/// Global wall-clock cap for the smoke sweep. CI fails rather than hangs.
+const SMOKE_WALL_CAP_SECS: u64 = 1200;
+
+struct SweepRow {
+    scenario: String,
+    workload: &'static str,
+    vnodes: usize,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    outcome: RunOutcome,
+}
+
+fn record(rows: &mut Vec<SweepRow>, workload: &'static str, vnodes: usize, report: &RunReport) {
+    write_run_report("scale", report);
+    println!(
+        "[{}] {}: {} events in {:.1}s = {:.0} events/sec ({:?})",
+        workload,
+        report.scenario,
+        report.events_executed,
+        report.wall_secs,
+        report.events_per_sec,
+        report.outcome
+    );
+    rows.push(SweepRow {
+        scenario: report.scenario.clone(),
+        workload,
+        vnodes,
+        events: report.events_executed,
+        wall_secs: report.wall_secs,
+        events_per_sec: report.events_per_sec,
+        outcome: report.outcome,
+    });
+}
+
+/// Gossip at `nodes` vnodes: a 2 ms join ramp, then epidemic broadcast to completion.
+fn gossip(nodes: usize, smoke: bool) -> RunReport {
+    let name = format!("scale-gossip-{nodes}");
+    let machines = (nodes / 64).max(1);
+    let mut spec = GossipSpec::new(&name, nodes);
+    // Push less per round at scale: dissemination still completes, with fewer duplicate
+    // rumors clogging the sweep.
+    spec.fanout = 2;
+    let ramp = SimDuration::from_millis(2) * nodes.saturating_sub(1) as u64;
+    let mut b = ScenarioBuilder::new(
+        &name,
+        TopologySpec::uniform(
+            &name,
+            nodes,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(5)),
+        ),
+    )
+    .machines(machines)
+    .arrivals(ArrivalSpec::ramp(
+        SimDuration::ZERO,
+        SimDuration::from_millis(2),
+    ))
+    .arrival_ramp(ramp)
+    .deadline(ramp + SimDuration::from_secs(900))
+    .sample_interval(SimDuration::from_secs(10))
+    .monitor_resources(false)
+    .seed(2006);
+    if smoke {
+        b = b.event_budget(150_000_000);
+    }
+    let scenario = b.build().expect("valid gossip scenario");
+    let (result, report) = run_reported(&scenario, GossipWorkload::new(spec)).expect("gossip runs");
+    assert!(
+        result.finished,
+        "gossip at {nodes} vnodes did not fully disseminate: {}",
+        result.summary()
+    );
+    report
+}
+
+/// Ping mesh (ring pattern) at `nodes` vnodes.
+fn ping_mesh(nodes: usize, smoke: bool) -> RunReport {
+    let name = format!("scale-mesh-{nodes}");
+    let machines = (nodes / 64).max(1);
+    let mesh = PingMeshSpec::ring(&name, nodes);
+    let mut b = ScenarioBuilder::new(
+        &name,
+        TopologySpec::uniform(
+            &name,
+            nodes,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(5)),
+        ),
+    )
+    .machines(machines)
+    .arrival_ramp(mesh.arrival_ramp())
+    .deadline(mesh.arrival_ramp() + SimDuration::from_secs(120))
+    .sample_interval(SimDuration::from_secs(10))
+    .monitor_resources(false)
+    .seed(2006);
+    if smoke {
+        b = b.event_budget(20_000_000);
+    }
+    let scenario = b.build().expect("valid mesh scenario");
+    let (result, report) = run_reported(&scenario, PingMeshWorkload::new(mesh)).expect("mesh runs");
+    assert!(
+        result.finished,
+        "ping mesh at {nodes} vnodes incomplete: {}",
+        result.summary()
+    );
+    report
+}
+
+/// BitTorrent swarm with `clients` downloaders sharing a 1 MiB file (small on purpose: the
+/// sweep measures the emulation hot path at client scale, not BitTorrent's long tail).
+fn swarm(clients: usize, smoke: bool) -> RunReport {
+    let name = format!("scale-swarm-{clients}");
+    let mut cfg = SwarmExperiment::paper_figure10(1.0);
+    cfg.name = name.clone();
+    cfg.leechers = clients;
+    cfg.seeders = (clients / 200).max(4);
+    cfg.machines = ((clients + cfg.seeders + 1) as f64 / 32.0).ceil() as usize;
+    cfg.file_bytes = 1024 * 1024;
+    cfg.start_interval = SimDuration::from_millis(50);
+    cfg.deadline = SimDuration::from_secs(1500);
+    let mut scenario = cfg.to_scenario();
+    if smoke {
+        scenario.event_budget = Some(100_000_000);
+    }
+    let (result, report) = run_reported(&scenario, SwarmWorkload::new(cfg)).expect("swarm runs");
+    // At 10^4 clients a handful of late joiners can stay starved of unchoke slots past the
+    // deadline — protocol tail behaviour, not an emulation failure. The sweep demands
+    // near-total completion; anything below that points at a real regression.
+    let fraction = result.completed as f64 / clients as f64;
+    assert!(
+        fraction >= 0.995,
+        "swarm with {clients} clients only {:.2}% complete: {}",
+        fraction * 100.0,
+        result.summary()
+    );
+    report
+}
+
+/// The fig10 throughput pin: the paper's Figure 10 swarm at quarter scale (1439 clients,
+/// 16 MiB file) — the configuration whose events/sec is compared against the committed
+/// pre-refactor baseline report.
+fn fig10_pin(smoke: bool) -> RunReport {
+    let cfg = SwarmExperiment::paper_figure10(0.25);
+    let mut scenario = cfg.to_scenario();
+    if smoke {
+        scenario.event_budget = Some(120_000_000);
+    }
+    let (result, report) = run_reported(&scenario, SwarmWorkload::new(cfg)).expect("fig10 runs");
+    assert!(
+        result.finished,
+        "fig10 pin did not finish: {}",
+        result.summary()
+    );
+    report
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sweep_start = Instant::now();
+    let mut rows: Vec<SweepRow> = Vec::new();
+
+    for nodes in [1_000, 10_000] {
+        let report = ping_mesh(nodes, smoke);
+        record(&mut rows, "ping-mesh", nodes, &report);
+    }
+    for nodes in [1_000, 10_000, 50_000] {
+        let report = gossip(nodes, smoke);
+        record(&mut rows, "gossip", nodes, &report);
+    }
+    for clients in [1_000, 10_000] {
+        let report = swarm(clients, smoke);
+        record(&mut rows, "swarm", clients, &report);
+    }
+    let fig10 = fig10_pin(smoke);
+    record(&mut rows, "swarm", fig10.vnodes, &fig10);
+
+    // Summary table + CSV artifact.
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.workload.to_string(),
+                r.vnodes.to_string(),
+                r.events.to_string(),
+                format!("{:.1}", r.wall_secs),
+                format!("{:.0}", r.events_per_sec),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            "Scale sweep",
+            &["scenario", "workload", "vnodes", "events", "wall_s", "events/s"],
+            &table_rows,
+        )
+    );
+    let mut csv = String::from("scenario,workload,vnodes,events,wall_secs,events_per_sec\n");
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{:.3},{:.0}\n",
+            r.scenario, r.workload, r.vnodes, r.events, r.wall_secs, r.events_per_sec
+        ));
+    }
+    write_results_file("scale_sweep.csv", &csv);
+
+    // Throughput pin against the committed pre-refactor baseline, when present.
+    let baseline_path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/scale_sweep/fig10-1439-clients.baseline.report.json");
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match RunReport::from_json(&text) {
+            Ok(baseline) => {
+                let speedup = fig10.events_per_sec / baseline.events_per_sec.max(1e-9);
+                println!(
+                    "fig10 throughput pin: {:.0} events/s vs pre-refactor baseline {:.0} events/s = {speedup:.2}x",
+                    fig10.events_per_sec, baseline.events_per_sec
+                );
+                assert_eq!(
+                    baseline.events_executed, fig10.events_executed,
+                    "fig10 event count drifted from the baseline — the runs are no longer \
+                     comparable (determinism regression?)"
+                );
+            }
+            Err(e) => println!("[warn] baseline report unreadable: {e}"),
+        },
+        Err(_) => println!(
+            "[note] no baseline report at {}; skipping the throughput comparison",
+            baseline_path.display()
+        ),
+    }
+
+    // Smoke-mode gate: every scenario must have completed within its event budget, and the
+    // whole sweep under the wall cap.
+    let wall = sweep_start.elapsed().as_secs();
+    println!("sweep wall time: {wall}s");
+    if smoke {
+        let exhausted: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.outcome == RunOutcome::EventBudgetExhausted)
+            .map(|r| r.scenario.as_str())
+            .collect();
+        assert!(
+            exhausted.is_empty(),
+            "scenarios exhausted their event budget: {exhausted:?}"
+        );
+        assert!(
+            wall < SMOKE_WALL_CAP_SECS,
+            "smoke sweep took {wall}s (cap {SMOKE_WALL_CAP_SECS}s) — hot-path regression?"
+        );
+    }
+    println!("scale sweep complete: {} scenarios", rows.len());
+}

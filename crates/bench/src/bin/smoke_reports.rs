@@ -34,9 +34,10 @@ fn check(name: &str, report: &RunReport) {
         "{name}: run has no progress curve"
     );
     println!(
-        "[ok] {name}: {} metrics, {} events, wrote {}",
+        "[ok] {name}: {} metrics, {} events executed ({:.0} events/sec wall), wrote {}",
         report.metrics.len(),
         report.events_executed,
+        report.events_per_sec,
         path.display()
     );
 }

@@ -108,6 +108,7 @@ mod tests {
             wall_secs: 0.0,
             stopped_at: SimTime::from_secs(1),
             events_executed: 9,
+            events_per_sec: 0.0,
             outcome: RunOutcome::Drained,
             spec: vec![("name".into(), "selftest".into())],
             metrics: rec.finish(),

@@ -11,9 +11,10 @@ use crate::messages::PeerId;
 use crate::piece::PieceManager;
 use crate::torrent::Torrent;
 use p2plab_net::{ConnId, SocketAddr, VNodeId};
+use p2plab_sim::FxHashSet;
 use p2plab_sim::{RateEstimator, SimDuration, SimTime, TimeSeries};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Client policy parameters (mainline 4.x defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -164,7 +165,7 @@ pub struct Client {
     /// Addresses learned from the tracker, not necessarily connected.
     pub known_peers: Vec<SocketAddr>,
     /// Outgoing connection attempts in progress.
-    pub connecting: HashSet<SocketAddr>,
+    pub connecting: FxHashSet<SocketAddr>,
     /// The tracker's address.
     pub tracker_addr: SocketAddr,
     /// Whether the client process is running.
@@ -182,6 +183,9 @@ pub struct Client {
     /// Bumped on every (re)start; periodic timers from older sessions stop when they notice a
     /// newer generation, so a churn restart never leaves two choker timers running.
     pub timer_generation: u64,
+    /// Reused choker-round snapshot buffer (one snapshot per round per client would otherwise
+    /// allocate throughout the whole run).
+    pub(crate) snapshot_scratch: Vec<PeerSnapshot>,
 }
 
 impl Client {
@@ -201,7 +205,7 @@ impl Client {
             choker: Choker::new(config.choke),
             peers: BTreeMap::new(),
             known_peers: Vec::new(),
-            connecting: HashSet::new(),
+            connecting: FxHashSet::default(),
             tracker_addr,
             online: false,
             initial_seeder: complete,
@@ -210,6 +214,7 @@ impl Client {
             progress: TimeSeries::new(),
             stats: ClientStats::default(),
             timer_generation: 0,
+            snapshot_scratch: Vec::new(),
             config,
         }
     }
@@ -239,16 +244,25 @@ impl Client {
 
     /// Snapshot of every handshaken peer for the choker.
     pub fn choker_snapshot(&mut self, now: SimTime) -> Vec<PeerSnapshot> {
-        self.peers
-            .values_mut()
-            .filter(|p| p.handshaken)
-            .map(|p| PeerSnapshot {
-                conn: p.conn,
-                interested: p.peer_interested,
-                download_rate: p.download.rate(now),
-                upload_rate: p.upload.rate(now),
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.choker_snapshot_into(now, &mut out);
+        out
+    }
+
+    /// Fills `out` with the choker-round snapshot, reusing its capacity.
+    pub fn choker_snapshot_into(&mut self, now: SimTime, out: &mut Vec<PeerSnapshot>) {
+        out.clear();
+        out.extend(
+            self.peers
+                .values_mut()
+                .filter(|p| p.handshaken)
+                .map(|p| PeerSnapshot {
+                    conn: p.conn,
+                    interested: p.peer_interested,
+                    download_rate: p.download.rate(now),
+                    upload_rate: p.upload.rate(now),
+                }),
+        );
     }
 
     /// True if the client should try to open more outgoing connections.
@@ -258,7 +272,7 @@ impl Client {
 
     /// The addresses the client could still try to connect to.
     pub fn unconnected_known_peers(&self) -> Vec<SocketAddr> {
-        let connected: HashSet<SocketAddr> = self.peers.values().map(|p| p.peer_addr).collect();
+        let connected: FxHashSet<SocketAddr> = self.peers.values().map(|p| p.peer_addr).collect();
         self.known_peers
             .iter()
             .copied()

@@ -21,7 +21,7 @@ pub enum PeerMessage {
         peer_id: PeerId,
     },
     /// The sender's complete piece bitfield, sent right after the handshake.
-    Bitfield(Bitfield),
+    Bitfield(Box<Bitfield>),
     /// The sender acquired a complete, verified piece.
     Have(u32),
     /// The sender will not answer requests.
@@ -167,7 +167,10 @@ mod tests {
             .wire_size(),
             16384 + 13
         );
-        assert_eq!(PeerMessage::Bitfield(Bitfield::new(64)).wire_size(), 13);
+        assert_eq!(
+            PeerMessage::Bitfield(Box::new(Bitfield::new(64))).wire_size(),
+            13
+        );
         assert_eq!(PeerMessage::KeepAlive.wire_size(), 4);
     }
 

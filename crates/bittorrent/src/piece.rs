@@ -9,7 +9,7 @@
 use crate::bitfield::Bitfield;
 use crate::torrent::Torrent;
 use p2plab_sim::{SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Number of complete pieces below which the client picks pieces at random rather than
 /// rarest-first (mainline's "random first piece" policy).
@@ -41,9 +41,26 @@ struct BlockRequest {
 #[derive(Debug, Clone)]
 struct PartialPiece {
     received: Bitfield,
-    /// Blocks currently requested from some peer, with the first request time and how many
-    /// peers have the request outstanding.
-    requested: HashMap<u32, BlockRequest>,
+    /// Outstanding request per block (indexed by block number — pieces have a small, fixed
+    /// block count, so an array beats a hash map in the per-block hot loops), with the first
+    /// request time and how many peers have the request outstanding.
+    requested: Vec<Option<BlockRequest>>,
+}
+
+impl PartialPiece {
+    fn new(blocks: u32) -> PartialPiece {
+        PartialPiece {
+            received: Bitfield::new(blocks),
+            requested: vec![None; blocks as usize],
+        }
+    }
+
+    /// Blocks neither received nor requested — the quantity the endgame test sums.
+    fn uncovered(&self) -> u64 {
+        (0..self.requested.len() as u32)
+            .filter(|&b| !self.received.get(b) && self.requested[b as usize].is_none())
+            .count() as u64
+    }
 }
 
 /// Per-client piece state and selection logic.
@@ -51,10 +68,17 @@ struct PartialPiece {
 pub struct PieceManager {
     torrent: Torrent,
     have: Bitfield,
-    partial: HashMap<u32, PartialPiece>,
+    /// In-progress pieces. A BTreeMap so iteration is already in piece order (strict-priority
+    /// candidates need no per-call sort).
+    partial: BTreeMap<u32, PartialPiece>,
     /// How many connected peers have each piece (availability for rarest-first).
     availability: Vec<u32>,
     bytes_done: u64,
+    /// Blocks that are neither owned nor currently requested, over the whole torrent —
+    /// maintained incrementally so the endgame test is O(1) instead of a scan per pick.
+    uncovered_blocks: u64,
+    /// Scratch buffer reused by `pick_blocks` (in-progress candidates, then fresh pieces).
+    candidates: Vec<u32>,
 }
 
 impl PieceManager {
@@ -68,12 +92,19 @@ impl PieceManager {
             Bitfield::new(n)
         };
         let bytes_done = if complete { torrent.total_bytes } else { 0 };
+        let uncovered_blocks = if complete {
+            0
+        } else {
+            (0..n).map(|p| torrent.blocks_in_piece(p) as u64).sum()
+        };
         PieceManager {
             availability: vec![0; n as usize],
-            partial: HashMap::new(),
+            partial: BTreeMap::new(),
             have,
             torrent,
             bytes_done,
+            uncovered_blocks,
+            candidates: Vec::new(),
         }
     }
 
@@ -132,17 +163,26 @@ impl PieceManager {
     }
 
     /// True once every block is either owned or currently requested — the endgame condition.
+    /// O(1): the uncovered-block count is maintained incrementally by every request/receive/
+    /// release (and checked against a full recount in debug builds).
     pub fn in_endgame(&self) -> bool {
-        if self.is_complete() {
-            return false;
-        }
+        debug_assert_eq!(
+            self.uncovered_blocks,
+            self.recount_uncovered(),
+            "incremental uncovered-block count drifted"
+        );
+        !self.is_complete() && self.uncovered_blocks == 0
+    }
+
+    /// The slow recount backing the `in_endgame` debug assertion.
+    fn recount_uncovered(&self) -> u64 {
         self.have
             .iter_missing()
-            .all(|p| match self.partial.get(&p) {
-                Some(pp) => (0..self.torrent.blocks_in_piece(p))
-                    .all(|b| pp.received.get(b) || pp.requested.contains_key(&b)),
-                None => false,
+            .map(|p| match self.partial.get(&p) {
+                Some(pp) => pp.uncovered(),
+                None => self.torrent.blocks_in_piece(p) as u64,
             })
+            .sum()
     }
 
     /// Picks up to `max` blocks to request from a peer owning `peer_have`, marking them as
@@ -161,25 +201,27 @@ impl PieceManager {
         let endgame = self.in_endgame();
         let mut picked = Vec::with_capacity(max);
 
-        // Strict priority: blocks of pieces already in progress come first.
-        let mut candidate_pieces: Vec<u32> = Vec::new();
-        let mut in_progress: Vec<u32> = self
-            .partial
-            .keys()
-            .copied()
-            .filter(|&p| peer_have.get(p) && !self.have.get(p))
-            .collect();
-        in_progress.sort_unstable();
-        candidate_pieces.extend(in_progress.iter().copied());
-
-        // Then fresh pieces: random while we own few pieces, rarest-first afterwards.
-        let mut fresh: Vec<u32> = self
-            .have
-            .iter_missing()
-            .filter(|&p| peer_have.get(p) && !self.partial.contains_key(&p))
-            .collect();
+        // Candidate pieces, in one reused scratch buffer: strict priority first (blocks of
+        // pieces already in progress; BTreeMap iteration is already in piece order), then
+        // fresh pieces.
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
+        candidates.extend(
+            self.partial
+                .keys()
+                .copied()
+                .filter(|&p| peer_have.get(p) && !self.have.get(p)),
+        );
+        let fresh_start = candidates.len();
+        candidates.extend(
+            self.have
+                .iter_missing_in(peer_have)
+                .filter(|p| !self.partial.contains_key(p)),
+        );
+        // Fresh pieces: random while we own few pieces, rarest-first afterwards.
+        let fresh = &mut candidates[fresh_start..];
         if self.have.count() < RANDOM_FIRST_PIECES {
-            rng.shuffle(&mut fresh);
+            rng.shuffle(fresh);
         } else {
             fresh.sort_by_key(|&p| (self.availability[p as usize], p));
             // Shuffle ties so that identical availability does not make every client converge
@@ -196,17 +238,16 @@ impl PieceManager {
                 i = j;
             }
         }
-        candidate_pieces.extend(fresh);
 
-        for piece in candidate_pieces {
+        for &piece in &candidates {
             if picked.len() >= max {
                 break;
             }
             let blocks = self.torrent.blocks_in_piece(piece);
-            let entry = self.partial.entry(piece).or_insert_with(|| PartialPiece {
-                received: Bitfield::new(blocks),
-                requested: HashMap::new(),
-            });
+            let entry = self
+                .partial
+                .entry(piece)
+                .or_insert_with(|| PartialPiece::new(blocks));
             for b in 0..blocks {
                 if picked.len() >= max {
                     break;
@@ -214,15 +255,13 @@ impl PieceManager {
                 if entry.received.get(b) {
                     continue;
                 }
-                match entry.requested.get_mut(&b) {
-                    None => {
-                        entry.requested.insert(
-                            b,
-                            BlockRequest {
-                                first_at: now,
-                                count: 1,
-                            },
-                        );
+                match &mut entry.requested[b as usize] {
+                    slot @ None => {
+                        *slot = Some(BlockRequest {
+                            first_at: now,
+                            count: 1,
+                        });
+                        self.uncovered_blocks -= 1;
                         picked.push((piece, b));
                     }
                     Some(req) if endgame && req.count < MAX_ENDGAME_DUPLICATION => {
@@ -233,6 +272,7 @@ impl PieceManager {
                 }
             }
         }
+        self.candidates = candidates;
         picked
     }
 
@@ -242,14 +282,18 @@ impl PieceManager {
             return BlockOutcome::Duplicate;
         }
         let blocks = self.torrent.blocks_in_piece(piece);
-        let entry = self.partial.entry(piece).or_insert_with(|| PartialPiece {
-            received: Bitfield::new(blocks),
-            requested: HashMap::new(),
-        });
+        let entry = self
+            .partial
+            .entry(piece)
+            .or_insert_with(|| PartialPiece::new(blocks));
         if !entry.received.set(block) {
             return BlockOutcome::Duplicate;
         }
-        entry.requested.remove(&block);
+        if entry.requested[block as usize].take().is_none() {
+            // A block that was never requested (or whose request timed out) stops being
+            // uncovered the moment it is owned.
+            self.uncovered_blocks -= 1;
+        }
         self.bytes_done += self.torrent.block_len(piece, block) as u64;
         if entry.received.is_full() {
             self.partial.remove(&piece);
@@ -269,14 +313,17 @@ impl PieceManager {
     pub fn release_stale_requests(&mut self, now: SimTime, timeout: SimDuration) -> usize {
         let mut released = 0;
         for pp in self.partial.values_mut() {
-            pp.requested.retain(|_, req| {
-                if now.saturating_since(req.first_at) > timeout {
-                    released += 1;
-                    false
-                } else {
-                    true
+            for b in 0..pp.requested.len() {
+                if let Some(req) = pp.requested[b] {
+                    if now.saturating_since(req.first_at) > timeout {
+                        pp.requested[b] = None;
+                        if !pp.received.get(b as u32) {
+                            self.uncovered_blocks += 1;
+                        }
+                        released += 1;
+                    }
                 }
-            });
+            }
         }
         released
     }
@@ -286,7 +333,9 @@ impl PieceManager {
     pub fn release_requests(&mut self, blocks: &[(u32, u32)]) {
         for &(piece, block) in blocks {
             if let Some(pp) = self.partial.get_mut(&piece) {
-                pp.requested.remove(&block);
+                if pp.requested[block as usize].take().is_some() && !pp.received.get(block) {
+                    self.uncovered_blocks += 1;
+                }
             }
         }
     }

@@ -12,11 +12,10 @@ use crate::piece::BlockOutcome;
 use crate::torrent::Torrent;
 use crate::tracker::Tracker;
 use p2plab_net::{
-    close, connect, listen, send, send_datagram, ConnId, NetHost, Network, SockEvent, SocketAddr,
-    VNodeId,
+    close, connect, listen, send, send_datagram, ConnId, NetHost, NetSim, Network, SockEvent,
+    SocketAddr, VNodeId,
 };
-use p2plab_sim::{schedule_periodic, SimTime, Simulation, TimeSeries};
-use std::collections::HashMap;
+use p2plab_sim::{schedule_periodic, SimTime, TimeSeries};
 
 /// The world of a BitTorrent experiment.
 pub struct SwarmWorld {
@@ -26,17 +25,27 @@ pub struct SwarmWorld {
     pub clients: Vec<Client>,
     /// The tracker.
     pub tracker: Tracker,
-    vnode_to_client: HashMap<VNodeId, usize>,
+    /// Dense vnode → client index lookup (vnode ids are dense arena indices).
+    vnode_to_client: Vec<Option<u32>>,
+    /// Number of clients added as downloaders (`!initial_seeder`).
+    downloaders: usize,
+    /// Downloaders that have completed. Kept incrementally: `swarm_finished` is consulted by
+    /// every client's periodic timers, so a scan over all clients here would make each timer
+    /// tick O(swarm size) — quadratic per round at 10^4 clients.
+    completed_downloaders: usize,
 }
 
 impl SwarmWorld {
     /// Creates a swarm world with a tracker hosted on `tracker_vnode`.
     pub fn new(net: Network, tracker_vnode: VNodeId) -> SwarmWorld {
+        let vnode_to_client = vec![None; net.vnode_count()];
         SwarmWorld {
             net,
             clients: Vec::new(),
             tracker: Tracker::new(tracker_vnode),
-            vnode_to_client: HashMap::new(),
+            vnode_to_client,
+            downloaders: 0,
+            completed_downloaders: 0,
         }
     }
 
@@ -63,13 +72,23 @@ impl SwarmWorld {
             tracker_addr,
             config,
         ));
-        self.vnode_to_client.insert(vnode, idx);
+        if self.vnode_to_client.len() <= vnode.0 {
+            self.vnode_to_client.resize(vnode.0 + 1, None);
+        }
+        self.vnode_to_client[vnode.0] = Some(idx as u32);
+        if !complete {
+            self.downloaders += 1;
+        }
         idx
     }
 
     /// The client running on a virtual node, if any.
     pub fn client_on(&self, vnode: VNodeId) -> Option<usize> {
-        self.vnode_to_client.get(&vnode).copied()
+        self.vnode_to_client
+            .get(vnode.0)
+            .copied()
+            .flatten()
+            .map(|i| i as usize)
     }
 
     /// Number of downloaders (clients that started incomplete).
@@ -79,18 +98,21 @@ impl SwarmWorld {
 
     /// Number of downloaders that have completed.
     pub fn completed_count(&self) -> usize {
-        self.clients
-            .iter()
-            .filter(|c| !c.initial_seeder && c.completed_at.is_some())
-            .count()
+        debug_assert_eq!(
+            self.completed_downloaders,
+            self.clients
+                .iter()
+                .filter(|c| !c.initial_seeder && c.completed_at.is_some())
+                .count(),
+            "incremental completion count drifted"
+        );
+        self.completed_downloaders
     }
 
     /// True once every downloader has finished (vacuously true with no downloaders).
+    /// O(1): maintained by the completion path, not recomputed.
     pub fn swarm_finished(&self) -> bool {
-        self.clients
-            .iter()
-            .filter(|c| !c.initial_seeder)
-            .all(|c| c.completed_at.is_some())
+        self.completed_count() >= self.downloaders
     }
 
     /// Sum of application bytes downloaded by all clients (the quantity of Figure 9).
@@ -126,6 +148,10 @@ impl SwarmWorld {
     }
 }
 
+/// The simulation type every BitTorrent experiment runs on: [`SwarmWorld`] with the network
+/// substrate's pooled [`p2plab_net::NetEvent`] class.
+pub type SwarmSim = NetSim<SwarmWorld>;
+
 impl NetHost for SwarmWorld {
     type Payload = BtPayload;
 
@@ -133,7 +159,7 @@ impl NetHost for SwarmWorld {
         &mut self.net
     }
 
-    fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<BtPayload>) {
+    fn on_socket_event(sim: &mut SwarmSim, node: VNodeId, event: SockEvent<BtPayload>) {
         if node == sim.world().tracker.vnode {
             handle_tracker_event(sim, event);
         } else if let Some(idx) = sim.world().client_on(node) {
@@ -143,14 +169,14 @@ impl NetHost for SwarmWorld {
 }
 
 /// Schedules a client to start at `at` (the paper starts clients at fixed intervals).
-pub fn schedule_client_start(sim: &mut Simulation<SwarmWorld>, idx: usize, at: SimTime) {
+pub fn schedule_client_start(sim: &mut SwarmSim, idx: usize, at: SimTime) {
     sim.schedule_at(at, move |sim| start_client(sim, idx));
 }
 
 /// Starts (or restarts, after churn) a client: bind + listen, announce to the tracker, start
 /// the choker and re-announce timers. Restarting keeps the pieces already downloaded, as a real
 /// client restarted on the same download directory would.
-pub fn start_client(sim: &mut Simulation<SwarmWorld>, idx: usize) {
+pub fn start_client(sim: &mut SwarmSim, idx: usize) {
     let now = sim.now();
     let (vnode, listen_port, choke_interval, tracker_interval, already_online) = {
         let client = &mut sim.world_mut().clients[idx];
@@ -190,7 +216,7 @@ pub fn start_client(sim: &mut Simulation<SwarmWorld>, idx: usize) {
 
 /// Stops a client (session end under churn, or the end of an experiment): announces `Stopped`,
 /// closes every peer connection, and lets its timers stop at the next tick.
-pub fn stop_client(sim: &mut Simulation<SwarmWorld>, idx: usize) {
+pub fn stop_client(sim: &mut SwarmSim, idx: usize) {
     if !sim.world().clients[idx].online {
         return;
     }
@@ -208,7 +234,7 @@ pub fn stop_client(sim: &mut Simulation<SwarmWorld>, idx: usize) {
     }
 }
 
-fn handle_tracker_event(sim: &mut Simulation<SwarmWorld>, event: SockEvent<BtPayload>) {
+fn handle_tracker_event(sim: &mut SwarmSim, event: SockEvent<BtPayload>) {
     if let SockEvent::Datagram {
         from,
         payload:
@@ -246,7 +272,7 @@ fn handle_tracker_event(sim: &mut Simulation<SwarmWorld>, event: SockEvent<BtPay
     }
 }
 
-fn handle_client_event(sim: &mut Simulation<SwarmWorld>, idx: usize, event: SockEvent<BtPayload>) {
+fn handle_client_event(sim: &mut SwarmSim, idx: usize, event: SockEvent<BtPayload>) {
     match event {
         SockEvent::Connected { conn, peer } => {
             let (vnode, over_limit, num_pieces, rate_window) = {
@@ -274,7 +300,12 @@ fn handle_client_event(sim: &mut Simulation<SwarmWorld>, idx: usize, event: Sock
                 (client.id, client.pieces.have().clone())
             };
             send_peer(sim, idx, conn, PeerMessage::Handshake { peer_id: our_id });
-            send_peer(sim, idx, conn, PeerMessage::Bitfield(our_bitfield));
+            send_peer(
+                sim,
+                idx,
+                conn,
+                PeerMessage::Bitfield(Box::new(our_bitfield)),
+            );
         }
         SockEvent::Accepted { conn, peer } => {
             let (vnode, over_limit, num_pieces, rate_window, online) = {
@@ -320,7 +351,7 @@ fn handle_client_event(sim: &mut Simulation<SwarmWorld>, idx: usize, event: Sock
     }
 }
 
-fn drop_peer(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
+fn drop_peer(sim: &mut SwarmSim, idx: usize, conn: ConnId) {
     let client = &mut sim.world_mut().clients[idx];
     if let Some(p) = client.peers.remove(&conn) {
         client.pieces.remove_peer_bitfield(&p.bitfield);
@@ -328,12 +359,7 @@ fn drop_peer(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
     }
 }
 
-fn handle_peer_message(
-    sim: &mut Simulation<SwarmWorld>,
-    idx: usize,
-    conn: ConnId,
-    msg: PeerMessage,
-) {
+fn handle_peer_message(sim: &mut SwarmSim, idx: usize, conn: ConnId, msg: PeerMessage) {
     match msg {
         PeerMessage::Handshake { peer_id } => {
             let reply = {
@@ -358,7 +384,12 @@ fn handle_peer_message(
                     (client.id, client.pieces.have().clone())
                 };
                 send_peer(sim, idx, conn, PeerMessage::Handshake { peer_id: our_id });
-                send_peer(sim, idx, conn, PeerMessage::Bitfield(our_bitfield));
+                send_peer(
+                    sim,
+                    idx,
+                    conn,
+                    PeerMessage::Bitfield(Box::new(our_bitfield)),
+                );
             }
         }
         PeerMessage::Bitfield(bf) => {
@@ -366,7 +397,7 @@ fn handle_peer_message(
                 let client = &mut sim.world_mut().clients[idx];
                 if let Some(p) = client.peers.get_mut(&conn) {
                     client.pieces.remove_peer_bitfield(&p.bitfield);
-                    p.bitfield = bf;
+                    p.bitfield = *bf;
                     client.pieces.add_peer_bitfield(&p.bitfield);
                 }
             }
@@ -455,7 +486,7 @@ fn handle_peer_message(
 }
 
 fn handle_piece(
-    sim: &mut Simulation<SwarmWorld>,
+    sim: &mut SwarmSim,
     idx: usize,
     conn: ConnId,
     piece: u32,
@@ -509,12 +540,15 @@ fn handle_piece(
         }
     }
     if file_complete {
+        // The client's `completed_at` was just set above; `initial_seeder`s never complete
+        // (their blocks are all duplicates), so this counts downloaders exactly.
+        sim.world_mut().completed_downloaders += 1;
         announce(sim, idx, AnnounceEvent::Completed);
     }
     request_blocks(sim, idx, conn);
 }
 
-fn update_interest(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
+fn update_interest(sim: &mut SwarmSim, idx: usize, conn: ConnId) {
     let change = {
         let client = &mut sim.world_mut().clients[idx];
         match client.peers.get_mut(&conn) {
@@ -537,7 +571,7 @@ fn update_interest(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
     }
 }
 
-fn request_blocks(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
+fn request_blocks(sim: &mut SwarmSim, idx: usize, conn: ConnId) {
     let now = sim.now();
     let requests = {
         let (world, rng) = sim.world_and_rng();
@@ -568,7 +602,7 @@ fn request_blocks(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId) {
 
 /// One 10-second choker round. Returns false once the client is offline or the whole swarm has
 /// finished, which stops the periodic timer (and therefore lets the simulation drain).
-fn choke_round(sim: &mut Simulation<SwarmWorld>, idx: usize, generation: u64) -> bool {
+fn choke_round(sim: &mut SwarmSim, idx: usize, generation: u64) -> bool {
     let now = sim.now();
     let keep_running = {
         let world = sim.world();
@@ -583,9 +617,11 @@ fn choke_round(sim: &mut Simulation<SwarmWorld>, idx: usize, generation: u64) ->
         let client = &mut world.clients[idx];
         let timeout = client.config.request_timeout;
         client.pieces.release_stale_requests(now, timeout);
-        let snapshot = client.choker_snapshot(now);
+        let mut snapshot = std::mem::take(&mut client.snapshot_scratch);
+        client.choker_snapshot_into(now, &mut snapshot);
         let seeding = client.is_seeding();
         let unchoked = client.choker.run_round(&snapshot, seeding, rng);
+        client.snapshot_scratch = snapshot;
         let mut msgs = Vec::new();
         for p in client.peers.values_mut() {
             if !p.handshaken {
@@ -620,7 +656,7 @@ fn choke_round(sim: &mut Simulation<SwarmWorld>, idx: usize, generation: u64) ->
 }
 
 /// Periodic tracker re-announce. Returns false once the client is offline or the swarm finished.
-fn periodic_announce(sim: &mut Simulation<SwarmWorld>, idx: usize, generation: u64) -> bool {
+fn periodic_announce(sim: &mut SwarmSim, idx: usize, generation: u64) -> bool {
     let (keep_running, need_peers) = {
         let world = sim.world();
         let client = &world.clients[idx];
@@ -638,7 +674,7 @@ fn periodic_announce(sim: &mut Simulation<SwarmWorld>, idx: usize, generation: u
     true
 }
 
-fn announce(sim: &mut Simulation<SwarmWorld>, idx: usize, event: AnnounceEvent) {
+fn announce(sim: &mut SwarmSim, idx: usize, event: AnnounceEvent) {
     let (vnode, listen_port, tracker_addr, msg) = {
         let client = &mut sim.world_mut().clients[idx];
         client.stats.announces += 1;
@@ -667,7 +703,7 @@ fn announce(sim: &mut Simulation<SwarmWorld>, idx: usize, event: AnnounceEvent) 
     );
 }
 
-fn handle_tracker_response(sim: &mut Simulation<SwarmWorld>, idx: usize, peers: Vec<SocketAddr>) {
+fn handle_tracker_response(sim: &mut SwarmSim, idx: usize, peers: Vec<SocketAddr>) {
     {
         let world = sim.world_mut();
         let own_addr = SocketAddr::new(
@@ -684,7 +720,7 @@ fn handle_tracker_response(sim: &mut Simulation<SwarmWorld>, idx: usize, peers: 
     connect_to_peers(sim, idx);
 }
 
-fn connect_to_peers(sim: &mut Simulation<SwarmWorld>, idx: usize) {
+fn connect_to_peers(sim: &mut SwarmSim, idx: usize) {
     let targets = {
         let (world, rng) = sim.world_and_rng();
         let client = &world.clients[idx];
@@ -714,7 +750,7 @@ fn connect_to_peers(sim: &mut Simulation<SwarmWorld>, idx: usize) {
     }
 }
 
-fn send_peer(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId, msg: PeerMessage) {
+fn send_peer(sim: &mut SwarmSim, idx: usize, conn: ConnId, msg: PeerMessage) {
     let now = sim.now();
     let size = msg.wire_size();
     let vnode = {
@@ -736,7 +772,7 @@ fn send_peer(sim: &mut Simulation<SwarmWorld>, idx: usize, conn: ConnId, msg: Pe
 mod tests {
     use super::*;
     use p2plab_net::{AccessLinkClass, GroupId, NetworkConfig, TopologySpec, VirtAddr};
-    use p2plab_sim::SimDuration;
+    use p2plab_sim::{SimDuration, Simulation};
 
     /// Builds a swarm of `seeders + leechers` clients plus a tracker, folded onto `machines`
     /// physical machines, all on the given access link, sharing a `total_bytes` torrent.
@@ -787,7 +823,7 @@ mod tests {
         AccessLinkClass::symmetric(20_000_000, SimDuration::from_millis(5))
     }
 
-    fn start_all(sim: &mut Simulation<SwarmWorld>, stagger: SimDuration) {
+    fn start_all(sim: &mut SwarmSim, stagger: SimDuration) {
         let n = sim.world().clients.len();
         for i in 0..n {
             schedule_client_start(sim, i, SimTime::ZERO + stagger * i as u64);
@@ -797,7 +833,7 @@ mod tests {
     #[test]
     fn single_leecher_downloads_from_seeder() {
         let world = build_swarm(2, 1, 1, fast_link(), 1024 * 1024);
-        let mut sim = Simulation::new(world, 11);
+        let mut sim: SwarmSim = Simulation::with_events(world, 11);
         start_all(&mut sim, SimDuration::from_secs(1));
         let outcome = sim.run_until(SimTime::from_secs(600));
         assert!(sim.world().swarm_finished(), "outcome={outcome:?}");
@@ -814,7 +850,7 @@ mod tests {
     #[test]
     fn progress_log_is_monotonic_and_complete() {
         let world = build_swarm(2, 1, 2, fast_link(), 512 * 1024);
-        let mut sim = Simulation::new(world, 12);
+        let mut sim: SwarmSim = Simulation::with_events(world, 12);
         start_all(&mut sim, SimDuration::from_secs(1));
         sim.run_until(SimTime::from_secs(600));
         assert!(sim.world().swarm_finished());
@@ -837,7 +873,7 @@ mod tests {
         let link = AccessLinkClass::new(10_000_000, 1_000_000, SimDuration::from_millis(5));
         let file = 2 * 1024 * 1024u64;
         let world = build_swarm(3, 1, 4, link, file);
-        let mut sim = Simulation::new(world, 13);
+        let mut sim: SwarmSim = Simulation::with_events(world, 13);
         start_all(&mut sim, SimDuration::from_secs(2));
         let outcome = sim.run_until(SimTime::from_secs(2000));
         assert!(sim.world().swarm_finished(), "outcome={outcome:?}");
@@ -864,7 +900,7 @@ mod tests {
     #[test]
     fn completion_curve_counts_finishers() {
         let world = build_swarm(2, 1, 3, fast_link(), 512 * 1024);
-        let mut sim = Simulation::new(world, 14);
+        let mut sim: SwarmSim = Simulation::with_events(world, 14);
         start_all(&mut sim, SimDuration::from_secs(1));
         sim.run_until(SimTime::from_secs(2000));
         let curve = sim.world().completion_curve();
@@ -878,7 +914,7 @@ mod tests {
     #[test]
     fn no_seeder_means_no_completion() {
         let world = build_swarm(2, 0, 3, fast_link(), 512 * 1024);
-        let mut sim = Simulation::new(world, 15);
+        let mut sim: SwarmSim = Simulation::with_events(world, 15);
         start_all(&mut sim, SimDuration::from_secs(1));
         sim.run_until(SimTime::from_secs(300));
         assert_eq!(sim.world().completed_count(), 0);
@@ -888,7 +924,7 @@ mod tests {
     #[test]
     fn tracker_learns_about_all_clients() {
         let world = build_swarm(2, 1, 3, fast_link(), 512 * 1024);
-        let mut sim = Simulation::new(world, 16);
+        let mut sim: SwarmSim = Simulation::with_events(world, 16);
         start_all(&mut sim, SimDuration::from_secs(1));
         sim.run_until(SimTime::from_secs(60));
         assert_eq!(sim.world().tracker.member_count(), 4);
@@ -901,7 +937,7 @@ mod tests {
         // paper: "when the clients have finished the download of the file, they stay online and
         // become seeders").
         let world = build_swarm(2, 1, 2, fast_link(), 2 * 1024 * 1024);
-        let mut sim = Simulation::new(world, 17);
+        let mut sim: SwarmSim = Simulation::with_events(world, 17);
         start_all(&mut sim, SimDuration::from_secs(1));
         sim.run_until(SimTime::from_secs(2000));
         assert!(sim.world().swarm_finished());
@@ -917,7 +953,7 @@ mod tests {
         // completion time should be within a factor of ~3 of the upload-capacity bound
         // (128 kbps aggregate per uploader), and far above the download-capacity bound.
         let world = build_swarm(2, 1, 3, AccessLinkClass::bittorrent_dsl(), 1024 * 1024);
-        let mut sim = Simulation::new(world, 18);
+        let mut sim: SwarmSim = Simulation::with_events(world, 18);
         start_all(&mut sim, SimDuration::from_secs(5));
         let outcome = sim.run_until(SimTime::from_secs(4000));
         assert!(sim.world().swarm_finished(), "outcome={outcome:?}");

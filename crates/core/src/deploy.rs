@@ -94,6 +94,7 @@ pub fn deploy(
 ) -> Result<Deployment, NetError> {
     assert!(spec.machines > 0, "deployment needs at least one machine");
     let mut net = Network::new(config, topology.clone());
+    net.reserve(spec.machines, topology.total_nodes());
     for m in 0..spec.machines {
         let admin = VirtAddr::new(192, 168, 0, 0).offset(38 * 256 + 1 + m as u32);
         net.add_machine(format!("gdx-{:03}", m + 1), admin);

@@ -87,6 +87,20 @@ impl ResourceMonitor {
         }
     }
 
+    /// Takes one sample of every machine at `now` and records the utilization series through
+    /// `rec`, without materializing the per-machine sample list — the allocation-free path the
+    /// scenario runner's periodic sampler uses (at 10^4–10^5 vnodes a `Vec` per tick is real
+    /// churn). Use [`sample`](ResourceMonitor::sample) to also get the samples back.
+    pub fn record(&mut self, now: SimTime, net: &Network, rec: &mut Recorder) {
+        let machines = net.machine_count();
+        self.grow_to(net, machines, rec, false);
+        let interval = now.saturating_since(self.last_sample_at).as_secs_f64();
+        for m in 0..machines {
+            self.step_machine(m, now, interval, net, rec);
+        }
+        self.last_sample_at = now;
+    }
+
     /// Takes one sample of every machine at `now`, records the utilization series through
     /// `rec`, and returns the per-machine samples.
     pub fn sample(
@@ -100,32 +114,45 @@ impl ResourceMonitor {
         let interval = now.saturating_since(self.last_sample_at).as_secs_f64();
         let mut out = Vec::with_capacity(machines);
         for m in 0..machines {
-            let (tx, rx) = nic_bytes(net, MachineId(m));
-            let d_tx = tx.saturating_sub(self.last_tx[m]);
-            let d_rx = rx.saturating_sub(self.last_rx[m]);
-            self.last_tx[m] = tx;
-            self.last_rx[m] = rx;
-            let utilization = if interval > 0.0 && self.nic_bps > 0 {
-                let bps = d_tx.max(d_rx) as f64 * 8.0 / interval;
-                (bps / self.nic_bps as f64).min(1.0)
-            } else {
-                0.0
-            };
-            rec.push(self.series[m], now, utilization);
-            if utilization > self.peak_utilization {
-                self.peak_utilization = utilization;
-                self.peak_machine = Some(MachineId(m));
-                rec.set(self.peak_gauge, utilization);
-            }
-            out.push(MachineSample {
-                at: now,
-                nic_tx_bytes: d_tx,
-                nic_rx_bytes: d_rx,
-                nic_utilization: utilization,
-            });
+            out.push(self.step_machine(m, now, interval, net, rec));
         }
         self.last_sample_at = now;
         out
+    }
+
+    /// Samples one machine: updates its baseline, records its utilization point and the
+    /// running peak.
+    fn step_machine(
+        &mut self,
+        m: usize,
+        now: SimTime,
+        interval: f64,
+        net: &Network,
+        rec: &mut Recorder,
+    ) -> MachineSample {
+        let (tx, rx) = nic_bytes(net, MachineId(m));
+        let d_tx = tx.saturating_sub(self.last_tx[m]);
+        let d_rx = rx.saturating_sub(self.last_rx[m]);
+        self.last_tx[m] = tx;
+        self.last_rx[m] = rx;
+        let utilization = if interval > 0.0 && self.nic_bps > 0 {
+            let bps = d_tx.max(d_rx) as f64 * 8.0 / interval;
+            (bps / self.nic_bps as f64).min(1.0)
+        } else {
+            0.0
+        };
+        rec.push(self.series[m], now, utilization);
+        if utilization > self.peak_utilization {
+            self.peak_utilization = utilization;
+            self.peak_machine = Some(MachineId(m));
+            rec.set(self.peak_gauge, utilization);
+        }
+        MachineSample {
+            at: now,
+            nic_tx_bytes: d_tx,
+            nic_rx_bytes: d_rx,
+            nic_utilization: utilization,
+        }
     }
 
     /// Highest NIC utilization seen on any machine so far.
@@ -185,7 +212,7 @@ mod tests {
     fn cross_machine_traffic_is_accounted() {
         let (net, vnodes) = two_machine_net();
         let world = PingWorld::new(net, 1000);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: p2plab_net::NetSim<PingWorld> = Simulation::with_events(world, 1);
         let (a, b) = (vnodes[0], vnodes[1]);
         for i in 0..20 {
             sim.schedule_at(SimTime::from_millis(i * 10), move |sim| ping(sim, a, b));

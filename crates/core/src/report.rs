@@ -18,7 +18,13 @@ use p2plab_sim::{
 use std::fmt;
 
 /// Schema tag written into every report, bumped on incompatible format changes.
-pub const RUN_REPORT_SCHEMA: &str = "p2plab.run-report.v1";
+///
+/// `v2` added the `events_per_sec` throughput field (the scale benchmarks' headline number).
+/// `v1` reports are still read: the field is derived from `events_executed / wall_secs`.
+pub const RUN_REPORT_SCHEMA: &str = "p2plab.run-report.v2";
+
+/// The previous schema, still accepted by [`RunReport::from_json`].
+pub const RUN_REPORT_SCHEMA_V1: &str = "p2plab.run-report.v1";
 
 /// The workload-agnostic artifact of one scenario run.
 ///
@@ -49,6 +55,9 @@ pub struct RunReport {
     pub stopped_at: SimTime,
     /// Simulation events executed.
     pub events_executed: u64,
+    /// Wall-clock event throughput (`events_executed / wall_secs`) — the simulator's headline
+    /// performance number, compared across runs by the `scale_sweep` baseline.
+    pub events_per_sec: f64,
     /// How the run ended.
     pub outcome: RunOutcome,
     /// Echo of the scenario spec as ordered key/value pairs (for provenance, not re-parsing).
@@ -81,6 +90,10 @@ impl RunReport {
         out.push_str(&format!(
             "  \"events_executed\": {},\n",
             self.events_executed
+        ));
+        out.push_str(&format!(
+            "  \"events_per_sec\": {},\n",
+            json_f64(self.events_per_sec)
         ));
         out.push_str(&format!(
             "  \"outcome\": {},\n",
@@ -120,9 +133,9 @@ impl RunReport {
     pub fn from_json(text: &str) -> Result<RunReport, ReportError> {
         let root = Json::parse(text)?;
         let schema = root.str_field("schema")?;
-        if schema != RUN_REPORT_SCHEMA {
+        if schema != RUN_REPORT_SCHEMA && schema != RUN_REPORT_SCHEMA_V1 {
             return Err(ReportError::Schema(format!(
-                "unsupported schema {schema:?} (expected {RUN_REPORT_SCHEMA:?})"
+                "unsupported schema {schema:?} (expected {RUN_REPORT_SCHEMA:?} or {RUN_REPORT_SCHEMA_V1:?})"
             )));
         }
         let mut metrics = MetricSet::new();
@@ -138,6 +151,18 @@ impl RunReport {
                     .to_string(),
             ));
         }
+        let wall_secs = root.f64_field("wall_secs")?;
+        let events_executed = root.u64_field("events_executed")?;
+        // v1 reports predate the throughput field; derive it so old baselines stay comparable.
+        let events_per_sec = if schema == RUN_REPORT_SCHEMA_V1 {
+            if wall_secs > 0.0 {
+                events_executed as f64 / wall_secs
+            } else {
+                0.0
+            }
+        } else {
+            root.f64_field("events_per_sec")?
+        };
         Ok(RunReport {
             workload: root.str_field("workload")?.to_string(),
             scenario: root.str_field("scenario")?.to_string(),
@@ -146,9 +171,10 @@ impl RunReport {
             vnodes: root.u64_field("vnodes")? as usize,
             participants: root.u64_field("participants")? as usize,
             folding_ratio: root.f64_field("folding_ratio")?,
-            wall_secs: root.f64_field("wall_secs")?,
+            wall_secs,
             stopped_at: SimTime::from_nanos(root.u64_field("stopped_at_ns")?),
-            events_executed: root.u64_field("events_executed")?,
+            events_executed,
+            events_per_sec,
             outcome: parse_outcome(root.str_field("outcome")?)?,
             spec,
             metrics,
@@ -836,6 +862,7 @@ mod tests {
             wall_secs: 0.125,
             stopped_at: SimTime::from_millis(1500),
             events_executed: u64::MAX - 3, // beyond f64's exact-integer range on purpose
+            events_per_sec: 1.25e6,
             outcome: RunOutcome::Drained,
             spec: vec![
                 ("deadline".into(), "600s".into()),
@@ -897,6 +924,31 @@ mod tests {
             .replace("\"machines\": 4", "\"machines\": 2.7");
         assert!(matches!(
             RunReport::from_json(&json),
+            Err(ReportError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn v1_reports_parse_with_derived_throughput() {
+        // A v1 report (no events_per_sec field) must still load, deriving the throughput.
+        let mut r = sample_report();
+        r.events_executed = 1_000;
+        r.wall_secs = 0.5;
+        let v1 = r
+            .to_json()
+            .replace(RUN_REPORT_SCHEMA, RUN_REPORT_SCHEMA_V1)
+            .lines()
+            .filter(|l| !l.contains("events_per_sec"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let loaded = RunReport::from_json(&v1).expect("v1 parses");
+        assert_eq!(loaded.events_per_sec, 2_000.0);
+        // Unknown schemas are still rejected.
+        let bad = r
+            .to_json()
+            .replace(RUN_REPORT_SCHEMA, "p2plab.run-report.v0");
+        assert!(matches!(
+            RunReport::from_json(&bad),
             Err(ReportError::Schema(_))
         ));
     }

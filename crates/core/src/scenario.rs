@@ -46,7 +46,7 @@ use crate::report::RunReport;
 use p2plab_net::{NetError, Network, NetworkConfig, TopologySpec};
 use p2plab_sim::{
     schedule_periodic, MetricSet, Recorder, RunOutcome, SimDuration, SimRng, SimTime, Simulation,
-    TimeSeries,
+    TimeSeries, TypedEvent,
 };
 use std::cell::RefCell;
 use std::fmt;
@@ -78,6 +78,9 @@ pub use processes::{
 pub trait Workload {
     /// The simulation world (application state plus the emulated network).
     type World: 'static;
+    /// The world's pooled typed-event class (for a [`NetHost`](p2plab_net::NetHost) world this
+    /// is `NetEvent<Payload>`, spelled `p2plab_net::NetSim<World>` at the simulation type).
+    type Event: TypedEvent<Self::World>;
     /// What the workload produces after a run.
     type Output;
 
@@ -102,19 +105,23 @@ pub trait Workload {
     fn build_world(&mut self, deployment: Deployment) -> Self::World;
 
     /// Schedules the infrastructure that comes online before any arrivals.
-    fn on_deployed(&mut self, sim: &mut Simulation<Self::World>);
+    fn on_deployed(&mut self, sim: &mut Simulation<Self::World, Self::Event>);
 
     /// Schedules the participants' arrival events. `arrivals` holds one concrete instant per
     /// participant, drawn by the runner from the scenario's arrival process — the workload
     /// consumes the schedule, it does not re-derive it.
-    fn schedule_arrivals(&mut self, sim: &mut Simulation<Self::World>, arrivals: &ArrivalSchedule);
+    fn schedule_arrivals(
+        &mut self,
+        sim: &mut Simulation<Self::World, Self::Event>,
+        arrivals: &ArrivalSchedule,
+    );
 
     /// Applies the session (churn) process. `arrivals` is the same schedule handed to
     /// [`schedule_arrivals`](Workload::schedule_arrivals), so churn chains can anchor on each
     /// participant's actual join time. The default implementation ignores churn.
     fn schedule_churn(
         &mut self,
-        _sim: &mut Simulation<Self::World>,
+        _sim: &mut Simulation<Self::World, Self::Event>,
         _sessions: &SessionProcess,
         _arrivals: &ArrivalSchedule,
     ) {
@@ -168,6 +175,13 @@ pub struct ScenarioSpec {
     /// Duration of the arrival ramp, when the caller knows it (used for validation only:
     /// a deadline shorter than the ramp cannot possibly let the workload finish).
     pub arrival_ramp: Option<SimDuration>,
+    /// Pre-sizing hint: how many events may be pending at once. `None` derives a default from
+    /// the participant count; the runner passes it to the event queue so arrival bursts never
+    /// regrow the queue slab mid-run.
+    pub event_capacity: Option<usize>,
+    /// Hard cap on executed events. `None` is unlimited; CI smoke runs set it so a runaway
+    /// event loop fails fast ([`RunOutcome::EventBudgetExhausted`]) instead of hanging the job.
+    pub event_budget: Option<u64>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -274,6 +288,8 @@ impl ScenarioBuilder {
                 sample_interval: SimDuration::from_secs(10),
                 monitor_resources: true,
                 arrival_ramp: None,
+                event_capacity: None,
+                event_budget: None,
                 seed: 0,
             },
         }
@@ -349,6 +365,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Overrides the event queue's pre-sizing hint (pending-event capacity). The default is
+    /// derived from the workload's participant count.
+    pub fn event_capacity(mut self, events: usize) -> Self {
+        self.spec.event_capacity = Some(events);
+        self
+    }
+
+    /// Caps the number of events the run may execute. CI smoke runs use this so a
+    /// queue/livelock regression fails the job quickly instead of hanging it.
+    pub fn event_budget(mut self, budget: u64) -> Self {
+        self.spec.event_budget = Some(budget);
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
@@ -416,6 +446,10 @@ pub struct ScenarioRun {
     pub stopped_at: SimTime,
     /// Number of simulation events executed.
     pub events_executed: u64,
+    /// Wall-clock seconds the run took (deploy to finalize).
+    pub wall_secs: f64,
+    /// Wall-clock event throughput, `events_executed / wall_secs`.
+    pub events_per_sec: f64,
     /// How the run ended (queue drained vs deadline).
     pub outcome: RunOutcome,
     /// The workload's progress metric sampled on the scenario grid (plus one final sample at
@@ -504,7 +538,16 @@ fn run_scenario_inner<W: Workload + 'static>(
     let participants = workload.participants();
     let workload_kind = workload.kind();
     let world = workload.build_world(deployment);
-    let mut sim = Simulation::new(world, spec.seed);
+    let mut sim: Simulation<W::World, W::Event> = Simulation::with_events(world, spec.seed);
+    // Pre-size the event queue from the scenario's participant count (or the explicit hint):
+    // the arrival burst plus per-participant timers otherwise regrow the queue slab mid-run.
+    sim.reserve_events(
+        spec.event_capacity
+            .unwrap_or_else(|| (participants * 8).max(1024)),
+    );
+    if let Some(budget) = spec.event_budget {
+        sim.set_event_budget(budget);
+    }
 
     workload.on_deployed(&mut sim);
     workload.schedule_arrivals(&mut sim, &arrivals);
@@ -540,17 +583,13 @@ fn run_scenario_inner<W: Workload + 'static>(
             let progress = workload.sample(now, world, rec);
             rec.push(progress_id, now, progress);
             if let Some(m) = monitor.borrow_mut().as_mut() {
-                m.sample(now, W::network(world), rec);
+                m.record(now, W::network(world), rec);
             }
             !workload.is_complete(world)
         });
     }
 
     let outcome = sim.run_until(SimTime::ZERO + spec.deadline);
-    debug_assert!(
-        outcome != RunOutcome::EventBudgetExhausted,
-        "no event budget is configured"
-    );
     let stopped_at = sim.now();
     let events_executed = sim.executed_events();
     let world = sim.into_world();
@@ -577,6 +616,12 @@ fn run_scenario_inner<W: Workload + 'static>(
         .series("progress")
         .cloned()
         .expect("the runner registered the progress series");
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let events_per_sec = if wall_secs > 0.0 {
+        events_executed as f64 / wall_secs
+    } else {
+        0.0
+    };
     let report = want_report.then(|| RunReport {
         workload: workload_kind.to_string(),
         scenario: spec.name.clone(),
@@ -585,9 +630,10 @@ fn run_scenario_inner<W: Workload + 'static>(
         vnodes: spec.topology.total_nodes(),
         participants,
         folding_ratio: spec.folding_ratio(),
-        wall_secs: wall_start.elapsed().as_secs_f64(),
+        wall_secs,
         stopped_at,
         events_executed,
+        events_per_sec,
         outcome,
         spec: spec_echo(spec),
         metrics: metrics.clone(),
@@ -598,6 +644,8 @@ fn run_scenario_inner<W: Workload + 'static>(
         seed: spec.seed,
         stopped_at,
         events_executed,
+        wall_secs,
+        events_per_sec,
         outcome,
         samples,
         peak_nic_utilization: monitor.as_ref().map_or(0.0, |m| m.peak_utilization()),
@@ -631,6 +679,12 @@ fn spec_echo(spec: &ScenarioSpec) -> Vec<(String, String)> {
     ];
     if let Some(arrivals) = &spec.arrivals {
         echo.push(("arrivals".to_string(), format!("{arrivals:?}")));
+    }
+    if let Some(cap) = spec.event_capacity {
+        echo.push(("event_capacity".to_string(), cap.to_string()));
+    }
+    if let Some(budget) = spec.event_budget {
+        echo.push(("event_budget".to_string(), budget.to_string()));
     }
     if let Some(sessions) = &spec.sessions {
         echo.push(("sessions".to_string(), format!("{sessions:?}")));

@@ -22,7 +22,7 @@
 //! and [`Workload::schedule_churn`](crate::scenario::Workload::schedule_churn) — they do not
 //! re-derive them.
 
-use p2plab_sim::{SimDuration, SimRng, SimTime, Simulation};
+use p2plab_sim::{NoEvent, SimDuration, SimRng, SimTime, Simulation, TypedEvent};
 use serde::{Deserialize, Serialize};
 use std::rc::Rc;
 
@@ -501,7 +501,7 @@ impl SessionProcess {
 
 /// A shared churn-chain action: runs against the simulation at a depart or rejoin instant and
 /// returns whether the chain continues (see [`schedule_session_chain`]).
-pub type SessionAction<W> = Rc<dyn Fn(&mut Simulation<W>) -> bool>;
+pub type SessionAction<W, E = NoEvent> = Rc<dyn Fn(&mut Simulation<W, E>) -> bool>;
 
 /// Drives one participant's on/off churn chain from a [`SessionProcess`]: draw the `k`-th
 /// session length, schedule the departure at its end, draw the downtime, schedule the rejoin,
@@ -513,13 +513,13 @@ pub type SessionAction<W> = Rc<dyn Fn(&mut Simulation<W>) -> bool>;
 /// to end the chain or `true` after bringing the participant back. Draw order is fixed here —
 /// session at schedule time, downtime at depart time — so every workload's churn consumes the
 /// RNG stream identically.
-pub fn schedule_session_chain<W: 'static>(
-    sim: &mut Simulation<W>,
+pub fn schedule_session_chain<W: 'static, E: TypedEvent<W>>(
+    sim: &mut Simulation<W, E>,
     not_before: SimTime,
     sessions: Rc<SessionProcess>,
     k: usize,
-    depart: SessionAction<W>,
-    rejoin: SessionAction<W>,
+    depart: SessionAction<W, E>,
+    rejoin: SessionAction<W, E>,
 ) {
     let session = sessions.session_at(k, sim.rng());
     sim.schedule_at(not_before + session, move |sim| {

@@ -12,10 +12,11 @@ use crate::deploy::Deployment;
 use crate::scenario::{
     schedule_session_chain, ArrivalSchedule, ArrivalSpec, ScenarioRun, SessionProcess, Workload,
 };
-use p2plab_net::{send_datagram, NetHost, NetStats, Network, SockEvent, SocketAddr, VNodeId};
+use p2plab_net::{
+    send_datagram, NetHost, NetSim, NetStats, Network, SockEvent, SocketAddr, VNodeId,
+};
 use p2plab_sim::{
-    schedule_periodic, Counter, Gauge, Recorder, RunOutcome, SimDuration, SimTime, Simulation,
-    TimeSeries,
+    schedule_periodic, Counter, Gauge, Recorder, RunOutcome, SimDuration, SimTime, TimeSeries,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -133,7 +134,7 @@ impl NetHost for GossipWorld {
         &mut self.net
     }
 
-    fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<Rumor>) {
+    fn on_socket_event(sim: &mut NetSim<Self>, node: VNodeId, event: SockEvent<Rumor>) {
         if let SockEvent::Datagram {
             payload: Rumor { hops },
             ..
@@ -159,7 +160,7 @@ impl NetHost for GossipWorld {
 /// Marks node `idx` informed (hop count `hops`) and starts its periodic gossip rounds. The
 /// rounds stop on their own once the whole overlay is informed, so the event queue drains
 /// instead of ticking until the deadline.
-fn start_gossip(sim: &mut Simulation<GossipWorld>, idx: usize, hops: u32) {
+fn start_gossip(sim: &mut NetSim<GossipWorld>, idx: usize, hops: u32) {
     let now = sim.now();
     let round = sim.world().round_interval;
     {
@@ -187,7 +188,7 @@ fn start_gossip(sim: &mut Simulation<GossipWorld>, idx: usize, hops: u32) {
 /// Pushes the rumor from `idx` to `fanout` random peers (sampled with replacement, self
 /// excluded — the classic blind-push peer selection; pushes to offline peers are simply
 /// missed).
-fn push_rumor(sim: &mut Simulation<GossipWorld>, idx: usize, hops: u32) {
+fn push_rumor(sim: &mut NetSim<GossipWorld>, idx: usize, hops: u32) {
     let n = sim.world().nodes();
     let fanout = sim.world().fanout;
     for _ in 0..fanout {
@@ -303,6 +304,7 @@ impl GossipWorkload {
 
 impl Workload for GossipWorkload {
     type World = GossipWorld;
+    type Event = p2plab_net::NetEvent<Rumor>;
     type Output = GossipResult;
 
     fn kind(&self) -> &'static str {
@@ -327,11 +329,11 @@ impl Workload for GossipWorkload {
         GossipWorld::new(deployment.net, deployment.vnodes, &self.spec)
     }
 
-    fn on_deployed(&mut self, _sim: &mut Simulation<GossipWorld>) {
+    fn on_deployed(&mut self, _sim: &mut NetSim<GossipWorld>) {
         // Nothing exists before the first arrival: the origin is the first node to join.
     }
 
-    fn schedule_arrivals(&mut self, sim: &mut Simulation<GossipWorld>, arrivals: &ArrivalSchedule) {
+    fn schedule_arrivals(&mut self, sim: &mut NetSim<GossipWorld>, arrivals: &ArrivalSchedule) {
         for (k, &at) in arrivals.times().iter().enumerate() {
             sim.schedule_at(at, move |sim| {
                 sim.world_mut().online[k] = true;
@@ -345,7 +347,7 @@ impl Workload for GossipWorkload {
 
     fn schedule_churn(
         &mut self,
-        sim: &mut Simulation<GossipWorld>,
+        sim: &mut NetSim<GossipWorld>,
         sessions: &SessionProcess,
         arrivals: &ArrivalSchedule,
     ) {
@@ -355,14 +357,14 @@ impl Workload for GossipWorkload {
         let sessions = Rc::new(sessions.clone());
         for k in 0..self.spec.nodes {
             let first_start = arrivals.get(k).unwrap_or(SimTime::ZERO);
-            let depart = Rc::new(move |sim: &mut Simulation<GossipWorld>| {
+            let depart = Rc::new(move |sim: &mut NetSim<GossipWorld>| {
                 if sim.world().fully_informed() || !sim.world().online[k] {
                     return false;
                 }
                 sim.world_mut().online[k] = false;
                 true
             });
-            let rejoin = Rc::new(move |sim: &mut Simulation<GossipWorld>| {
+            let rejoin = Rc::new(move |sim: &mut NetSim<GossipWorld>| {
                 sim.world_mut().online[k] = true;
                 !sim.world().fully_informed()
             });

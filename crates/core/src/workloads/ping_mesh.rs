@@ -11,10 +11,8 @@
 use crate::deploy::Deployment;
 use crate::scenario::{ArrivalSchedule, ArrivalSpec, ScenarioRun, Workload};
 use p2plab_net::ping::{ping, PingWorld};
-use p2plab_net::{NetStats, Network, VNodeId};
-use p2plab_sim::{
-    HistogramId, Recorder, RunOutcome, SimDuration, SimTime, Simulation, Summary, TimeSeries,
-};
+use p2plab_net::{NetSim, NetStats, Network, VNodeId};
+use p2plab_sim::{HistogramId, Recorder, RunOutcome, SimDuration, SimTime, Summary, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 /// Which ordered pairs of nodes probe each other.
@@ -201,6 +199,7 @@ impl PingMeshWorkload {
 
 impl Workload for PingMeshWorkload {
     type World = PingWorld;
+    type Event = p2plab_net::NetEvent<p2plab_net::PingPayload>;
     type Output = PingMeshResult;
 
     fn kind(&self) -> &'static str {
@@ -226,11 +225,11 @@ impl Workload for PingMeshWorkload {
         PingWorld::new(deployment.net, self.spec.packet_bytes)
     }
 
-    fn on_deployed(&mut self, _sim: &mut Simulation<PingWorld>) {
+    fn on_deployed(&mut self, _sim: &mut NetSim<PingWorld>) {
         // The echo responders are passive: they answer whatever arrives, no warm-up needed.
     }
 
-    fn schedule_arrivals(&mut self, sim: &mut Simulation<PingWorld>, arrivals: &ArrivalSchedule) {
+    fn schedule_arrivals(&mut self, sim: &mut NetSim<PingWorld>, arrivals: &ArrivalSchedule) {
         // Each probe pair starts at the instant the scenario's arrival process drew for it and
         // then sends its pings at the configured interval.
         for (pair_idx, (i, j)) in self.spec.pairs().into_iter().enumerate() {

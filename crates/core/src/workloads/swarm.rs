@@ -11,9 +11,11 @@ use crate::experiment::{SwarmExperiment, SwarmResult};
 use crate::scenario::{
     schedule_session_chain, ArrivalSchedule, ArrivalSpec, ScenarioRun, SessionProcess, Workload,
 };
-use p2plab_bittorrent::{schedule_client_start, start_client, stop_client, SwarmWorld, Torrent};
+use p2plab_bittorrent::{
+    schedule_client_start, start_client, stop_client, SwarmSim, SwarmWorld, Torrent,
+};
 use p2plab_net::Network;
-use p2plab_sim::{Counter, HistogramId, Recorder, SimDuration, SimTime, Simulation, TimeSeriesId};
+use p2plab_sim::{Counter, HistogramId, Recorder, SimDuration, SimTime, TimeSeriesId};
 use std::rc::Rc;
 
 /// Metric handles registered by [`SwarmWorkload::setup_metrics`].
@@ -33,9 +35,12 @@ struct SwarmMetrics {
 pub struct SwarmWorkload {
     cfg: SwarmExperiment,
     metrics: Option<SwarmMetrics>,
-    /// Completion times already recorded into the histogram (completion_times() is sorted, so
-    /// this is a high-water mark).
+    /// Completion times already recorded into the histogram (completion times are recorded in
+    /// sorted order, so this is a high-water mark).
     completions_recorded: usize,
+    /// Scratch buffer for the sampling tick (reused so sampling allocates nothing at
+    /// steady state).
+    completion_scratch: Vec<SimTime>,
 }
 
 impl SwarmWorkload {
@@ -45,6 +50,7 @@ impl SwarmWorkload {
             cfg,
             metrics: None,
             completions_recorded: 0,
+            completion_scratch: Vec::new(),
         }
     }
 
@@ -66,6 +72,7 @@ impl SwarmWorkload {
 
 impl Workload for SwarmWorkload {
     type World = SwarmWorld;
+    type Event = p2plab_net::NetEvent<p2plab_bittorrent::BtPayload>;
     type Output = SwarmResult;
 
     fn kind(&self) -> &'static str {
@@ -110,14 +117,14 @@ impl Workload for SwarmWorkload {
         world
     }
 
-    fn on_deployed(&mut self, sim: &mut Simulation<SwarmWorld>) {
+    fn on_deployed(&mut self, sim: &mut SwarmSim) {
         // Seeders (and the tracker, which is passive) come online first.
         for s in 0..self.cfg.seeders {
             schedule_client_start(sim, s, SimTime::ZERO + SimDuration::from_secs(s as u64));
         }
     }
 
-    fn schedule_arrivals(&mut self, sim: &mut Simulation<SwarmWorld>, arrivals: &ArrivalSchedule) {
+    fn schedule_arrivals(&mut self, sim: &mut SwarmSim, arrivals: &ArrivalSchedule) {
         // Downloaders join at the instants the scenario's arrival process drew.
         for (l, &at) in arrivals.times().iter().enumerate() {
             schedule_client_start(sim, self.cfg.seeders + l, at);
@@ -126,7 +133,7 @@ impl Workload for SwarmWorkload {
 
     fn schedule_churn(
         &mut self,
-        sim: &mut Simulation<SwarmWorld>,
+        sim: &mut SwarmSim,
         sessions: &SessionProcess,
         arrivals: &ArrivalSchedule,
     ) {
@@ -137,7 +144,7 @@ impl Workload for SwarmWorkload {
         for l in 0..self.cfg.leechers {
             let idx = self.cfg.seeders + l;
             let first_start = arrivals.get(l).unwrap_or(SimTime::ZERO);
-            let depart = Rc::new(move |sim: &mut Simulation<SwarmWorld>| {
+            let depart = Rc::new(move |sim: &mut SwarmSim| {
                 let done = sim.world().clients[idx].completed_at.is_some();
                 if done || !sim.world().clients[idx].online {
                     // Finished clients stay online and seed; offline clients are between
@@ -147,7 +154,7 @@ impl Workload for SwarmWorkload {
                 stop_client(sim, idx);
                 true
             });
-            let rejoin = Rc::new(move |sim: &mut Simulation<SwarmWorld>| {
+            let rejoin = Rc::new(move |sim: &mut SwarmSim| {
                 if sim.world().clients[idx].completed_at.is_some() {
                     return false;
                 }
@@ -175,8 +182,18 @@ impl Workload for SwarmWorkload {
             let completed = world.completed_count();
             rec.push(m.completed, now, completed as f64);
             if completed > self.completions_recorded {
-                // completion_times() is sorted, so everything past the high-water mark is new.
-                for t in &world.completion_times()[self.completions_recorded..] {
+                // Gather into the reused scratch (sorted), so everything past the high-water
+                // mark is new; the periodic sampler stays allocation-free at steady state.
+                self.completion_scratch.clear();
+                self.completion_scratch.extend(
+                    world
+                        .clients
+                        .iter()
+                        .filter(|c| !c.initial_seeder)
+                        .filter_map(|c| c.completed_at),
+                );
+                self.completion_scratch.sort_unstable();
+                for t in &self.completion_scratch[self.completions_recorded..] {
                     rec.record(m.completion_hist, t.as_secs_f64());
                 }
                 self.completions_recorded = completed;

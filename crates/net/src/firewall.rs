@@ -8,11 +8,20 @@
 //! costs a fixed amount of added latency, and — like dummynet with `net.inet.ip.fw.one_pass=0` —
 //! a packet that matched a pipe rule continues down the rule list, so it can traverse both its
 //! access-link pipe and a group-latency pipe.
+//!
+//! The **emulated** cost stays linear, but the **simulator's** per-packet cost must not be:
+//! the firewall exposes a [`version`](Firewall::version) counter (bumped on every rule change)
+//! and an uncounted [`walk`](Firewall::walk) so that the network layer can precompute the
+//! classification of each (source host, destination group) path once per rule-set version and
+//! charge later packets from that memo — see `Network::classify_out` / `Network::classify_in`
+//! in [`crate::network`]. `classify` itself stays the plain linear walk.
 
 use crate::addr::{Subnet, VirtAddr};
 use crate::pipe::PipeId;
 use p2plab_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::hash::Hasher;
+use std::ops::Deref;
 
 /// Direction of a packet relative to the physical node evaluating the rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -81,11 +90,67 @@ impl Rule {
     }
 }
 
+/// A small inline list of pipes a packet traverses. Real classifications are one or two pipes
+/// (access link, plus at most a group-latency pipe), so the common case lives on the stack and
+/// copying a memoized classification allocates nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipeList {
+    len: u8,
+    inline: [PipeId; 4],
+    /// Overflow for pathological rule sets with more than four matching pipe rules; when used,
+    /// it holds the *entire* list (inline entries are copied over on the first spill).
+    spill: Vec<PipeId>,
+}
+
+impl Default for PipeList {
+    fn default() -> Self {
+        PipeList {
+            len: 0,
+            inline: [PipeId(0); 4],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl PipeList {
+    fn push(&mut self, pipe: PipeId) {
+        if self.spill.is_empty() && (self.len as usize) < self.inline.len() {
+            self.inline[self.len as usize] = pipe;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill
+                    .extend_from_slice(&self.inline[..self.len as usize]);
+            }
+            self.spill.push(pipe);
+        }
+    }
+}
+
+impl Deref for PipeList {
+    type Target = [PipeId];
+    fn deref(&self) -> &[PipeId] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PipeList {
+    type Item = PipeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, PipeId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().copied()
+    }
+}
+
 /// Result of classifying one packet against a firewall.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Classification {
     /// Pipes the packet must traverse, in rule order.
-    pub pipes: Vec<PipeId>,
+    pub pipes: PipeList,
     /// Whether the packet is ultimately accepted (false if a Deny rule matched).
     pub accepted: bool,
     /// Number of rules examined (the linear-evaluation cost driver).
@@ -105,12 +170,38 @@ pub struct FirewallStats {
     pub denied: u64,
 }
 
+/// A fast, deterministic hasher for packed `u64` path keys (used by the network layer's
+/// per-machine path memo). One multiply-xor round is plenty — SipHash would dominate the (hot)
+/// classification lookup otherwise.
+#[derive(Default)]
+pub(crate) struct PathKeyHasher(u64);
+
+impl Hasher for PathKeyHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("path keys hash through write_u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // splitmix64-style finalizer: full avalanche on the packed key.
+        let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// An ordered list of rules evaluated linearly, as IPFW does.
 #[derive(Debug, Clone)]
 pub struct Firewall {
     rules: Vec<Rule>,
     per_rule_cost: SimDuration,
     stats: FirewallStats,
+    /// Bumped on every rule mutation; memo layers above compare against it.
+    version: u64,
 }
 
 impl Firewall {
@@ -121,22 +212,37 @@ impl Firewall {
             rules: Vec::new(),
             per_rule_cost,
             stats: FirewallStats::default(),
+            version: 1,
         }
+    }
+
+    /// The rule-set version: bumped on every rule change. A memoized classification computed
+    /// at version `v` is valid exactly while `version()` still returns `v`.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The latency each examined rule adds.
+    pub fn per_rule_cost(&self) -> SimDuration {
+        self.per_rule_cost
     }
 
     /// Appends a rule and returns its index.
     pub fn add_rule(&mut self, rule: Rule) -> usize {
+        self.version += 1;
         self.rules.push(rule);
         self.rules.len() - 1
     }
 
     /// Appends `count` never-matching rules (Figure 6 experiment).
     pub fn add_dummy_rules(&mut self, count: usize) {
+        self.version += 1;
         self.rules.extend(std::iter::repeat_n(Rule::dummy(), count));
     }
 
     /// Removes all rules.
     pub fn clear(&mut self) {
+        self.version += 1;
         self.rules.clear();
     }
 
@@ -164,7 +270,26 @@ impl Firewall {
         dst: VirtAddr,
         direction: Direction,
     ) -> Classification {
-        let mut pipes = Vec::new();
+        let (pipes, accepted, rules_examined) = self.walk(src, dst, direction);
+        self.count_packet(rules_examined, !accepted);
+        Classification {
+            pipes,
+            accepted,
+            rules_examined,
+            evaluation_cost: self.per_rule_cost * rules_examined as u64,
+        }
+    }
+
+    /// The linear rule walk alone — no statistics update. This is what the network layer's
+    /// path memo runs once per rule-set version; [`count_packet`](Firewall::count_packet)
+    /// charges each later packet so the statistics stay identical to per-packet walking.
+    pub fn walk(
+        &self,
+        src: VirtAddr,
+        dst: VirtAddr,
+        direction: Direction,
+    ) -> (PipeList, bool, usize) {
+        let mut pipes = PipeList::default();
         let mut examined = 0;
         let mut accepted = true;
         for rule in &self.rules {
@@ -181,16 +306,16 @@ impl Firewall {
                 }
             }
         }
+        (pipes, accepted, examined)
+    }
+
+    /// Accounts one classified packet in the firewall statistics (the memoized path in the
+    /// network layer calls this instead of re-walking).
+    pub fn count_packet(&mut self, rules_examined: usize, denied: bool) {
         self.stats.packets += 1;
-        self.stats.rules_examined += examined as u64;
-        if !accepted {
+        self.stats.rules_examined += rules_examined as u64;
+        if denied {
             self.stats.denied += 1;
-        }
-        Classification {
-            pipes,
-            accepted,
-            rules_examined: examined,
-            evaluation_cost: self.per_rule_cost * examined as u64,
         }
     }
 }
@@ -254,7 +379,7 @@ mod tests {
         let mut fw = paper_firewall();
         // 10.1.3.207 -> 10.2.2.117: outgoing access pipe + 10.1/16 -> 10.2/16 latency pipe.
         let c = fw.classify(addr("10.1.3.207"), addr("10.2.2.117"), Direction::Out);
-        assert_eq!(c.pipes, vec![PipeId(0), PipeId(4)]);
+        assert_eq!(&c.pipes[..], [PipeId(0), PipeId(4)]);
         assert!(c.accepted);
         assert_eq!(c.rules_examined, 6);
     }
@@ -263,14 +388,14 @@ mod tests {
     fn incoming_packet_only_hits_download_pipe() {
         let mut fw = paper_firewall();
         let c = fw.classify(addr("10.2.2.117"), addr("10.1.3.207"), Direction::In);
-        assert_eq!(c.pipes, vec![PipeId(1)]);
+        assert_eq!(&c.pipes[..], [PipeId(1)]);
     }
 
     #[test]
     fn intra_group_traffic_hits_local_latency_rule() {
         let mut fw = paper_firewall();
         let c = fw.classify(addr("10.1.3.207"), addr("10.1.1.5"), Direction::Out);
-        assert_eq!(c.pipes, vec![PipeId(0), PipeId(2)]);
+        assert_eq!(&c.pipes[..], [PipeId(0), PipeId(2)]);
     }
 
     #[test]
@@ -341,6 +466,73 @@ mod tests {
         assert!(c.pipes.is_empty());
         assert!(c.accepted);
         assert_eq!(c.rules_examined, 100);
+    }
+
+    #[test]
+    fn version_bumps_on_rule_changes_and_classify_stays_exact() {
+        // A cached path must re-walk after the rule list changes: first a plain pipe rule,
+        // then a Deny inserted behind it that flips the verdict.
+        let mut fw = Firewall::new(SimDuration::from_nanos(100));
+        fw.add_rule(Rule::pipe(
+            Subnet::any(),
+            Subnet::any(),
+            Direction::Out,
+            PipeId(0),
+        ));
+        let (src, dst) = (addr("10.0.0.1"), addr("10.0.0.2"));
+        let v0 = fw.version();
+        let first = fw.classify(src, dst, Direction::Out);
+        let second = fw.classify(src, dst, Direction::Out);
+        assert_eq!(first, second);
+        assert_eq!(fw.version(), v0, "classification must not bump the version");
+        fw.add_rule(Rule {
+            src: Subnet::any(),
+            dst: Subnet::any(),
+            direction: None,
+            action: RuleAction::Deny,
+        });
+        let third = fw.classify(src, dst, Direction::Out);
+        assert!(!third.accepted);
+        assert_eq!(third.rules_examined, 2);
+        assert!(fw.version() > v0, "rule change must bump the version");
+        assert_eq!(fw.stats().packets, 3);
+        assert_eq!(fw.stats().denied, 1);
+    }
+
+    #[test]
+    fn directions_classify_independently() {
+        let mut fw = paper_firewall();
+        let out = fw.classify(addr("10.1.3.207"), addr("10.2.2.117"), Direction::Out);
+        let inward = fw.classify(addr("10.1.3.207"), addr("10.2.2.117"), Direction::In);
+        assert_ne!(&out.pipes[..], &inward.pipes[..]);
+        // And hits return the same answers.
+        assert_eq!(
+            fw.classify(addr("10.1.3.207"), addr("10.2.2.117"), Direction::Out),
+            out
+        );
+        assert_eq!(
+            fw.classify(addr("10.1.3.207"), addr("10.2.2.117"), Direction::In),
+            inward
+        );
+    }
+
+    #[test]
+    fn pipe_list_spills_past_four_entries_in_order() {
+        let mut fw = Firewall::new(SimDuration::ZERO);
+        for i in 0..7 {
+            fw.add_rule(Rule::pipe(
+                Subnet::any(),
+                Subnet::any(),
+                Direction::Out,
+                PipeId(i),
+            ));
+        }
+        let c = fw.classify(addr("10.0.0.1"), addr("10.0.0.2"), Direction::Out);
+        let expected: Vec<PipeId> = (0..7).map(PipeId).collect();
+        assert_eq!(&c.pipes[..], expected.as_slice());
+        // A hit reproduces the spilled list too.
+        let again = fw.classify(addr("10.0.0.1"), addr("10.0.0.2"), Direction::Out);
+        assert_eq!(&again.pipes[..], expected.as_slice());
     }
 
     #[test]

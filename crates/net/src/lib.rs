@@ -39,4 +39,6 @@ pub use network::{
 pub use ping::{ping, ping_series, PingPayload, PingWorld, ECHO_PORT};
 pub use pipe::{DropReason, EnqueueOutcome, Pipe, PipeConfig, PipeId, PipeStats};
 pub use topology::{AccessLinkClass, GroupId, GroupSpec, TopologySpec};
-pub use transport::{close, connect, listen, send, send_datagram, NetHost, SockEvent};
+pub use transport::{
+    close, connect, listen, send, send_datagram, InFlight, NetEvent, NetHost, NetSim, SockEvent,
+};

@@ -12,15 +12,16 @@
 //! [`crate::transport`].
 
 use crate::addr::{Subnet, VirtAddr};
-use crate::firewall::{Direction, Firewall, Rule};
+use crate::firewall::{Classification, Direction, Firewall, PathKeyHasher, PipeList, Rule};
 use crate::iface::Interface;
 use crate::intercept::InterceptConfig;
 use crate::pipe::{Pipe, PipeConfig, PipeId};
-use crate::topology::{GroupId, TopologySpec};
+use crate::topology::{GroupId, GroupSpec, TopologySpec};
 use p2plab_os::SyscallCostModel;
-use p2plab_sim::{SimDuration, SimTime};
+use p2plab_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
 
 /// Index of a physical machine in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -123,6 +124,54 @@ impl Connection {
     }
 }
 
+/// One precomputed path classification (see [`PathMemo`]).
+#[derive(Debug, Clone)]
+struct CachedPath {
+    pipes: PipeList,
+    accepted: bool,
+    rules_examined: usize,
+}
+
+/// Per-machine memo of firewall classifications at `(host address, peer group)` granularity —
+/// the precomputation the paper's per-packet IPFW walk invites: in a deployed topology every
+/// rule is either a hosted node's own `/32` access-link rule or a group-subnet latency rule, so
+/// the outgoing classification depends only on the concrete source host and the *group* of the
+/// destination (and symmetrically for incoming traffic). That makes the memo a few dozen
+/// entries per machine (hosted nodes × groups) — small enough to stay cache-resident, unlike a
+/// full `(src, dst)` pair memo.
+///
+/// Soundness is checked, not assumed: the memo is rebuilt whenever the firewall's rule-set
+/// version changes, and if any rule's subnet cuts *through* a group (so two peers in one group
+/// could classify differently) the memo disables itself and every packet falls back to the
+/// plain linear walk. Statistics are charged per packet either way, so `FirewallStats` is
+/// byte-identical with and without the memo.
+#[derive(Debug, Clone, Default)]
+struct PathMemo {
+    /// Firewall rule-set version the memo matches; 0 = never built.
+    version: u64,
+    /// Whether `(src host, dst group)` granularity is sound for outgoing classification.
+    out_usable: bool,
+    /// Whether `(src group, dst host)` granularity is sound for incoming classification.
+    in_usable: bool,
+    /// Outgoing paths: key packs `(src host address, dst group)`.
+    out: HashMap<u64, CachedPath, BuildHasherDefault<PathKeyHasher>>,
+    /// Incoming paths: key packs `(dst host address, src group)`.
+    inbound: HashMap<u64, CachedPath, BuildHasherDefault<PathKeyHasher>>,
+}
+
+/// True when `subnet` never cuts through a group: for every group it either covers the whole
+/// group subnet or is disjoint from it. Prefix subnets are nested-or-disjoint, so the only bad
+/// case is `subnet` strictly inside a group's subnet.
+fn group_uniform(subnet: Subnet, groups: &[GroupSpec]) -> bool {
+    groups
+        .iter()
+        .all(|g| !(subnet.prefix > g.subnet.prefix && g.subnet.contains(subnet.base)))
+}
+
+fn path_key(host: VirtAddr, group: GroupId) -> u64 {
+    ((host.0 as u64) << 32) | group.0 as u64
+}
+
 /// A physical machine's networking state.
 #[derive(Debug, Clone)]
 pub struct MachineNet {
@@ -138,6 +187,65 @@ pub struct MachineNet {
     pub nic_rx: PipeId,
     /// Groups that already have their inter-group rules installed on this machine.
     group_rules_installed: HashSet<GroupId>,
+    /// Memoized per-path classifications (lazily rebuilt per firewall version).
+    path_memo: PathMemo,
+}
+
+impl MachineNet {
+    /// Rebuilds the path memo against the firewall's current rule set.
+    fn refresh_path_memo(&mut self, groups: &[GroupSpec]) {
+        let memo = &mut self.path_memo;
+        memo.out.clear();
+        memo.inbound.clear();
+        let rules = self.firewall.rules();
+        memo.out_usable = rules
+            .iter()
+            .filter(|r| r.direction != Some(Direction::In))
+            .all(|r| group_uniform(r.dst, groups));
+        memo.in_usable = rules
+            .iter()
+            .filter(|r| r.direction != Some(Direction::Out))
+            .all(|r| group_uniform(r.src, groups));
+        memo.version = self.firewall.version();
+    }
+
+    /// Classifies through the memo (`key` in the map picked by `direction`), walking and
+    /// memoizing on first use. Firewall statistics are charged exactly as `classify` would.
+    fn classify_memoized(
+        &mut self,
+        key: u64,
+        src_addr: VirtAddr,
+        dst_addr: VirtAddr,
+        direction: Direction,
+    ) -> Classification {
+        let map = match direction {
+            Direction::Out => &mut self.path_memo.out,
+            Direction::In => &mut self.path_memo.inbound,
+        };
+        let (pipes, accepted, rules_examined) = match map.get(&key) {
+            Some(c) => (c.pipes.clone(), c.accepted, c.rules_examined),
+            None => {
+                let (pipes, accepted, rules_examined) =
+                    self.firewall.walk(src_addr, dst_addr, direction);
+                map.insert(
+                    key,
+                    CachedPath {
+                        pipes: pipes.clone(),
+                        accepted,
+                        rules_examined,
+                    },
+                );
+                (pipes, accepted, rules_examined)
+            }
+        };
+        self.firewall.count_packet(rules_examined, !accepted);
+        Classification {
+            pipes,
+            accepted,
+            rules_examined,
+            evaluation_cost: self.firewall.per_rule_cost() * rules_examined as u64,
+        }
+    }
 }
 
 /// A virtual node's networking state.
@@ -223,10 +331,11 @@ pub struct Network {
     pipes: Vec<Pipe>,
     machines: Vec<MachineNet>,
     vnodes: Vec<VNodeNet>,
-    addr_map: HashMap<VirtAddr, VNodeId>,
-    pub(crate) listeners: HashSet<(VNodeId, u16)>,
-    pub(crate) conns: HashMap<ConnId, Connection>,
-    next_conn: u64,
+    addr_map: FxHashMap<VirtAddr, VNodeId>,
+    pub(crate) listeners: FxHashSet<(VNodeId, u16)>,
+    /// Connection arena: `ConnId`s are allocated sequentially, so the id doubles as the index
+    /// (connections are never removed, matching real conntrack tables kept until reboot).
+    pub(crate) conns: Vec<Connection>,
     next_ephemeral: u16,
     pub(crate) stats: NetStats,
 }
@@ -240,10 +349,9 @@ impl Network {
             pipes: Vec::new(),
             machines: Vec::new(),
             vnodes: Vec::new(),
-            addr_map: HashMap::new(),
-            listeners: HashSet::new(),
-            conns: HashMap::new(),
-            next_conn: 0,
+            addr_map: FxHashMap::default(),
+            listeners: FxHashSet::default(),
+            conns: Vec::new(),
             next_ephemeral: 49152,
             stats: NetStats::default(),
         }
@@ -264,6 +372,19 @@ impl Network {
         self.stats
     }
 
+    /// Pre-sizes the per-entity collections for a deployment of `machines` physical machines
+    /// hosting `vnodes` virtual nodes, so large deployments build without rehash/regrow churn.
+    pub fn reserve(&mut self, machines: usize, vnodes: usize) {
+        self.machines.reserve(machines);
+        self.vnodes.reserve(vnodes);
+        // Two access-link pipes per vnode, two NIC pipes per machine, plus a bounded number of
+        // inter-group delay pipes.
+        let groups = self.topology.groups.len();
+        self.pipes
+            .reserve(2 * vnodes + 2 * machines + groups * groups);
+        self.addr_map.reserve(vnodes);
+    }
+
     /// Adds a physical machine with the given administration address.
     pub fn add_machine(&mut self, name: impl Into<String>, admin_addr: VirtAddr) -> MachineId {
         let nic_tx = self.add_pipe(
@@ -280,8 +401,69 @@ impl Network {
             nic_tx,
             nic_rx,
             group_rules_installed: HashSet::new(),
+            path_memo: PathMemo::default(),
         });
         MachineId(self.machines.len() - 1)
+    }
+
+    /// Classifies an outgoing packet on `machine`'s firewall, through the per-machine path
+    /// memo when its `(src host, dst group)` granularity is sound (see [`PathMemo`]); falls
+    /// back to the plain linear walk otherwise — results and statistics are identical either
+    /// way. `src` / `dst` are the transmitting and destination virtual nodes; `src_addr` may
+    /// differ from `src`'s address when interception is disabled (traffic attributed to the
+    /// machine's administration address), which also forces the fallback.
+    pub(crate) fn classify_out(
+        &mut self,
+        machine: MachineId,
+        src: VNodeId,
+        src_addr: VirtAddr,
+        dst: VNodeId,
+    ) -> Classification {
+        let src_is_vnode = self.vnodes[src.0].addr == src_addr;
+        let dst_group = self.vnodes[dst.0].group;
+        let dst_addr = self.vnodes[dst.0].addr;
+        let groups = &self.topology.groups;
+        let m = &mut self.machines[machine.0];
+        if m.path_memo.version != m.firewall.version() {
+            m.refresh_path_memo(groups);
+        }
+        if !src_is_vnode || !m.path_memo.out_usable {
+            return m.firewall.classify(src_addr, dst_addr, Direction::Out);
+        }
+        m.classify_memoized(
+            path_key(src_addr, dst_group),
+            src_addr,
+            dst_addr,
+            Direction::Out,
+        )
+    }
+
+    /// Incoming twin of [`classify_out`](Network::classify_out): memo key is
+    /// `(dst host, src group)`.
+    pub(crate) fn classify_in(
+        &mut self,
+        machine: MachineId,
+        src: VNodeId,
+        src_addr: VirtAddr,
+        dst: VNodeId,
+    ) -> Classification {
+        let src_is_vnode = self.vnodes[src.0].addr == src_addr;
+        let src_group = self.vnodes[src.0].group;
+        let dst_addr = self.vnodes[dst.0].addr;
+        let groups = &self.topology.groups;
+        let m = &mut self.machines[machine.0];
+        if m.path_memo.version != m.firewall.version() {
+            m.refresh_path_memo(groups);
+        }
+        if !src_is_vnode || !m.path_memo.in_usable {
+            return m.firewall.classify(src_addr, dst_addr, Direction::In);
+        }
+        m.classify_memoized(
+            path_key(dst_addr, src_group),
+            src_addr,
+            dst_addr,
+            Direction::In,
+        )
     }
 
     /// Adds a virtual node of `group` on `machine` with address `addr`.
@@ -442,7 +624,12 @@ impl Network {
 
     /// Looks up a connection.
     pub fn connection(&self, id: ConnId) -> Option<&Connection> {
-        self.conns.get(&id)
+        self.conns.get(id.0 as usize)
+    }
+
+    /// Mutable connection lookup.
+    pub(crate) fn connection_mut(&mut self, id: ConnId) -> Option<&mut Connection> {
+        self.conns.get_mut(id.0 as usize)
     }
 
     /// Number of connections ever created.
@@ -470,20 +657,16 @@ impl Network {
         client: (VNodeId, u16),
         server: (VNodeId, u16),
     ) -> ConnId {
-        let id = ConnId(self.next_conn);
-        self.next_conn += 1;
-        self.conns.insert(
+        let id = ConnId(self.conns.len() as u64);
+        self.conns.push(Connection {
             id,
-            Connection {
-                id,
-                client,
-                server,
-                state: ConnState::Connecting,
-                bytes_from_client: 0,
-                bytes_from_server: 0,
-                established_at: None,
-            },
-        );
+            client,
+            server,
+            state: ConnState::Connecting,
+            bytes_from_client: 0,
+            bytes_from_server: 0,
+            established_at: None,
+        });
         id
     }
 

@@ -7,7 +7,7 @@
 
 use crate::addr::SocketAddr;
 use crate::network::{Network, VNodeId};
-use crate::transport::{send_datagram, NetHost, SockEvent};
+use crate::transport::{send_datagram, NetHost, NetSim, SockEvent};
 use p2plab_sim::{SimDuration, SimTime, Simulation};
 use std::collections::HashMap;
 
@@ -77,7 +77,7 @@ impl NetHost for PingWorld {
         &mut self.net
     }
 
-    fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<PingPayload>) {
+    fn on_socket_event(sim: &mut NetSim<Self>, node: VNodeId, event: SockEvent<PingPayload>) {
         match event {
             SockEvent::Datagram {
                 from,
@@ -103,7 +103,7 @@ impl NetHost for PingWorld {
 
 /// Sends one echo request from `from` to `to`. The RTT is recorded in
 /// [`PingWorld::rtts`] when (and if) the reply arrives.
-pub fn ping(sim: &mut Simulation<PingWorld>, from: VNodeId, to: VNodeId) {
+pub fn ping(sim: &mut NetSim<PingWorld>, from: VNodeId, to: VNodeId) {
     let seq = sim.world().next_seq;
     sim.world_mut().next_seq += 1;
     let now = sim.now();
@@ -130,7 +130,7 @@ pub fn ping_series(
     interval: SimDuration,
     seed: u64,
 ) -> (PingWorld, Vec<SimDuration>) {
-    let mut sim = Simulation::new(world, seed);
+    let mut sim: NetSim<PingWorld> = Simulation::with_events(world, seed);
     for i in 0..count {
         sim.schedule_at(SimTime::ZERO + interval * i as u64, move |sim| {
             ping(sim, from, to);

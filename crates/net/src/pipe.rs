@@ -112,6 +112,10 @@ pub struct Pipe {
     busy_until: SimTime,
     /// Recent departures `(queue exit time, size)` kept for occupancy accounting.
     in_queue: VecDeque<(SimTime, u64)>,
+    /// Running sum of the sizes in `in_queue`, so occupancy checks are O(1) per packet
+    /// instead of a queue scan (batched accounting: the scan only happens implicitly, as the
+    /// prune pops expired departures).
+    queued: u64,
     stats: PipeStats,
 }
 
@@ -122,6 +126,7 @@ impl Pipe {
             config,
             busy_until: SimTime::ZERO,
             in_queue: VecDeque::new(),
+            queued: 0,
             stats: PipeStats::default(),
         }
     }
@@ -145,7 +150,7 @@ impl Pipe {
     /// Bytes currently waiting in (or being serialized by) the transmission queue at `now`.
     pub fn queued_bytes(&mut self, now: SimTime) -> u64 {
         self.prune(now);
-        self.in_queue.iter().map(|&(_, size)| size).sum()
+        self.queued
     }
 
     /// Offers a packet of `size` bytes to the pipe at time `now`.
@@ -156,8 +161,7 @@ impl Pipe {
         }
         self.prune(now);
         if let Some(limit) = self.config.queue_limit_bytes {
-            let queued: u64 = self.in_queue.iter().map(|&(_, s)| s).sum();
-            if queued + size > limit && !self.in_queue.is_empty() {
+            if self.queued + size > limit && !self.in_queue.is_empty() {
                 self.stats.dropped_overflow += 1;
                 return EnqueueOutcome::Dropped(DropReason::QueueOverflow);
             }
@@ -168,6 +172,7 @@ impl Pipe {
                 let exit = start + SimDuration::transmission(size, bps);
                 self.busy_until = exit;
                 self.in_queue.push_back((exit, size));
+                self.queued += size;
                 exit
             }
             None => now,
@@ -180,9 +185,10 @@ impl Pipe {
     }
 
     fn prune(&mut self, now: SimTime) {
-        while let Some(&(exit, _)) = self.in_queue.front() {
+        while let Some(&(exit, size)) = self.in_queue.front() {
             if exit <= now {
                 self.in_queue.pop_front();
+                self.queued -= size;
             } else {
                 break;
             }

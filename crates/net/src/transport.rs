@@ -15,12 +15,17 @@
 //! Connections are TCP-like: establishment costs one round trip (plus the interception shim's
 //! system calls), data messages preserve boundaries, and messages dropped by a lossy pipe are
 //! retransmitted after an exponentially backed-off timeout. Datagrams are fire-and-forget.
+//!
+//! Every hop of that walk is a **pooled typed event** ([`NetEvent`]), not a boxed closure: the
+//! in-flight record is stored inline in the engine's slab-backed queue, so the data plane —
+//! the dominant event class of every large scenario — schedules no per-event heap allocation.
+//! A [`NetHost`] world therefore runs on a [`NetSim`] (`Simulation<W, NetEvent<Payload>>`);
+//! application-level logic is free to keep using closure events on the same simulation.
 
 use crate::addr::{SocketAddr, VirtAddr};
-use crate::firewall::Direction;
-use crate::network::{ConnId, ConnState, NetError, Network, VNodeId};
+use crate::network::{ConnId, ConnState, MachineId, NetError, Network, VNodeId};
 use crate::pipe::EnqueueOutcome;
-use p2plab_sim::{SimDuration, Simulation};
+use p2plab_sim::{SimDuration, Simulation, TypedEvent};
 
 /// World types that embed an emulated [`Network`] and receive socket events.
 pub trait NetHost: Sized + 'static {
@@ -32,7 +37,61 @@ pub trait NetHost: Sized + 'static {
 
     /// Called when a socket event (connection established/accepted/refused/closed, data or
     /// datagram delivery) reaches a virtual node.
-    fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<Self::Payload>);
+    fn on_socket_event(sim: &mut NetSim<Self>, node: VNodeId, event: SockEvent<Self::Payload>);
+}
+
+/// The simulation type a [`NetHost`] world runs on: the typed-event class is the network
+/// substrate's [`NetEvent`], so data-plane hops are pooled instead of boxed.
+pub type NetSim<W> = Simulation<W, NetEvent<<W as NetHost>::Payload>>;
+
+/// The data plane's pooled event class: one variant per packet hop. Stored inline in the event
+/// queue's slab — scheduling one performs no allocation.
+pub enum NetEvent<P> {
+    /// Sender-side pipes done; enqueue on the source machine's NIC transmit pipe and cross the
+    /// cluster network toward the destination's machine (both machines are re-derived from the
+    /// flight's endpoints — events carry no redundant routing state, keeping queue slots
+    /// small).
+    NicTx {
+        /// The in-flight message.
+        flight: InFlight<P>,
+    },
+    /// Receiver-side processing: NIC receive pipe (when the packet crossed the cluster
+    /// network, i.e. the endpoints are hosted on different machines), destination firewall and
+    /// download pipe.
+    Receive {
+        /// The in-flight message.
+        flight: InFlight<P>,
+    },
+    /// Final delivery to the destination application.
+    Deliver {
+        /// The in-flight message.
+        flight: InFlight<P>,
+    },
+    /// Retransmission timer of a reliable frame that was dropped.
+    Retransmit {
+        /// The in-flight message (attempt counter already bumped).
+        flight: InFlight<P>,
+    },
+}
+
+impl<W: NetHost> TypedEvent<W> for NetEvent<W::Payload> {
+    fn fire(self, sim: &mut NetSim<W>) {
+        match self {
+            NetEvent::NicTx { flight } => {
+                let src_machine = sim.world_mut().network().vnode(flight.src).machine;
+                nic_tx(sim, flight, src_machine);
+            }
+            NetEvent::Receive { flight } => {
+                let net = sim.world_mut().network();
+                let src_machine = net.vnode(flight.src).machine;
+                let dst_machine = net.vnode(flight.dst).machine;
+                let via = (src_machine != dst_machine).then_some(dst_machine);
+                receiver_side(sim, flight, via);
+            }
+            NetEvent::Deliver { flight } => deliver(sim, flight),
+            NetEvent::Retransmit { flight } => transmit(sim, flight, SimDuration::ZERO),
+        }
+    }
 }
 
 /// Events delivered to applications.
@@ -129,22 +188,21 @@ impl<P> Frame<P> {
     }
 }
 
-/// A message in flight, carrying everything needed to retry it after a drop.
-struct InFlight<P> {
+/// A message in flight, carrying everything needed to retry it after a drop. Opaque outside
+/// the transport; it only travels inside [`NetEvent`]s.
+pub struct InFlight<P> {
     src: VNodeId,
     dst: VNodeId,
+    /// Source address as the firewall sees it (differs from `src`'s address when the BINDIP
+    /// interception shim is disabled). The destination address is always `dst`'s address and
+    /// is re-derived where needed instead of being carried per event.
     src_addr: VirtAddr,
-    dst_addr: VirtAddr,
     frame: Frame<P>,
     attempts: u32,
 }
 
 /// Registers a listener on `(node, port)`.
-pub fn listen<W: NetHost>(
-    sim: &mut Simulation<W>,
-    node: VNodeId,
-    port: u16,
-) -> Result<(), NetError> {
+pub fn listen<W: NetHost>(sim: &mut NetSim<W>, node: VNodeId, port: u16) -> Result<(), NetError> {
     let net = sim.world_mut().network();
     if node.0 >= net.vnode_count() {
         return Err(NetError::UnknownVNode(node));
@@ -158,7 +216,7 @@ pub fn listen<W: NetHost>(
 /// Initiates a connection from `node` to `remote`. The result (`Connected`, `Refused`) is
 /// reported asynchronously through [`NetHost::on_socket_event`].
 pub fn connect<W: NetHost>(
-    sim: &mut Simulation<W>,
+    sim: &mut NetSim<W>,
     node: VNodeId,
     remote: SocketAddr,
 ) -> Result<ConnId, NetError> {
@@ -180,7 +238,7 @@ pub fn connect<W: NetHost>(
 
 /// Sends `payload` (`size` application bytes) from `node` over an established connection.
 pub fn send<W: NetHost>(
-    sim: &mut Simulation<W>,
+    sim: &mut NetSim<W>,
     node: VNodeId,
     conn: ConnId,
     size: u64,
@@ -217,7 +275,7 @@ pub fn send<W: NetHost>(
 
 /// Sends an unreliable datagram from `node:from_port` to `remote`.
 pub fn send_datagram<W: NetHost>(
-    sim: &mut Simulation<W>,
+    sim: &mut NetSim<W>,
     node: VNodeId,
     from_port: u16,
     remote: SocketAddr,
@@ -250,11 +308,7 @@ pub fn send_datagram<W: NetHost>(
 }
 
 /// Closes a connection from `node`'s side and notifies the peer.
-pub fn close<W: NetHost>(
-    sim: &mut Simulation<W>,
-    node: VNodeId,
-    conn: ConnId,
-) -> Result<(), NetError> {
+pub fn close<W: NetHost>(sim: &mut NetSim<W>, node: VNodeId, conn: ConnId) -> Result<(), NetError> {
     let net = sim.world_mut().network();
     let c = *net
         .connection(conn)
@@ -265,7 +319,7 @@ pub fn close<W: NetHost>(
     if c.state == ConnState::Closed {
         return Ok(());
     }
-    net.conns.get_mut(&conn).expect("checked above").state = ConnState::Closed;
+    net.connection_mut(conn).expect("checked above").state = ConnState::Closed;
     let dst = c.peer_of(node);
     let flight = make_flight(net, node, dst, Frame::Fin { conn });
     transmit(sim, flight, SimDuration::ZERO);
@@ -279,7 +333,6 @@ fn make_flight<P>(net: &Network, src: VNodeId, dst: VNodeId, frame: Frame<P>) ->
         src,
         dst,
         src_addr: net.config().intercept.source_addr(src_node.addr, admin),
-        dst_addr: net.vnode(dst).addr,
         frame,
         attempts: 0,
     }
@@ -288,7 +341,7 @@ fn make_flight<P>(net: &Network, src: VNodeId, dst: VNodeId, frame: Frame<P>) ->
 /// Sender-side processing: firewall classification, sender pipes, then hand-off to the cluster
 /// network (or directly to the receiver side when both nodes share a physical machine).
 fn transmit<W: NetHost>(
-    sim: &mut Simulation<W>,
+    sim: &mut NetSim<W>,
     flight: InFlight<W::Payload>,
     extra_delay: SimDuration,
 ) {
@@ -301,17 +354,13 @@ fn transmit<W: NetHost>(
     }
     let src_machine = net.vnode(flight.src).machine;
     let dst_machine = net.vnode(flight.dst).machine;
-    let classification = net.machine_mut(src_machine).firewall.classify(
-        flight.src_addr,
-        flight.dst_addr,
-        Direction::Out,
-    );
+    let classification = net.classify_out(src_machine, flight.src, flight.src_addr, flight.dst);
     if !classification.accepted {
         net.stats.messages_dropped += 1;
         return;
     }
     let mut t = now + extra_delay + classification.evaluation_cost;
-    for pipe in classification.pipes {
+    for pipe in &classification.pipes {
         match net.pipe_mut(pipe).enqueue(t, wire, rng) {
             EnqueueOutcome::Forwarded { exit } => t = exit,
             EnqueueOutcome::Dropped(_) => {
@@ -322,29 +371,32 @@ fn transmit<W: NetHost>(
     }
     if src_machine == dst_machine {
         // Folded nodes: traffic stays inside the machine (loopback), no NIC involved.
-        sim.schedule_at(t, move |sim| receiver_side(sim, flight, None));
+        sim.schedule_event_at(t, NetEvent::Receive { flight });
     } else {
-        sim.schedule_at(t, move |sim| {
-            let now = sim.now();
-            let (world, rng) = sim.world_and_rng();
-            let net = world.network();
-            let nic_tx = net.machine(src_machine).nic_tx;
-            match net.pipe_mut(nic_tx).enqueue(now, wire, rng) {
-                EnqueueOutcome::Forwarded { exit } => {
-                    sim.schedule_at(exit, move |sim| {
-                        receiver_side(sim, flight, Some(dst_machine))
-                    });
-                }
-                EnqueueOutcome::Dropped(_) => handle_drop(sim, flight),
-            }
-        });
+        sim.schedule_event_at(t, NetEvent::NicTx { flight });
+    }
+}
+
+/// The cluster-network hop: charge the source machine's NIC transmit pipe and forward to the
+/// receiver side on the destination machine.
+fn nic_tx<W: NetHost>(sim: &mut NetSim<W>, flight: InFlight<W::Payload>, src_machine: MachineId) {
+    let now = sim.now();
+    let wire = flight.frame.wire_size();
+    let (world, rng) = sim.world_and_rng();
+    let net = world.network();
+    let nic_tx = net.machine(src_machine).nic_tx;
+    match net.pipe_mut(nic_tx).enqueue(now, wire, rng) {
+        EnqueueOutcome::Forwarded { exit } => {
+            sim.schedule_event_at(exit, NetEvent::Receive { flight });
+        }
+        EnqueueOutcome::Dropped(_) => handle_drop(sim, flight),
     }
 }
 
 /// Receiver-side processing: NIC receive pipe (if the message crossed the cluster network), the
 /// receiving machine's firewall and the destination node's download pipe, then delivery.
 fn receiver_side<W: NetHost>(
-    sim: &mut Simulation<W>,
+    sim: &mut NetSim<W>,
     flight: InFlight<W::Payload>,
     via_machine: Option<crate::network::MachineId>,
 ) {
@@ -364,17 +416,13 @@ fn receiver_side<W: NetHost>(
         }
     }
     let dst_machine = net.vnode(flight.dst).machine;
-    let classification = net.machine_mut(dst_machine).firewall.classify(
-        flight.src_addr,
-        flight.dst_addr,
-        Direction::In,
-    );
+    let classification = net.classify_in(dst_machine, flight.src, flight.src_addr, flight.dst);
     if !classification.accepted {
         net.stats.messages_dropped += 1;
         return;
     }
     t += classification.evaluation_cost;
-    for pipe in classification.pipes {
+    for pipe in &classification.pipes {
         match net.pipe_mut(pipe).enqueue(t, wire, rng) {
             EnqueueOutcome::Forwarded { exit } => t = exit,
             EnqueueOutcome::Dropped(_) => {
@@ -383,24 +431,24 @@ fn receiver_side<W: NetHost>(
             }
         }
     }
-    sim.schedule_at(t, move |sim| deliver(sim, flight));
+    sim.schedule_event_at(t, NetEvent::Deliver { flight });
 }
 
 /// Retransmission policy for reliable frames; unreliable frames are simply counted as dropped.
-fn handle_drop<W: NetHost>(sim: &mut Simulation<W>, mut flight: InFlight<W::Payload>) {
+fn handle_drop<W: NetHost>(sim: &mut NetSim<W>, mut flight: InFlight<W::Payload>) {
     let config = *sim.world_mut().network().config();
     if flight.frame.reliable() && flight.attempts + 1 < config.max_attempts {
         flight.attempts += 1;
         let backoff = config.rto * (1u64 << flight.attempts.min(5)) / 2;
         sim.world_mut().network().stats.retransmissions += 1;
-        sim.schedule_in(backoff, move |sim| transmit(sim, flight, SimDuration::ZERO));
+        sim.schedule_event_in(backoff, NetEvent::Retransmit { flight });
     } else {
         sim.world_mut().network().stats.messages_dropped += 1;
     }
 }
 
 /// Final delivery: updates connection/node counters and raises the application event.
-fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
+fn deliver<W: NetHost>(sim: &mut NetSim<W>, flight: InFlight<W::Payload>) {
     let now = sim.now();
     let dst = flight.dst;
     let src_addr = flight.src_addr;
@@ -416,7 +464,7 @@ fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
             let listening = net.is_listening(dst, c.server.1);
             if listening {
                 {
-                    let entry = net.conns.get_mut(&conn).expect("connection exists");
+                    let entry = net.connection_mut(conn).expect("connection exists");
                     entry.state = ConnState::Established;
                     entry.established_at = Some(now);
                 }
@@ -435,7 +483,7 @@ fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
                 None => return,
             };
             {
-                let entry = net.conns.get_mut(&conn).expect("connection exists");
+                let entry = net.connection_mut(conn).expect("connection exists");
                 if entry.state == ConnState::Connecting {
                     entry.state = ConnState::Established;
                 }
@@ -451,7 +499,7 @@ fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
                 Some(c) => *c,
                 None => return,
             };
-            net.conns.get_mut(&conn).expect("connection exists").state = ConnState::Refused;
+            net.connection_mut(conn).expect("connection exists").state = ConnState::Refused;
             let peer = SocketAddr::new(net.addr_of(c.server.0), c.server.1);
             W::on_socket_event(sim, dst, SockEvent::Refused { conn, peer });
         }
@@ -460,24 +508,22 @@ fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
             payload,
             size,
         } => {
-            let c = match net.connection(conn) {
-                Some(c) => *c,
-                None => return,
-            };
-            if c.state == ConnState::Closed {
-                return;
-            }
-            {
-                let entry = net.conns.get_mut(&conn).expect("connection exists");
+            let from_port = {
+                let Some(entry) = net.connection_mut(conn) else {
+                    return;
+                };
+                if entry.state == ConnState::Closed {
+                    return;
+                }
                 if dst == entry.server.0 {
                     entry.bytes_from_client += size;
                 } else {
                     entry.bytes_from_server += size;
                 }
-            }
+                entry.port_of(entry.peer_of(dst))
+            };
             net.vnode_mut(dst).bytes_received += size;
             net.stats.bytes_delivered += size;
-            let from_port = c.port_of(c.peer_of(dst));
             let from = SocketAddr::new(src_addr, from_port);
             W::on_socket_event(
                 sim,
@@ -491,7 +537,7 @@ fn deliver<W: NetHost>(sim: &mut Simulation<W>, flight: InFlight<W::Payload>) {
             );
         }
         Frame::Fin { conn } => {
-            let entry = match net.conns.get_mut(&conn) {
+            let entry = match net.connection_mut(conn) {
                 Some(e) => e,
                 None => return,
             };
@@ -543,7 +589,7 @@ mod tests {
             &mut self.net
         }
 
-        fn on_socket_event(sim: &mut Simulation<Self>, node: VNodeId, event: SockEvent<u32>) {
+        fn on_socket_event(sim: &mut NetSim<Self>, node: VNodeId, event: SockEvent<u32>) {
             let now = sim.now();
             let label = match &event {
                 SockEvent::Connected { .. } => "connected".to_string(),
@@ -608,7 +654,7 @@ mod tests {
     fn connect_and_exchange_data() {
         let world = build_world(2, 1, NetworkConfig::default());
         let peer = remote(&world, VNodeId(1), 6881);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         listen(&mut sim, VNodeId(1), 6881).unwrap();
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         sim.run();
@@ -652,7 +698,7 @@ mod tests {
     fn connection_refused_without_listener() {
         let world = build_world(2, 1, NetworkConfig::default());
         let peer = remote(&world, VNodeId(1), 6881);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         sim.run();
         let labels: Vec<&str> = sim
@@ -673,7 +719,7 @@ mod tests {
     fn send_requires_established_connection() {
         let world = build_world(2, 1, NetworkConfig::default());
         let peer = remote(&world, VNodeId(1), 6881);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         listen(&mut sim, VNodeId(1), 6881).unwrap();
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         // Not yet established: the SYN has not even left.
@@ -691,7 +737,7 @@ mod tests {
     fn oversized_message_rejected() {
         let world = build_world(2, 1, NetworkConfig::default());
         let peer = remote(&world, VNodeId(1), 6881);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         listen(&mut sim, VNodeId(1), 6881).unwrap();
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         sim.run();
@@ -705,7 +751,7 @@ mod tests {
     #[test]
     fn duplicate_listener_rejected() {
         let world = build_world(1, 2, NetworkConfig::default());
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         listen(&mut sim, VNodeId(0), 6881).unwrap();
         assert_eq!(
             listen(&mut sim, VNodeId(0), 6881),
@@ -719,7 +765,7 @@ mod tests {
     fn close_notifies_peer() {
         let world = build_world(2, 1, NetworkConfig::default());
         let peer = remote(&world, VNodeId(1), 6881);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         listen(&mut sim, VNodeId(1), 6881).unwrap();
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         sim.run();
@@ -744,7 +790,7 @@ mod tests {
     fn datagram_roundtrip_and_counters() {
         let world = build_world(2, 1, NetworkConfig::default());
         let peer = remote(&world, VNodeId(1), 9);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         send_datagram(&mut sim, VNodeId(0), 9, peer, 100, 42).unwrap();
         sim.run();
         assert!(sim.world().received_payloads.contains(&(VNodeId(1), 42)));
@@ -759,7 +805,7 @@ mod tests {
         // access links (the whole point of the decentralized emulation model).
         let world = build_world(1, 2, NetworkConfig::default());
         let peer = remote(&world, VNodeId(1), 9);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         send_datagram(&mut sim, VNodeId(0), 9, peer, 100, 1).unwrap();
         sim.run();
         let (t, _, _) = sim.world().events[0];
@@ -775,7 +821,7 @@ mod tests {
         let run = |machines: usize, per_machine: usize| {
             let world = build_world(machines, per_machine, NetworkConfig::default());
             let peer = remote(&world, VNodeId(1), 9);
-            let mut sim = Simulation::new(world, 1);
+            let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
             send_datagram(&mut sim, VNodeId(0), 9, peer, 1000, 1).unwrap();
             sim.run();
             sim.world().events[0].0.as_secs_f64()
@@ -806,7 +852,7 @@ mod tests {
             echo_data: false,
         };
         let peer = SocketAddr::new(VirtAddr::new(10, 0, 0, 2), 6881);
-        let mut sim = Simulation::new(world, 3);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 3);
         listen(&mut sim, VNodeId(1), 6881).unwrap();
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         sim.run();
@@ -851,7 +897,7 @@ mod tests {
             echo_data: false,
         };
         let peer = SocketAddr::new(VirtAddr::new(10, 0, 0, 2), 9);
-        let mut sim = Simulation::new(world, 3);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 3);
         send_datagram(&mut sim, VNodeId(0), 9, peer, 100, 1).unwrap();
         sim.run();
         assert!(sim.world().received_payloads.is_empty());
@@ -863,7 +909,7 @@ mod tests {
         // 10 x 16 KiB from a DSL node (128 kbps up): about 10.5 s of serialization.
         let world = build_world(2, 1, NetworkConfig::default());
         let peer = remote(&world, VNodeId(1), 6881);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         listen(&mut sim, VNodeId(1), 6881).unwrap();
         let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
         sim.run();
@@ -892,7 +938,7 @@ mod tests {
         // together they roughly double the throughput seen from one uploader.
         let world = build_world(3, 1, NetworkConfig::default());
         let receiver_addr = remote(&world, VNodeId(2), 6881);
-        let mut sim = Simulation::new(world, 1);
+        let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
         listen(&mut sim, VNodeId(2), 6881).unwrap();
         let c0 = connect(&mut sim, VNodeId(0), receiver_addr).unwrap();
         let c1 = connect(&mut sim, VNodeId(1), receiver_addr).unwrap();
@@ -928,7 +974,7 @@ mod tests {
         let run = |config: NetworkConfig| {
             let world = build_world(2, 1, config);
             let peer = remote(&world, VNodeId(1), 6881);
-            let mut sim = Simulation::new(world, 1);
+            let mut sim: NetSim<TestWorld> = Simulation::with_events(world, 1);
             listen(&mut sim, VNodeId(1), 6881).unwrap();
             let conn = connect(&mut sim, VNodeId(0), peer).unwrap();
             sim.run();

@@ -92,7 +92,7 @@ proptest! {
         prop_assert_eq!(c.rules_examined, fw.rule_count());
         prop_assert_eq!(c.evaluation_cost, SimDuration::from_nanos(50) * fw.rule_count() as u64);
         let expected: Vec<PipeId> = (0..n_pipes).map(PipeId).collect();
-        prop_assert_eq!(c.pipes, expected);
+        prop_assert_eq!(&c.pipes[..], expected.as_slice());
         // Incoming traffic does not match Out rules.
         let c_in = fw.classify(VirtAddr::new(10, 0, 0, 1), VirtAddr::new(10, 0, 0, 2), Direction::In);
         prop_assert!(c_in.pipes.is_empty());

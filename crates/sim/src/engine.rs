@@ -2,8 +2,18 @@
 //!
 //! A [`Simulation`] owns a user-defined *world* `W` (the mutable state of the whole experiment:
 //! physical nodes, network, applications), a virtual clock, a deterministic RNG and an event
-//! queue. Events are closures that receive `&mut Simulation<W>`, so a handler can both mutate
-//! the world and schedule follow-up events.
+//! queue. Events come in two representations:
+//!
+//! * **Closure events** — `Box<dyn FnOnce(&mut Simulation<W, E>)>`, scheduled with
+//!   [`schedule_at`](Simulation::schedule_at) and friends. Fully general, one heap allocation
+//!   per event. This is the fallback arm every simulation supports.
+//! * **Pooled typed events** — a value of the simulation's typed-event class `E` (implementing
+//!   [`TypedEvent`]), scheduled with [`schedule_event_at`](Simulation::schedule_event_at).
+//!   The value is stored inline in the queue's slab slot, so the dominant event classes of a
+//!   hot loop (the network substrate's packet hops, see `p2plab-net`) run **allocation-free**.
+//!
+//! `E` defaults to the uninhabited [`NoEvent`], so `Simulation<W>` keeps its historical
+//! closure-only shape and none of the existing call sites change.
 //!
 //! ```
 //! use p2plab_sim::{Simulation, SimDuration};
@@ -17,13 +27,53 @@
 //! assert_eq!(*sim.world(), 11);
 //! assert_eq!(sim.now().as_secs_f64(), 2.0);
 //! ```
+//!
+//! A typed-event class is an enum plus a dispatch function:
+//!
+//! ```
+//! use p2plab_sim::{Simulation, SimTime, TypedEvent};
+//!
+//! enum Tick { Add(u32) }
+//! impl TypedEvent<u32> for Tick {
+//!     fn fire(self, sim: &mut Simulation<u32, Tick>) {
+//!         match self { Tick::Add(n) => *sim.world_mut() += n }
+//!     }
+//! }
+//! let mut sim: Simulation<u32, Tick> = Simulation::with_events(0, 7);
+//! sim.schedule_event_at(SimTime::from_secs(1), Tick::Add(5));
+//! sim.run();
+//! assert_eq!(*sim.world(), 5);
+//! ```
 
 use crate::event::{EventId, EventQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// An event handler: a one-shot closure run when its scheduled time is reached.
-pub type EventFn<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
+pub type EventFn<W, E = NoEvent> = Box<dyn FnOnce(&mut Simulation<W, E>)>;
+
+/// A simulation's pooled typed-event class: a plain value stored inline in the event queue
+/// (no per-event allocation) and dispatched by [`fire`](TypedEvent::fire) when due.
+pub trait TypedEvent<W>: Sized + 'static {
+    /// Executes the event. Equivalent to a scheduled closure's body, with `self` carrying the
+    /// event's data.
+    fn fire(self, sim: &mut Simulation<W, Self>);
+}
+
+/// The default, uninhabited typed-event class: a `Simulation<W>` carries closure events only.
+pub enum NoEvent {}
+
+impl<W> TypedEvent<W> for NoEvent {
+    fn fire(self, _sim: &mut Simulation<W, Self>) {
+        match self {}
+    }
+}
+
+/// A queued event: the generic closure fallback, or an inline value of the typed class.
+enum Payload<W, E> {
+    Closure(EventFn<W, E>),
+    Typed(E),
+}
 
 /// Outcome of [`Simulation::run_until`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,10 +86,10 @@ pub enum RunOutcome {
     EventBudgetExhausted,
 }
 
-/// A deterministic discrete-event simulation over a world `W`.
-pub struct Simulation<W> {
+/// A deterministic discrete-event simulation over a world `W`, with pooled typed events `E`.
+pub struct Simulation<W, E = NoEvent> {
     now: SimTime,
-    queue: EventQueue<EventFn<W>>,
+    queue: EventQueue<Payload<W, E>>,
     world: W,
     rng: SimRng,
     executed_events: u64,
@@ -47,8 +97,18 @@ pub struct Simulation<W> {
 }
 
 impl<W> Simulation<W> {
-    /// Creates a simulation at time zero with the given world and RNG seed.
+    /// Creates a closure-only simulation at time zero with the given world and RNG seed.
+    /// For a simulation with a pooled typed-event class, use
+    /// [`with_events`](Simulation::with_events).
     pub fn new(world: W, seed: u64) -> Self {
+        Simulation::with_events(world, seed)
+    }
+}
+
+impl<W, E: TypedEvent<W>> Simulation<W, E> {
+    /// Creates a simulation at time zero whose pooled typed-event class is `E` (pick the class
+    /// through an annotation or turbofish: `Simulation::<World, MyEvent>::with_events(..)`).
+    pub fn with_events(world: W, seed: u64) -> Self {
         Simulation {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -101,20 +161,26 @@ impl<W> Simulation<W> {
         self.event_budget = budget;
     }
 
+    /// Pre-sizes the event queue for `events` concurrently pending events (arrival bursts in
+    /// large scenarios would otherwise regrow the queue slab mid-run).
+    pub fn reserve_events(&mut self, events: usize) {
+        self.queue.reserve(events);
+    }
+
     /// Schedules `f` to run at absolute time `at`. Times in the past are clamped to "now"
     /// (the event still runs, immediately after the current one).
     pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
     where
-        F: FnOnce(&mut Simulation<W>) + 'static,
+        F: FnOnce(&mut Simulation<W, E>) + 'static,
     {
         let at = at.max(self.now);
-        self.queue.push(at, Box::new(f))
+        self.queue.push(at, Payload::Closure(Box::new(f)))
     }
 
     /// Schedules `f` to run after `delay`.
     pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventId
     where
-        F: FnOnce(&mut Simulation<W>) + 'static,
+        F: FnOnce(&mut Simulation<W, E>) + 'static,
     {
         self.schedule_at(self.now + delay, f)
     }
@@ -123,9 +189,22 @@ impl<W> Simulation<W> {
     /// instant.
     pub fn schedule_now<F>(&mut self, f: F) -> EventId
     where
-        F: FnOnce(&mut Simulation<W>) + 'static,
+        F: FnOnce(&mut Simulation<W, E>) + 'static,
     {
         self.schedule_at(self.now, f)
+    }
+
+    /// Schedules a pooled typed event at absolute time `at` (clamped to "now" like
+    /// [`schedule_at`](Simulation::schedule_at)). The value is stored inline in the queue —
+    /// no per-event allocation.
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) -> EventId {
+        let at = at.max(self.now);
+        self.queue.push(at, Payload::Typed(event))
+    }
+
+    /// Schedules a pooled typed event after `delay`.
+    pub fn schedule_event_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_event_at(self.now + delay, event)
     }
 
     /// Cancels a scheduled event. Returns true if the event had not yet fired.
@@ -136,11 +215,14 @@ impl<W> Simulation<W> {
     /// Runs a single event, if any, and returns whether one was executed.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some((time, _id, f)) => {
+            Some((time, _id, payload)) => {
                 debug_assert!(time >= self.now, "time must be monotonic");
                 self.now = time;
                 self.executed_events += 1;
-                f(self);
+                match payload {
+                    Payload::Closure(f) => f(self),
+                    Payload::Typed(e) => e.fire(self),
+                }
                 true
             }
             None => false,
@@ -161,14 +243,20 @@ impl<W> Simulation<W> {
             if self.executed_events >= self.event_budget {
                 return RunOutcome::EventBudgetExhausted;
             }
-            match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t > deadline => {
+            match self.queue.pop_due(deadline) {
+                Some((time, _id, payload)) => {
+                    debug_assert!(time >= self.now, "time must be monotonic");
+                    self.now = time;
+                    self.executed_events += 1;
+                    match payload {
+                        Payload::Closure(f) => f(self),
+                        Payload::Typed(e) => e.fire(self),
+                    }
+                }
+                None if self.queue.is_empty() => return RunOutcome::Drained,
+                None => {
                     self.now = deadline.max(self.now);
                     return RunOutcome::DeadlineReached;
-                }
-                Some(_) => {
-                    self.step();
                 }
             }
         }
@@ -194,10 +282,15 @@ impl<W> Simulation<W> {
 ///
 /// Panics on a zero `period`: the timer would reschedule itself at the current instant
 /// forever, livelocking the run loop without ever advancing virtual time.
-pub fn schedule_periodic<W, F>(sim: &mut Simulation<W>, start: SimTime, period: SimDuration, f: F)
-where
+pub fn schedule_periodic<W, E, F>(
+    sim: &mut Simulation<W, E>,
+    start: SimTime,
+    period: SimDuration,
+    f: F,
+) where
     W: 'static,
-    F: FnMut(&mut Simulation<W>) -> bool + 'static,
+    E: TypedEvent<W>,
+    F: FnMut(&mut Simulation<W, E>) -> bool + 'static,
 {
     assert!(
         !period.is_zero(),
@@ -209,10 +302,11 @@ where
         _marker: std::marker::PhantomData<fn(&mut W)>,
     }
 
-    fn tick<W, F>(mut state: Periodic<W, F>, sim: &mut Simulation<W>)
+    fn tick<W, E, F>(mut state: Periodic<W, F>, sim: &mut Simulation<W, E>)
     where
         W: 'static,
-        F: FnMut(&mut Simulation<W>) -> bool + 'static,
+        E: TypedEvent<W>,
+        F: FnMut(&mut Simulation<W, E>) -> bool + 'static,
     {
         if (state.f)(sim) {
             let period = state.period;
@@ -364,5 +458,55 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// A minimal typed-event class for engine-level tests.
+    enum TestEvent {
+        Add(u32),
+        Spawn,
+    }
+
+    impl TypedEvent<Vec<u32>> for TestEvent {
+        fn fire(self, sim: &mut Simulation<Vec<u32>, TestEvent>) {
+            match self {
+                TestEvent::Add(n) => sim.world_mut().push(n),
+                TestEvent::Spawn => {
+                    // Typed handlers can schedule both typed and closure events.
+                    sim.schedule_event_in(SimDuration::from_secs(1), TestEvent::Add(99));
+                    sim.schedule_now(|s| s.world_mut().push(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_and_closure_events_interleave_in_seq_order() {
+        let mut sim: Simulation<Vec<u32>, TestEvent> = Simulation::with_events(Vec::new(), 1);
+        let t = SimTime::from_secs(1);
+        sim.schedule_event_at(t, TestEvent::Add(10));
+        sim.schedule_at(t, |s| s.world_mut().push(20));
+        sim.schedule_event_at(t, TestEvent::Add(30));
+        sim.run();
+        assert_eq!(sim.world(), &vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn typed_events_can_spawn_more_work() {
+        let mut sim: Simulation<Vec<u32>, TestEvent> = Simulation::with_events(Vec::new(), 1);
+        sim.schedule_event_at(SimTime::from_secs(1), TestEvent::Spawn);
+        sim.run();
+        assert_eq!(sim.world(), &vec![1, 99]);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.executed_events(), 3);
+    }
+
+    #[test]
+    fn typed_events_are_cancellable() {
+        let mut sim: Simulation<Vec<u32>, TestEvent> = Simulation::with_events(Vec::new(), 1);
+        let id = sim.schedule_event_at(SimTime::from_secs(1), TestEvent::Add(1));
+        sim.schedule_event_at(SimTime::from_secs(2), TestEvent::Add(2));
+        assert!(sim.cancel(id));
+        sim.run();
+        assert_eq!(sim.world(), &vec![2]);
     }
 }

@@ -1,60 +1,130 @@
-//! Event queue internals.
+//! Event queue internals: a slab-backed hierarchical timer wheel.
 //!
-//! The queue is a binary heap keyed on `(time, sequence)`. The sequence number breaks ties so
-//! that two events scheduled for the same instant always execute in the order they were
-//! scheduled, which keeps runs exactly reproducible.
+//! The queue used to be a binary heap keyed on `(time, sequence)` with a lazy-deletion
+//! cancellation set. At 10^4–10^5-vnode scale the heap's `O(log n)` sifts, the per-pop hash
+//! lookup in the cancellation set and the unbounded tombstone growth dominated the hot path, so
+//! the queue is now a **hierarchical timer wheel**:
+//!
+//! * Payloads live in a **slab** (`Vec<Slot<E>>` plus a free list). Slots are reused, so a
+//!   steady-state simulation performs no allocation per event, and every slot carries a
+//!   **generation** tag: cancellation just bumps the generation and frees the slot — `O(1)`,
+//!   no tombstone set — and stale wheel entries are skipped when they surface.
+//! * Timing lives in the **wheel**: [`LEVELS`] levels of 64 buckets, each level covering 64×
+//!   the span of the one below (tick = 2^[`TICK_SHIFT`] ns). An entry is bucketed by the
+//!   highest 6-bit digit in which its tick differs from the cursor and cascades toward level 0
+//!   as the cursor advances. Push, cancel and pop are all `O(1)` amortized.
+//! * Entries beyond the wheel horizon (≈ 52 days of virtual time — mostly "never" timers at
+//!   [`SimTime::MAX`]) wait in a small **overflow heap** ordered by `(time, sequence)` and are
+//!   merged in when the cursor approaches them.
+//!
+//! Determinism is preserved exactly: every push still draws a global **sequence number**, and
+//! the due set (`ready`) is ordered by `(time, sequence)`, so two events scheduled for the same
+//! instant always execute in the order they were scheduled — the property the reproduction's
+//! byte-identity pins rely on, checked against a reference model queue by
+//! `tests/prop_engine.rs`.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
+
+/// log2 of the tick length in nanoseconds: one tick = 65536 ns (~65 µs). Sub-tick ordering is
+/// handled by the `(time, seq)`-sorted ready buffer, so the tick only bounds bucketing
+/// granularity, not timing accuracy — a coarser tick just means fewer cascade hops for the
+/// second-scale delays that dominate network scenarios.
+const TICK_SHIFT: u32 = 16;
+/// log2 of the bucket count per level.
+const LEVEL_BITS: u32 = 6;
+/// Buckets per level.
+const SLOTS_PER_LEVEL: usize = 1 << LEVEL_BITS;
+/// Number of wheel levels. Horizon = 64^6 ticks = 2^36 ticks ≈ 52 days of virtual time;
+/// longer timers (mostly "never" sentinels) go to the overflow heap.
+const LEVELS: usize = 6;
+/// Ticks the wheel can represent relative to the cursor.
+const HORIZON_BITS: u32 = LEVEL_BITS * LEVELS as u32;
 
 /// Identifier of a scheduled event, usable to cancel it before it fires.
+///
+/// Internally this is the event's slab slot plus its globally unique sequence number — the
+/// sequence doubles as the liveness tag, so a stale id (the event already fired, was
+/// cancelled, or the slot was reused) simply fails to cancel. A 64-bit sequence cannot wrap
+/// within any realizable run, unlike a per-slot generation counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(pub(crate) u64);
+pub struct EventId {
+    pub(crate) seq: u64,
+    pub(crate) slot: u32,
+}
 
 impl EventId {
-    /// The raw sequence number backing the id.
+    /// The event's globally unique sequence number (also its FIFO tie-break rank).
     pub fn raw(self) -> u64 {
-        self.0
+        self.seq
     }
 }
 
-pub(crate) struct ScheduledEvent<E> {
-    pub time: SimTime,
-    pub id: EventId,
-    pub payload: E,
+/// A timing entry in the wheel, ready buffer or overflow heap. The payload stays in the slab;
+/// the entry is a small `Copy` record so bucket moves are cheap.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
 }
 
-impl<E> PartialEq for ScheduledEvent<E> {
+impl Entry {
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// Overflow-heap wrapper ordering entries as a min-heap on `(time, seq)`.
+struct OverflowEntry(Entry);
+
+impl PartialEq for OverflowEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.id == other.id
+        self.0.key() == other.0.key()
     }
 }
-
-impl<E> Eq for ScheduledEvent<E> {}
-
-impl<E> Ord for ScheduledEvent<E> {
+impl Eq for OverflowEntry {}
+impl Ord for OverflowEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.id.cmp(&self.id))
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) surfaces first.
+        other.0.key().cmp(&self.0.key())
     }
 }
-
-impl<E> PartialOrd for ScheduledEvent<E> {
+impl PartialOrd for OverflowEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// A cancellable priority queue of timed events.
+/// A cancellable priority queue of timed events (timer wheel + slab, see the module docs).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
-    cancelled: HashSet<EventId>,
-    next_id: u64,
+    /// Payload slab; index = [`EventId::slot`]. Kept parallel to `seqs` so the frequent
+    /// liveness probes (stale-entry checks during cascading) touch a dense array instead of
+    /// striding over fat payload slots.
+    payloads: Vec<Option<E>>,
+    /// Sequence number of the event currently occupying each slot (`u64::MAX` = free). Stale
+    /// wheel entries and ids are detected by comparing against it.
+    seqs: Vec<u64>,
+    /// Free slab slots awaiting reuse.
+    free: Vec<u32>,
+    /// `LEVELS * 64` buckets, level-major.
+    buckets: Vec<Vec<Entry>>,
+    /// One occupancy bit per bucket, per level.
+    occupied: [u64; LEVELS],
+    /// Entries due at or before the cursor, sorted by `(time, seq)` **descending** so the next
+    /// event pops from the back in `O(1)`.
+    ready: Vec<Entry>,
+    /// Entries beyond the wheel horizon.
+    overflow: BinaryHeap<OverflowEntry>,
+    /// Current wheel position, in ticks. No wheel entry has `tick < cursor`.
+    cursor: u64,
+    /// Next global sequence number (the FIFO tie-breaker).
+    next_seq: u64,
+    /// Live (scheduled, not cancelled, not fired) events.
     live: usize,
+    /// Scratch buffer for redistributing a bucket without reallocating.
+    scratch: Vec<Entry>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -63,15 +133,36 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+fn tick_of(time: SimTime) -> u64 {
+    time.as_nanos() >> TICK_SHIFT
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            payloads: Vec::new(),
+            seqs: Vec::new(),
+            free: Vec::new(),
+            buckets: (0..LEVELS * SLOTS_PER_LEVEL).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            ready: Vec::new(),
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            next_seq: 0,
             live: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Pre-sizes the slab for `events` concurrently pending events, so arrival bursts do not
+    /// regrow it mid-run.
+    pub fn reserve(&mut self, events: usize) {
+        let additional = events.saturating_sub(self.payloads.len());
+        self.payloads.reserve(additional);
+        self.seqs.reserve(additional);
+        self.free.reserve(additional);
+        self.ready.reserve(events.min(1024));
     }
 
     /// Number of live (not cancelled) events still queued.
@@ -84,55 +175,244 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
+    /// Number of slab slots currently allocated (live events plus free-list capacity).
+    pub fn slot_capacity(&self) -> usize {
+        self.payloads.len()
+    }
+
     /// Schedules `payload` at absolute time `time` and returns its id.
     pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.heap.push(ScheduledEvent { time, id, payload });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.payloads[i as usize].is_none());
+                self.payloads[i as usize] = Some(payload);
+                self.seqs[i as usize] = seq;
+                i
+            }
+            None => {
+                let i = self.payloads.len() as u32;
+                self.payloads.push(Some(payload));
+                self.seqs.push(seq);
+                i
+            }
+        };
         self.live += 1;
-        id
+        self.place(Entry { time, seq, slot });
+        EventId { seq, slot }
     }
 
     /// Cancels a previously scheduled event. Returns true if the event was still pending.
+    ///
+    /// This is `O(1)`: the payload slot is freed and its generation bumped; the timing entry
+    /// left behind in the wheel is skipped when it surfaces.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
-            return false;
-        }
-        // Lazy deletion: mark it and skip it on pop.
-        if self.cancelled.insert(id) {
-            if self.live == 0 {
-                // Already popped (or cancelled before — excluded by the insert check).
-                self.cancelled.remove(&id);
-                return false;
+        let index = id.slot as usize;
+        match (self.seqs.get(index), self.payloads.get_mut(index)) {
+            (Some(&seq), Some(payload)) if seq == id.seq && payload.is_some() => {
+                *payload = None;
+                self.seqs[index] = u64::MAX;
+                self.free.push(id.slot);
+                self.live -= 1;
+                true
             }
-            self.live -= 1;
-            true
-        } else {
-            false
+            _ => false,
         }
     }
 
     /// Time of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
-        self.heap.peek().map(|e| e.time)
+        self.advance();
+        self.ready.last().map(|e| e.time)
     }
 
     /// Removes and returns the next live event as `(time, id, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
-        self.skip_cancelled();
-        let ev = self.heap.pop()?;
-        self.live -= 1;
-        Some((ev.time, ev.id, ev.payload))
+        self.advance();
+        self.pop_ready()
     }
 
-    fn skip_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.id) {
-                self.heap.pop();
-            } else {
+    /// Removes and returns the next live event only if it is due at or before `deadline` —
+    /// the run loop's fused peek-and-pop (a separate peek would cascade the wheel twice per
+    /// event).
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, EventId, E)> {
+        self.advance();
+        if self.ready.last()?.time > deadline {
+            return None;
+        }
+        self.pop_ready()
+    }
+
+    /// Pops the (already advanced-to) next ready entry.
+    fn pop_ready(&mut self) -> Option<(SimTime, EventId, E)> {
+        let entry = self.ready.pop()?;
+        debug_assert_eq!(self.seqs[entry.slot as usize], entry.seq);
+        let payload = self.payloads[entry.slot as usize]
+            .take()
+            .expect("live entry has a payload");
+        self.seqs[entry.slot as usize] = u64::MAX;
+        self.free.push(entry.slot);
+        self.live -= 1;
+        Some((
+            entry.time,
+            EventId {
+                seq: entry.seq,
+                slot: entry.slot,
+            },
+            payload,
+        ))
+    }
+
+    /// True if the entry still refers to a live slot. Touches only the dense sequence array.
+    fn is_live(&self, e: &Entry) -> bool {
+        self.seqs[e.slot as usize] == e.seq
+    }
+
+    /// Files a timing entry into the ready buffer, a wheel bucket or the overflow heap,
+    /// according to its distance from the cursor.
+    fn place(&mut self, entry: Entry) {
+        let t = tick_of(entry.time);
+        if t <= self.cursor {
+            self.ready_insert(entry);
+            return;
+        }
+        let diff = t ^ self.cursor;
+        let highest_bit = 63 - diff.leading_zeros();
+        if highest_bit >= HORIZON_BITS {
+            // Beyond the wheel horizon (or a rotation carry at the top level): the overflow
+            // heap holds it until the cursor gets close.
+            self.overflow.push(OverflowEntry(entry));
+            return;
+        }
+        let level = (highest_bit / LEVEL_BITS) as usize;
+        let slot = ((t >> (LEVEL_BITS * level as u32)) & (SLOTS_PER_LEVEL as u64 - 1)) as usize;
+        self.buckets[level * SLOTS_PER_LEVEL + slot].push(entry);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Inserts into the ready buffer, keeping it sorted by `(time, seq)` descending.
+    fn ready_insert(&mut self, entry: Entry) {
+        let key = entry.key();
+        // Descending order: the next event to pop lives at the back. New entries usually carry
+        // the largest seq of their instant, so the common case is an append near the back.
+        let pos = self.ready.partition_point(|e| e.key() > key);
+        self.ready.insert(pos, entry);
+    }
+
+    /// Ensures the back of `ready` is the next live event, cascading wheel buckets and merging
+    /// due overflow entries as needed.
+    fn advance(&mut self) {
+        loop {
+            // Skip stale (cancelled) entries at the consumption end.
+            while let Some(&e) = self.ready.last() {
+                if self.is_live(&e) {
+                    return;
+                }
+                self.ready.pop();
+            }
+            if self.live == 0 {
+                // Nothing live anywhere: stale bookkeeping is dropped lazily as it surfaces.
+                return;
+            }
+            // Advance the cursor to the earliest pending position: the lowest occupied wheel
+            // level always holds the earliest bucket (level-l candidates start strictly after
+            // every level-(l-1) candidate by construction), compared against the overflow head.
+            let wheel = self.next_wheel_candidate();
+            let overflow = self.next_overflow_tick();
+            let target = match (wheel, overflow) {
+                (Some(w), Some(o)) => w.min(o),
+                (Some(w), None) => w,
+                (None, Some(o)) => o,
+                (None, None) => {
+                    debug_assert_eq!(self.live, 0, "live events but nothing scheduled");
+                    return;
+                }
+            };
+            debug_assert!(target > self.cursor, "cursor must move forward");
+            self.cursor = target;
+            // Entering a bucket's range obliges us to cascade it, whatever moved the cursor
+            // there — a wheel candidate (its own bucket) or an overflow entry that is due
+            // inside a coarser bucket's span.
+            self.cascade_entered_buckets();
+            self.merge_due_overflow();
+        }
+    }
+
+    /// Range-start tick of the earliest occupied wheel bucket strictly ahead of the cursor.
+    fn next_wheel_candidate(&self) -> Option<u64> {
+        for level in 0..LEVELS {
+            let shift = LEVEL_BITS * level as u32;
+            let digit = (self.cursor >> shift) & (SLOTS_PER_LEVEL as u64 - 1);
+            // Occupied slots at this level are strictly ahead of the cursor's digit: buckets at
+            // or behind it were cascaded when the cursor entered their range.
+            let ahead = self.occupied[level] & !((1u64 << digit) | ((1u64 << digit) - 1));
+            if ahead != 0 {
+                let slot = ahead.trailing_zeros() as u64;
+                // Range start: cursor's digits above this level, the found slot at this level,
+                // zeros below.
+                let above_mask = !(((1u64 << LEVEL_BITS) << shift) - 1);
+                return Some((self.cursor & above_mask) | (slot << shift));
+            }
+        }
+        None
+    }
+
+    /// Tick of the earliest live overflow entry, discarding stale heads.
+    fn next_overflow_tick(&mut self) -> Option<u64> {
+        while let Some(&OverflowEntry(e)) = self.overflow.peek() {
+            if self.is_live(&e) {
+                return Some(tick_of(e.time));
+            }
+            self.overflow.pop();
+        }
+        None
+    }
+
+    /// Cascades every bucket whose range the cursor now lies in, from the coarsest level down
+    /// (entries re-placed from level `l` can land in the cursor's bucket at a level below `l`,
+    /// which the next iteration then picks up). Entries whose tick equals the cursor end up in
+    /// the ready buffer; the `(time, seq)` sort there restores exact order, so cascade order
+    /// does not matter.
+    fn cascade_entered_buckets(&mut self) {
+        for level in (0..LEVELS).rev() {
+            let shift = LEVEL_BITS * level as u32;
+            let digit = ((self.cursor >> shift) & (SLOTS_PER_LEVEL as u64 - 1)) as usize;
+            if self.occupied[level] & (1u64 << digit) != 0 {
+                self.drain_bucket(level, digit);
+            }
+        }
+    }
+
+    /// Empties a bucket, re-placing its live entries relative to the current cursor and
+    /// dropping stale (cancelled) ones.
+    fn drain_bucket(&mut self, level: usize, slot: usize) {
+        let idx = level * SLOTS_PER_LEVEL + slot;
+        self.occupied[level] &= !(1u64 << slot);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.is_empty());
+        // Swap allocations so steady-state cascading never reallocates bucket storage.
+        std::mem::swap(&mut self.buckets[idx], &mut scratch);
+        for entry in scratch.drain(..) {
+            if self.is_live(&entry) {
+                self.place(entry);
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// Merges overflow entries that are now due (tick ≤ cursor) into the ready buffer.
+    fn merge_due_overflow(&mut self) {
+        while let Some(&OverflowEntry(e)) = self.overflow.peek() {
+            if !self.is_live(&e) {
+                self.overflow.pop();
+                continue;
+            }
+            if tick_of(e.time) > self.cursor {
                 break;
             }
+            self.overflow.pop();
+            self.ready_insert(e);
         }
     }
 }
@@ -163,6 +443,16 @@ mod tests {
     }
 
     #[test]
+    fn sub_tick_times_pop_in_time_order() {
+        // Distinct times within one wheel tick (65536 ns) must still order by time, not seq.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(700), "late");
+        q.push(SimTime::from_nanos(5), "early");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["early", "late"]);
+    }
+
+    #[test]
     fn cancel_removes_event() {
         let mut q = EventQueue::new();
         let a = q.push(SimTime::from_secs(1), "a");
@@ -178,7 +468,19 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(42)));
+        assert!(!q.cancel(EventId { seq: 0, slot: 42 }));
+    }
+
+    #[test]
+    fn cancelled_slot_is_reused_without_id_confusion() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), "a");
+        assert!(q.cancel(a));
+        // The slot is reused for the next push, but the old id must stay dead.
+        let b = q.push(SimTime::from_secs(2), "b");
+        assert_eq!(a.slot, b.slot, "slot should be reused");
+        assert!(!q.cancel(a), "stale id must not cancel the new event");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("b"));
     }
 
     #[test]
@@ -188,5 +490,71 @@ mod tests {
         q.push(SimTime::from_secs(5), "b");
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn far_future_events_go_through_overflow() {
+        let mut q = EventQueue::new();
+        // Beyond the 19.5 h wheel horizon, including the "never" sentinel.
+        q.push(SimTime::MAX, "never");
+        q.push(SimTime::from_secs(100_000), "far");
+        q.push(SimTime::from_secs(1), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["near", "far", "never"]);
+    }
+
+    #[test]
+    fn overflow_ties_with_wheel_respect_seq_order() {
+        let mut q = EventQueue::new();
+        let far = SimTime::from_secs(100_000);
+        q.push(far, "via-overflow"); // seq 0, beyond horizon at cursor 0
+                                     // Pop an earlier event to advance the cursor until `far` is within the horizon...
+        q.push(SimTime::from_secs(99_000), "advance");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("advance"));
+        // ...then schedule a second event for the same instant; it lands in the wheel but has
+        // a larger seq, so the overflow entry must still pop first.
+        q.push(far, "via-wheel"); // seq 2
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec!["via-overflow", "via-wheel"]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), 1);
+        q.push(SimTime::from_millis(30), 3);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(1));
+        // Pushed after a pop, due before the remaining event.
+        q.push(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(2));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(3));
+    }
+
+    #[test]
+    fn slab_reuses_slots_across_pops() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            q.push(SimTime::from_millis(round), round);
+            let (_, _, p) = q.pop().unwrap();
+            assert_eq!(p, round);
+        }
+        assert!(
+            q.slot_capacity() <= 2,
+            "steady-state push/pop must reuse slots, got {}",
+            q.slot_capacity()
+        );
+    }
+
+    #[test]
+    fn reserve_pre_sizes_the_slab() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.reserve(1000);
+        let before = q.payloads.capacity();
+        assert!(before >= 1000);
+        for i in 0..1000 {
+            q.push(SimTime::from_millis(i), i as u32);
+        }
+        assert_eq!(q.payloads.capacity(), before, "no regrow during the burst");
     }
 }

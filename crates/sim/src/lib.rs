@@ -16,13 +16,15 @@
 
 mod engine;
 mod event;
+pub mod hash;
 pub mod metrics;
 mod rng;
 pub mod stats;
 mod time;
 
-pub use engine::{schedule_periodic, EventFn, RunOutcome, Simulation};
+pub use engine::{schedule_periodic, EventFn, NoEvent, RunOutcome, Simulation, TypedEvent};
 pub use event::{EventId, EventQueue};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{
     Counter, Gauge, HistogramId, HistogramSnapshot, LogHistogram, Metric, MetricSet, MetricValue,
     Recorder, TimeSeriesId,

@@ -288,6 +288,11 @@ pub struct RateEstimator {
     rate_bps: f64,
     last_update: SimTime,
     total: u64,
+    /// One-entry memo of the last decay factor: periodic samplers (the 10 s choker round)
+    /// produce the same `dt` for millions of estimator touches, and `exp` for equal input
+    /// bits is deterministic, so reusing the factor is exact and skips the `exp` call.
+    memo_dt_nanos: u64,
+    memo_alpha: f64,
 }
 
 impl RateEstimator {
@@ -299,6 +304,8 @@ impl RateEstimator {
             rate_bps: 0.0,
             last_update: SimTime::ZERO,
             total: 0,
+            memo_dt_nanos: 0,
+            memo_alpha: 1.0,
         }
     }
 
@@ -325,9 +332,18 @@ impl RateEstimator {
         if now <= self.last_update {
             return;
         }
-        let dt = (now - self.last_update).as_secs_f64();
-        let alpha = (-dt / self.window.as_secs_f64()).exp();
-        self.rate_bps *= alpha;
+        if self.rate_bps == 0.0 {
+            // Nothing to decay (idle link): skip the exp — 0 × α is exactly 0 for any α, so
+            // this changes no observable value.
+            self.last_update = now;
+            return;
+        }
+        let dt = now - self.last_update;
+        if dt.as_nanos() != self.memo_dt_nanos {
+            self.memo_dt_nanos = dt.as_nanos();
+            self.memo_alpha = (-dt.as_secs_f64() / self.window.as_secs_f64()).exp();
+        }
+        self.rate_bps *= self.memo_alpha;
         self.last_update = now;
     }
 }

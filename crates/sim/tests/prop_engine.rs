@@ -1,7 +1,76 @@
 //! Property-based tests of the discrete-event engine and the measurement types.
 
-use p2plab_sim::{Cdf, EventQueue, SimDuration, SimTime, Simulation, Summary, TimeSeries};
+use p2plab_sim::{Cdf, EventId, EventQueue, SimDuration, SimTime, Simulation, Summary, TimeSeries};
 use proptest::prelude::*;
+
+/// A trivially-correct reference queue: a vector scanned for the minimum `(time, seq)` on
+/// every pop. The timer wheel must be observation-equivalent to it under any interleaving of
+/// schedules, cancellations and pops.
+#[derive(Default)]
+struct ModelQueue {
+    entries: Vec<(SimTime, u64, usize)>, // (time, seq, payload)
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn push(&mut self, time: SimTime, payload: usize) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((time, seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.entries.iter().position(|&(_, s, _)| s == seq) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let min = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, s, _))| (t, s))?
+            .0;
+        let (t, _, p) = self.entries.remove(min);
+        Some((t, p))
+    }
+}
+
+/// One step of a random queue workload.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule at the given (raw-nanosecond) time.
+    Push(u64),
+    /// Cancel the i-th still-uncancelled, unpopped id (modulo the live count).
+    Cancel(usize),
+    /// Pop the next due event.
+    Pop,
+}
+
+/// Weighted op generator (the vendored proptest stub has no `prop_oneof!`). Push times mix
+/// sub-tick deltas, mid-range delays and beyond-horizon outliers so every wheel path (ready
+/// buffer, each level, overflow heap) is exercised.
+struct QueueOpStrategy;
+
+impl Strategy for QueueOpStrategy {
+    type Value = QueueOp;
+    fn sample(&self, rng: &mut proptest::TestRng) -> QueueOp {
+        use rand::Rng;
+        match rng.gen_range(0u32..17) {
+            0..=4 => QueueOp::Push(rng.gen_range(0u64..2_000)),
+            5..=9 => QueueOp::Push(rng.gen_range(0u64..10_000_000_000)),
+            10 => QueueOp::Push(rng.gen_range(0u64..u64::MAX)),
+            11 | 12 => QueueOp::Cancel(rng.gen_range(0usize..64)),
+            _ => QueueOp::Pop,
+        }
+    }
+}
 
 proptest! {
     /// Whatever the insertion order, events pop in non-decreasing time order, and equal times
@@ -21,6 +90,60 @@ proptest! {
             prop_assert!(w[0].0 <= w[1].0);
             if w[0].0 == w[1].0 {
                 prop_assert!(w[0].1 < w[1].1, "ties must preserve insertion order");
+            }
+        }
+    }
+
+    /// The timer wheel is observation-equivalent to the reference model queue: any random
+    /// interleaving of schedules, cancellations and pops yields the same sequence of
+    /// `(time, payload)` observations and the same cancellation outcomes.
+    #[test]
+    fn wheel_is_observation_equivalent_to_reference_heap(
+        ops in prop::collection::vec(QueueOpStrategy, 1..400),
+    ) {
+        let mut wheel: EventQueue<usize> = EventQueue::new();
+        let mut model = ModelQueue::default();
+        // Live ids in scheduling order, kept aligned between the two queues.
+        let mut live: Vec<(EventId, u64)> = Vec::new();
+        let mut payload = 0usize;
+        for op in &ops {
+            match op {
+                QueueOp::Push(t) => {
+                    let time = SimTime::from_nanos(*t);
+                    let id = wheel.push(time, payload);
+                    let seq = model.push(time, payload);
+                    live.push((id, seq));
+                    payload += 1;
+                }
+                QueueOp::Cancel(i) => {
+                    if !live.is_empty() {
+                        let (id, seq) = live.remove(i % live.len());
+                        prop_assert_eq!(wheel.cancel(id), model.cancel(seq));
+                        // A second cancel of the same id must be a no-op.
+                        prop_assert!(!wheel.cancel(id));
+                    }
+                }
+                QueueOp::Pop => {
+                    let got = wheel.pop().map(|(t, _, p)| (t, p));
+                    let want = model.pop();
+                    prop_assert_eq!(got, want);
+                    if let Some((_, p)) = got {
+                        live.retain(|&(_, seq)| {
+                            // The model's seq equals the payload's scheduling index here.
+                            seq != p as u64
+                        });
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.entries.len());
+        }
+        // Drain both queues; the tails must agree too.
+        loop {
+            let got = wheel.pop().map(|(t, _, p)| (t, p));
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
             }
         }
     }
@@ -48,10 +171,29 @@ proptest! {
         prop_assert!(seen.is_disjoint(&cancelled));
     }
 
+    /// Same-instant FIFO survives cancellation: events at one instant run in scheduling order
+    /// even when an arbitrary subset of that instant's events is cancelled first.
+    #[test]
+    fn same_instant_fifo_survives_cancellation(
+        cancel_mask in prop::collection::vec(any::<bool>(), 20..21),
+    ) {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        let ids: Vec<_> = (0..cancel_mask.len()).map(|i| q.push(t, i)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                q.cancel(*id);
+            }
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        let expected: Vec<usize> = (0..cancel_mask.len()).filter(|&i| !cancel_mask[i]).collect();
+        prop_assert_eq!(popped, expected, "survivors must run in scheduling order");
+    }
+
     /// The simulation clock never goes backwards, no matter how events are scheduled.
     #[test]
     fn simulation_time_is_monotonic(delays in prop::collection::vec(0u64..5_000_000u64, 1..100)) {
-        let mut sim = Simulation::new(Vec::<SimTime>::new(), 1);
+        let mut sim: Simulation<Vec<SimTime>> = Simulation::new(Vec::new(), 1);
         for &d in &delays {
             sim.schedule_in(SimDuration::from_nanos(d), move |sim| {
                 let now = sim.now();
