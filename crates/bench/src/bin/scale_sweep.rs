@@ -18,8 +18,9 @@
 
 use p2plab_bench::{write_results_file, write_run_report};
 use p2plab_core::{
-    render_table, run_reported, ArrivalSpec, GossipSpec, GossipWorkload, PingMeshSpec,
-    PingMeshWorkload, RunReport, ScenarioBuilder, SwarmExperiment, SwarmWorkload,
+    render_table, run_reported, ArrivalSpec, DhtLookupSpec, DhtLookupWorkload, GossipSpec,
+    GossipWorkload, PingMeshSpec, PingMeshWorkload, RunReport, ScenarioBuilder, SwarmExperiment,
+    SwarmWorkload,
 };
 use p2plab_net::{AccessLinkClass, TopologySpec};
 use p2plab_sim::{RunOutcome, SimDuration};
@@ -132,6 +133,46 @@ fn ping_mesh(nodes: usize, smoke: bool) -> RunReport {
     report
 }
 
+/// DHT lookups at `nodes` vnodes: one Kademlia-style iterative lookup per node, over the typed
+/// RPC layer (the session/lane API's hot path at scale).
+fn dht(nodes: usize, smoke: bool) -> RunReport {
+    let name = format!("scale-dht-{nodes}");
+    let machines = (nodes / 64).max(1);
+    let spec = DhtLookupSpec::new(&name, nodes);
+    let ramp = spec.arrival_ramp();
+    let mut b = ScenarioBuilder::new(
+        &name,
+        TopologySpec::uniform(
+            &name,
+            nodes,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(5)),
+        ),
+    )
+    .machines(machines)
+    .arrival_ramp(ramp)
+    .deadline(ramp + SimDuration::from_secs(300))
+    .sample_interval(SimDuration::from_secs(10))
+    .monitor_resources(false)
+    .seed(2006);
+    if smoke {
+        b = b.event_budget(50_000_000);
+    }
+    let scenario = b.build().expect("valid dht scenario");
+    let (result, report) = run_reported(&scenario, DhtLookupWorkload::new(spec)).expect("dht runs");
+    assert!(
+        result.finished,
+        "dht at {nodes} vnodes incomplete: {}",
+        result.summary()
+    );
+    assert_eq!(
+        result.found_closest,
+        result.completed,
+        "loss-free iterative lookups must all converge: {}",
+        result.summary()
+    );
+    report
+}
+
 /// BitTorrent swarm with `clients` downloaders sharing a 1 MiB file (small on purpose: the
 /// sweep measures the emulation hot path at client scale, not BitTorrent's long tail).
 fn swarm(clients: usize, smoke: bool) -> RunReport {
@@ -192,6 +233,10 @@ fn main() {
     for nodes in [1_000, 10_000, 50_000] {
         let report = gossip(nodes, smoke);
         record(&mut rows, "gossip", nodes, &report);
+    }
+    for nodes in [1_000, 10_000] {
+        let report = dht(nodes, smoke);
+        record(&mut rows, "dht-lookup", nodes, &report);
     }
     for clients in [1_000, 10_000] {
         let report = swarm(clients, smoke);

@@ -11,8 +11,8 @@
 
 use p2plab_bench::write_run_report;
 use p2plab_core::{
-    run_reported, GossipSpec, GossipWorkload, PingMeshSpec, PingMeshWorkload, RunReport,
-    ScenarioBuilder, SwarmExperiment, SwarmWorkload,
+    run_reported, DhtLookupSpec, DhtLookupWorkload, GossipSpec, GossipWorkload, PingMeshSpec,
+    PingMeshWorkload, RunReport, ScenarioBuilder, SwarmExperiment, SwarmWorkload,
 };
 use p2plab_net::{AccessLinkClass, TopologySpec};
 use p2plab_sim::SimDuration;
@@ -106,6 +106,35 @@ fn main() {
     assert!(result.finished, "{}", result.summary());
     assert!(report.metrics.counter("rumors_sent").unwrap() > 0);
     check("gossip", &report);
+
+    // DHT lookups: a small overlay, every lookup must converge and fill the hop histogram.
+    let dht = DhtLookupSpec::new("smoke-dht", 24);
+    let spec = ScenarioBuilder::new(
+        "smoke-dht",
+        TopologySpec::uniform(
+            "smoke-dht",
+            24,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(2)),
+        ),
+    )
+    .machines(3)
+    .arrival_ramp(dht.arrival_ramp())
+    .deadline(dht.arrival_ramp() + SimDuration::from_secs(120))
+    .sample_interval(SimDuration::from_secs(1))
+    .seed(3)
+    .build()
+    .expect("valid scenario");
+    let (result, report) = run_reported(&spec, DhtLookupWorkload::new(dht)).expect("dht runs");
+    assert!(result.finished, "{}", result.summary());
+    assert_eq!(
+        result.found_closest,
+        result.completed,
+        "{}",
+        result.summary()
+    );
+    assert_eq!(report.metrics.histogram("lookup_hops").unwrap().count, 24);
+    assert!(report.metrics.counter("rpc_calls").unwrap() > 0);
+    check("dht-lookup", &report);
 
     println!("all run reports round-tripped cleanly");
 }

@@ -12,8 +12,7 @@ use crate::piece::BlockOutcome;
 use crate::torrent::Torrent;
 use crate::tracker::Tracker;
 use p2plab_net::{
-    close, connect, listen, send, send_datagram, ConnId, NetHost, NetSim, Network, SockEvent,
-    SocketAddr, VNodeId,
+    ConnId, Endpoint, LaneKind, NetHost, NetSim, Network, SocketAddr, TransportEvent, VNodeId,
 };
 use p2plab_sim::{schedule_periodic, SimTime, TimeSeries};
 
@@ -159,7 +158,7 @@ impl NetHost for SwarmWorld {
         &mut self.net
     }
 
-    fn on_socket_event(sim: &mut SwarmSim, node: VNodeId, event: SockEvent<BtPayload>) {
+    fn on_transport_event(sim: &mut SwarmSim, node: VNodeId, event: TransportEvent<BtPayload>) {
         if node == sim.world().tracker.vnode {
             handle_tracker_event(sim, event);
         } else if let Some(idx) = sim.world().client_on(node) {
@@ -203,7 +202,7 @@ pub fn start_client(sim: &mut SwarmSim, idx: usize) {
         client.timer_generation += 1;
         client.timer_generation
     };
-    let _ = listen(sim, vnode, listen_port);
+    let _ = Endpoint::new(vnode).bind(sim, listen_port);
     announce(sim, idx, AnnounceEvent::Started);
 
     schedule_periodic(sim, now + choke_interval, choke_interval, move |sim| {
@@ -229,13 +228,13 @@ pub fn stop_client(sim: &mut SwarmSim, idx: usize) {
         (client.vnode, conns)
     };
     for conn in conns {
-        let _ = close(sim, vnode, conn);
+        let _ = Endpoint::new(vnode).close(sim, conn);
         drop_peer(sim, idx, conn);
     }
 }
 
-fn handle_tracker_event(sim: &mut SwarmSim, event: SockEvent<BtPayload>) {
-    if let SockEvent::Datagram {
+fn handle_tracker_event(sim: &mut SwarmSim, event: TransportEvent<BtPayload>) {
+    if let TransportEvent::Datagram {
         from,
         payload:
             BtPayload::Tracker(TrackerMessage::Announce {
@@ -261,9 +260,8 @@ fn handle_tracker_event(sim: &mut SwarmSim, event: SockEvent<BtPayload>) {
             interval_secs: 120,
         };
         let size = response.wire_size();
-        let _ = send_datagram(
+        let _ = Endpoint::new(tracker_vnode).send_datagram(
             sim,
-            tracker_vnode,
             tracker_port,
             from,
             size,
@@ -272,9 +270,9 @@ fn handle_tracker_event(sim: &mut SwarmSim, event: SockEvent<BtPayload>) {
     }
 }
 
-fn handle_client_event(sim: &mut SwarmSim, idx: usize, event: SockEvent<BtPayload>) {
+fn handle_client_event(sim: &mut SwarmSim, idx: usize, event: TransportEvent<BtPayload>) {
     match event {
-        SockEvent::Connected { conn, peer } => {
+        TransportEvent::Connected { conn, peer } => {
             let (vnode, over_limit, num_pieces, rate_window) = {
                 let client = &mut sim.world_mut().clients[idx];
                 client.connecting.remove(&peer);
@@ -286,7 +284,7 @@ fn handle_client_event(sim: &mut SwarmSim, idx: usize, event: SockEvent<BtPayloa
                 )
             };
             if over_limit {
-                let _ = close(sim, vnode, conn);
+                let _ = Endpoint::new(vnode).close(sim, conn);
                 return;
             }
             {
@@ -307,7 +305,7 @@ fn handle_client_event(sim: &mut SwarmSim, idx: usize, event: SockEvent<BtPayloa
                 PeerMessage::Bitfield(Box::new(our_bitfield)),
             );
         }
-        SockEvent::Accepted { conn, peer } => {
+        TransportEvent::Accepted { conn, peer } => {
             let (vnode, over_limit, num_pieces, rate_window, online) = {
                 let client = &sim.world().clients[idx];
                 (
@@ -319,7 +317,7 @@ fn handle_client_event(sim: &mut SwarmSim, idx: usize, event: SockEvent<BtPayloa
                 )
             };
             if over_limit || !online {
-                let _ = close(sim, vnode, conn);
+                let _ = Endpoint::new(vnode).close(sim, conn);
                 return;
             }
             let client = &mut sim.world_mut().clients[idx];
@@ -328,20 +326,20 @@ fn handle_client_event(sim: &mut SwarmSim, idx: usize, event: SockEvent<BtPayloa
                 PeerConn::new(conn, peer, false, num_pieces, rate_window),
             );
         }
-        SockEvent::Refused { peer, .. } => {
+        TransportEvent::Refused { peer, .. } => {
             sim.world_mut().clients[idx].connecting.remove(&peer);
         }
-        SockEvent::Closed { conn } => {
+        TransportEvent::Closed { conn } => {
             drop_peer(sim, idx, conn);
         }
-        SockEvent::Data {
+        TransportEvent::Message {
             conn,
             payload: BtPayload::Peer(msg),
             ..
         } => {
             handle_peer_message(sim, idx, conn, msg);
         }
-        SockEvent::Datagram {
+        TransportEvent::Datagram {
             payload: BtPayload::Tracker(TrackerMessage::Response { peers, .. }),
             ..
         } => {
@@ -693,9 +691,8 @@ fn announce(sim: &mut SwarmSim, idx: usize, event: AnnounceEvent) {
         )
     };
     let size = msg.wire_size();
-    let _ = send_datagram(
+    let _ = Endpoint::new(vnode).send_datagram(
         sim,
-        vnode,
         listen_port,
         tracker_addr,
         size,
@@ -744,7 +741,7 @@ fn connect_to_peers(sim: &mut SwarmSim, idx: usize) {
             client.stats.connect_attempts += 1;
             client.vnode
         };
-        if connect(sim, vnode, target).is_err() {
+        if Endpoint::new(vnode).connect(sim, target).is_err() {
             sim.world_mut().clients[idx].connecting.remove(&target);
         }
     }
@@ -765,7 +762,15 @@ fn send_peer(sim: &mut SwarmSim, idx: usize, conn: ConnId, msg: PeerMessage) {
         }
         client.vnode
     };
-    let _ = send(sim, vnode, conn, size, BtPayload::Peer(msg));
+    // Peer-wire messages travel on the ordered reliable lane — the legacy data path, so the
+    // ported client's wire costs and event stream are byte-identical.
+    let _ = Endpoint::new(vnode).send(
+        sim,
+        conn,
+        LaneKind::ReliableOrdered,
+        size,
+        BtPayload::Peer(msg),
+    );
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@
 //! virtual nodes are folded onto, how clients are started over time, and what gets sampled.
 //!
 //! Since the scenario-API redesign the actual runner is the generic
-//! [`run_scenario`](crate::scenario::run_scenario) loop with the swarm expressed as a
-//! [`SwarmWorkload`](crate::workloads::SwarmWorkload); [`run_swarm_experiment`] remains as a
+//! [`run_scenario`](crate::scenario::run_scenario()) loop with the swarm expressed as a
+//! [`SwarmWorkload`]; [`run_swarm_experiment`] remains as a
 //! thin compatibility wrapper over it.
 
 use crate::scenario::{run_scenario, ScenarioBuilder};
@@ -238,7 +238,7 @@ impl SwarmResult {
 ///
 /// **Deprecated in favour of the scenario API**: this is now a thin wrapper that expresses the
 /// experiment as a [`SwarmWorkload`] and runs it through the generic
-/// [`run_scenario`](crate::scenario::run_scenario) loop. It produces byte-identical results for
+/// [`run_scenario`](crate::scenario::run_scenario()) loop. It produces byte-identical results for
 /// a given config (pinned by the `scenario_api` integration test) and is kept so existing
 /// binaries, examples and tests continue to work; new code should use [`ScenarioBuilder`] and
 /// `run_scenario` directly.

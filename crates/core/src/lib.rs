@@ -3,15 +3,17 @@
 //! This crate is the reproduction of the paper's primary contribution: the P2PLab
 //! experimentation framework itself. It ties the substrates together:
 //!
-//! * [`deploy`] — fold virtual nodes onto physical machines, configure interface aliases and
-//!   generate the per-machine dummynet/IPFW rules (the decentralized network-emulation model);
+//! * [`deploy`](mod@deploy) — fold virtual nodes onto physical machines, configure interface
+//!   aliases and generate the per-machine dummynet/IPFW rules (the decentralized
+//!   network-emulation model);
 //! * [`scenario`] — the workload-agnostic experiment layer: the [`Workload`] trait,
 //!   [`ScenarioBuilder`], the single generic [`run_scenario`] loop every experiment runs
 //!   through, and the arrival/session process library
 //!   ([`scenario::processes`]: Poisson, uniform-ramp, flash-crowd and trace arrivals;
 //!   exponential, Pareto and trace-driven churn sessions);
 //! * [`workloads`] — the first-class workloads: the BitTorrent swarm of the evaluation section,
-//!   the ping-mesh latency probe and the gossip (epidemic broadcast) workload;
+//!   the ping-mesh latency probe, the gossip (epidemic broadcast) workload and Kademlia-style
+//!   DHT lookups over the transport's RPC layer;
 //! * [`experiment`] — the BitTorrent experiment descriptions of the evaluation section
 //!   (Figures 8-11) and the legacy [`run_swarm_experiment`] wrapper;
 //! * [`accuracy`] — the emulation-accuracy experiments (rule-count scaling of Figure 6, the
@@ -51,6 +53,6 @@ pub use scenario::{
     ScenarioBuilder, ScenarioError, ScenarioRun, ScenarioSpec, SessionProcess, Workload,
 };
 pub use workloads::{
-    GossipResult, GossipSpec, GossipWorkload, MeshPattern, PingMeshResult, PingMeshSpec,
-    PingMeshWorkload, SwarmWorkload,
+    DhtLookupResult, DhtLookupSpec, DhtLookupWorkload, GossipResult, GossipSpec, GossipWorkload,
+    MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload, SwarmWorkload,
 };

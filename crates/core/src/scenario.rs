@@ -43,10 +43,10 @@ pub mod processes;
 use crate::deploy::{deploy, Deployment, DeploymentSpec};
 use crate::monitor::ResourceMonitor;
 use crate::report::RunReport;
-use p2plab_net::{NetError, Network, NetworkConfig, TopologySpec};
+use p2plab_net::{NetError, NetStats, Network, NetworkConfig, TopologySpec};
 use p2plab_sim::{
-    schedule_periodic, MetricSet, Recorder, RunOutcome, SimDuration, SimRng, SimTime, Simulation,
-    TimeSeries, TypedEvent,
+    schedule_periodic, Counter, MetricSet, Recorder, RunOutcome, SimDuration, SimRng, SimTime,
+    Simulation, TimeSeries, TypedEvent,
 };
 use std::cell::RefCell;
 use std::fmt;
@@ -432,6 +432,32 @@ impl ScenarioSpec {
     }
 }
 
+/// Handles of the transport-level counters the runner registers for **every** run (the PR 3
+/// convention: data-plane health belongs in the run's metric set, not only in `NetStats`).
+/// Synced from the network's counters on the sampling grid and once more at stop time.
+#[derive(Clone, Copy)]
+struct TransportCounters {
+    retransmits: Counter,
+    datagrams_dropped: Counter,
+    rpc_timeouts: Counter,
+}
+
+impl TransportCounters {
+    fn register(rec: &mut Recorder) -> TransportCounters {
+        TransportCounters {
+            retransmits: rec.counter("retransmits"),
+            datagrams_dropped: rec.counter("datagrams_dropped"),
+            rpc_timeouts: rec.counter("rpc_timeouts"),
+        }
+    }
+
+    fn sync(&self, stats: NetStats, rec: &mut Recorder) {
+        rec.set_total(self.retransmits, stats.retransmissions);
+        rec.set_total(self.datagrams_dropped, stats.datagrams_dropped);
+        rec.set_total(self.rpc_timeouts, stats.rpc_timeouts);
+    }
+}
+
 /// Everything the generic runner measured during a scenario, handed to
 /// [`Workload::finalize`] alongside the world.
 #[derive(Debug, Clone)]
@@ -560,6 +586,7 @@ fn run_scenario_inner<W: Workload + 'static>(
     // workload record through the same instance.
     let recorder: Rc<RefCell<Recorder>> = Rc::new(RefCell::new(Recorder::new()));
     let progress_id = recorder.borrow_mut().time_series("progress");
+    let transport_counters = TransportCounters::register(&mut recorder.borrow_mut());
     workload.setup_metrics(&mut recorder.borrow_mut());
 
     // Periodic sampling of the workload's progress metric and of the physical machines' NIC
@@ -582,6 +609,7 @@ fn run_scenario_inner<W: Workload + 'static>(
             let rec = &mut *recorder.borrow_mut();
             let progress = workload.sample(now, world, rec);
             rec.push(progress_id, now, progress);
+            transport_counters.sync(W::network(world).stats(), rec);
             if let Some(m) = monitor.borrow_mut().as_mut() {
                 m.record(now, W::network(world), rec);
             }
@@ -600,11 +628,13 @@ fn run_scenario_inner<W: Workload + 'static>(
         .unwrap_or_else(|_| unreachable!("sampler closures were dropped with the simulation"))
         .into_inner();
 
-    // Final sample so the progress curve extends to the stop time.
+    // Final sample so the progress curve extends to the stop time, and a last transport-counter
+    // sync so drops/retransmits/timeouts after the final grid tick are not lost.
     {
         let rec = &mut *recorder.borrow_mut();
         let progress = workload.sample(stopped_at, &world, rec);
         rec.push(progress_id, stopped_at, progress);
+        transport_counters.sync(W::network(&world).stats(), rec);
     }
 
     let monitor = monitor.borrow_mut().take();

@@ -1,0 +1,865 @@
+//! Kademlia-style iterative DHT lookups as a [`Workload`] — the proof workload of the
+//! session/lane/RPC transport API.
+//!
+//! Every node owns a 64-bit id in an XOR metric space and a static routing table built the way
+//! Kademlia's buckets are shaped: for each distance prefix (bucket) up to `k` known peers. A
+//! *lookup* picks a random target key and iteratively queries the `alpha` closest known nodes
+//! with `FIND_NODE` RPCs ([`p2plab_net::rpc`]: unreliable datagrams, flat timeout, bounded
+//! retries); each response returns the responder's `k` closest known peers, which are merged
+//! into the candidate shortlist. The lookup terminates when the `k` closest candidates have all
+//! answered (or failed), exactly like the iterative procedure of the Kademlia paper.
+//!
+//! Measured quantities, recorded through the run's [`Recorder`] per the metrics convention:
+//! hop-count and latency histograms (`lookup_hops`, `lookup_latency_secs`), RPC traffic
+//! counters, and the fraction of lookups that located the globally closest node to their
+//! target — the correctness criterion of an iterative lookup.
+
+use crate::deploy::Deployment;
+use crate::scenario::{ArrivalSchedule, ArrivalSpec, ScenarioRun, Workload};
+use p2plab_net::rpc::{self, RpcConfig, RpcHost, RpcOutcome, RpcPayload, RpcStats, RpcTable};
+use p2plab_net::{NetHost, NetSim, NetStats, Network, SocketAddr, TransportEvent, VNodeId};
+use p2plab_sim::{
+    Counter, FxHashMap, HistogramId, Recorder, RunOutcome, SimDuration, SimTime, TimeSeries,
+};
+use serde::{Deserialize, Serialize};
+
+/// The UDP-like port the DHT protocol runs on.
+pub const DHT_PORT: u16 = 4200;
+
+/// Wire bytes of a `FIND_NODE` request (target key + header).
+const FIND_NODE_BYTES: u64 = 40;
+/// Wire bytes of a `NEIGHBORS` response: base + one entry per returned peer.
+const NEIGHBORS_BASE_BYTES: u64 = 16;
+const NEIGHBOR_ENTRY_BYTES: u64 = 18;
+
+/// Message bodies of the lookup protocol, carried inside [`RpcPayload`].
+#[derive(Debug, Clone)]
+pub enum DhtBody {
+    /// "Return your `k` closest known peers to `target`."
+    FindNode {
+        /// The key being looked up.
+        target: u64,
+    },
+    /// The responder's closest known peers, as `(node id, address)` pairs.
+    Neighbors {
+        /// Up to `k` peers, closest to the requested target first.
+        peers: Vec<(u64, SocketAddr)>,
+    },
+}
+
+/// Description of a DHT lookup experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DhtLookupSpec {
+    /// Name used in reports.
+    pub name: String,
+    /// Number of DHT nodes.
+    pub nodes: usize,
+    /// Number of iterative lookups performed (the scenario's participants).
+    pub lookups: usize,
+    /// Lookup parallelism: concurrent in-flight `FIND_NODE` RPCs per lookup.
+    pub alpha: usize,
+    /// Closeness-set size: routing-bucket capacity, peers per response, and the number of
+    /// closest candidates that must settle before a lookup terminates.
+    pub k: usize,
+    /// Per-attempt RPC timeout.
+    pub rpc_timeout: SimDuration,
+    /// RPC transmission attempts before a candidate is marked failed.
+    pub rpc_attempts: u32,
+    /// Spacing of the default lookup arrival ramp.
+    pub lookup_interval: SimDuration,
+}
+
+impl DhtLookupSpec {
+    /// A lookup experiment over `nodes` nodes: one lookup per node, `alpha` 3, `k` 8, 2 s RPC
+    /// timeout with 3 attempts, lookups starting 100 ms apart.
+    pub fn new(name: impl Into<String>, nodes: usize) -> DhtLookupSpec {
+        assert!(nodes >= 2, "a DHT needs at least two nodes");
+        DhtLookupSpec {
+            name: name.into(),
+            nodes,
+            lookups: nodes,
+            alpha: 3,
+            k: 8,
+            rpc_timeout: SimDuration::from_secs(2),
+            rpc_attempts: 3,
+            lookup_interval: SimDuration::from_millis(100),
+        }
+    }
+
+    /// The RPC policy the world's [`RpcTable`] runs with.
+    pub fn rpc_config(&self) -> RpcConfig {
+        RpcConfig {
+            timeout: self.rpc_timeout,
+            max_attempts: self.rpc_attempts,
+        }
+    }
+
+    /// When the last lookup of the default ramp starts — usable as
+    /// [`ScenarioBuilder::arrival_ramp`](crate::scenario::ScenarioBuilder::arrival_ramp).
+    pub fn arrival_ramp(&self) -> SimDuration {
+        self.lookup_interval * self.lookups.saturating_sub(1) as u64
+    }
+}
+
+/// SplitMix64: a bijective mixer assigning every node index a distinct, well-spread 64-bit id.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The globally XOR-closest id to `target` in a sorted id list: greedy longest-common-prefix
+/// descent (each bit level keeps the contiguous sub-range whose bit matches the target's, which
+/// is exactly the binary-trie walk Kademlia performs).
+fn xor_closest(sorted: &[(u64, usize)], target: u64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let mut lo = 0usize;
+    let mut hi = sorted.len();
+    for bit in (0..64).rev() {
+        if hi - lo <= 1 {
+            break;
+        }
+        let mask = 1u64 << bit;
+        let split = lo + sorted[lo..hi].partition_point(|&(id, _)| id & mask == 0);
+        if target & mask != 0 {
+            if split < hi {
+                lo = split;
+            }
+        } else if split > lo {
+            hi = split;
+        }
+    }
+    sorted[lo].0
+}
+
+/// Progress state of one shortlist candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CandState {
+    Unqueried,
+    Inflight,
+    Responded,
+    Failed,
+}
+
+/// One known node on a lookup's shortlist, ordered by XOR distance to the target.
+#[derive(Debug, Clone)]
+struct Candidate {
+    dist: u64,
+    id: u64,
+    addr: SocketAddr,
+    /// Hops from the lookup origin to whoever told us about this node (origin's table = 1).
+    depth: u32,
+    state: CandState,
+}
+
+/// One iterative lookup in progress.
+struct Lookup {
+    target: u64,
+    origin: usize,
+    true_closest: u64,
+    started: SimTime,
+    shortlist: Vec<Candidate>,
+    inflight: usize,
+    rpcs: u32,
+    timeouts: u32,
+    done: bool,
+}
+
+/// The outcome of one finished lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookupRecord {
+    /// Hops from the origin to the closest node that answered (0 when the origin itself is
+    /// closest, or when nobody answered).
+    pub hops: u32,
+    /// Wall time of the whole iterative procedure (spanning RPC retries).
+    pub latency: SimDuration,
+    /// Whether the closest answering node is the globally XOR-closest node to the target.
+    pub found_closest: bool,
+    /// `FIND_NODE` calls issued.
+    pub rpcs: u32,
+    /// Calls that timed out (after their bounded retries).
+    pub timeouts: u32,
+}
+
+/// The DHT world: the emulated network, the id space and routing tables, in-progress lookups
+/// and the RPC state.
+pub struct DhtWorld {
+    /// The emulated network.
+    pub net: Network,
+    vnodes: Vec<VNodeId>,
+    /// Node ids, indexed like `vnodes`.
+    ids: Vec<u64>,
+    /// `(id, node index)` sorted by id — the ground truth for [`xor_closest`].
+    sorted_ids: Vec<(u64, usize)>,
+    /// Static per-node routing tables: up to `k` peers per XOR-distance bucket, flattened.
+    routing: Vec<Vec<(u64, SocketAddr)>>,
+    vnode_index: FxHashMap<VNodeId, usize>,
+    k: usize,
+    alpha: usize,
+    lookups: Vec<Lookup>,
+    /// Finished lookups, in completion order (the workload drains them into histograms).
+    pub records: Vec<LookupRecord>,
+    rpc: RpcTable<DhtWorld>,
+}
+
+impl DhtWorld {
+    fn new(net: Network, vnodes: Vec<VNodeId>, spec: &DhtLookupSpec) -> DhtWorld {
+        let n = spec.nodes;
+        let vnodes_used = &vnodes[..n];
+        let ids: Vec<u64> = (0..n as u64).map(splitmix64).collect();
+        let addrs: Vec<SocketAddr> = vnodes_used
+            .iter()
+            .map(|&v| SocketAddr::new(net.addr_of(v), DHT_PORT))
+            .collect();
+        let mut sorted_ids: Vec<(u64, usize)> = ids.iter().copied().zip(0..n).collect();
+        sorted_ids.sort_unstable();
+        // Bucketed routing tables from global knowledge (the emulation studies lookups, not
+        // table maintenance): for node `x` and bit `b`, the ids differing from `x` first at bit
+        // `b` form one contiguous range of the sorted order — sample up to `k` of them, evenly,
+        // so tables are diverse without any per-node randomness.
+        let mut routing = Vec::with_capacity(n);
+        for &own in &ids {
+            let mut table = Vec::new();
+            for bit in 0..64 {
+                let mask = 1u64 << bit;
+                let lo_id = (own ^ mask) & !(mask - 1);
+                let hi_id = lo_id | (mask - 1);
+                let lo = sorted_ids.partition_point(|&(id, _)| id < lo_id);
+                let hi = sorted_ids.partition_point(|&(id, _)| id <= hi_id);
+                if lo == hi {
+                    continue;
+                }
+                let len = hi - lo;
+                let take = len.min(spec.k);
+                for t in 0..take {
+                    let (id, idx) = sorted_ids[lo + t * len / take];
+                    table.push((id, addrs[idx]));
+                }
+            }
+            routing.push(table);
+        }
+        let vnode_index = vnodes_used
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        DhtWorld {
+            net,
+            vnodes,
+            ids,
+            sorted_ids,
+            routing,
+            vnode_index,
+            k: spec.k,
+            alpha: spec.alpha,
+            lookups: Vec::with_capacity(spec.lookups),
+            records: Vec::with_capacity(spec.lookups),
+            rpc: RpcTable::new(spec.rpc_config()),
+        }
+    }
+
+    /// Number of DHT nodes.
+    pub fn nodes(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The RPC layer's counters.
+    pub fn rpc_stats(&self) -> RpcStats {
+        self.rpc.stats()
+    }
+
+    /// The `k` closest entries of `node`'s routing table to `target`. Runs on every
+    /// `FIND_NODE` serve, so it selects the k-smallest in O(len) and sorts only those —
+    /// bucket ranges are disjoint, so the table never holds duplicate ids.
+    fn closest_known(&self, node: usize, target: u64) -> Vec<(u64, SocketAddr)> {
+        let mut entries = self.routing[node].clone();
+        if self.k > 0 && entries.len() > self.k {
+            entries.select_nth_unstable_by_key(self.k - 1, |&(id, _)| id ^ target);
+            entries.truncate(self.k);
+        }
+        entries.sort_unstable_by_key(|&(id, _)| id ^ target);
+        entries
+    }
+}
+
+impl NetHost for DhtWorld {
+    type Payload = RpcPayload<DhtBody>;
+
+    fn network(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn on_transport_event(
+        sim: &mut NetSim<Self>,
+        node: VNodeId,
+        event: TransportEvent<RpcPayload<DhtBody>>,
+    ) {
+        // All DHT traffic is RPC; anything the dispatcher hands back is ignored.
+        let _ = rpc::dispatch(sim, node, event);
+    }
+}
+
+impl RpcHost for DhtWorld {
+    type Body = DhtBody;
+
+    fn rpc_table(&mut self) -> &mut RpcTable<DhtWorld> {
+        &mut self.rpc
+    }
+
+    fn serve(
+        sim: &mut NetSim<Self>,
+        node: VNodeId,
+        _from: SocketAddr,
+        _port: u16,
+        body: DhtBody,
+    ) -> Option<(DhtBody, u64)> {
+        let DhtBody::FindNode { target } = body else {
+            return None; // a Neighbors body is never a request
+        };
+        let world = sim.world();
+        let idx = *world.vnode_index.get(&node)?;
+        let peers = world.closest_known(idx, target);
+        let size = NEIGHBORS_BASE_BYTES + NEIGHBOR_ENTRY_BYTES * peers.len() as u64;
+        Some((DhtBody::Neighbors { peers }, size))
+    }
+}
+
+/// Starts one lookup from a randomly drawn origin toward a randomly drawn target key.
+fn start_lookup(sim: &mut NetSim<DhtWorld>, spec_lookups: usize) {
+    let now = sim.now();
+    let (origin, target) = {
+        let n = sim.world().nodes();
+        let origin = sim.rng().gen_range(0..n);
+        let target = sim.rng().gen_range(0..=u64::MAX);
+        (origin, target)
+    };
+    let world = sim.world_mut();
+    debug_assert!(world.lookups.len() < spec_lookups);
+    let true_closest = xor_closest(&world.sorted_ids, target);
+    let mut shortlist: Vec<Candidate> = world
+        .closest_known(origin, target)
+        .into_iter()
+        .map(|(id, addr)| Candidate {
+            dist: id ^ target,
+            id,
+            addr,
+            depth: 1,
+            state: CandState::Unqueried,
+        })
+        .collect();
+    shortlist.sort_unstable_by_key(|c| c.dist);
+    let li = world.lookups.len();
+    world.lookups.push(Lookup {
+        target,
+        origin,
+        true_closest,
+        started: now,
+        shortlist,
+        inflight: 0,
+        rpcs: 0,
+        timeouts: 0,
+        done: false,
+    });
+    advance(sim, li);
+}
+
+/// Drives lookup `li`: issues `FIND_NODE` RPCs to unqueried candidates among the `k` closest
+/// (up to `alpha` in flight), and finishes once those candidates have all settled.
+fn advance(sim: &mut NetSim<DhtWorld>, li: usize) {
+    loop {
+        enum Step {
+            Query(usize),
+            Finish,
+            Wait,
+        }
+        let step = {
+            let world = sim.world();
+            let lookup = &world.lookups[li];
+            if lookup.done {
+                return;
+            }
+            // The next unqueried candidate among the k closest that have not failed.
+            let mut next = None;
+            let mut nonfailed = 0;
+            for (ci, c) in lookup.shortlist.iter().enumerate() {
+                if c.state == CandState::Failed {
+                    continue;
+                }
+                nonfailed += 1;
+                if c.state == CandState::Unqueried {
+                    next = Some(ci);
+                    break;
+                }
+                if nonfailed >= world.k {
+                    break;
+                }
+            }
+            match next {
+                Some(ci) if lookup.inflight < world.alpha => Step::Query(ci),
+                Some(_) => Step::Wait,
+                None if lookup.inflight == 0 => Step::Finish,
+                None => Step::Wait,
+            }
+        };
+        match step {
+            Step::Wait => return,
+            Step::Finish => {
+                finish(sim, li);
+                return;
+            }
+            Step::Query(ci) => {
+                let (origin_vnode, addr, cand_id, depth, target) = {
+                    let world = sim.world_mut();
+                    let origin_vnode = world.vnodes[world.lookups[li].origin];
+                    let lookup = &mut world.lookups[li];
+                    let c = &mut lookup.shortlist[ci];
+                    c.state = CandState::Inflight;
+                    lookup.inflight += 1;
+                    (origin_vnode, c.addr, c.id, c.depth, lookup.target)
+                };
+                let sent = rpc::call(
+                    sim,
+                    origin_vnode,
+                    DHT_PORT,
+                    addr,
+                    DhtBody::FindNode { target },
+                    FIND_NODE_BYTES,
+                    move |sim, outcome| on_find_node_done(sim, li, cand_id, depth, outcome),
+                );
+                match sent {
+                    // Only requests that actually left count toward the lookup's RPC tally.
+                    Ok(_) => sim.world_mut().lookups[li].rpcs += 1,
+                    Err(_) => {
+                        // Unroutable candidate (cannot happen with addresses from real
+                        // tables, but fail it rather than wedge the lookup).
+                        let lookup = &mut sim.world_mut().lookups[li];
+                        lookup.inflight -= 1;
+                        if let Some(c) = lookup.shortlist.iter_mut().find(|c| c.id == cand_id) {
+                            c.state = CandState::Failed;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// RPC continuation: merge the response's peers into the shortlist (or fail the candidate) and
+/// keep driving the lookup.
+fn on_find_node_done(
+    sim: &mut NetSim<DhtWorld>,
+    li: usize,
+    cand_id: u64,
+    depth: u32,
+    outcome: RpcOutcome<DhtBody>,
+) {
+    {
+        let world = sim.world_mut();
+        let own_id = world.ids[world.lookups[li].origin];
+        let lookup = &mut world.lookups[li];
+        lookup.inflight -= 1;
+        let state = match &outcome {
+            RpcOutcome::Reply { .. } => CandState::Responded,
+            RpcOutcome::TimedOut { .. } => {
+                lookup.timeouts += 1;
+                CandState::Failed
+            }
+        };
+        if let Some(c) = lookup.shortlist.iter_mut().find(|c| c.id == cand_id) {
+            c.state = state;
+        }
+        if let RpcOutcome::Reply {
+            body: DhtBody::Neighbors { peers },
+            ..
+        } = outcome
+        {
+            for (id, addr) in peers {
+                if id == own_id || lookup.shortlist.iter().any(|c| c.id == id) {
+                    continue;
+                }
+                let dist = id ^ lookup.target;
+                let pos = lookup.shortlist.partition_point(|c| c.dist < dist);
+                lookup.shortlist.insert(
+                    pos,
+                    Candidate {
+                        dist,
+                        id,
+                        addr,
+                        depth: depth + 1,
+                        state: CandState::Unqueried,
+                    },
+                );
+            }
+        }
+    }
+    advance(sim, li);
+}
+
+/// Completes lookup `li` and appends its [`LookupRecord`].
+fn finish(sim: &mut NetSim<DhtWorld>, li: usize) {
+    let now = sim.now();
+    let world = sim.world_mut();
+    let lookup = &mut world.lookups[li];
+    lookup.done = true;
+    let closest_responded = lookup
+        .shortlist
+        .iter()
+        .find(|c| c.state == CandState::Responded);
+    // The lookup succeeds when it located the globally closest node to the target — either
+    // the closest answering peer, or the origin itself (a node never appears on its own
+    // shortlist, yet it can be the closest node in the whole id space).
+    let own_id = world.ids[lookup.origin];
+    let (hops, found_closest) = match closest_responded {
+        Some(c) => (
+            c.depth,
+            c.id == lookup.true_closest || own_id == lookup.true_closest,
+        ),
+        None => (0, own_id == lookup.true_closest),
+    };
+    world.records.push(LookupRecord {
+        hops,
+        latency: now - lookup.started,
+        found_closest,
+        rpcs: lookup.rpcs,
+        timeouts: lookup.timeouts,
+    });
+}
+
+/// Everything a DHT lookup run produces.
+#[derive(Debug, Clone)]
+pub struct DhtLookupResult {
+    /// The experiment name.
+    pub name: String,
+    /// Folding ratio of the deployment.
+    pub folding_ratio: f64,
+    /// Number of DHT nodes.
+    pub nodes: usize,
+    /// Lookups requested.
+    pub lookups: usize,
+    /// Lookups that terminated before the run stopped.
+    pub completed: usize,
+    /// Lookups whose closest answering node was the globally closest node to the target.
+    pub found_closest: usize,
+    /// Per-lookup outcomes, in completion order.
+    pub records: Vec<LookupRecord>,
+    /// Completed-lookups curve over time (the scenario progress metric).
+    pub progress: TimeSeries,
+    /// The RPC layer's counters.
+    pub rpc_stats: RpcStats,
+    /// Whether every lookup terminated before the deadline.
+    pub finished: bool,
+    /// Virtual time when the run stopped.
+    pub stopped_at: SimTime,
+    /// Number of simulation events executed.
+    pub events_executed: u64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Data-plane counters of the emulated network.
+    pub net_stats: NetStats,
+    /// Highest NIC utilization reached by any physical machine.
+    pub peak_nic_utilization: f64,
+}
+
+impl DhtLookupResult {
+    /// Mean hop count over completed lookups.
+    pub fn mean_hops(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.hops as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Mean lookup latency in seconds over completed lookups.
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.latency.as_secs_f64())
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}/{} lookups done ({} exact), {:.2} hops / {:.0} ms mean, {} rpcs \
+             ({} retries, {} timeouts), folding {:.0}:1",
+            self.name,
+            self.completed,
+            self.lookups,
+            self.found_closest,
+            self.mean_hops(),
+            self.mean_latency_secs() * 1e3,
+            self.rpc_stats.calls,
+            self.rpc_stats.retries,
+            self.rpc_stats.timeouts,
+            self.folding_ratio,
+        )
+    }
+}
+
+/// Metric handles registered by [`DhtLookupWorkload::setup_metrics`].
+#[derive(Debug, Clone, Copy)]
+struct DhtMetrics {
+    hops: HistogramId,
+    latency: HistogramId,
+    rpc_calls: Counter,
+    rpc_retries: Counter,
+    found_closest: Counter,
+    lookups_missed: Counter,
+}
+
+/// The iterative-lookup workload over the scenario's topology.
+#[derive(Debug, Clone)]
+pub struct DhtLookupWorkload {
+    spec: DhtLookupSpec,
+    metrics: Option<DhtMetrics>,
+    /// Records already drained into the histograms (`records` is append-only).
+    records_recorded: usize,
+}
+
+impl DhtLookupWorkload {
+    /// Wraps a lookup experiment description as a workload.
+    pub fn new(spec: DhtLookupSpec) -> DhtLookupWorkload {
+        DhtLookupWorkload {
+            spec,
+            metrics: None,
+            records_recorded: 0,
+        }
+    }
+
+    /// The experiment description this workload runs.
+    pub fn config(&self) -> &DhtLookupSpec {
+        &self.spec
+    }
+}
+
+impl Workload for DhtLookupWorkload {
+    type World = DhtWorld;
+    type Event = p2plab_net::NetEvent<RpcPayload<DhtBody>>;
+    type Output = DhtLookupResult;
+
+    fn kind(&self) -> &'static str {
+        "dht-lookup"
+    }
+
+    fn vnodes_required(&self) -> usize {
+        self.spec.nodes
+    }
+
+    fn participants(&self) -> usize {
+        self.spec.lookups
+    }
+
+    fn default_arrivals(&self) -> ArrivalSpec {
+        ArrivalSpec::ramp(SimDuration::ZERO, self.spec.lookup_interval)
+    }
+
+    fn build_world(&mut self, deployment: Deployment) -> DhtWorld {
+        DhtWorld::new(deployment.net, deployment.vnodes, &self.spec)
+    }
+
+    fn on_deployed(&mut self, _sim: &mut NetSim<DhtWorld>) {
+        // Routing tables are static; nothing warms up before the first lookup.
+    }
+
+    fn schedule_arrivals(&mut self, sim: &mut NetSim<DhtWorld>, arrivals: &ArrivalSchedule) {
+        let total = self.spec.lookups;
+        for &at in arrivals.times().iter() {
+            sim.schedule_at(at, move |sim| start_lookup(sim, total));
+        }
+    }
+
+    fn network(world: &DhtWorld) -> &Network {
+        &world.net
+    }
+
+    fn setup_metrics(&mut self, rec: &mut Recorder) {
+        self.metrics = Some(DhtMetrics {
+            hops: rec.histogram("lookup_hops"),
+            latency: rec.histogram("lookup_latency_secs"),
+            rpc_calls: rec.counter("rpc_calls"),
+            rpc_retries: rec.counter("rpc_retries"),
+            found_closest: rec.counter("lookups_found_closest"),
+            lookups_missed: rec.counter("lookups_missed"),
+        });
+    }
+
+    fn sample(&mut self, _now: SimTime, world: &DhtWorld, rec: &mut Recorder) -> f64 {
+        if let Some(m) = self.metrics {
+            for r in &world.records[self.records_recorded..] {
+                rec.record(m.hops, r.hops as f64);
+                rec.record(m.latency, r.latency.as_secs_f64());
+                if r.found_closest {
+                    rec.add(m.found_closest, 1);
+                } else {
+                    rec.add(m.lookups_missed, 1);
+                }
+            }
+            self.records_recorded = world.records.len();
+            let stats = world.rpc_stats();
+            rec.set_total(m.rpc_calls, stats.calls);
+            rec.set_total(m.rpc_retries, stats.retries);
+        }
+        world.records.len() as f64
+    }
+
+    fn is_complete(&self, world: &DhtWorld) -> bool {
+        world.records.len() >= self.spec.lookups
+    }
+
+    fn finalize(self, world: DhtWorld, run: ScenarioRun) -> DhtLookupResult {
+        let completed = world.records.len();
+        let found_closest = world.records.iter().filter(|r| r.found_closest).count();
+        DhtLookupResult {
+            name: run.name,
+            folding_ratio: run.folding_ratio,
+            nodes: self.spec.nodes,
+            lookups: self.spec.lookups,
+            completed,
+            found_closest,
+            finished: completed >= self.spec.lookups,
+            records: world.records,
+            progress: run.samples,
+            rpc_stats: world.rpc.stats(),
+            stopped_at: run.stopped_at,
+            events_executed: run.events_executed,
+            outcome: run.outcome,
+            net_stats: world.net.stats(),
+            peak_nic_utilization: run.peak_nic_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_reported, run_scenario, ScenarioBuilder};
+    use p2plab_net::{AccessLinkClass, TopologySpec};
+
+    fn lan(n: usize) -> TopologySpec {
+        TopologySpec::uniform(
+            "lan",
+            n,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(5)),
+        )
+    }
+
+    fn scenario(name: &str, spec: &DhtLookupSpec) -> ScenarioBuilder {
+        ScenarioBuilder::new(name, lan(spec.nodes))
+            .machines(4)
+            .arrival_ramp(spec.arrival_ramp())
+            .deadline(spec.arrival_ramp() + SimDuration::from_secs(300))
+            .sample_interval(SimDuration::from_secs(1))
+            .seed(7)
+    }
+
+    #[test]
+    fn xor_closest_matches_brute_force() {
+        let ids: Vec<u64> = (0..200u64).map(splitmix64).collect();
+        let mut sorted: Vec<(u64, usize)> = ids.iter().copied().zip(0..ids.len()).collect();
+        sorted.sort_unstable();
+        for probe in 0..500u64 {
+            let target = splitmix64(probe.wrapping_mul(0x5851_f42d_4c95_7f2d));
+            let brute = ids.iter().copied().min_by_key(|&id| id ^ target).unwrap();
+            assert_eq!(xor_closest(&sorted, target), brute, "target {target:#x}");
+        }
+    }
+
+    #[test]
+    fn every_lookup_finds_the_globally_closest_node() {
+        // On a loss-free network every FIND_NODE is answered, and the iterative procedure over
+        // bucketed tables must converge on the true closest node for every lookup.
+        let spec = DhtLookupSpec::new("dht64", 64);
+        let s = scenario("dht64", &spec).build().unwrap();
+        let r = run_scenario(&s, DhtLookupWorkload::new(spec)).unwrap();
+        assert!(r.finished, "{}", r.summary());
+        assert_eq!(r.completed, 64);
+        assert_eq!(
+            r.found_closest,
+            64,
+            "iterative lookups must converge: {}",
+            r.summary()
+        );
+        assert!(r.mean_hops() >= 1.0, "{}", r.summary());
+        assert_eq!(r.rpc_stats.timeouts, 0);
+        assert_eq!(r.net_stats.rpc_timeouts, 0);
+        assert!(r.rpc_stats.calls > 64, "multi-hop lookups need >1 RPC each");
+        // The progress curve ends at the lookup count.
+        assert_eq!(r.progress.last().unwrap().1, 64.0);
+    }
+
+    #[test]
+    fn report_carries_hop_and_latency_histograms() {
+        let spec = DhtLookupSpec::new("dht-report", 32);
+        let s = scenario("dht-report", &spec).build().unwrap();
+        let (r, report) = run_reported(&s, DhtLookupWorkload::new(spec)).unwrap();
+        assert!(r.finished);
+        let hops = report.metrics.histogram("lookup_hops").unwrap();
+        assert_eq!(hops.count, 32);
+        let latency = report.metrics.histogram("lookup_latency_secs").unwrap();
+        assert_eq!(latency.count, 32);
+        assert!(latency.p50.unwrap() > 0.0);
+        assert_eq!(report.metrics.counter("lookups_found_closest").unwrap(), 32);
+        assert_eq!(
+            report.metrics.counter("rpc_calls").unwrap(),
+            r.rpc_stats.calls
+        );
+        // The runner's transport counters are present for every workload (PR convention).
+        assert_eq!(report.metrics.counter("rpc_timeouts"), Some(0));
+        assert_eq!(report.metrics.counter("retransmits"), Some(0));
+    }
+
+    #[test]
+    fn lossy_network_exercises_timeouts_and_retries() {
+        let mut spec = DhtLookupSpec::new("dht-lossy", 48);
+        spec.rpc_timeout = SimDuration::from_millis(250);
+        spec.rpc_attempts = 2;
+        let topo = TopologySpec::uniform(
+            "dht-lossy",
+            48,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(5)).with_loss(0.25),
+        );
+        let s = ScenarioBuilder::new("dht-lossy", topo)
+            .machines(4)
+            .arrival_ramp(spec.arrival_ramp())
+            .deadline(spec.arrival_ramp() + SimDuration::from_secs(600))
+            .sample_interval(SimDuration::from_secs(1))
+            .seed(11)
+            .build()
+            .unwrap();
+        let (r, report) = run_reported(&s, DhtLookupWorkload::new(spec)).unwrap();
+        // Every lookup still terminates (candidates fail, shortlists settle) even though many
+        // calls die; that is the point of bounded retries.
+        assert!(r.finished, "{}", r.summary());
+        assert!(r.rpc_stats.retries > 0, "{}", r.summary());
+        assert!(r.rpc_stats.timeouts > 0, "{}", r.summary());
+        assert_eq!(r.net_stats.rpc_timeouts, r.rpc_stats.timeouts);
+        // The transport-counter convention: the run's metric set sees the same numbers.
+        assert_eq!(
+            report.metrics.counter("rpc_timeouts").unwrap(),
+            r.rpc_stats.timeouts
+        );
+        assert!(report.metrics.counter("datagrams_dropped").unwrap() > 0);
+        // Most lookups still find the closest node despite 25% per-pipe loss.
+        assert!(r.found_closest * 10 >= r.completed * 5, "{}", r.summary());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let spec = DhtLookupSpec::new("dht-det", 24);
+            let s = scenario("dht-det", &spec).seed(seed).build().unwrap();
+            run_scenario(&s, DhtLookupWorkload::new(spec)).unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        let c = run(6);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.events_executed, b.events_executed);
+        assert_ne!(a.records, c.records);
+    }
+}

@@ -13,7 +13,7 @@ use crate::scenario::{
     schedule_session_chain, ArrivalSchedule, ArrivalSpec, ScenarioRun, SessionProcess, Workload,
 };
 use p2plab_net::{
-    send_datagram, NetHost, NetSim, NetStats, Network, SockEvent, SocketAddr, VNodeId,
+    Endpoint, NetHost, NetSim, NetStats, Network, SocketAddr, TransportEvent, VNodeId,
 };
 use p2plab_sim::{
     schedule_periodic, Counter, Gauge, Recorder, RunOutcome, SimDuration, SimTime, TimeSeries,
@@ -134,8 +134,8 @@ impl NetHost for GossipWorld {
         &mut self.net
     }
 
-    fn on_socket_event(sim: &mut NetSim<Self>, node: VNodeId, event: SockEvent<Rumor>) {
-        if let SockEvent::Datagram {
+    fn on_transport_event(sim: &mut NetSim<Self>, node: VNodeId, event: TransportEvent<Rumor>) {
+        if let TransportEvent::Datagram {
             payload: Rumor { hops },
             ..
         } = event
@@ -201,9 +201,8 @@ fn push_rumor(sim: &mut NetSim<GossipWorld>, idx: usize, hops: u32) {
         let to_addr = world.net.addr_of(world.vnodes[target]);
         let size = world.rumor_bytes;
         world.rumors_sent += 1;
-        let _ = send_datagram(
+        let _ = Endpoint::new(from).send_datagram(
             sim,
-            from,
             GOSSIP_PORT,
             SocketAddr::new(to_addr, GOSSIP_PORT),
             size,

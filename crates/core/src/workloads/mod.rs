@@ -7,16 +7,22 @@
 //! * [`PingMeshWorkload`] — an all-pairs/ring latency probe built on the echo application the
 //!   paper uses for its accuracy experiments;
 //! * [`GossipWorkload`] — epidemic broadcast with configurable fanout, driven by the scenario
-//!   layer's arrival and session processes (flash crowds, Poisson joins, churn).
+//!   layer's arrival and session processes (flash crowds, Poisson joins, churn);
+//! * [`DhtLookupWorkload`] — Kademlia-style iterative lookups over the transport's typed RPC
+//!   layer, measuring hop counts, lookup latency and convergence.
 //!
 //! Arrival and churn schedules come from the scenario layer
 //! ([`scenario::processes`](crate::scenario::processes)); workloads consume them, they do not
 //! re-derive them.
 
+pub mod dht;
 pub mod gossip;
 pub mod ping_mesh;
 pub mod swarm;
 
+pub use dht::{
+    DhtBody, DhtLookupResult, DhtLookupSpec, DhtLookupWorkload, DhtWorld, LookupRecord, DHT_PORT,
+};
 pub use gossip::{GossipResult, GossipSpec, GossipWorkload, GossipWorld, Rumor, GOSSIP_PORT};
 pub use ping_mesh::{MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload};
 pub use swarm::SwarmWorkload;

@@ -2,7 +2,8 @@
 //!
 //! The paper validates P2PLab's network emulation with `ping` (Figures 6-7). This workload
 //! turns that probe into a first-class scenario: every virtual node runs the echo responder of
-//! [`p2plab_net::ping`], and a configurable probe pattern (all ordered pairs, or a ring) sends
+//! [`p2plab_net::ping`](mod@p2plab_net::ping), and a configurable probe pattern (all ordered
+//! pairs, or a ring) sends
 //! repeated echo requests across the emulated topology. The result is the RTT distribution of
 //! the mesh — the quantity the accuracy experiments compare against the configured latencies —
 //! now obtainable on any topology, any folding and any network config the scenario layer can

@@ -1,0 +1,309 @@
+//! The node-facing session API: per-vnode [`Endpoint`] handles over bound ports, connections
+//! and typed lanes.
+//!
+//! An [`Endpoint`] is a virtual node's view of its transport stack — the handle through which
+//! an application binds ports, opens and closes connections, and sends messages on typed
+//! [`LaneKind`] lanes or as connectionless datagrams. The passive state (listener table,
+//! connection arena, counters) lives in the [`Network`]; the endpoint is a cheap `Copy`
+//! capability that names the vnode, so application code can hold one per protocol instance
+//! without borrowing the world.
+//!
+//! Incoming traffic reaches the application through
+//! [`NetHost::on_transport_event`](crate::transport::NetHost) as
+//! [`TransportEvent`](crate::transport::TransportEvent)s. A typed request/response layer over
+//! the unreliable datagram path lives in [`crate::rpc`].
+//!
+//! ```
+//! use p2plab_net::{
+//!     AccessLinkClass, Endpoint, GroupId, LaneKind, NetHost, NetSim, Network, NetworkConfig,
+//!     TopologySpec, TransportEvent, VNodeId, VirtAddr,
+//! };
+//! use p2plab_sim::Simulation;
+//!
+//! /// A world whose nodes echo every message back on the lane it arrived on.
+//! struct Echo {
+//!     net: Network,
+//!     delivered: Vec<(VNodeId, LaneKind, u32)>,
+//! }
+//!
+//! impl NetHost for Echo {
+//!     type Payload = u32;
+//!     fn network(&mut self) -> &mut Network {
+//!         &mut self.net
+//!     }
+//!     fn on_transport_event(sim: &mut NetSim<Self>, node: VNodeId, ev: TransportEvent<u32>) {
+//!         if let TransportEvent::Message { conn, lane, payload, size, .. } = ev {
+//!             sim.world_mut().delivered.push((node, lane, payload));
+//!             if payload < 1000 {
+//!                 let _ = Endpoint::new(node).send(sim, conn, lane, size, payload + 1000);
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! // Two DSL nodes folded onto one machine.
+//! let topo = TopologySpec::uniform("doc", 2, AccessLinkClass::bittorrent_dsl());
+//! let mut net = Network::new(NetworkConfig::default(), topo);
+//! let m = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
+//! let a = net.add_vnode(m, VirtAddr::new(10, 0, 0, 1), GroupId(0)).unwrap();
+//! let b = net.add_vnode(m, VirtAddr::new(10, 0, 0, 2), GroupId(0)).unwrap();
+//! let peer = p2plab_net::SocketAddr::new(net.addr_of(b), 6881);
+//!
+//! let mut sim: NetSim<Echo> = Simulation::with_events(Echo { net, delivered: vec![] }, 1);
+//! let server = Endpoint::new(b);
+//! server.bind(&mut sim, 6881).unwrap();
+//! let client = Endpoint::new(a);
+//! let conn = client.connect(&mut sim, peer).unwrap();
+//! sim.run();
+//! // Send on two different lanes of the same connection; the echo comes back on each.
+//! client.send(&mut sim, conn, LaneKind::ReliableOrdered, 512, 1).unwrap();
+//! client.send(&mut sim, conn, LaneKind::UnreliableUnordered, 64, 2).unwrap();
+//! sim.run();
+//! assert!(sim.world().delivered.contains(&(b, LaneKind::ReliableOrdered, 1)));
+//! assert!(sim.world().delivered.contains(&(a, LaneKind::UnreliableUnordered, 1002)));
+//! ```
+
+use crate::addr::SocketAddr;
+use crate::lane::LaneKind;
+use crate::network::{ConnId, Connection, NetError, Network, VNodeId};
+use crate::transport::{self, NetHost, NetSim};
+
+/// A virtual node's transport handle: bound ports, connections and lane sends.
+///
+/// Cheap to create and `Copy` — an endpoint is the *name* of a vnode's transport stack, not a
+/// stateful object, so protocol code can construct one wherever it holds a [`VNodeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    node: VNodeId,
+}
+
+impl Endpoint {
+    /// The endpoint of virtual node `node`.
+    pub fn new(node: VNodeId) -> Endpoint {
+        Endpoint { node }
+    }
+
+    /// The virtual node this endpoint belongs to.
+    pub fn node(&self) -> VNodeId {
+        self.node
+    }
+
+    /// Binds `port` for incoming connections and datagrams. Fails with
+    /// [`NetError::PortInUse`] when the port is already bound on this node.
+    pub fn bind<W: NetHost>(&self, sim: &mut NetSim<W>, port: u16) -> Result<(), NetError> {
+        transport::op_bind(sim, self.node, port)
+    }
+
+    /// Releases a bound port. Returns whether it was bound. Established connections accepted
+    /// through the port are unaffected (as with a real listening socket).
+    pub fn unbind<W: NetHost>(&self, sim: &mut NetSim<W>, port: u16) -> bool {
+        transport::op_unbind(sim, self.node, port)
+    }
+
+    /// Initiates a connection to `remote`. The outcome arrives asynchronously as
+    /// [`TransportEvent::Connected`](crate::transport::TransportEvent::Connected) or
+    /// [`TransportEvent::Refused`](crate::transport::TransportEvent::Refused).
+    pub fn connect<W: NetHost>(
+        &self,
+        sim: &mut NetSim<W>,
+        remote: SocketAddr,
+    ) -> Result<ConnId, NetError> {
+        transport::op_connect(sim, self.node, remote)
+    }
+
+    /// Sends `payload` (`size` application bytes) on `lane` of the established connection
+    /// `conn`. The lane fixes the framing overhead charged on the wire and the retransmit
+    /// policy applied if a pipe drops the frame (see [`LaneKind`]).
+    pub fn send<W: NetHost>(
+        &self,
+        sim: &mut NetSim<W>,
+        conn: ConnId,
+        lane: LaneKind,
+        size: u64,
+        payload: W::Payload,
+    ) -> Result<(), NetError> {
+        transport::op_send(sim, self.node, conn, lane, size, payload)
+    }
+
+    /// Sends an unreliable connectionless datagram from `from_port` to `remote`. The receiver
+    /// sees the destination port as
+    /// [`TransportEvent::Datagram::to_port`](crate::transport::TransportEvent::Datagram), so a
+    /// node bound on several ports can demultiplex.
+    pub fn send_datagram<W: NetHost>(
+        &self,
+        sim: &mut NetSim<W>,
+        from_port: u16,
+        remote: SocketAddr,
+        size: u64,
+        payload: W::Payload,
+    ) -> Result<(), NetError> {
+        transport::op_send_datagram(sim, self.node, from_port, remote, size, payload)
+    }
+
+    /// Closes connection `conn` from this side and notifies the peer. Messages already in
+    /// flight toward this node are discarded on arrival (the connection is closed); closing an
+    /// already-closed connection is a no-op.
+    pub fn close<W: NetHost>(&self, sim: &mut NetSim<W>, conn: ConnId) -> Result<(), NetError> {
+        transport::op_close(sim, self.node, conn)
+    }
+
+    /// The ports this endpoint currently has bound, in arbitrary order (inspection helper,
+    /// not for hot paths).
+    pub fn bound_ports<'a>(&self, net: &'a Network) -> impl Iterator<Item = u16> + 'a {
+        net.bound_ports(self.node)
+    }
+
+    /// The connections this endpoint participates in, in allocation order (inspection helper,
+    /// not for hot paths).
+    pub fn connections<'a>(&self, net: &'a Network) -> impl Iterator<Item = &'a Connection> + 'a {
+        net.connections_of(self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ConnState, Network, NetworkConfig};
+    use crate::topology::{AccessLinkClass, GroupId, TopologySpec};
+    use crate::transport::TransportEvent;
+    use crate::VirtAddr;
+    use p2plab_sim::Simulation;
+
+    /// Records every transport event as `(node, label)`.
+    struct World {
+        net: Network,
+        seen: Vec<(VNodeId, String)>,
+    }
+
+    impl NetHost for World {
+        type Payload = u32;
+
+        fn network(&mut self) -> &mut Network {
+            &mut self.net
+        }
+
+        fn on_transport_event(sim: &mut NetSim<Self>, node: VNodeId, ev: TransportEvent<u32>) {
+            let label = match ev {
+                TransportEvent::Connected { .. } => "connected".into(),
+                TransportEvent::Refused { .. } => "refused".into(),
+                TransportEvent::Accepted { .. } => "accepted".into(),
+                TransportEvent::Message { lane, payload, .. } => {
+                    format!("msg:{lane:?}:{payload}")
+                }
+                TransportEvent::Datagram {
+                    to_port, payload, ..
+                } => format!("dgram:{to_port}:{payload}"),
+                TransportEvent::Closed { .. } => "closed".into(),
+            };
+            sim.world_mut().seen.push((node, label));
+        }
+    }
+
+    fn world(n: usize) -> World {
+        let topo = TopologySpec::uniform("lan", n, AccessLinkClass::bittorrent_dsl());
+        let mut net = Network::new(NetworkConfig::default(), topo);
+        let m = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
+        for i in 0..n {
+            net.add_vnode(
+                m,
+                VirtAddr::new(10, 0, 0, 0).offset(i as u32 + 1),
+                GroupId(0),
+            )
+            .unwrap();
+        }
+        World {
+            net,
+            seen: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn lane_tag_travels_with_the_message() {
+        let w = world(2);
+        let peer = SocketAddr::new(w.net.addr_of(VNodeId(1)), 7000);
+        let mut sim: NetSim<World> = Simulation::with_events(w, 1);
+        Endpoint::new(VNodeId(1)).bind(&mut sim, 7000).unwrap();
+        let ep = Endpoint::new(VNodeId(0));
+        let conn = ep.connect(&mut sim, peer).unwrap();
+        sim.run();
+        for lane in LaneKind::ALL {
+            ep.send(&mut sim, conn, lane, 100, 7).unwrap();
+        }
+        sim.run();
+        let seen = &sim.world().seen;
+        for lane in LaneKind::ALL {
+            assert!(
+                seen.contains(&(VNodeId(1), format!("msg:{lane:?}:7"))),
+                "missing {lane:?} delivery in {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbind_releases_the_port() {
+        let w = world(2);
+        let addr1 = w.net.addr_of(VNodeId(1));
+        let mut sim: NetSim<World> = Simulation::with_events(w, 1);
+        let server = Endpoint::new(VNodeId(1));
+        server.bind(&mut sim, 7000).unwrap();
+        assert!(server.unbind(&mut sim, 7000));
+        assert!(!server.unbind(&mut sim, 7000), "second unbind is a no-op");
+        // Rebinding works, and a connect to the unbound port is refused in between.
+        let conn = Endpoint::new(VNodeId(0))
+            .connect(&mut sim, SocketAddr::new(addr1, 7000))
+            .unwrap();
+        sim.run();
+        assert_eq!(
+            sim.world_mut().net.connection(conn).unwrap().state,
+            ConnState::Refused
+        );
+        server.bind(&mut sim, 7000).unwrap();
+    }
+
+    #[test]
+    fn endpoint_reports_its_ports_and_connections() {
+        let w = world(3);
+        let peer = SocketAddr::new(w.net.addr_of(VNodeId(1)), 7000);
+        let mut sim: NetSim<World> = Simulation::with_events(w, 1);
+        let server = Endpoint::new(VNodeId(1));
+        server.bind(&mut sim, 7000).unwrap();
+        server.bind(&mut sim, 7001).unwrap();
+        let client = Endpoint::new(VNodeId(0));
+        let conn = client.connect(&mut sim, peer).unwrap();
+        sim.run();
+
+        let net = &sim.world().net;
+        let mut ports: Vec<u16> = server.bound_ports(net).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, vec![7000, 7001]);
+        assert_eq!(client.bound_ports(net).count(), 0);
+        // Both sides see the one connection; the bystander sees none.
+        assert_eq!(
+            client.connections(net).map(|c| c.id).collect::<Vec<_>>(),
+            vec![conn]
+        );
+        assert_eq!(server.connections(net).count(), 1);
+        assert_eq!(Endpoint::new(VNodeId(2)).connections(net).count(), 0);
+        assert_eq!(server.node(), VNodeId(1));
+    }
+
+    #[test]
+    fn endpoint_rejects_foreign_connections() {
+        let w = world(3);
+        let peer = SocketAddr::new(w.net.addr_of(VNodeId(1)), 7000);
+        let mut sim: NetSim<World> = Simulation::with_events(w, 1);
+        Endpoint::new(VNodeId(1)).bind(&mut sim, 7000).unwrap();
+        let conn = Endpoint::new(VNodeId(0)).connect(&mut sim, peer).unwrap();
+        sim.run();
+        // A third node cannot send or close on a connection it is not part of.
+        let stranger = Endpoint::new(VNodeId(2));
+        assert_eq!(
+            stranger.send(&mut sim, conn, LaneKind::ReliableOrdered, 10, 1),
+            Err(NetError::UnknownConnection(conn))
+        );
+        assert_eq!(
+            stranger.close(&mut sim, conn),
+            Err(NetError::UnknownConnection(conn))
+        );
+    }
+}

@@ -12,33 +12,46 @@
 //! * [`pipe`], [`firewall`] — dummynet pipes and linearly evaluated IPFW rules;
 //! * [`topology`] — the edge-centric topology description (groups + access links);
 //! * [`network`] — per-machine/per-node data-plane state;
-//! * [`transport`] — reliable connections and datagrams walking the emulated path;
+//! * [`transport`] — the frame-level data plane walking the emulated path;
+//! * [`lane`], [`endpoint`] — the node-facing session API: per-vnode [`Endpoint`] handles,
+//!   connections carrying typed [`LaneKind`] lanes;
+//! * [`rpc`] — typed request/response calls with timeout and bounded retries over the
+//!   unreliable lane;
 //! * [`intercept`] — the BINDIP libc shim and its cost model;
-//! * [`ping`] — the echo application used by the accuracy experiments.
+//! * [`ping`](mod@ping) — the echo application used by the accuracy experiments.
+//!
+//! New protocol code talks to [`endpoint::Endpoint`] (and [`rpc`] for request/response
+//! patterns); the free functions in [`transport`] are the frozen legacy surface.
 
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod endpoint;
 pub mod firewall;
 pub mod iface;
 pub mod intercept;
+pub mod lane;
 pub mod network;
 pub mod ping;
 pub mod pipe;
+pub mod rpc;
 pub mod topology;
 pub mod transport;
 
 pub use addr::{AddrParseError, SocketAddr, Subnet, VirtAddr};
+pub use endpoint::Endpoint;
 pub use firewall::{Classification, Direction, Firewall, FirewallStats, Rule, RuleAction};
 pub use iface::{IfaceError, Interface};
 pub use intercept::InterceptConfig;
+pub use lane::LaneKind;
 pub use network::{
     ConnId, ConnState, Connection, MachineId, MachineNet, NetError, NetStats, Network,
     NetworkConfig, VNodeId, VNodeNet,
 };
 pub use ping::{ping, ping_series, PingPayload, PingWorld, ECHO_PORT};
 pub use pipe::{DropReason, EnqueueOutcome, Pipe, PipeConfig, PipeId, PipeStats};
+pub use rpc::{RpcConfig, RpcHost, RpcId, RpcOutcome, RpcPayload, RpcStats, RpcTable};
 pub use topology::{AccessLinkClass, GroupId, GroupSpec, TopologySpec};
-pub use transport::{
-    close, connect, listen, send, send_datagram, InFlight, NetEvent, NetHost, NetSim, SockEvent,
-};
+#[allow(deprecated)]
+pub use transport::{close, connect, listen, send, send_datagram};
+pub use transport::{InFlight, NetEvent, NetHost, NetSim, SockEvent, TransportEvent};

@@ -276,8 +276,13 @@ pub struct NetStats {
     pub messages_delivered: u64,
     /// Messages dropped (after exhausting retransmissions, or unreliable drops).
     pub messages_dropped: u64,
-    /// Retransmissions performed by the reliable transport.
+    /// Unreliable frames (datagrams and unreliable-lane messages) dropped by a pipe — the
+    /// subset of `messages_dropped` that no retransmission ever covered.
+    pub datagrams_dropped: u64,
+    /// Retransmissions performed by the reliable lanes.
     pub retransmissions: u64,
+    /// RPC calls that exhausted their attempts without an answer (see [`crate::rpc`]).
+    pub rpc_timeouts: u64,
     /// Application bytes delivered.
     pub bytes_delivered: u64,
 }
@@ -640,6 +645,23 @@ impl Network {
     /// True if a listener is bound on `(node, port)`.
     pub fn is_listening(&self, node: VNodeId, port: u16) -> bool {
         self.listeners.contains(&(node, port))
+    }
+
+    /// The ports currently bound on `node`, in arbitrary order (an endpoint inspection helper;
+    /// O(total listeners), not for hot paths).
+    pub fn bound_ports(&self, node: VNodeId) -> impl Iterator<Item = u16> + '_ {
+        self.listeners
+            .iter()
+            .filter(move |(n, _)| *n == node)
+            .map(|&(_, p)| p)
+    }
+
+    /// The connections `node` participates in, in allocation order (an endpoint inspection
+    /// helper; O(total connections), not for hot paths).
+    pub fn connections_of(&self, node: VNodeId) -> impl Iterator<Item = &Connection> + '_ {
+        self.conns
+            .iter()
+            .filter(move |c| c.client.0 == node || c.server.0 == node)
     }
 
     /// Total application bytes received over all virtual nodes (the metric of Figure 9).

@@ -6,8 +6,9 @@
 //! only application is an echo responder, used by those benches and by integration tests.
 
 use crate::addr::SocketAddr;
+use crate::endpoint::Endpoint;
 use crate::network::{Network, VNodeId};
-use crate::transport::{send_datagram, NetHost, NetSim, SockEvent};
+use crate::transport::{NetHost, NetSim, TransportEvent};
 use p2plab_sim::{SimDuration, SimTime, Simulation};
 use std::collections::HashMap;
 
@@ -77,17 +78,29 @@ impl NetHost for PingWorld {
         &mut self.net
     }
 
-    fn on_socket_event(sim: &mut NetSim<Self>, node: VNodeId, event: SockEvent<PingPayload>) {
+    fn on_transport_event(
+        sim: &mut NetSim<Self>,
+        node: VNodeId,
+        event: TransportEvent<PingPayload>,
+    ) {
         match event {
-            SockEvent::Datagram {
+            TransportEvent::Datagram {
                 from,
+                to_port,
                 payload: PingPayload::Echo { seq },
                 size,
             } => {
-                // Echo responder: send the reply back to wherever the request came from.
-                let _ = send_datagram(sim, node, ECHO_PORT, from, size, PingPayload::Reply { seq });
+                // Echo responder: reply from the port the request was addressed to, back to
+                // wherever it came from.
+                let _ = Endpoint::new(node).send_datagram(
+                    sim,
+                    to_port,
+                    from,
+                    size,
+                    PingPayload::Reply { seq },
+                );
             }
-            SockEvent::Datagram {
+            TransportEvent::Datagram {
                 payload: PingPayload::Reply { seq },
                 ..
             } => {
@@ -110,9 +123,8 @@ pub fn ping(sim: &mut NetSim<PingWorld>, from: VNodeId, to: VNodeId) {
     sim.world_mut().pending.insert(seq, (from, now));
     let to_addr = sim.world_mut().net.addr_of(to);
     let size = sim.world().packet_size;
-    let _ = send_datagram(
+    let _ = Endpoint::new(from).send_datagram(
         sim,
-        from,
         ECHO_PORT,
         SocketAddr::new(to_addr, ECHO_PORT),
         size,

@@ -1,0 +1,614 @@
+//! Typed request/response RPC over the unreliable datagram lane.
+//!
+//! Iterative protocols (DHT lookups, probing, gossip pull) are request/response at heart: send
+//! a query, wait bounded time for the answer, retry a few times, give up. This module packages
+//! that pattern over the transport's unreliable datagram path:
+//!
+//! * [`call`] sends a request and registers a continuation; the reply (or a timeout after
+//!   `max_attempts` tries) is delivered to the continuation with the measured latency;
+//! * retransmissions are **bounded retries** on a flat timeout — the reliability lives in the
+//!   RPC layer, not the transport, exactly like UDP-based DHT protocols;
+//! * the per-call timeout timer is cancelled through the engine's timer wheel when the reply
+//!   arrives first — the overwhelmingly common case — so a completed call costs O(1)
+//!   cancellation instead of a tombstoned timer firing later;
+//! * request/response correlation, duplicate/late-reply suppression and statistics live in the
+//!   world's [`RpcTable`].
+//!
+//! A world opts in by choosing [`RpcPayload`] as its transport payload and implementing
+//! [`RpcHost`]: [`RpcHost::serve`] answers incoming requests, and the world's
+//! `on_transport_event` routes events through [`dispatch`], which consumes RPC traffic and
+//! passes everything else back.
+//!
+//! ```
+//! use p2plab_net::rpc::{self, RpcConfig, RpcHost, RpcOutcome, RpcPayload, RpcTable};
+//! use p2plab_net::{
+//!     AccessLinkClass, GroupId, NetHost, NetSim, Network, NetworkConfig, SocketAddr,
+//!     TopologySpec, TransportEvent, VNodeId, VirtAddr,
+//! };
+//! use p2plab_sim::Simulation;
+//!
+//! /// Nodes answer `n` with `n + 1`; the world records completed calls.
+//! struct Adder {
+//!     net: Network,
+//!     rpc: RpcTable<Adder>,
+//!     answers: Vec<u64>,
+//! }
+//!
+//! impl NetHost for Adder {
+//!     type Payload = RpcPayload<u64>;
+//!     fn network(&mut self) -> &mut Network {
+//!         &mut self.net
+//!     }
+//!     fn on_transport_event(sim: &mut NetSim<Self>, node: VNodeId, ev: TransportEvent<RpcPayload<u64>>) {
+//!         rpc::dispatch(sim, node, ev); // everything here is RPC traffic
+//!     }
+//! }
+//!
+//! impl RpcHost for Adder {
+//!     type Body = u64;
+//!     fn rpc_table(&mut self) -> &mut RpcTable<Adder> {
+//!         &mut self.rpc
+//!     }
+//!     fn serve(
+//!         _sim: &mut NetSim<Self>,
+//!         _node: VNodeId,
+//!         _from: SocketAddr,
+//!         _port: u16,
+//!         body: u64,
+//!     ) -> Option<(u64, u64)> {
+//!         Some((body + 1, 8)) // reply payload, reply wire bytes
+//!     }
+//! }
+//!
+//! let topo = TopologySpec::uniform("doc", 2, AccessLinkClass::bittorrent_dsl());
+//! let mut net = Network::new(NetworkConfig::default(), topo);
+//! let m = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
+//! let a = net.add_vnode(m, VirtAddr::new(10, 0, 0, 1), GroupId(0)).unwrap();
+//! let b = net.add_vnode(m, VirtAddr::new(10, 0, 0, 2), GroupId(0)).unwrap();
+//! let remote = SocketAddr::new(net.addr_of(b), 4000);
+//!
+//! let world = Adder { net, rpc: RpcTable::new(RpcConfig::default()), answers: vec![] };
+//! let mut sim: NetSim<Adder> = Simulation::with_events(world, 1);
+//! rpc::call(&mut sim, a, 4000, remote, 41, 8, |sim, outcome| {
+//!     if let RpcOutcome::Reply { body, .. } = outcome {
+//!         sim.world_mut().answers.push(body);
+//!     }
+//! })
+//! .unwrap();
+//! sim.run();
+//! assert_eq!(sim.world().answers, vec![42]);
+//! ```
+
+use crate::addr::SocketAddr;
+use crate::endpoint::Endpoint;
+use crate::network::{NetError, VNodeId};
+use crate::transport::{NetHost, NetSim, TransportEvent};
+use p2plab_sim::{EventId, FxHashMap, SimDuration, SimTime};
+
+/// Correlation id of one RPC call, unique within the world's [`RpcTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RpcId(u64);
+
+impl RpcId {
+    /// The raw correlation value (for logging).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// The transport payload of an RPC world: application bodies tagged as requests or responses,
+/// correlated by [`RpcId`].
+#[derive(Debug, Clone)]
+pub enum RpcPayload<B> {
+    /// A request awaiting an answer.
+    Request {
+        /// Correlation id, echoed by the response.
+        id: RpcId,
+        /// Application request body.
+        body: B,
+    },
+    /// The answer to an earlier request.
+    Response {
+        /// Correlation id of the request being answered.
+        id: RpcId,
+        /// Application response body.
+        body: B,
+    },
+}
+
+/// Timeout and retry policy of an [`RpcTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpcConfig {
+    /// How long to wait for a response before retrying (flat per attempt).
+    pub timeout: SimDuration,
+    /// Total transmission attempts before the call fails (1 = no retries).
+    pub max_attempts: u32,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            timeout: SimDuration::from_secs(1),
+            max_attempts: 3,
+        }
+    }
+}
+
+/// Counters kept by an [`RpcTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcStats {
+    /// Calls issued.
+    pub calls: u64,
+    /// Calls completed by a response.
+    pub replies: u64,
+    /// Request retransmissions after a timeout.
+    pub retries: u64,
+    /// Calls abandoned after exhausting their attempts.
+    pub timeouts: u64,
+    /// Responses that arrived after their call had already timed out (or that matched no
+    /// pending call at this node).
+    pub late_replies: u64,
+    /// Requests served by this world's nodes.
+    pub served: u64,
+}
+
+/// How one RPC call ended, handed to the continuation passed to [`call`].
+pub enum RpcOutcome<B> {
+    /// The response arrived.
+    Reply {
+        /// Application response body.
+        body: B,
+        /// Time from [`call`] to the response's delivery (spanning retries).
+        rtt: SimDuration,
+        /// Request transmissions performed (1 = first try answered).
+        attempts: u32,
+    },
+    /// Every attempt went unanswered within its timeout.
+    TimedOut {
+        /// Request transmissions performed.
+        attempts: u32,
+    },
+}
+
+impl<B> RpcOutcome<B> {
+    /// Whether the call completed with a reply.
+    pub fn is_reply(&self) -> bool {
+        matches!(self, RpcOutcome::Reply { .. })
+    }
+}
+
+/// The boxed continuation a call completes into.
+type OnDone<W> = Box<dyn FnOnce(&mut NetSim<W>, RpcOutcome<<W as RpcHost>::Body>)>;
+
+/// One in-flight call.
+struct Pending<W: RpcHost> {
+    caller: VNodeId,
+    from_port: u16,
+    remote: SocketAddr,
+    /// The request body, kept for retransmission.
+    body: W::Body,
+    /// Request wire bytes (payload size charged per transmission).
+    size: u64,
+    attempts: u32,
+    timer: EventId,
+    started: SimTime,
+    on_done: OnDone<W>,
+}
+
+/// Per-world RPC state: pending calls keyed by correlation id, the retry policy and counters.
+/// Embedded in the world and exposed through [`RpcHost::rpc_table`].
+pub struct RpcTable<W: RpcHost> {
+    config: RpcConfig,
+    next_id: u64,
+    pending: FxHashMap<u64, Pending<W>>,
+    stats: RpcStats,
+}
+
+impl<W: RpcHost> RpcTable<W> {
+    /// Creates an empty table with the given retry policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_attempts` is zero (a call that may never be sent can never complete).
+    pub fn new(config: RpcConfig) -> RpcTable<W> {
+        assert!(config.max_attempts >= 1, "rpc needs at least one attempt");
+        RpcTable {
+            config,
+            next_id: 0,
+            pending: FxHashMap::default(),
+            stats: RpcStats::default(),
+        }
+    }
+
+    /// The table's timeout/retry policy.
+    pub fn config(&self) -> RpcConfig {
+        self.config
+    }
+
+    /// The table's counters.
+    pub fn stats(&self) -> RpcStats {
+        self.stats
+    }
+
+    /// Number of calls currently awaiting a response.
+    pub fn pending_calls(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// A world that runs the RPC layer: transport payload is [`RpcPayload`], requests are answered
+/// by [`serve`](RpcHost::serve), and pending-call state lives in the embedded [`RpcTable`].
+pub trait RpcHost: NetHost<Payload = RpcPayload<<Self as RpcHost>::Body>> {
+    /// Application message body carried inside requests and responses.
+    type Body: Clone + 'static;
+
+    /// Access to the world's RPC state.
+    fn rpc_table(&mut self) -> &mut RpcTable<Self>;
+
+    /// Answers a request that arrived at `node` on `port` from `from`. Returning
+    /// `Some((reply_body, reply_size))` sends the response back; `None` drops the request
+    /// (the caller will retry and eventually time out).
+    fn serve(
+        sim: &mut NetSim<Self>,
+        node: VNodeId,
+        from: SocketAddr,
+        port: u16,
+        body: Self::Body,
+    ) -> Option<(Self::Body, u64)>;
+}
+
+/// Issues an RPC from `node:from_port` to `remote`: sends `body` (`size` wire bytes) as an
+/// unreliable datagram, retrying on the table's flat timeout up to its `max_attempts`, and
+/// hands the outcome to `on_done` — with the reply and measured latency, or as a timeout.
+///
+/// The timeout timer is cancelled in O(1) through the engine's timer wheel when the reply
+/// arrives first (the common case), so completed calls leave nothing behind in the queue.
+pub fn call<W: RpcHost>(
+    sim: &mut NetSim<W>,
+    node: VNodeId,
+    from_port: u16,
+    remote: SocketAddr,
+    body: W::Body,
+    size: u64,
+    on_done: impl FnOnce(&mut NetSim<W>, RpcOutcome<W::Body>) + 'static,
+) -> Result<RpcId, NetError> {
+    let now = sim.now();
+    let (id, timeout) = {
+        let table = sim.world_mut().rpc_table();
+        let id = table.next_id;
+        table.next_id += 1;
+        (id, table.config.timeout)
+    };
+    Endpoint::new(node).send_datagram(
+        sim,
+        from_port,
+        remote,
+        size,
+        RpcPayload::Request {
+            id: RpcId(id),
+            body: body.clone(),
+        },
+    )?;
+    // Counted only once the request is actually on the wire: a synchronous send error above
+    // leaves the stats invariant `calls == replies + timeouts + pending` intact.
+    sim.world_mut().rpc_table().stats.calls += 1;
+    let timer = sim.schedule_in(timeout, move |sim| on_timeout(sim, id));
+    sim.world_mut().rpc_table().pending.insert(
+        id,
+        Pending {
+            caller: node,
+            from_port,
+            remote,
+            body,
+            size,
+            attempts: 1,
+            timer,
+            started: now,
+            on_done: Box::new(on_done),
+        },
+    );
+    Ok(RpcId(id))
+}
+
+/// Routes a transport event through the RPC layer: requests are answered via
+/// [`RpcHost::serve`], responses complete their pending call (cancelling its timer), and
+/// anything that is not RPC traffic is handed back for the application to process.
+pub fn dispatch<W: RpcHost>(
+    sim: &mut NetSim<W>,
+    node: VNodeId,
+    event: TransportEvent<RpcPayload<W::Body>>,
+) -> Option<TransportEvent<RpcPayload<W::Body>>> {
+    match event {
+        TransportEvent::Datagram {
+            from,
+            to_port,
+            payload: RpcPayload::Request { id, body },
+            ..
+        } => {
+            let reply = W::serve(sim, node, from, to_port, body);
+            sim.world_mut().rpc_table().stats.served += 1;
+            if let Some((reply_body, reply_size)) = reply {
+                // Answer from the port the request was addressed to, back to the caller's
+                // socket: the correlation id ties the response to the pending call.
+                let _ = Endpoint::new(node).send_datagram(
+                    sim,
+                    to_port,
+                    from,
+                    reply_size,
+                    RpcPayload::Response {
+                        id,
+                        body: reply_body,
+                    },
+                );
+            }
+            None
+        }
+        TransportEvent::Datagram {
+            payload: RpcPayload::Response { id, body },
+            ..
+        } => {
+            let now = sim.now();
+            let pending = {
+                let table = sim.world_mut().rpc_table();
+                // Only the calling node may complete the call; a stray or duplicate response
+                // (late after a timeout, or misrouted) is counted and swallowed.
+                match table.pending.get(&id.0) {
+                    Some(p) if p.caller == node => table.pending.remove(&id.0),
+                    _ => {
+                        table.stats.late_replies += 1;
+                        return None;
+                    }
+                }
+            };
+            let p = pending.expect("checked above");
+            sim.world_mut().rpc_table().stats.replies += 1;
+            // The common completed-before-timeout case: O(1) timer-wheel cancellation.
+            sim.cancel(p.timer);
+            (p.on_done)(
+                sim,
+                RpcOutcome::Reply {
+                    body,
+                    rtt: now - p.started,
+                    attempts: p.attempts,
+                },
+            );
+            None
+        }
+        other => Some(other),
+    }
+}
+
+/// Timeout path: retry while attempts remain, otherwise fail the call.
+fn on_timeout<W: RpcHost>(sim: &mut NetSim<W>, id: u64) {
+    let retry = {
+        let table = sim.world_mut().rpc_table();
+        match table.pending.get(&id) {
+            None => return, // completed in the same instant; timer raced its cancellation
+            Some(p) if p.attempts < table.config.max_attempts => Some((
+                p.caller,
+                p.from_port,
+                p.remote,
+                p.body.clone(),
+                p.size,
+                table.config.timeout,
+            )),
+            Some(_) => None,
+        }
+    };
+    match retry {
+        Some((caller, from_port, remote, body, size, timeout)) => {
+            sim.world_mut().rpc_table().stats.retries += 1;
+            let _ = Endpoint::new(caller).send_datagram(
+                sim,
+                from_port,
+                remote,
+                size,
+                RpcPayload::Request {
+                    id: RpcId(id),
+                    body,
+                },
+            );
+            let timer = sim.schedule_in(timeout, move |sim| on_timeout(sim, id));
+            let table = sim.world_mut().rpc_table();
+            if let Some(p) = table.pending.get_mut(&id) {
+                p.attempts += 1;
+                p.timer = timer;
+            }
+        }
+        None => {
+            let p = sim
+                .world_mut()
+                .rpc_table()
+                .pending
+                .remove(&id)
+                .expect("pending checked above");
+            sim.world_mut().rpc_table().stats.timeouts += 1;
+            sim.world_mut().network().stats.rpc_timeouts += 1;
+            (p.on_done)(
+                sim,
+                RpcOutcome::TimedOut {
+                    attempts: p.attempts,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, NetworkConfig};
+    use crate::topology::{AccessLinkClass, GroupId, TopologySpec};
+    use crate::VirtAddr;
+    use p2plab_sim::Simulation;
+
+    /// Echo-with-increment RPC world; drops requests on nodes listed in `mute`.
+    struct World {
+        net: Network,
+        rpc: RpcTable<World>,
+        outcomes: Vec<(u64, bool, u32)>, // (call tag, replied, attempts)
+        mute: Vec<VNodeId>,
+    }
+
+    impl NetHost for World {
+        type Payload = RpcPayload<u64>;
+
+        fn network(&mut self) -> &mut Network {
+            &mut self.net
+        }
+
+        fn on_transport_event(
+            sim: &mut NetSim<Self>,
+            node: VNodeId,
+            ev: TransportEvent<RpcPayload<u64>>,
+        ) {
+            rpc_dispatch_all(sim, node, ev);
+        }
+    }
+
+    fn rpc_dispatch_all(
+        sim: &mut NetSim<World>,
+        node: VNodeId,
+        ev: TransportEvent<RpcPayload<u64>>,
+    ) {
+        let leftover = super::dispatch(sim, node, ev);
+        assert!(leftover.is_none(), "only RPC traffic in this world");
+    }
+
+    impl RpcHost for World {
+        type Body = u64;
+
+        fn rpc_table(&mut self) -> &mut RpcTable<World> {
+            &mut self.rpc
+        }
+
+        fn serve(
+            sim: &mut NetSim<Self>,
+            node: VNodeId,
+            _from: SocketAddr,
+            _port: u16,
+            body: u64,
+        ) -> Option<(u64, u64)> {
+            if sim.world().mute.contains(&node) {
+                return None;
+            }
+            Some((body + 1, 16))
+        }
+    }
+
+    fn world(n: usize, loss: f64, config: RpcConfig) -> World {
+        let link = AccessLinkClass::symmetric(10_000_000, SimDuration::from_millis(5));
+        let topo = TopologySpec::uniform("rpc", n, link.with_loss(loss));
+        let mut net = Network::new(NetworkConfig::default(), topo);
+        let m = net.add_machine("pm0", VirtAddr::new(192, 168, 38, 1));
+        for i in 0..n {
+            net.add_vnode(
+                m,
+                VirtAddr::new(10, 0, 0, 0).offset(i as u32 + 1),
+                GroupId(0),
+            )
+            .unwrap();
+        }
+        World {
+            net,
+            rpc: RpcTable::new(config),
+            outcomes: Vec::new(),
+            mute: Vec::new(),
+        }
+    }
+
+    fn call_tagged(sim: &mut NetSim<World>, from: VNodeId, to: VNodeId, tag: u64) {
+        let remote = SocketAddr::new(sim.world_mut().net.addr_of(to), 4000);
+        call(sim, from, 4000, remote, tag, 32, move |sim, outcome| {
+            let (replied, attempts) = match &outcome {
+                RpcOutcome::Reply { attempts, body, .. } => {
+                    assert_eq!(*body, tag + 1, "reply echoes the request body + 1");
+                    (true, *attempts)
+                }
+                RpcOutcome::TimedOut { attempts } => (false, *attempts),
+            };
+            sim.world_mut().outcomes.push((tag, replied, attempts));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn call_completes_and_cancels_its_timer() {
+        let w = world(2, 0.0, RpcConfig::default());
+        let mut sim: NetSim<World> = Simulation::with_events(w, 1);
+        call_tagged(&mut sim, VNodeId(0), VNodeId(1), 7);
+        sim.run();
+        assert_eq!(sim.world().outcomes, vec![(7, true, 1)]);
+        let stats = sim.world_mut().rpc.stats();
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.replies, 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(sim.world_mut().rpc.pending_calls(), 0);
+        assert_eq!(sim.world_mut().net.stats().rpc_timeouts, 0);
+        // The cancelled timeout timer never fired: virtual time stops at the reply, well
+        // before the 1 s timeout.
+        assert!(sim.now() < SimTime::ZERO + SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn unanswered_call_retries_then_times_out() {
+        let config = RpcConfig {
+            timeout: SimDuration::from_millis(100),
+            max_attempts: 3,
+        };
+        let w = world(2, 0.0, config);
+        let mut sim: NetSim<World> = Simulation::with_events(w, 1);
+        sim.world_mut().mute.push(VNodeId(1));
+        call_tagged(&mut sim, VNodeId(0), VNodeId(1), 9);
+        sim.run();
+        assert_eq!(sim.world().outcomes, vec![(9, false, 3)]);
+        let stats = sim.world_mut().rpc.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.served, 3, "the mute responder still saw each attempt");
+        // Timeouts surface on the network's transport counters too (the PR 3 convention
+        // syncs them into the run's Recorder).
+        assert_eq!(sim.world_mut().net.stats().rpc_timeouts, 1);
+        // Three attempts, 100 ms apart: the call fails at ~300 ms.
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn retries_recover_from_loss() {
+        // 20% loss on every pipe traversal (a round trip crosses four lossy pipes, so a single
+        // attempt only succeeds ~41% of the time); bounded retries recover almost every call.
+        let config = RpcConfig {
+            timeout: SimDuration::from_millis(200),
+            max_attempts: 8,
+        };
+        let w = world(2, 0.2, config);
+        let mut sim: NetSim<World> = Simulation::with_events(w, 5);
+        for tag in 0..20 {
+            call_tagged(&mut sim, VNodeId(0), VNodeId(1), tag);
+        }
+        sim.run();
+        let replied = sim.world().outcomes.iter().filter(|(_, r, _)| *r).count();
+        assert!(replied >= 16, "only {replied}/20 RPCs survived 20% loss");
+        assert!(sim.world_mut().rpc.stats().retries > 0);
+        assert_eq!(sim.world_mut().rpc.pending_calls(), 0);
+    }
+
+    #[test]
+    fn late_reply_after_timeout_is_counted_not_delivered() {
+        // Timeout far below the ~20 ms round trip: every attempt's reply arrives after the
+        // call already gave up.
+        let config = RpcConfig {
+            timeout: SimDuration::from_millis(1),
+            max_attempts: 2,
+        };
+        let w = world(2, 0.0, config);
+        let mut sim: NetSim<World> = Simulation::with_events(w, 1);
+        call_tagged(&mut sim, VNodeId(0), VNodeId(1), 3);
+        sim.run();
+        assert_eq!(sim.world().outcomes, vec![(3, false, 2)]);
+        let stats = sim.world_mut().rpc.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.late_replies, 2, "both attempts' replies arrived late");
+    }
+}

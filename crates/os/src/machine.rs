@@ -1,7 +1,7 @@
 //! The physical-machine model: cores + scheduler + memory, advanced by discrete events.
 //!
 //! A [`Machine`] is a fluid processor-sharing model. Between events every runnable process
-//! progresses at the rate assigned by the [`SchedulerModel`](crate::sched::SchedulerModel)
+//! progresses at the rate assigned by the [`SchedulerModel`]
 //! (divided by the memory thrash factor); rates only change when the process set changes, so the
 //! machine exposes `next_completion` for the driver to schedule the next interesting instant.
 

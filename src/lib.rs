@@ -9,13 +9,14 @@
 //!
 //! * [`sim`] — discrete-event engine, deterministic RNG, measurement types;
 //! * [`os`] — physical-node substrate (CPU schedulers, memory/swap, syscall costs);
-//! * [`net`] — network emulation (dummynet pipes, IPFW rules, topologies, sockets, BINDIP shim);
+//! * [`net`] — network emulation (dummynet pipes, IPFW rules, topologies, the session/lane/RPC
+//!   node-facing transport API, BINDIP shim);
 //! * [`bittorrent`] — the studied application (tracker, peer wire protocol, choking, swarms);
 //! * [`core`] — the P2PLab framework: the workload-agnostic scenario API
 //!   (`Workload` + `ScenarioBuilder` + `run_scenario`), the arrival/session process library
 //!   (Poisson, ramp, flash-crowd, trace arrivals; exponential, Pareto, trace churn),
-//!   deployment/folding, the shipped workloads (BitTorrent swarm, ping mesh, gossip),
-//!   analysis and reports.
+//!   deployment/folding, the shipped workloads (BitTorrent swarm, ping mesh, gossip, DHT
+//!   lookups), analysis and reports.
 //!
 //! ## Quickstart
 //!
@@ -64,10 +65,13 @@ pub mod prelude {
     pub use p2plab_bittorrent::{ClientConfig, SwarmWorld, Torrent};
     pub use p2plab_core::{
         compare_folding, deploy, run_scenario, run_swarm_experiment, ArrivalSpec, ChurnSpec,
-        DeploymentSpec, GossipSpec, GossipWorkload, PingMeshSpec, PingMeshWorkload,
-        ScenarioBuilder, SessionProcess, SwarmExperiment, SwarmResult, SwarmWorkload, Workload,
+        DeploymentSpec, DhtLookupSpec, DhtLookupWorkload, GossipSpec, GossipWorkload, PingMeshSpec,
+        PingMeshWorkload, ScenarioBuilder, SessionProcess, SwarmExperiment, SwarmResult,
+        SwarmWorkload, Workload,
     };
-    pub use p2plab_net::{AccessLinkClass, Network, NetworkConfig, TopologySpec};
+    pub use p2plab_net::{
+        AccessLinkClass, Endpoint, LaneKind, Network, NetworkConfig, TopologySpec, TransportEvent,
+    };
     pub use p2plab_os::{Machine, MachineSpec, OsKind, SchedulerKind};
     pub use p2plab_sim::{SimDuration, SimTime, Simulation};
 }
