@@ -1,0 +1,293 @@
+//! Scenario/campaign runner: executes declarative `.toml` scenario files and parameter-grid
+//! campaigns from the command line.
+//!
+//! ```text
+//! cargo run --release -p p2plab-bench --bin campaign -- run examples/campaigns/ci_smoke.toml
+//! cargo run --release -p p2plab-bench --bin campaign -- validate examples/scenarios/*.toml
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `validate <file>...` — parse and validate each file (scenario or campaign, detected by
+//!   the presence of a `[campaign]` section), expanding campaign grids so every cell is
+//!   checked, without running anything.
+//! * `run <file> [--threads N] [--strict]` — run the file. A plain scenario writes one
+//!   `RunReport` under `results/`; a campaign runs its grid across worker threads and writes
+//!   one report per cell under `results/campaign/<name>/<cell>/` plus the cross-run
+//!   `summary.csv` / `summary.json` aggregate. `--strict` additionally fails the process if
+//!   any cell ends in an outcome other than `drained`.
+//!
+//! Exit codes: `0` success, `1` a run failed (or `--strict` outcome check), `2` usage, parse
+//! or validation error.
+
+use p2plab_bench::{write_results_file, write_run_report, write_run_report_in};
+use p2plab_core::{
+    default_threads, parse_toml, render_table, run_campaign, CampaignSpec, CampaignSummary,
+    ScenarioFile,
+};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    files: Vec<String>,
+    threads: Option<usize>,
+    strict: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: campaign validate <file.toml>...\n       campaign run <file.toml> [--threads N] [--strict]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return Err(usage());
+    };
+    let mut parsed = Args {
+        command,
+        files: Vec::new(),
+        threads: None,
+        strict: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n > 0 => parsed.threads = Some(n),
+                    _ => {
+                        eprintln!("error: --threads expects a positive integer");
+                        return Err(usage());
+                    }
+                }
+            }
+            "--strict" => parsed.strict = true,
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other}");
+                return Err(usage());
+            }
+            file => parsed.files.push(file.to_string()),
+        }
+    }
+    if parsed.files.is_empty() {
+        eprintln!("error: no scenario file given");
+        return Err(usage());
+    }
+    Ok(parsed)
+}
+
+fn read_file(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// Parses + validates one file; prints what it found. Returns the expanded campaign (name,
+/// threads, cells) when the file is a campaign, `None` for a plain scenario.
+fn load(path: &str) -> Result<Option<(CampaignSpec, Vec<p2plab_core::CampaignCell>)>, ExitCode> {
+    let text = read_file(path)?;
+    let root = parse_toml(&text).map_err(|e| {
+        eprintln!("error: {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    if CampaignSpec::is_campaign(&root) {
+        let campaign = CampaignSpec::from_table(&root).map_err(|e| {
+            eprintln!("error: {path}: {e}");
+            ExitCode::from(2)
+        })?;
+        let cells = campaign.expand().map_err(|e| {
+            eprintln!("error: {path}: {e}");
+            ExitCode::from(2)
+        })?;
+        println!(
+            "[{path}] campaign {:?}: {} cell(s) over {} matrix ax(es), all valid",
+            campaign.name,
+            cells.len(),
+            campaign.axes.len()
+        );
+        Ok(Some((campaign, cells)))
+    } else {
+        let file = ScenarioFile::from_table(&root).map_err(|e| {
+            eprintln!("error: {path}: {e}");
+            ExitCode::from(2)
+        })?;
+        file.validate().map_err(|e| {
+            eprintln!("error: {path}: invalid scenario: {e}");
+            ExitCode::from(2)
+        })?;
+        println!(
+            "[{path}] scenario {:?}: workload {}, {} vnode(s) on {} machine(s), valid",
+            file.spec.name,
+            file.workload.kind(),
+            file.spec.topology.total_nodes(),
+            file.spec.deployment.machines
+        );
+        Ok(None)
+    }
+}
+
+fn run_one(path: &str, args: &Args) -> Result<(), ExitCode> {
+    match load(path)? {
+        None => {
+            // Plain scenario: one run, one report under results/.
+            let text = read_file(path)?;
+            let file = ScenarioFile::parse(&text).expect("validated above");
+            let report = file.workload.run_reported(&file.spec).map_err(|e| {
+                eprintln!("error: {path}: run failed: {e}");
+                ExitCode::from(1)
+            })?;
+            if args.strict && report.outcome != p2plab_sim::RunOutcome::Drained {
+                eprintln!(
+                    "error: {path}: strict mode: outcome was not drained ({:?})",
+                    report.outcome
+                );
+                return Err(ExitCode::from(1));
+            }
+            print!(
+                "{}",
+                render_table(
+                    &format!("scenario {:?}", report.scenario),
+                    &["workload", "outcome", "stopped_at", "events", "vnodes"],
+                    &[vec![
+                        report.workload.clone(),
+                        format!("{:?}", report.outcome),
+                        format!("{:.1}s", report.stopped_at.as_secs_f64()),
+                        format!("{}", report.events_executed),
+                        format!("{}", report.vnodes),
+                    ]],
+                )
+            );
+            write_run_report("", &report);
+            Ok(())
+        }
+        Some((campaign, cells)) => {
+            let threads = args
+                .threads
+                .or(campaign.threads)
+                .unwrap_or_else(default_threads);
+            println!(
+                "[{path}] running {} cell(s) on {} thread(s)",
+                cells.len(),
+                threads
+            );
+            let results = run_campaign(&cells, threads);
+            let mut reports = Vec::with_capacity(cells.len());
+            let mut failed = false;
+            for (cell, result) in cells.iter().zip(results) {
+                match result {
+                    Ok(report) => {
+                        write_run_report_in(
+                            &format!("campaign/{}/{}", campaign.name, cell.label),
+                            "",
+                            &report,
+                        );
+                        reports.push(report);
+                    }
+                    Err(e) => {
+                        eprintln!("error: {path}: {}: run failed: {e}", cell.label);
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                return Err(ExitCode::from(1));
+            }
+            let summary = CampaignSummary::new(&campaign.name, &cells, &reports);
+            let rows: Vec<Vec<String>> = summary
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.label.clone(),
+                        r.overrides
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v}"))
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                        r.workload.clone(),
+                        r.outcome.clone(),
+                        format!("{}", r.events_executed),
+                        format!("{:.4}", r.final_progress),
+                        format!("{:.4}", r.progress_dev_vs_first),
+                    ]
+                })
+                .collect();
+            print!(
+                "{}",
+                render_table(
+                    &format!("campaign {:?}", campaign.name),
+                    &[
+                        "cell",
+                        "overrides",
+                        "workload",
+                        "outcome",
+                        "events",
+                        "progress",
+                        "dev-vs-first",
+                    ],
+                    &rows,
+                )
+            );
+            write_results_file(
+                &format!("campaign/{}/summary.csv", campaign.name),
+                &summary.to_csv(),
+            );
+            write_results_file(
+                &format!("campaign/{}/summary.json", campaign.name),
+                &summary.to_json(),
+            );
+            if args.strict {
+                let undrained: Vec<&str> = summary
+                    .rows
+                    .iter()
+                    .filter(|r| r.outcome != "drained")
+                    .map(|r| r.label.as_str())
+                    .collect();
+                if !undrained.is_empty() {
+                    eprintln!(
+                        "error: {path}: strict mode: cell(s) did not drain: {}",
+                        undrained.join(", ")
+                    );
+                    return Err(ExitCode::from(1));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match args.command.as_str() {
+        "validate" => {
+            for path in &args.files {
+                if let Err(code) = load(path) {
+                    return code;
+                }
+            }
+            println!("all {} file(s) valid", args.files.len());
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            if args.files.len() != 1 {
+                eprintln!("error: `run` expects exactly one file");
+                return usage();
+            }
+            match run_one(&args.files[0], &args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(code) => code,
+            }
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            usage()
+        }
+    }
+}

@@ -36,33 +36,63 @@ pub fn write_run_report(label: &str, report: &RunReport) -> PathBuf {
         &loaded, report,
         "run report drifted through JSON round-trip"
     );
-    let stem: String = format!(
+    let stem = sanitize_stem(&format!(
         "{}{}{}",
         report.scenario,
         if label.is_empty() { "" } else { "-" },
         label
-    )
-    .chars()
-    .map(|c| {
-        if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
-            c
-        } else {
-            '_'
-        }
-    })
-    .collect();
+    ));
     write_results_file(&format!("{stem}.metrics.csv"), &report.scalars_csv());
     write_results_file(&format!("{stem}.report.json"), &json)
 }
 
-/// Writes `contents` into `results/<name>` at the workspace root (creating the directory)
-/// and reports where it went. Figure binaries use this to leave CSV files behind for plotting.
+/// Like [`write_run_report`], but places the artifacts under `results/<subdir>/` (creating the
+/// whole chain of directories). Campaign cells use this to keep each grid cell's report in its
+/// own directory.
+pub fn write_run_report_in(subdir: &str, label: &str, report: &RunReport) -> PathBuf {
+    let json = report.to_json();
+    let loaded = RunReport::from_json(&json).expect("run report JSON must parse back");
+    assert_eq!(
+        &loaded, report,
+        "run report drifted through JSON round-trip"
+    );
+    let stem = sanitize_stem(&format!(
+        "{}{}{}",
+        report.scenario,
+        if label.is_empty() { "" } else { "-" },
+        label
+    ));
+    write_results_file(
+        &format!("{subdir}/{stem}.metrics.csv"),
+        &report.scalars_csv(),
+    );
+    write_results_file(&format!("{subdir}/{stem}.report.json"), &json)
+}
+
+/// Keeps `[A-Za-z0-9._-]` and replaces everything else with `_`, so scenario names can't
+/// escape the results directory or produce awkward filenames.
+fn sanitize_stem(raw: &str) -> String {
+    raw.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes `contents` into `results/<name>` at the workspace root and reports where it went.
+/// `name` may contain `/`-separated subdirectories; every missing parent is created. Figure
+/// binaries use this to leave CSV files behind for plotting.
 pub fn write_results_file(name: &str, contents: &str) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("results");
-    std::fs::create_dir_all(&dir).expect("create results directory");
     let path = dir.join(name);
+    let parent = path.parent().expect("results path has a parent");
+    std::fs::create_dir_all(parent).expect("create results directory");
     let mut f = std::fs::File::create(&path).expect("create results file");
     f.write_all(contents.as_bytes())
         .expect("write results file");
@@ -89,6 +119,17 @@ mod tests {
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(contents.starts_with("a,b"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn results_files_create_missing_parent_dirs() {
+        // Regression: writing into a not-yet-existing subdirectory chain must succeed rather
+        // than panic on File::create.
+        let path = write_results_file("bench_selftest_nested/deeper/file.csv", "a,b\n3,4\n");
+        assert!(path.exists());
+        let root = path.parent().unwrap().parent().unwrap();
+        assert!(root.ends_with("bench_selftest_nested"));
+        std::fs::remove_dir_all(root).ok();
     }
 
     #[test]

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 pub use crate::scenario::ChurnSpec;
 
 /// Description of one BitTorrent swarm experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SwarmExperiment {
     /// Name used in reports.
     pub name: String,

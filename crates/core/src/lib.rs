@@ -48,11 +48,20 @@ pub use report::{
     ascii_plot, points_to_csv, render_table, series_to_csv, ReportError, RunReport,
     RUN_REPORT_SCHEMA,
 };
+pub use scenario::campaign::{
+    default_threads, run_campaign, CampaignCell, CampaignRow, CampaignSpec, CampaignSummary,
+    CAMPAIGN_SCHEMA,
+};
+pub use scenario::dsl::{
+    fmt_duration, link_profile, parse_duration, parse_toml, DslError, ScenarioFile, Spanned,
+    TomlTable, TomlValue, LINK_PROFILES,
+};
 pub use scenario::{
     run_reported, run_scenario, ArrivalProcess, ArrivalSchedule, ArrivalSpec, ChurnSpec,
     ScenarioBuilder, ScenarioError, ScenarioRun, ScenarioSpec, SessionProcess, Workload,
 };
 pub use workloads::{
     DhtLookupResult, DhtLookupSpec, DhtLookupWorkload, GossipResult, GossipSpec, GossipWorkload,
-    MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload, SwarmWorkload,
+    MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload, SwarmWorkload, WorkloadConfig,
+    WORKLOAD_KINDS,
 };

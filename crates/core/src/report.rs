@@ -235,7 +235,7 @@ impl RunReport {
     }
 }
 
-fn outcome_label(o: RunOutcome) -> &'static str {
+pub(crate) fn outcome_label(o: RunOutcome) -> &'static str {
     match o {
         RunOutcome::Drained => "drained",
         RunOutcome::DeadlineReached => "deadline-reached",
@@ -362,7 +362,7 @@ impl std::error::Error for ReportError {}
 
 /// Formats a finite float so it round-trips exactly through parsing (Rust's shortest
 /// round-trip `Display`); non-finite values become `null`.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -375,7 +375,7 @@ fn json_opt_f64(v: Option<f64>) -> String {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

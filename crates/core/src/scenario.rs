@@ -38,6 +38,8 @@
 //! assert!(result.finished);
 //! ```
 
+pub mod campaign;
+pub mod dsl;
 pub mod processes;
 
 use crate::deploy::{deploy, Deployment, DeploymentSpec};
@@ -237,12 +239,21 @@ pub enum ScenarioError {
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScenarioError::NoMachines => write!(f, "scenario needs at least one physical machine"),
-            ScenarioError::EmptyTopology => write!(f, "scenario topology has no virtual nodes"),
-            ScenarioError::ZeroDeadline => write!(f, "scenario deadline must be positive"),
-            ScenarioError::ZeroSampleInterval => {
-                write!(f, "scenario sample interval must be positive")
+            ScenarioError::NoMachines => write!(
+                f,
+                "scenario needs at least one physical machine (deployment.machines = 0)"
+            ),
+            ScenarioError::EmptyTopology => write!(
+                f,
+                "scenario topology has no virtual nodes (topology.nodes = 0)"
+            ),
+            ScenarioError::ZeroDeadline => {
+                write!(f, "scenario deadline must be positive (deadline = 0s)")
             }
+            ScenarioError::ZeroSampleInterval => write!(
+                f,
+                "scenario sample interval must be positive (sample_interval = 0s)"
+            ),
             ScenarioError::DeadlineBeforeArrivalRamp { ramp, deadline } => write!(
                 f,
                 "deadline {deadline} ends before the arrival ramp {ramp} completes"
@@ -873,5 +884,46 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn errors_name_the_offending_field_and_value() {
+        // Every validation error must point at the spec field (in scenario-file terms) and,
+        // where there is one, the offending value — a campaign over dozens of cells is
+        // undebuggable from "must be positive" alone.
+        assert!(ScenarioError::NoMachines
+            .to_string()
+            .contains("deployment.machines = 0"));
+        assert!(ScenarioError::EmptyTopology
+            .to_string()
+            .contains("topology.nodes = 0"));
+        assert!(ScenarioError::ZeroDeadline
+            .to_string()
+            .contains("deadline = 0s"));
+        assert!(ScenarioError::ZeroSampleInterval
+            .to_string()
+            .contains("sample_interval = 0s"));
+        let msg = ScenarioError::DeadlineBeforeArrivalRamp {
+            ramp: SimDuration::from_secs(2),
+            deadline: SimDuration::from_secs(1),
+        }
+        .to_string();
+        assert!(msg.contains("1.000s") && msg.contains("2.000s"), "{msg}");
+        let msg = ScenarioError::InvalidArrivals {
+            reason: "rate must be positive".into(),
+        }
+        .to_string();
+        assert!(msg.contains("arrival") && msg.contains("rate must be positive"));
+        let msg = ScenarioError::InvalidChurn {
+            reason: "shape must exceed 1".into(),
+        }
+        .to_string();
+        assert!(msg.contains("session") && msg.contains("shape must exceed 1"));
+        let msg = ScenarioError::TopologyTooSmall {
+            needed: 5,
+            available: 2,
+        }
+        .to_string();
+        assert!(msg.contains('5') && msg.contains('2'), "{msg}");
     }
 }

@@ -1,0 +1,623 @@
+//! Campaigns: parameter-grid expansion over scenario files, parallel execution and cross-run
+//! aggregation.
+//!
+//! The paper's scalability claim is not about one run but about *sweeps* — the same system
+//! re-run under systematically varied conditions (folding ratios in Figure 9, swarm sizes in
+//! Figure 10). A campaign file is a scenario file (see [`dsl`](crate::scenario::dsl)) plus two
+//! extra sections:
+//!
+//! ```toml
+//! [campaign]
+//! name = "loss-arrival-grid"   # results land under results/campaign/<name>/
+//! threads = 4                  # optional; defaults to the machine's parallelism
+//!
+//! [matrix]                     # dotted scenario paths -> value lists
+//! workload.kind = ["gossip", "ping-mesh"]
+//! topology.loss = [0.0, 0.05]
+//! scenario.seed = [1, 2, 3]
+//! ```
+//!
+//! [`CampaignSpec::expand`] takes the cartesian product of the matrix axes (file order, last
+//! axis fastest), applies each combination to the base scenario table and re-parses it through
+//! the DSL's strict path — so every grid cell is validated before anything runs.
+//! [`run_campaign`] then executes the cells across OS threads. Each cell is an independent
+//! simulation seeded from its own spec, and results are collected *by cell index*, so the
+//! outcome is deterministic regardless of thread count or scheduling; [`CampaignSummary`]
+//! additionally excludes wall-clock fields, making the aggregate artifact byte-identical
+//! between a 1-thread and an N-thread run (pinned by a test).
+
+use crate::analysis::relative_curve_deviation;
+use crate::report::{json_f64, json_str, outcome_label, RunReport};
+use crate::scenario::dsl::{parse_toml, DslError, ScenarioFile, Spanned, TomlTable, TomlValue};
+use crate::scenario::ScenarioError;
+use p2plab_sim::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Schema tag of the campaign summary JSON artifact.
+pub const CAMPAIGN_SCHEMA: &str = "p2plab.campaign.v1";
+
+/// A parsed campaign file: the base scenario table plus the parameter matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (the `results/campaign/<name>/` directory).
+    pub name: String,
+    /// Worker-thread count requested by the file (`None` = pick at run time).
+    pub threads: Option<usize>,
+    /// The scenario sections of the file (everything except `[campaign]` and `[matrix]`).
+    pub base: TomlTable,
+    /// The matrix axes: dotted scenario key path → the values it sweeps over, in file order.
+    pub axes: Vec<(String, Vec<Spanned>)>,
+}
+
+/// One expanded grid cell: a concrete, validated scenario plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Cell index in expansion order (row-major over the axes, last axis fastest).
+    pub index: usize,
+    /// Stable label used for result paths (`cell-00`, `cell-01`, ...).
+    pub label: String,
+    /// The matrix overrides this cell applies, as `(path, rendered value)` pairs.
+    pub overrides: Vec<(String, String)>,
+    /// The concrete scenario.
+    pub file: ScenarioFile,
+}
+
+impl CampaignSpec {
+    /// Parses a campaign file from TOML source.
+    pub fn parse(text: &str) -> Result<CampaignSpec, DslError> {
+        let root = parse_toml(text)?;
+        CampaignSpec::from_table(&root)
+    }
+
+    /// True when a parsed root table is a campaign file (has a `[campaign]` section) rather
+    /// than a plain scenario file.
+    pub fn is_campaign(root: &TomlTable) -> bool {
+        root.get("campaign").is_some()
+    }
+
+    /// Builds a campaign from an already-parsed root table.
+    pub fn from_table(root: &TomlTable) -> Result<CampaignSpec, DslError> {
+        let campaign = match root.get("campaign") {
+            Some(spanned) => match &spanned.value {
+                TomlValue::Table(t) => t,
+                other => {
+                    return Err(DslError {
+                        line: spanned.line,
+                        path: "campaign".into(),
+                        message: format!("expected a table, found {}", other.type_name()),
+                    })
+                }
+            },
+            None => {
+                return Err(DslError {
+                    line: 0,
+                    path: "campaign".into(),
+                    message: "missing required section".into(),
+                })
+            }
+        };
+        let mut sect = super::dsl::Sect::new(campaign, "campaign");
+        let name = sect.req_str("name")?.to_string();
+        let threads = sect.opt_usize("threads")?;
+        sect.finish()?;
+        if let Some(0) = threads {
+            return Err(DslError {
+                line: campaign.line(),
+                path: "campaign.threads".into(),
+                message: "thread count must be positive".into(),
+            });
+        }
+
+        let mut axes = Vec::new();
+        if let Some(spanned) = root.get("matrix") {
+            let matrix = match &spanned.value {
+                TomlValue::Table(t) => t,
+                other => {
+                    return Err(DslError {
+                        line: spanned.line,
+                        path: "matrix".into(),
+                        message: format!("expected a table, found {}", other.type_name()),
+                    })
+                }
+            };
+            flatten_axes(matrix, "matrix", "", &mut axes)?;
+        }
+
+        // The base scenario: everything except the two campaign-only sections.
+        let mut base = TomlTable::default();
+        for (key, value) in root.entries() {
+            if key != "campaign" && key != "matrix" {
+                base.set_path(key, value.clone())?;
+            }
+        }
+        Ok(CampaignSpec {
+            name,
+            threads,
+            base,
+            axes,
+        })
+    }
+
+    /// Number of grid cells the matrix expands to (1 when there is no matrix).
+    pub fn cell_count(&self) -> usize {
+        self.axes.iter().map(|(_, vs)| vs.len()).product()
+    }
+
+    /// Expands the matrix into concrete, **validated** scenarios: for every combination the
+    /// overrides are applied to the base table and the result re-parsed through the DSL's
+    /// strict path, so a bad cell fails here — before anything runs — with its key path.
+    pub fn expand(&self) -> Result<Vec<CampaignCell>, DslError> {
+        let total = self.cell_count();
+        let width = total.saturating_sub(1).to_string().len().max(2);
+        let mut cells = Vec::with_capacity(total);
+        for index in 0..total {
+            // Decompose the cell index into per-axis choices, last axis fastest.
+            let mut rem = index;
+            let mut choice = vec![0usize; self.axes.len()];
+            for (a, (_, values)) in self.axes.iter().enumerate().rev() {
+                choice[a] = rem % values.len();
+                rem /= values.len();
+            }
+            let mut table = self.base.clone();
+            let mut overrides = Vec::with_capacity(self.axes.len());
+            for (a, (path, values)) in self.axes.iter().enumerate() {
+                let value = &values[choice[a]];
+                table.set_path(path, value.clone())?;
+                overrides.push((path.clone(), value.value.render()));
+            }
+            let label = format!("cell-{index:0width$}");
+            let file = ScenarioFile::from_table(&table).map_err(|mut e| {
+                e.message = format!("{label}: {}", e.message);
+                e
+            })?;
+            file.validate().map_err(|e| DslError {
+                line: 0,
+                path: label.clone(),
+                message: format!("invalid scenario: {e}"),
+            })?;
+            cells.push(CampaignCell {
+                index,
+                label,
+                overrides,
+                file,
+            });
+        }
+        Ok(cells)
+    }
+}
+
+/// Recursively flattens the `[matrix]` table into `(dotted path, values)` axes in file order.
+fn flatten_axes(
+    table: &TomlTable,
+    err_prefix: &str,
+    path_prefix: &str,
+    out: &mut Vec<(String, Vec<Spanned>)>,
+) -> Result<(), DslError> {
+    for (key, spanned) in table.entries() {
+        let path = if path_prefix.is_empty() {
+            key.clone()
+        } else {
+            format!("{path_prefix}.{key}")
+        };
+        match &spanned.value {
+            TomlValue::Table(t) => flatten_axes(t, err_prefix, &path, out)?,
+            TomlValue::Array(values) => {
+                if values.is_empty() {
+                    return Err(DslError {
+                        line: spanned.line,
+                        path: format!("{err_prefix}.{path}"),
+                        message: "matrix axis must not be empty".into(),
+                    });
+                }
+                out.push((path, values.clone()));
+            }
+            other => {
+                return Err(DslError {
+                    line: spanned.line,
+                    path: format!("{err_prefix}.{path}"),
+                    message: format!(
+                        "matrix axes must be arrays of values, found {}",
+                        other.type_name()
+                    ),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every cell across `threads` OS worker threads and returns one result per cell, in
+/// **cell order**. Each run is an independent simulation seeded from its own spec, and the
+/// result vector is indexed by cell — never by completion order — so the output is identical
+/// whatever the thread count.
+pub fn run_campaign(
+    cells: &[CampaignCell],
+    threads: usize,
+) -> Vec<Result<RunReport, ScenarioError>> {
+    let threads = threads.clamp(1, cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RunReport, ScenarioError>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(index) else {
+                    return;
+                };
+                let result = cell.file.run();
+                *slots[index].lock().expect("campaign slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("campaign slot poisoned")
+                .expect("every cell index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// The number of worker threads to use when neither the file nor the command line picks one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One row of the cross-run comparison: the deterministic facts of a cell's run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Cell index.
+    pub index: usize,
+    /// Cell label (`cell-00`, ...).
+    pub label: String,
+    /// The cell's matrix overrides, rendered as `path=value` pairs.
+    pub overrides: Vec<(String, String)>,
+    /// Workload kind of the run.
+    pub workload: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Physical machines.
+    pub machines: usize,
+    /// Virtual nodes.
+    pub vnodes: usize,
+    /// Participants.
+    pub participants: usize,
+    /// How the run ended.
+    pub outcome: String,
+    /// Virtual stop time in nanoseconds.
+    pub stopped_at_ns: u64,
+    /// Events executed.
+    pub events_executed: u64,
+    /// Final value of the run's `progress` series.
+    pub final_progress: f64,
+    /// Relative deviation of this cell's progress curve from the first cell of the same
+    /// workload kind (0 for that baseline cell itself) — the campaign-level counterpart of the
+    /// folding-invariance comparison.
+    pub progress_dev_vs_first: f64,
+}
+
+/// The cross-run aggregate of a campaign: one deterministic row per cell.
+///
+/// Wall-clock facts (`wall_secs`, `events_per_sec`) are deliberately excluded — the summary
+/// must be byte-identical between a 1-thread and an N-thread run of the same campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Campaign name.
+    pub campaign: String,
+    /// One row per cell, in cell order.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignSummary {
+    /// Builds the aggregate from the cells and their reports (parallel vectors, cell order).
+    ///
+    /// Per workload kind, the first cell of that kind is the comparison baseline: every other
+    /// cell's `progress` curve is compared against it with
+    /// [`relative_curve_deviation`] on a grid spanning the kind's longest run.
+    pub fn new(campaign: &str, cells: &[CampaignCell], reports: &[RunReport]) -> CampaignSummary {
+        assert_eq!(cells.len(), reports.len(), "one report per cell");
+        let mut rows = Vec::with_capacity(cells.len());
+        for (cell, report) in cells.iter().zip(reports) {
+            let baseline = reports
+                .iter()
+                .find(|r| r.workload == report.workload)
+                .expect("the report itself matches its own kind");
+            let dev = match (
+                baseline.metrics.series("progress"),
+                report.metrics.series("progress"),
+            ) {
+                (Some(base), Some(this)) => {
+                    let end = SimTime::from_nanos(
+                        baseline
+                            .stopped_at
+                            .as_nanos()
+                            .max(report.stopped_at.as_nanos()),
+                    );
+                    let step = SimDuration::from_nanos((end.as_nanos() / 200).max(1));
+                    relative_curve_deviation(base, this, step, end)
+                }
+                _ => 0.0,
+            };
+            let final_progress = report
+                .metrics
+                .series("progress")
+                .and_then(|s| s.last())
+                .map(|(_, v)| v)
+                .unwrap_or(0.0);
+            rows.push(CampaignRow {
+                index: cell.index,
+                label: cell.label.clone(),
+                overrides: cell.overrides.clone(),
+                workload: report.workload.clone(),
+                scenario: report.scenario.clone(),
+                seed: report.seed,
+                machines: report.machines,
+                vnodes: report.vnodes,
+                participants: report.participants,
+                outcome: outcome_label(report.outcome).to_string(),
+                stopped_at_ns: report.stopped_at.as_nanos(),
+                events_executed: report.events_executed,
+                final_progress,
+                progress_dev_vs_first: dev,
+            });
+        }
+        CampaignSummary {
+            campaign: campaign.to_string(),
+            rows,
+        }
+    }
+
+    /// The aggregate as CSV (deterministic: exact integers, shortest round-trip floats).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "cell,overrides,workload,scenario,seed,machines,vnodes,participants,outcome,\
+             stopped_at_ns,events_executed,final_progress,progress_dev_vs_first\n",
+        );
+        for row in &self.rows {
+            let overrides: Vec<String> = row
+                .overrides
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&format!(
+                "{},{:?},{},{},{},{},{},{},{},{},{},{},{}\n",
+                row.label,
+                overrides.join(";").replace('"', "'"),
+                row.workload,
+                row.scenario,
+                row.seed,
+                row.machines,
+                row.vnodes,
+                row.participants,
+                row.outcome,
+                row.stopped_at_ns,
+                row.events_executed,
+                json_f64(row.final_progress),
+                json_f64(row.progress_dev_vs_first),
+            ));
+        }
+        out
+    }
+
+    /// The aggregate as schema-tagged JSON ([`CAMPAIGN_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_str(CAMPAIGN_SCHEMA)));
+        out.push_str(&format!("  \"campaign\": {},\n", json_str(&self.campaign)));
+        out.push_str("  \"cells\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"cell\": {}, ", json_str(&row.label)));
+            out.push_str("\"overrides\": {");
+            for (j, (k, v)) in row.overrides.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_str(k), json_str(v)));
+            }
+            out.push_str("}, ");
+            out.push_str(&format!("\"workload\": {}, ", json_str(&row.workload)));
+            out.push_str(&format!("\"scenario\": {}, ", json_str(&row.scenario)));
+            out.push_str(&format!("\"seed\": {}, ", row.seed));
+            out.push_str(&format!("\"machines\": {}, ", row.machines));
+            out.push_str(&format!("\"vnodes\": {}, ", row.vnodes));
+            out.push_str(&format!("\"participants\": {}, ", row.participants));
+            out.push_str(&format!("\"outcome\": {}, ", json_str(&row.outcome)));
+            out.push_str(&format!("\"stopped_at_ns\": {}, ", row.stopped_at_ns));
+            out.push_str(&format!("\"events_executed\": {}, ", row.events_executed));
+            out.push_str(&format!(
+                "\"final_progress\": {}, ",
+                json_f64(row.final_progress)
+            ));
+            out.push_str(&format!(
+                "\"progress_dev_vs_first\": {}}}",
+                json_f64(row.progress_dev_vs_first)
+            ));
+        }
+        out.push_str(if self.rows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_campaign() -> String {
+        "\
+[campaign]
+name = \"grid\"
+
+[scenario]
+name = \"base\"
+seed = 1
+deadline = \"60s\"
+sample_interval = \"1s\"
+
+[topology]
+link = \"lan-10m\"
+
+[workload]
+kind = \"ping-mesh\"
+
+[workload.ping-mesh]
+nodes = 4
+pattern = \"ring\"
+pings_per_pair = 1
+
+[workload.gossip]
+nodes = 6
+
+[matrix]
+workload.kind = [\"ping-mesh\", \"gossip\"]
+topology.loss = [0.0, 0.05]
+scenario.seed = [1, 2, 3]
+"
+        .to_string()
+    }
+
+    #[test]
+    fn matrix_expands_row_major_with_last_axis_fastest() {
+        let campaign = CampaignSpec::parse(&grid_campaign()).unwrap();
+        assert_eq!(campaign.name, "grid");
+        assert_eq!(campaign.cell_count(), 12);
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells[0].label, "cell-00");
+        assert_eq!(cells[11].label, "cell-11");
+        // Last axis (seed) varies fastest.
+        assert_eq!(cells[0].file.spec.seed, 1);
+        assert_eq!(cells[1].file.spec.seed, 2);
+        assert_eq!(cells[2].file.spec.seed, 3);
+        assert_eq!(cells[3].file.spec.seed, 1);
+        // First axis (workload kind) varies slowest: first 6 cells ping-mesh, last 6 gossip.
+        assert!(cells[..6]
+            .iter()
+            .all(|c| c.file.workload.kind() == "ping-mesh"));
+        assert!(cells[6..]
+            .iter()
+            .all(|c| c.file.workload.kind() == "gossip"));
+        // Loss override reaches the topology.
+        let loss = |c: &CampaignCell| c.file.spec.topology.groups[0].link.loss_rate;
+        assert_eq!(loss(&cells[0]), 0.0);
+        assert_eq!(loss(&cells[3]), 0.05);
+        // Overrides are recorded for provenance.
+        assert_eq!(
+            cells[3].overrides,
+            vec![
+                ("workload.kind".to_string(), "\"ping-mesh\"".to_string()),
+                ("topology.loss".to_string(), "0.05".to_string()),
+                ("scenario.seed".to_string(), "1".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn campaigns_without_matrix_have_one_cell() {
+        let text = grid_campaign();
+        let no_matrix = &text[..text.find("[matrix]").unwrap()];
+        let campaign = CampaignSpec::parse(no_matrix).unwrap();
+        assert_eq!(campaign.cell_count(), 1);
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].overrides.is_empty());
+    }
+
+    #[test]
+    fn expansion_validates_every_cell() {
+        // Sweep the topology down to a size too small for the workload: expansion must fail
+        // with the cell label, before anything runs.
+        let text =
+            grid_campaign().replace("topology.loss = [0.0, 0.05]", "topology.nodes = [2, 64]");
+        let campaign = CampaignSpec::parse(&text).unwrap();
+        let err = campaign.expand().unwrap_err();
+        assert!(err.path.starts_with("cell-"), "{err}");
+        assert!(err.message.contains("invalid scenario"), "{err}");
+    }
+
+    #[test]
+    fn matrix_axes_must_be_non_empty_arrays() {
+        let text = grid_campaign().replace("scenario.seed = [1, 2, 3]", "scenario.seed = []");
+        let err = CampaignSpec::parse(&text).unwrap_err();
+        assert_eq!(err.path, "matrix.scenario.seed");
+        let text = grid_campaign().replace("scenario.seed = [1, 2, 3]", "scenario.seed = 1");
+        let err = CampaignSpec::parse(&text).unwrap_err();
+        assert!(err.message.contains("arrays"), "{err}");
+    }
+
+    #[test]
+    fn missing_campaign_section_is_an_error_and_detectable() {
+        let text = grid_campaign();
+        let scenario_only = text.split_once("[scenario]").unwrap().1;
+        let scenario_only = format!("[scenario]{scenario_only}");
+        let root = parse_toml(&scenario_only).unwrap();
+        assert!(!CampaignSpec::is_campaign(&root));
+        assert!(CampaignSpec::from_table(&root).is_err());
+        let root = parse_toml(&grid_campaign()).unwrap();
+        assert!(CampaignSpec::is_campaign(&root));
+    }
+
+    #[test]
+    fn summary_is_deterministic_across_thread_counts() {
+        // Tiny 4-cell grid (ring mesh, 1 ping per pair) so the pin stays fast.
+        let text = "\
+[campaign]
+name = \"pin\"
+
+[scenario]
+name = \"pin\"
+deadline = \"30s\"
+sample_interval = \"1s\"
+
+[topology]
+link = \"lan-10m\"
+
+[workload]
+kind = \"ping-mesh\"
+
+[workload.ping-mesh]
+nodes = 4
+pattern = \"ring\"
+pings_per_pair = 1
+
+[matrix]
+scenario.seed = [1, 2]
+topology.loss = [0.0, 0.1]
+";
+        let campaign = CampaignSpec::parse(text).unwrap();
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        let single: Vec<RunReport> = run_campaign(&cells, 1)
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let parallel: Vec<RunReport> = run_campaign(&cells, 4)
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let a = CampaignSummary::new(&campaign.name, &cells, &single);
+        let b = CampaignSummary::new(&campaign.name, &cells, &parallel);
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_json(), b.to_json());
+        // The baseline cell's self-deviation is zero; the schema tag is present.
+        assert_eq!(a.rows[0].progress_dev_vs_first, 0.0);
+        assert!(a.to_json().contains(CAMPAIGN_SCHEMA));
+    }
+}

@@ -48,7 +48,7 @@ pub enum DhtBody {
 }
 
 /// Description of a DHT lookup experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DhtLookupSpec {
     /// Name used in reports.
     pub name: String,

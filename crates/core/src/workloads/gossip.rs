@@ -26,7 +26,7 @@ use std::rc::Rc;
 pub const GOSSIP_PORT: u16 = 4100;
 
 /// Description of a gossip experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GossipSpec {
     /// Name used in reports.
     pub name: String,

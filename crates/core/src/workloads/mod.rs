@@ -26,3 +26,84 @@ pub use dht::{
 pub use gossip::{GossipResult, GossipSpec, GossipWorkload, GossipWorld, Rumor, GOSSIP_PORT};
 pub use ping_mesh::{MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload};
 pub use swarm::SwarmWorkload;
+
+use crate::experiment::SwarmExperiment;
+use crate::report::RunReport;
+use crate::scenario::{run_reported, ScenarioError, ScenarioSpec};
+
+/// The kind labels of every first-class workload, in registry order. These are the values a
+/// scenario file's `workload.kind` key accepts and the labels
+/// [`Workload::kind`](crate::scenario::Workload::kind) reports.
+pub const WORKLOAD_KINDS: [&str; 4] = ["swarm", "ping-mesh", "gossip", "dht-lookup"];
+
+/// A workload configuration constructible *by name* — the registry half of the scenario DSL.
+///
+/// [`Workload`](crate::scenario::Workload) has associated types (world, event, output), so the
+/// trait is not object-safe and a scenario file cannot hold a `Box<dyn Workload>`. This enum
+/// closes the gap: one variant per first-class workload, each carrying its spec struct, plus a
+/// uniform [`run_reported`](WorkloadConfig::run_reported) that instantiates the right workload
+/// and returns the run's workload-agnostic [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadConfig {
+    /// The BitTorrent swarm of the paper's evaluation.
+    Swarm(SwarmExperiment),
+    /// The ping-mesh latency probe.
+    PingMesh(PingMeshSpec),
+    /// Epidemic broadcast.
+    Gossip(GossipSpec),
+    /// Kademlia-style iterative DHT lookups.
+    DhtLookup(DhtLookupSpec),
+}
+
+impl WorkloadConfig {
+    /// The workload's kind label (an entry of [`WORKLOAD_KINDS`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadConfig::Swarm(_) => "swarm",
+            WorkloadConfig::PingMesh(_) => "ping-mesh",
+            WorkloadConfig::Gossip(_) => "gossip",
+            WorkloadConfig::DhtLookup(_) => "dht-lookup",
+        }
+    }
+
+    /// Number of virtual nodes the workload needs from the scenario's topology.
+    pub fn vnodes_required(&self) -> usize {
+        match self {
+            WorkloadConfig::Swarm(cfg) => cfg.total_vnodes(),
+            WorkloadConfig::PingMesh(spec) => spec.nodes,
+            WorkloadConfig::Gossip(spec) => spec.nodes,
+            WorkloadConfig::DhtLookup(spec) => spec.nodes,
+        }
+    }
+
+    /// Number of participants driven by the scenario's arrival process.
+    pub fn participants(&self) -> usize {
+        match self {
+            WorkloadConfig::Swarm(cfg) => cfg.leechers,
+            WorkloadConfig::PingMesh(spec) => spec.pair_count(),
+            WorkloadConfig::Gossip(spec) => spec.nodes,
+            WorkloadConfig::DhtLookup(spec) => spec.lookups,
+        }
+    }
+
+    /// Runs the workload under `spec` through the generic
+    /// [`run_reported`] loop and returns the run's
+    /// [`RunReport`]. The workload-specific output is discarded — by-name construction is for
+    /// campaign-style runs where everything that leaves the process goes through the report.
+    pub fn run_reported(&self, spec: &ScenarioSpec) -> Result<RunReport, ScenarioError> {
+        match self {
+            WorkloadConfig::Swarm(cfg) => {
+                run_reported(spec, SwarmWorkload::new(cfg.clone())).map(|(_, r)| r)
+            }
+            WorkloadConfig::PingMesh(p) => {
+                run_reported(spec, PingMeshWorkload::new(p.clone())).map(|(_, r)| r)
+            }
+            WorkloadConfig::Gossip(g) => {
+                run_reported(spec, GossipWorkload::new(g.clone())).map(|(_, r)| r)
+            }
+            WorkloadConfig::DhtLookup(d) => {
+                run_reported(spec, DhtLookupWorkload::new(d.clone())).map(|(_, r)| r)
+            }
+        }
+    }
+}

@@ -27,7 +27,7 @@ pub enum MeshPattern {
 }
 
 /// Description of a ping-mesh experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PingMeshSpec {
     /// Name used in reports.
     pub name: String,
