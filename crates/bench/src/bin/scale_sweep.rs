@@ -223,7 +223,7 @@ fn fig10_pin(smoke: bool) -> RunReport {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let sweep_start = Instant::now();
+    let sweep_start = Instant::now(); // lint:allow(wall-clock) — the sweep's wall cap is real time by definition
     let mut rows: Vec<SweepRow> = Vec::new();
 
     for nodes in [1_000, 10_000] {

@@ -69,7 +69,7 @@ impl Tracker {
     }
 
     /// Handles an announce and returns the peer list for the response.
-    #[allow(clippy::too_many_arguments)] // mirrors the announce request's field list
+    #[allow(clippy::too_many_arguments)] // lint:allow(bare-allow) — mirrors the announce request's field list
     pub fn handle_announce(
         &mut self,
         now: SimTime,

@@ -57,8 +57,7 @@ use crate::workloads::{
 };
 use p2plab_bittorrent::ClientConfig;
 use p2plab_net::{AccessLinkClass, NetworkConfig, TopologySpec};
-use p2plab_sim::SimDuration;
-use std::collections::HashSet;
+use p2plab_sim::{FxHashSet, SimDuration};
 use std::fmt;
 
 /// A parse or schema error in a scenario (or campaign) file, carrying the line number and the
@@ -233,7 +232,7 @@ pub fn parse_toml(text: &str) -> Result<TomlTable, DslError> {
         line: 1,
     };
     let mut root = TomlTable::default();
-    let mut headers_seen: HashSet<String> = HashSet::new();
+    let mut headers_seen: FxHashSet<String> = FxHashSet::default();
     // Dotted path of the table current `key = value` lines land in ([] = root).
     let mut current: Vec<String> = Vec::new();
 
@@ -662,7 +661,7 @@ fn utf8_len(first: u8) -> usize {
 pub(crate) struct Sect<'a> {
     table: &'a TomlTable,
     path: String,
-    used: HashSet<&'a str>,
+    used: FxHashSet<&'a str>,
 }
 
 impl<'a> Sect<'a> {
@@ -670,7 +669,7 @@ impl<'a> Sect<'a> {
         Sect {
             table,
             path: path.into(),
-            used: HashSet::new(),
+            used: FxHashSet::default(),
         }
     }
 

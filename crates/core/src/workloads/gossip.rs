@@ -16,10 +16,10 @@ use p2plab_net::{
     Endpoint, NetHost, NetSim, NetStats, Network, SocketAddr, TransportEvent, VNodeId,
 };
 use p2plab_sim::{
-    schedule_periodic, Counter, Gauge, Recorder, RunOutcome, SimDuration, SimTime, TimeSeries,
+    schedule_periodic, Counter, FxHashMap, Gauge, Recorder, RunOutcome, SimDuration, SimTime,
+    TimeSeries,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// The UDP-like port the gossip protocol runs on.
@@ -82,7 +82,7 @@ pub struct GossipWorld {
     rumor_bytes: u64,
     fanout: usize,
     round_interval: SimDuration,
-    vnode_index: HashMap<VNodeId, usize>,
+    vnode_index: FxHashMap<VNodeId, usize>,
 }
 
 impl GossipWorld {

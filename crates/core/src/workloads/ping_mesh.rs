@@ -13,7 +13,9 @@ use crate::deploy::Deployment;
 use crate::scenario::{ArrivalSchedule, ArrivalSpec, ScenarioRun, Workload};
 use p2plab_net::ping::{ping, PingWorld};
 use p2plab_net::{NetSim, NetStats, Network, VNodeId};
-use p2plab_sim::{HistogramId, Recorder, RunOutcome, SimDuration, SimTime, Summary, TimeSeries};
+use p2plab_sim::{
+    FxHashMap, HistogramId, Recorder, RunOutcome, SimDuration, SimTime, Summary, TimeSeries,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which ordered pairs of nodes probe each other.
@@ -271,7 +273,7 @@ impl Workload for PingMeshWorkload {
         let probes_scheduled = self.spec.expected_probes();
         // A full mesh produces O(n^2) replies; resolve origins through a map rather than a
         // per-reply linear scan of the vnode list.
-        let vnode_index: std::collections::HashMap<VNodeId, usize> = self
+        let vnode_index: FxHashMap<VNodeId, usize> = self
             .vnodes
             .iter()
             .take(self.spec.nodes)

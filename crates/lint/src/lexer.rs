@@ -1,0 +1,544 @@
+//! A hand-rolled, panic-free lexer for the subset of Rust surface syntax the lint rules need.
+//!
+//! The rules only look at identifier/punctuation streams and comments, but getting *those*
+//! right requires lexing everything that can hide them: raw strings (`r#"…"#` with any hash
+//! count) that may contain `//` or `#[allow`, nested block comments, char literals vs
+//! lifetimes (`'a'` vs `'a`), byte/raw-byte strings and raw identifiers. The lexer therefore
+//! tokenizes the full file and classifies every byte: rules then walk the non-trivia tokens
+//! while waiver scanning walks the comments.
+//!
+//! Guarantees (property-tested in `tests/prop_lexer.rs`):
+//!
+//! * lexing never panics, whatever the input — unterminated literals and comments run to end
+//!   of file, unknown characters become one-char [`TokenKind::Unknown`] tokens;
+//! * token spans tile the input exactly: they are strictly increasing, non-overlapping, always
+//!   on `char` boundaries, and the gaps between consecutive tokens are pure whitespace.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `use`, `HashMap`).
+    Ident,
+    /// A raw identifier (`r#match`).
+    RawIdent,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A char literal (`'a'`, `'\n'`, `'\u{1F980}'`).
+    CharLit,
+    /// A byte literal (`b'a'`).
+    ByteLit,
+    /// A string literal (`"…"`, `b"…"`).
+    StrLit,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`) — comments inside are text.
+    RawStrLit,
+    /// A numeric literal (`42`, `0xff`, `1.5e-3`, `34_059_056u64`).
+    NumLit,
+    /// A non-doc line comment (`// …`) — the only place waivers live.
+    LineComment,
+    /// A doc line comment (`/// …`, `//! …`).
+    DocLineComment,
+    /// A block comment (`/* … */`, nesting handled) — doc or not.
+    BlockComment,
+    /// A single punctuation character (`#`, `[`, `:`, …).
+    Punct,
+    /// Anything the lexer does not recognize — one char, never fatal.
+    Unknown,
+}
+
+impl TokenKind {
+    /// Whether this token is trivia (comments) rather than code the rules match on.
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment | TokenKind::DocLineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// One lexed token: kind plus byte span and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (always a `char` boundary).
+    pub start: usize,
+    /// Byte offset one past the last byte (always a `char` boundary).
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within its source file.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Internal cursor over `(byte offset, char)` pairs; all indexing is by char position, so
+/// spans always land on `char` boundaries.
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Current char index.
+    pos: usize,
+    /// Current 1-based line.
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the char at `pos + ahead`, or end-of-input.
+    fn offset(&self, ahead: usize) -> usize {
+        self.chars
+            .get(self.pos + ahead)
+            .map(|&(o, _)| o)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Advances by `n` chars, tracking line numbers.
+    fn bump(&mut self, n: usize) {
+        for _ in 0..n {
+            if let Some(&(_, c)) = self.chars.get(self.pos) {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+/// Lexes `src` into a complete token stream (code + comment trivia, whitespace omitted).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while !cur.at_end() {
+        let c = cur.peek(0).expect("not at end");
+        if c.is_whitespace() {
+            cur.bump(1);
+            continue;
+        }
+        let start = cur.offset(0);
+        let line = cur.line;
+        let kind = lex_one(&mut cur, c);
+        let end = cur.offset(0);
+        debug_assert!(end > start, "lexer must always make progress");
+        tokens.push(Token {
+            kind,
+            start,
+            end,
+            line,
+        });
+    }
+    tokens
+}
+
+/// Lexes one token starting at the cursor (first char `c`), advancing past it.
+fn lex_one(cur: &mut Cursor, c: char) -> TokenKind {
+    match c {
+        '/' => match cur.peek(1) {
+            Some('/') => lex_line_comment(cur),
+            Some('*') => lex_block_comment(cur),
+            _ => {
+                cur.bump(1);
+                TokenKind::Punct
+            }
+        },
+        '\'' => lex_quote(cur),
+        '"' => lex_string(cur),
+        'r' => lex_r_prefixed(cur),
+        'b' => lex_b_prefixed(cur),
+        _ if is_ident_start(c) => lex_ident(cur),
+        _ if c.is_ascii_digit() => lex_number(cur),
+        _ if c.is_ascii_punctuation() => {
+            cur.bump(1);
+            TokenKind::Punct
+        }
+        _ => {
+            cur.bump(1);
+            TokenKind::Unknown
+        }
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> TokenKind {
+    // `///` (but not `////`) and `//!` are doc comments; everything else is plain.
+    let doc = match (cur.peek(2), cur.peek(3)) {
+        (Some('!'), _) => true,
+        (Some('/'), Some('/')) => false,
+        (Some('/'), _) => true,
+        _ => false,
+    };
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        cur.bump(1);
+    }
+    if doc {
+        TokenKind::DocLineComment
+    } else {
+        TokenKind::LineComment
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> TokenKind {
+    cur.bump(2); // `/*`
+    let mut depth = 1usize;
+    while depth > 0 && !cur.at_end() {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump(2);
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump(2);
+            }
+            _ => cur.bump(1),
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// A `'` starts either a lifetime or a char literal; disambiguate like rustc does: an
+/// identifier after the quote is a char literal only if it is closed by another `'`.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    match cur.peek(1) {
+        None => {
+            cur.bump(1);
+            TokenKind::Unknown
+        }
+        Some('\\') => {
+            // Escaped char literal: consume the escaped char itself (it may be `'`), then
+            // scan to the closing quote on this line.
+            cur.bump(2);
+            if cur.peek(0).is_some_and(|c| c != '\n') {
+                cur.bump(1);
+            }
+            scan_char_tail(cur);
+            TokenKind::CharLit
+        }
+        Some('\'') => {
+            // `''` — invalid Rust, but lex it as an (empty) char literal and move on.
+            cur.bump(2);
+            TokenKind::CharLit
+        }
+        Some(ch) if is_ident_start(ch) => {
+            // `'abc` — count the identifier run, then look for a closing quote.
+            let mut len = 1;
+            while cur.peek(1 + len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if cur.peek(1 + len) == Some('\'') {
+                cur.bump(1 + len + 1);
+                TokenKind::CharLit
+            } else {
+                cur.bump(1 + len);
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // `'+'`, `'0'`, `' '` … one char then hopefully a closing quote.
+            cur.bump(2);
+            if cur.peek(0) == Some('\'') {
+                cur.bump(1);
+            }
+            TokenKind::CharLit
+        }
+    }
+}
+
+/// After the opening of an escaped char literal: consume to the closing `'` (or end of line —
+/// unterminated literals must not swallow the rest of the file).
+fn scan_char_tail(cur: &mut Cursor) {
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            return;
+        }
+        if c == '\\' {
+            cur.bump(2);
+            continue;
+        }
+        cur.bump(1);
+        if c == '\'' {
+            return;
+        }
+    }
+}
+
+/// A `"`-delimited string with `\"`/`\\` escapes; unterminated runs to end of file.
+fn lex_string(cur: &mut Cursor) -> TokenKind {
+    cur.bump(1);
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump(2);
+            continue;
+        }
+        cur.bump(1);
+        if c == '"' {
+            break;
+        }
+    }
+    TokenKind::StrLit
+}
+
+/// `r` starts a raw string (`r"…"`, `r#"…"#`), a raw identifier (`r#match`) or a plain
+/// identifier (`retry`).
+fn lex_r_prefixed(cur: &mut Cursor) -> TokenKind {
+    let mut hashes = 0;
+    while cur.peek(1 + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(1 + hashes) == Some('"') {
+        cur.bump(1); // `r`
+        lex_raw_string_body(cur, hashes);
+        TokenKind::RawStrLit
+    } else if hashes >= 1 && cur.peek(2).is_some_and(is_ident_start) {
+        cur.bump(2); // `r#`
+        consume_ident(cur);
+        TokenKind::RawIdent
+    } else {
+        lex_ident(cur)
+    }
+}
+
+/// `b` starts a byte literal (`b'a'`), byte string (`b"…"`), raw byte string (`br#"…"#`) or a
+/// plain identifier.
+fn lex_b_prefixed(cur: &mut Cursor) -> TokenKind {
+    match cur.peek(1) {
+        Some('\'') => {
+            cur.bump(1); // `b`
+            lex_quote(cur);
+            TokenKind::ByteLit
+        }
+        Some('"') => {
+            cur.bump(1);
+            lex_string(cur)
+        }
+        Some('r') => {
+            let mut hashes = 0;
+            while cur.peek(2 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(2 + hashes) == Some('"') {
+                cur.bump(2); // `br`
+                lex_raw_string_body(cur, hashes);
+                TokenKind::RawStrLit
+            } else {
+                lex_ident(cur)
+            }
+        }
+        _ => lex_ident(cur),
+    }
+}
+
+/// At the `#…#"` part of a raw string (cursor on the first `#` or the quote): consume hashes,
+/// the opening quote, and the body up to `"` followed by `hashes` `#`s (or end of file).
+fn lex_raw_string_body(cur: &mut Cursor, hashes: usize) {
+    cur.bump(hashes + 1); // `#…#"`
+    while let Some(c) = cur.peek(0) {
+        cur.bump(1);
+        if c == '"' && (0..hashes).all(|i| cur.peek(i) == Some('#')) {
+            cur.bump(hashes);
+            return;
+        }
+    }
+}
+
+fn consume_ident(cur: &mut Cursor) {
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump(1);
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> TokenKind {
+    cur.bump(1);
+    consume_ident(cur);
+    TokenKind::Ident
+}
+
+/// Numbers: integers with base prefixes and `_` separators, floats with exponents, type
+/// suffixes. Greedy and forgiving — the rules never look inside numbers, they just must not
+/// break the stream.
+fn lex_number(cur: &mut Cursor) -> TokenKind {
+    let mut last = '0';
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            last = c;
+            cur.bump(1);
+        } else if c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            // `1.5` but not the range `1..5`.
+            last = c;
+            cur.bump(1);
+        } else if (c == '+' || c == '-')
+            && (last == 'e' || last == 'E')
+            && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            // `1e-5`: the sign belongs to the exponent.
+            last = c;
+            cur.bump(1);
+        } else {
+            break;
+        }
+    }
+    TokenKind::NumLit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_hides_comments_and_attributes() {
+        let src = r####"let s = r#"// not a comment #[allow(dead_code)]"#;"####;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStrLit && t.contains("#[allow")));
+        assert!(!toks.iter().any(|(k, _)| k.is_trivia()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 3, "{toks:?}"); // <'a>, &'a, 'static
+        assert_eq!(chars, vec![&(TokenKind::CharLit, "'a'".to_string())]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["'\\n'", "'\\''", "'\\\\'", "'\\u{1F980}'", "'\\x41'"] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0], (TokenKind::CharLit, src.to_string()));
+        }
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        let src = r##"let a = b'x'; let b = b"bytes"; let c = br#"raw "quoted""#;"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::ByteLit && t == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStrLit && t.starts_with("br#")));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = kinds("let r#match = r#type;");
+        let raws: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::RawIdent)
+            .collect();
+        assert_eq!(raws.len(), 2);
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let toks = kinds("/// doc\n//! inner\n// plain\n//// not doc\nx");
+        let got: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::DocLineComment,
+                TokenKind::DocLineComment,
+                TokenKind::LineComment,
+                TokenKind::LineComment,
+                TokenKind::Ident,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n\n  c";
+        let toks = lex(src);
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated",
+            "'",
+            "b'",
+        ] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src}");
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+
+    #[test]
+    fn numbers_with_separators_and_exponents() {
+        for src in ["34_059_056", "0xff_u64", "1.5e-3", "1e9", "2.0f64"] {
+            let toks = kinds(src);
+            assert_eq!(toks, vec![(TokenKind::NumLit, src.to_string())], "{src}");
+        }
+        // Ranges must not be swallowed by float scanning.
+        let toks = kinds("1..10");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0], (TokenKind::NumLit, "1".into()));
+        assert_eq!(toks[3], (TokenKind::NumLit, "10".into()));
+    }
+}

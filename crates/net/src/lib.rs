@@ -52,6 +52,7 @@ pub use ping::{ping, ping_series, PingPayload, PingWorld, ECHO_PORT};
 pub use pipe::{DropReason, EnqueueOutcome, Pipe, PipeConfig, PipeId, PipeStats};
 pub use rpc::{RpcConfig, RpcHost, RpcId, RpcOutcome, RpcPayload, RpcStats, RpcTable};
 pub use topology::{AccessLinkClass, GroupId, GroupSpec, TopologySpec};
+// lint:allow(bare-allow) — re-exporting the frozen compat surface trips its own deprecation
 #[allow(deprecated)]
-pub use transport::{close, connect, listen, send, send_datagram};
-pub use transport::{InFlight, NetEvent, NetHost, NetSim, SockEvent, TransportEvent};
+pub use transport::{close, connect, listen, send, send_datagram}; // lint:allow(deprecated-socket) — this is the frozen compat re-export itself
+pub use transport::{InFlight, NetEvent, NetHost, NetSim, SockEvent, TransportEvent}; // lint:allow(deprecated-socket) — `SockEvent` stays exported for legacy worlds

@@ -20,7 +20,8 @@ use crate::topology::{GroupId, GroupSpec, TopologySpec};
 use p2plab_os::SyscallCostModel;
 use p2plab_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+// lint:allow(nondet-hash) — every instantiation pins `BuildHasherDefault<PathKeyHasher>`, a fixed deterministic hasher
+use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
 /// Index of a physical machine in the network.
@@ -186,7 +187,7 @@ pub struct MachineNet {
     /// NIC receive pipe.
     pub nic_rx: PipeId,
     /// Groups that already have their inter-group rules installed on this machine.
-    group_rules_installed: HashSet<GroupId>,
+    group_rules_installed: FxHashSet<GroupId>,
     /// Memoized per-path classifications (lazily rebuilt per firewall version).
     path_memo: PathMemo,
 }
@@ -405,7 +406,7 @@ impl Network {
             firewall: Firewall::new(self.config.per_rule_cost),
             nic_tx,
             nic_rx,
-            group_rules_installed: HashSet::new(),
+            group_rules_installed: FxHashSet::default(),
             path_memo: PathMemo::default(),
         });
         MachineId(self.machines.len() - 1)

@@ -9,8 +9,7 @@ use crate::addr::SocketAddr;
 use crate::endpoint::Endpoint;
 use crate::network::{Network, VNodeId};
 use crate::transport::{NetHost, NetSim, TransportEvent};
-use p2plab_sim::{SimDuration, SimTime, Simulation};
-use std::collections::HashMap;
+use p2plab_sim::{FxHashMap, SimDuration, SimTime, Simulation};
 
 /// The ICMP-like echo port.
 pub const ECHO_PORT: u16 = 7;
@@ -36,7 +35,7 @@ pub struct PingWorld {
     pub net: Network,
     /// Completed round trips: `(pinging node, rtt)`.
     pub rtts: Vec<(VNodeId, SimDuration)>,
-    pending: HashMap<u64, (VNodeId, SimTime)>,
+    pending: FxHashMap<u64, (VNodeId, SimTime)>,
     next_seq: u64,
     packet_size: u64,
 }
@@ -48,7 +47,7 @@ impl PingWorld {
         PingWorld {
             net,
             rtts: Vec::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             next_seq: 0,
             packet_size,
         }

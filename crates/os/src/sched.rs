@@ -17,9 +17,8 @@
 //! [`Machine`](crate::machine::Machine) integrates those rates between events.
 
 use crate::process::SimProcess;
-use p2plab_sim::SimRng;
+use p2plab_sim::{FxBuildHasher, FxHashMap, SimRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Which scheduler a machine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -154,8 +153,8 @@ impl SchedulerModel {
         procs: &[&SimProcess],
         cores: usize,
         core_speed: f64,
-    ) -> HashMap<crate::process::Pid, f64> {
-        let mut rates = HashMap::with_capacity(procs.len());
+    ) -> FxHashMap<crate::process::Pid, f64> {
+        let mut rates = FxHashMap::with_capacity_and_hasher(procs.len(), FxBuildHasher::default());
         if procs.is_empty() || cores == 0 || core_speed <= 0.0 {
             return rates;
         }
@@ -194,7 +193,7 @@ fn fair_share(
     procs: &[&SimProcess],
     capacity: f64,
     per_proc_cap: f64,
-    rates: &mut HashMap<crate::process::Pid, f64>,
+    rates: &mut FxHashMap<crate::process::Pid, f64>,
 ) {
     let mut remaining: Vec<&SimProcess> = procs.to_vec();
     let mut capacity_left = capacity;

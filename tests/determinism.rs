@@ -1,0 +1,44 @@
+//! Runtime determinism smoke: the dynamic complement of the `p2plab-lint` static pass.
+//!
+//! The lint proves the *absence of known nondeterminism sources* (process-seeded hash maps,
+//! wall-clock reads); this test checks the property those rules protect on a real run: the
+//! same scenario cell with the same seed, executed twice in one process, produces
+//! byte-identical `RunReport` metric output. Wall-clock fields (`wall_secs`,
+//! `events_per_sec`) are the two sanctioned nondeterministic fields — they are zeroed before
+//! comparison, exactly as the campaign summary excludes them.
+
+use p2plab::core::{CampaignSpec, RunReport};
+use std::path::PathBuf;
+
+fn ci_smoke() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/campaigns/ci_smoke.toml");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Zeroes the two wall-clock-derived fields; everything else must match to the byte.
+fn canonical_bytes(mut report: RunReport) -> String {
+    report.wall_secs = 0.0;
+    report.events_per_sec = 0.0;
+    report.to_json()
+}
+
+/// Runs the first cell of the CI smoke campaign twice in-process with the same seed: event
+/// counts, stop time, outcome and the full metric set must serialize identically.
+#[test]
+fn same_seed_same_cell_yields_identical_report_bytes() {
+    let campaign = CampaignSpec::parse(&ci_smoke()).expect("ci_smoke parses");
+    let cells = campaign.expand().expect("ci_smoke expands");
+    let cell = &cells[0];
+
+    let first = cell.file.run().expect("first run");
+    let second = cell.file.run().expect("second run");
+
+    assert!(first.events_executed > 0, "smoke cell must execute events");
+    let a = canonical_bytes(first);
+    let b = canonical_bytes(second);
+    assert!(
+        a == b,
+        "two same-seed runs of cell `{}` diverged — a nondeterminism source escaped the lint",
+        cell.label
+    );
+}

@@ -1,0 +1,77 @@
+//! The workspace lint gate, as a test: the tree as committed must be lint-clean, and the
+//! checked-in baseline of grandfathered violations must be exactly what `baseline` would
+//! regenerate — a stale baseline (fixed violation, renamed file, drifted message) fails here
+//! loudly instead of silently widening the gate.
+
+use std::path::Path;
+
+fn root() -> &'static Path {
+    // The facade crate's manifest dir *is* the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// `cargo run -p p2plab-lint -- check` must exit 0 on the committed tree: every violation is
+/// either fixed, waived inline with a reason, or grandfathered in `lint.baseline`.
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = p2plab_lint::check_workspace(root()).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "lint violations in the committed tree:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The committed `lint.baseline` equals the regenerated one byte for byte. The gate is
+/// ratchet-only: when a grandfathered violation is fixed, this test forces the baseline entry
+/// to be deleted in the same commit (and nobody can hand-add entries that do not match real
+/// findings).
+#[test]
+fn lint_baseline_is_in_sync() {
+    let committed = std::fs::read_to_string(root().join(p2plab_lint::BASELINE_FILE))
+        .expect("lint.baseline is checked in");
+    let regenerated = p2plab_lint::baseline_workspace(root()).expect("walk workspace");
+    assert_eq!(
+        committed, regenerated,
+        "lint.baseline is stale — run `cargo run -p p2plab-lint -- baseline --write`"
+    );
+}
+
+/// A wrong `--root` (no Rust sources found) is an error, not a silently clean run — otherwise
+/// a typo'd path in CI would pass the gate forever.
+#[test]
+fn empty_root_is_an_error_not_clean() {
+    let err = p2plab_lint::check_workspace(Path::new("/nonexistent-p2plab-root"))
+        .expect_err("empty walk must not report clean");
+    assert!(err.to_string().contains("no Rust sources"), "{err}");
+}
+
+/// The gate actually bites: injecting a `std::collections::HashMap` use into a sim-path
+/// crate's sources produces a `nondet-hash` diagnostic at the right file and line.
+#[test]
+fn injected_violation_is_caught() {
+    let mut files = p2plab_lint::collect_sources(root()).expect("walk workspace");
+    for f in &mut files {
+        if f.path == "crates/net/src/addr.rs" {
+            f.text.push_str("\nuse std::collections::HashMap;\n");
+        }
+    }
+    let line = files
+        .iter()
+        .find(|f| f.path == "crates/net/src/addr.rs")
+        .expect("addr.rs exists")
+        .text
+        .lines()
+        .count();
+    let baseline = std::fs::read_to_string(root().join(p2plab_lint::BASELINE_FILE)).unwrap();
+    let diags = p2plab_lint::check_sources(&files, &baseline);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "nondet-hash");
+    assert_eq!(diags[0].file, "crates/net/src/addr.rs");
+    assert_eq!(diags[0].line, line);
+    assert_eq!(p2plab_lint::exit_code(&diags), 10);
+}
