@@ -11,11 +11,13 @@
 //! * `validate <file>...` — parse and validate each file (scenario or campaign, detected by
 //!   the presence of a `[campaign]` section), expanding campaign grids so every cell is
 //!   checked, without running anything.
-//! * `run <file> [--threads N] [--strict]` — run the file. A plain scenario writes one
-//!   `RunReport` under `results/`; a campaign runs its grid across worker threads and writes
-//!   one report per cell under `results/campaign/<name>/<cell>/` plus the cross-run
-//!   `summary.csv` / `summary.json` aggregate. `--strict` additionally fails the process if
-//!   any cell ends in an outcome other than `drained`.
+//! * `run <file> [--threads N] [--strict] [--cell <label>]` — run the file. A plain scenario
+//!   writes one `RunReport` under `results/`; a campaign runs its grid across worker threads
+//!   and writes one report per cell under `results/campaign/<name>/<cell>/` plus the
+//!   cross-run `summary.csv` / `summary.json` aggregate. `--strict` additionally fails the
+//!   process if any cell ends in an outcome other than `drained`. `--cell cell-03` re-runs a
+//!   single grid cell (refreshing its per-cell report but leaving the full-grid summary
+//!   untouched) — the fast loop when one cell of a large sweep needs another look.
 //!
 //! Exit codes: `0` success, `1` a run failed (or `--strict` outcome check), `2` usage, parse
 //! or validation error.
@@ -32,11 +34,12 @@ struct Args {
     files: Vec<String>,
     threads: Option<usize>,
     strict: bool,
+    cell: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: campaign validate <file.toml>...\n       campaign run <file.toml> [--threads N] [--strict]"
+        "usage: campaign validate <file.toml>...\n       campaign run <file.toml> [--threads N] [--strict] [--cell <label>]"
     );
     ExitCode::from(2)
 }
@@ -51,6 +54,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         files: Vec::new(),
         threads: None,
         strict: false,
+        cell: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -65,6 +69,13 @@ fn parse_args() -> Result<Args, ExitCode> {
                 }
             }
             "--strict" => parsed.strict = true,
+            "--cell" => match args.next() {
+                Some(label) => parsed.cell = Some(label),
+                None => {
+                    eprintln!("error: --cell expects a cell label (e.g. cell-03)");
+                    return Err(usage());
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other}");
                 return Err(usage());
@@ -133,6 +144,10 @@ fn load(path: &str) -> Result<Option<(CampaignSpec, Vec<p2plab_core::CampaignCel
 fn run_one(path: &str, args: &Args) -> Result<(), ExitCode> {
     match load(path)? {
         None => {
+            if args.cell.is_some() {
+                eprintln!("error: {path}: --cell only applies to campaign files");
+                return Err(ExitCode::from(2));
+            }
             // Plain scenario: one run, one report under results/.
             let text = read_file(path)?;
             let file = ScenarioFile::parse(&text).expect("validated above");
@@ -165,6 +180,27 @@ fn run_one(path: &str, args: &Args) -> Result<(), ExitCode> {
             Ok(())
         }
         Some((campaign, cells)) => {
+            // --cell: re-run just the named grid cell, refreshing its per-cell report without
+            // touching the full-grid summary artifacts.
+            let cells = match &args.cell {
+                None => cells,
+                Some(label) => {
+                    let selected: Vec<p2plab_core::CampaignCell> = cells
+                        .iter()
+                        .filter(|c| &c.label == label)
+                        .cloned()
+                        .collect();
+                    if selected.is_empty() {
+                        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+                        eprintln!(
+                            "error: {path}: no cell labeled {label:?} (cells: {})",
+                            labels.join(", ")
+                        );
+                        return Err(ExitCode::from(2));
+                    }
+                    selected
+                }
+            };
             let threads = args
                 .threads
                 .or(campaign.threads)
@@ -232,14 +268,20 @@ fn run_one(path: &str, args: &Args) -> Result<(), ExitCode> {
                     &rows,
                 )
             );
-            write_results_file(
-                &format!("campaign/{}/summary.csv", campaign.name),
-                &summary.to_csv(),
-            );
-            write_results_file(
-                &format!("campaign/{}/summary.json", campaign.name),
-                &summary.to_json(),
-            );
+            if args.cell.is_none() {
+                write_results_file(
+                    &format!("campaign/{}/summary.csv", campaign.name),
+                    &summary.to_csv(),
+                );
+                write_results_file(
+                    &format!("campaign/{}/summary.json", campaign.name),
+                    &summary.to_json(),
+                );
+            } else {
+                println!(
+                    "(--cell run: per-cell report refreshed, full-grid summary left untouched)"
+                );
+            }
             if args.strict {
                 let undrained: Vec<&str> = summary
                     .rows

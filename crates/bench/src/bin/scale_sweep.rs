@@ -1,6 +1,7 @@
 //! The standing scale/performance baseline: swarm, ping-mesh and gossip scenarios at
-//! 10^3–10^5 virtual nodes, each emitting its `RunReport` under `results/` and summarized as
-//! `results/scale_sweep.csv`.
+//! 10^3–10^5 virtual nodes — plus the protocol-depth A/B (`figure10-proto-*`: the fig10 swarm
+//! under burst loss with fragmentation active, legacy vs AIMD congestion control) — each
+//! emitting its `RunReport` under `results/` and summarized as `results/scale_sweep.csv`.
 //!
 //! ```text
 //! # full sweep (1k/10k/50k gossip, 1k/10k mesh and swarm, fig10 throughput pin):
@@ -22,7 +23,7 @@ use p2plab_core::{
     GossipWorkload, PingMeshSpec, PingMeshWorkload, RunReport, ScenarioBuilder, SwarmExperiment,
     SwarmWorkload,
 };
-use p2plab_net::{AccessLinkClass, TopologySpec};
+use p2plab_net::{AccessLinkClass, BurstLoss, CcKind, LinkCondition, TopologySpec};
 use p2plab_sim::{RunOutcome, SimDuration};
 use std::time::Instant;
 
@@ -221,6 +222,41 @@ fn fig10_pin(smoke: bool) -> RunReport {
     report
 }
 
+/// The protocol-depth A/B on the fig10 configuration: the same swarm at 1/50 scale with the
+/// transport layer active (1500-byte MTU fragmentation, ack bitfields) over burst-conditioned
+/// access links, run once per congestion controller. Rides next to the untouched fig10 pin in
+/// the same sweep — proof that the legacy wire path the pin depends on and the protocol-depth
+/// path coexist, and a standing record of what each controller costs under burst loss.
+fn fig10_proto(kind: CcKind, smoke: bool) -> RunReport {
+    let mut cfg = SwarmExperiment::paper_figure10(0.02);
+    cfg.name = format!("figure10-proto-{}", kind.name());
+    // A 2 MiB file keeps the A/B affordable: AIMD reads the Gilbert–Elliott bursts as
+    // congestion and throttles to a small window, so full-size fig10 transfers would dominate
+    // the sweep's wall time without changing the comparison.
+    cfg.file_bytes = 2 * 1024 * 1024;
+    cfg.deadline = SimDuration::from_secs(20_000);
+    cfg.link = cfg.link.with_condition(Some(
+        LinkCondition::none().with_burst(BurstLoss::new(0.02, 0.25, 0.9)),
+    ));
+    let mut scenario = cfg.to_scenario();
+    scenario.network.transport.mtu = Some(1500);
+    scenario.network.transport.congestion = kind;
+    if smoke {
+        scenario.event_budget = Some(120_000_000);
+    }
+    let leechers = cfg.leechers;
+    let (result, report) = run_reported(&scenario, SwarmWorkload::new(cfg)).expect("proto runs");
+    let fraction = result.completed as f64 / leechers as f64;
+    assert!(
+        fraction >= 0.99,
+        "fig10-proto-{} swarm only {:.2}% complete: {}",
+        kind.name(),
+        fraction * 100.0,
+        result.summary()
+    );
+    report
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sweep_start = Instant::now(); // lint:allow(wall-clock) — the sweep's wall cap is real time by definition
@@ -244,6 +280,10 @@ fn main() {
     }
     let fig10 = fig10_pin(smoke);
     record(&mut rows, "swarm", fig10.vnodes, &fig10);
+    for kind in [CcKind::Legacy, CcKind::Aimd] {
+        let report = fig10_proto(kind, smoke);
+        record(&mut rows, "swarm-proto", report.vnodes, &report);
+    }
 
     // Summary table + CSV artifact.
     let table_rows: Vec<Vec<String>> = rows

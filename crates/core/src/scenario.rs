@@ -451,6 +451,9 @@ struct TransportCounters {
     retransmits: Counter,
     datagrams_dropped: Counter,
     rpc_timeouts: Counter,
+    fragments_sent: Counter,
+    reassembly_timeouts: Counter,
+    selective_retransmits: Counter,
 }
 
 impl TransportCounters {
@@ -459,6 +462,9 @@ impl TransportCounters {
             retransmits: rec.counter("retransmits"),
             datagrams_dropped: rec.counter("datagrams_dropped"),
             rpc_timeouts: rec.counter("rpc_timeouts"),
+            fragments_sent: rec.counter("fragments_sent"),
+            reassembly_timeouts: rec.counter("reassembly_timeouts"),
+            selective_retransmits: rec.counter("selective_retransmits"),
         }
     }
 
@@ -466,6 +472,9 @@ impl TransportCounters {
         rec.set_total(self.retransmits, stats.retransmissions);
         rec.set_total(self.datagrams_dropped, stats.datagrams_dropped);
         rec.set_total(self.rpc_timeouts, stats.rpc_timeouts);
+        rec.set_total(self.fragments_sent, stats.fragments_sent);
+        rec.set_total(self.reassembly_timeouts, stats.reassembly_timeouts);
+        rec.set_total(self.selective_retransmits, stats.selective_retransmits);
     }
 }
 
@@ -597,6 +606,7 @@ fn run_scenario_inner<W: Workload + 'static>(
     // workload record through the same instance.
     let recorder: Rc<RefCell<Recorder>> = Rc::new(RefCell::new(Recorder::new()));
     let progress_id = recorder.borrow_mut().time_series("progress");
+    let cwnd_id = recorder.borrow_mut().time_series("cwnd_mean_bytes");
     let transport_counters = TransportCounters::register(&mut recorder.borrow_mut());
     workload.setup_metrics(&mut recorder.borrow_mut());
 
@@ -621,6 +631,11 @@ fn run_scenario_inner<W: Workload + 'static>(
             let progress = workload.sample(now, world, rec);
             rec.push(progress_id, now, progress);
             transport_counters.sync(W::network(world).stats(), rec);
+            // Congestion-window trajectory, sampled only when the protocol-depth layer has
+            // live connections (the series stays empty on legacy-path runs).
+            if let Some(cwnd) = W::network(world).cwnd_mean_bytes() {
+                rec.push(cwnd_id, now, cwnd as f64);
+            }
             if let Some(m) = monitor.borrow_mut().as_mut() {
                 m.record(now, W::network(world), rec);
             }
@@ -646,6 +661,9 @@ fn run_scenario_inner<W: Workload + 'static>(
         let progress = workload.sample(stopped_at, &world, rec);
         rec.push(progress_id, stopped_at, progress);
         transport_counters.sync(W::network(&world).stats(), rec);
+        if let Some(cwnd) = W::network(&world).cwnd_mean_bytes() {
+            rec.push(cwnd_id, stopped_at, cwnd as f64);
+        }
     }
 
     let monitor = monitor.borrow_mut().take();

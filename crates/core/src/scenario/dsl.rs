@@ -7,7 +7,7 @@
 //! here can lean on a real deserializer) that turns a scenario file into exactly the structs
 //! the existing [`ScenarioBuilder`](crate::scenario::ScenarioBuilder) pipeline runs.
 //!
-//! A scenario file has up to five sections:
+//! A scenario file has up to seven sections:
 //!
 //! ```toml
 //! [scenario]          # name, seed, deadline, sample_interval, machines, event budgets
@@ -19,6 +19,16 @@
 //! [topology]          # link profile (or explicit rates), loss, node count
 //! link = "dsl-8m"
 //! loss = 0.01
+//!
+//! [topology.condition] # optional link conditioner (or `preset = "<name>"`)
+//! jitter = "3ms"
+//! burst_enter = 0.05
+//! burst_exit = 0.25
+//! burst_loss = 0.9
+//!
+//! [transport]         # optional protocol depth: MTU fragmentation + congestion control
+//! mtu = 1500
+//! congestion = "aimd"
 //!
 //! [workload]          # which workload runs; params live in [workload.<kind>]
 //! kind = "gossip"
@@ -56,7 +66,9 @@ use crate::workloads::{
     DhtLookupSpec, GossipSpec, MeshPattern, PingMeshSpec, WorkloadConfig, WORKLOAD_KINDS,
 };
 use p2plab_bittorrent::ClientConfig;
-use p2plab_net::{AccessLinkClass, NetworkConfig, TopologySpec};
+use p2plab_net::{
+    AccessLinkClass, BurstLoss, CcKind, LinkCondition, NetworkConfig, TopologySpec, TransportConfig,
+};
 use p2plab_sim::{FxHashSet, SimDuration};
 use std::fmt;
 
@@ -918,12 +930,160 @@ pub fn link_profile(name: &str) -> Option<AccessLinkClass> {
     }
 }
 
-/// The profile name whose base rates/latency match `link` (ignoring loss), if any.
+/// The profile name whose base rates/latency match `link` (ignoring loss and conditioner), if
+/// any.
 fn profile_of(link: AccessLinkClass) -> Option<&'static str> {
     LINK_PROFILES.iter().copied().find(|&name| {
         let p = link_profile(name).expect("LINK_PROFILES entries all resolve");
         p.down_bps == link.down_bps && p.up_bps == link.up_bps && p.latency == link.latency
     })
+}
+
+/// The named link-conditioner presets a `[topology.condition]` section can reference with
+/// `preset = "<name>"` instead of spelling out every knob.
+pub const CONDITION_PRESETS: [&str; 4] = ["clean", "jittery-dsl", "burst-loss", "jitter-burst"];
+
+/// Resolves a named conditioner preset to its [`LinkCondition`], if the name is known.
+pub fn condition_preset(name: &str) -> Option<LinkCondition> {
+    match name {
+        // No conditioning at all — the baseline value a campaign matrix sweeps against.
+        "clean" => Some(LinkCondition::none()),
+        // Wide uniform jitter, as seen on loaded consumer uplinks.
+        "jittery-dsl" => Some(LinkCondition::none().with_jitter(SimDuration::from_millis(5))),
+        // Gilbert–Elliott bursts: rare entry, short bad periods, near-total loss inside them.
+        "burst-loss" => Some(LinkCondition::none().with_burst(BurstLoss::new(0.02, 0.25, 0.9))),
+        // Both at once — the hostile-path profile the protocol-depth demos use.
+        "jitter-burst" => Some(
+            LinkCondition::none()
+                .with_jitter(SimDuration::from_millis(3))
+                .with_burst(BurstLoss::new(0.05, 0.25, 0.9)),
+        ),
+        _ => None,
+    }
+}
+
+/// Checks a probability knob is within `[0, 1]` before it reaches a builder that would panic.
+fn check_rate(rate: f64, line: usize, path: &str) -> Result<(), DslError> {
+    if (0.0..=1.0).contains(&rate) {
+        Ok(())
+    } else {
+        Err(DslError::new(
+            line,
+            path,
+            format!("rate must be within [0, 1], got {rate}"),
+        ))
+    }
+}
+
+/// Parses a `[topology.condition]` section into a [`LinkCondition`]. A `preset` key is
+/// exclusive with the explicit knobs; the three `burst_*` keys come as a full set or not at
+/// all.
+fn parse_condition(table: &TomlTable) -> Result<LinkCondition, DslError> {
+    let mut s = Sect::new(table, "topology.condition");
+    if let Some(name) = s.opt_str("preset")? {
+        let preset = condition_preset(name).ok_or_else(|| {
+            DslError::new(
+                table.get("preset").map(|v| v.line).unwrap_or(table.line()),
+                "topology.condition.preset",
+                format!(
+                    "unknown condition preset {name:?} (known: {})",
+                    CONDITION_PRESETS.join(", ")
+                ),
+            )
+        })?;
+        // `finish` rejects any explicit knob next to the preset.
+        s.finish()?;
+        return Ok(preset);
+    }
+    let mut c = LinkCondition::none();
+    if let Some(jitter) = s.opt_duration("jitter")? {
+        c = c.with_jitter(jitter);
+    }
+    let reorder_rate = s.opt_f64("reorder_rate")?;
+    let reorder_delay = s.opt_duration("reorder_delay")?;
+    match (reorder_rate, reorder_delay) {
+        (None, None) => {}
+        (Some(rate), Some(delay)) => {
+            check_rate(rate, table.line(), "topology.condition.reorder_rate")?;
+            c = c.with_reorder(rate, delay);
+        }
+        _ => {
+            return Err(DslError::new(
+                table.line(),
+                "topology.condition",
+                "reorder_rate and reorder_delay must be given together",
+            ))
+        }
+    }
+    if let Some(rate) = s.opt_f64("duplicate_rate")? {
+        check_rate(rate, table.line(), "topology.condition.duplicate_rate")?;
+        c = c.with_duplication(rate);
+    }
+    let burst_enter = s.opt_f64("burst_enter")?;
+    let burst_exit = s.opt_f64("burst_exit")?;
+    let burst_loss = s.opt_f64("burst_loss")?;
+    match (burst_enter, burst_exit, burst_loss) {
+        (None, None, None) => {}
+        (Some(enter), Some(exit), Some(loss)) => {
+            check_rate(enter, table.line(), "topology.condition.burst_enter")?;
+            check_rate(exit, table.line(), "topology.condition.burst_exit")?;
+            check_rate(loss, table.line(), "topology.condition.burst_loss")?;
+            c = c.with_burst(BurstLoss::new(enter, exit, loss));
+        }
+        _ => {
+            return Err(DslError::new(
+                table.line(),
+                "topology.condition",
+                "burst_enter, burst_exit and burst_loss must be given together",
+            ))
+        }
+    }
+    s.finish()?;
+    Ok(c)
+}
+
+/// The smallest MTU a `[transport]` section may configure: below this, the 8-byte fragment
+/// header dominates every frame and 16-bit fragment counts overflow on realistic messages.
+pub const MIN_MTU: u64 = 64;
+
+/// Parses a `[transport]` section into a [`TransportConfig`].
+fn parse_transport(table: &TomlTable) -> Result<TransportConfig, DslError> {
+    let mut s = Sect::new(table, "transport");
+    let mut cfg = TransportConfig::default();
+    if let Some(mtu) = s.opt_u64("mtu")? {
+        if mtu < MIN_MTU {
+            return Err(DslError::new(
+                table.get("mtu").map(|v| v.line).unwrap_or(table.line()),
+                "transport.mtu",
+                format!("mtu must be at least {MIN_MTU} bytes, got {mtu}"),
+            ));
+        }
+        cfg.mtu = Some(mtu);
+    }
+    if let Some(name) = s.opt_str("congestion")? {
+        cfg.congestion = CcKind::parse(name).ok_or_else(|| {
+            DslError::new(
+                table
+                    .get("congestion")
+                    .map(|v| v.line)
+                    .unwrap_or(table.line()),
+                "transport.congestion",
+                format!("unknown congestion controller {name:?} (known: legacy, aimd)"),
+            )
+        })?;
+    }
+    if let Some(timeout) = s.opt_duration("reassembly_timeout")? {
+        if timeout == SimDuration::ZERO {
+            return Err(DslError::new(
+                table.line(),
+                "transport.reassembly_timeout",
+                "reassembly timeout must be positive",
+            ));
+        }
+        cfg.reassembly_timeout = timeout;
+    }
+    s.finish()?;
+    Ok(cfg)
 }
 
 /// A fully parsed scenario file: the [`ScenarioSpec`] plus the workload to run under it.
@@ -978,6 +1138,10 @@ impl ScenarioFile {
         let latency = topology.opt_duration("latency")?;
         let loss = topology.opt_f64("loss")?.unwrap_or(0.0);
         let nodes = topology.opt_usize("nodes")?;
+        let condition = match topology.sub_table("condition")? {
+            None => None,
+            Some(t) => Some(parse_condition(t)?),
+        };
         topology.finish()?;
         if !(0.0..=1.0).contains(&loss) {
             return Err(DslError::new(
@@ -1013,7 +1177,13 @@ impl ScenarioFile {
                 ))
             }
         };
-        let link = base_link.with_loss(loss);
+        let link = base_link.with_loss(loss).with_condition(condition);
+
+        // [transport] (optional)
+        let transport = match top.sub_table("transport")? {
+            None => TransportConfig::default(),
+            Some(t) => parse_transport(t)?,
+        };
 
         // [workload] + [workload.<kind>]
         let workload_table = top
@@ -1070,7 +1240,7 @@ impl ScenarioFile {
                     seed,
                 };
                 p.finish()?;
-                WorkloadConfig::Swarm(cfg)
+                WorkloadConfig::Swarm(Box::new(cfg))
             }
             "ping-mesh" => {
                 let mut p = Sect::new(params, path.clone());
@@ -1097,6 +1267,7 @@ impl ScenarioFile {
                         .opt_duration("stagger")?
                         .unwrap_or(SimDuration::from_millis(1)),
                     packet_bytes: p.opt_u64("packet_bytes")?.unwrap_or(56),
+                    settle: p.opt_duration("settle")?,
                 };
                 p.finish()?;
                 WorkloadConfig::PingMesh(spec)
@@ -1156,7 +1327,10 @@ impl ScenarioFile {
             name: name.clone(),
             topology: TopologySpec::uniform(&name, nodes, link),
             deployment: crate::deploy::DeploymentSpec::new(machines),
-            network: NetworkConfig::default(),
+            network: NetworkConfig {
+                transport,
+                ..NetworkConfig::default()
+            },
             arrivals,
             sessions,
             deadline,
@@ -1191,7 +1365,8 @@ impl ScenarioFile {
 
     /// Serializes the scenario back as TOML the parser reads into an equal [`ScenarioFile`]
     /// (the round-trip property the DSL tests pin). Only DSL-expressible scenarios are
-    /// supported: a single-group uniform topology, default network config and client config.
+    /// supported: a single-group uniform topology, a network config that is default apart from
+    /// its `[transport]` section, and default client config.
     pub fn to_toml(&self) -> String {
         let spec = &self.spec;
         let mut out = String::with_capacity(1024);
@@ -1233,6 +1408,48 @@ impl ScenarioFile {
         if link.loss_rate != 0.0 {
             out.push_str(&format!("loss = {}\n", fmt_float(link.loss_rate)));
         }
+        if let Some(c) = link.condition {
+            out.push_str("\n[topology.condition]\n");
+            if c.jitter != SimDuration::ZERO {
+                out.push_str(&format!("jitter = \"{}\"\n", fmt_duration(c.jitter)));
+            }
+            if c.reorder_rate != 0.0 {
+                out.push_str(&format!("reorder_rate = {}\n", fmt_float(c.reorder_rate)));
+                out.push_str(&format!(
+                    "reorder_delay = \"{}\"\n",
+                    fmt_duration(c.reorder_delay)
+                ));
+            }
+            if c.duplicate_rate != 0.0 {
+                out.push_str(&format!(
+                    "duplicate_rate = {}\n",
+                    fmt_float(c.duplicate_rate)
+                ));
+            }
+            if let Some(b) = c.burst {
+                out.push_str(&format!("burst_enter = {}\n", fmt_float(b.enter)));
+                out.push_str(&format!("burst_exit = {}\n", fmt_float(b.exit)));
+                out.push_str(&format!("burst_loss = {}\n", fmt_float(b.loss)));
+            }
+        }
+
+        let transport = spec.network.transport;
+        if transport != TransportConfig::default() {
+            out.push_str("\n[transport]\n");
+            if let Some(mtu) = transport.mtu {
+                out.push_str(&format!("mtu = {mtu}\n"));
+            }
+            if transport.congestion != CcKind::Legacy {
+                out.push_str(&format!("congestion = {:?}\n", transport.congestion.name()));
+            }
+            let default_timeout = TransportConfig::default().reassembly_timeout;
+            if transport.reassembly_timeout != default_timeout {
+                out.push_str(&format!(
+                    "reassembly_timeout = \"{}\"\n",
+                    fmt_duration(transport.reassembly_timeout)
+                ));
+            }
+        }
 
         out.push_str("\n[workload]\n");
         out.push_str(&format!("kind = {:?}\n", self.workload.kind()));
@@ -1264,6 +1481,9 @@ impl ScenarioFile {
                 out.push_str(&format!("interval = \"{}\"\n", fmt_duration(p.interval)));
                 out.push_str(&format!("stagger = \"{}\"\n", fmt_duration(p.stagger)));
                 out.push_str(&format!("packet_bytes = {}\n", p.packet_bytes));
+                if let Some(settle) = p.settle {
+                    out.push_str(&format!("settle = \"{}\"\n", fmt_duration(settle)));
+                }
             }
             WorkloadConfig::Gossip(g) => {
                 out.push_str(&format!("nodes = {}\n", g.nodes));
@@ -1376,6 +1596,21 @@ impl ScenarioFile {
 fn parse_arrivals(table: &TomlTable) -> Result<ArrivalSpec, DslError> {
     let mut s = Sect::new(table, "arrivals");
     let kind = s.req_str("kind")?;
+    // Campaign matrices sweep `arrivals.kind` over one shared section (the same convention as
+    // `workload.kind` and its subtables), so every kind's parameter keys are legal here; only
+    // the selected kind's keys are actually read. The key sets are disjoint, so a typo still
+    // fails as an unknown key.
+    for key in [
+        "rate",
+        "start",
+        "interval",
+        "trickle_rate",
+        "trigger",
+        "burst_rate",
+        "times",
+    ] {
+        s.mark_used(key);
+    }
     let spec = match kind {
         "poisson" => ArrivalSpec::Poisson {
             rate: s.req_f64("rate")?,
@@ -1779,6 +2014,100 @@ leechers = 12
         assert_eq!(file.workload.vnodes_required(), 15);
         let reparsed = ScenarioFile::parse(&file.to_toml()).unwrap();
         assert_eq!(reparsed, file);
+    }
+
+    #[test]
+    fn condition_and_transport_sections_round_trip() {
+        let text = minimal_gossip()
+            + "[topology.condition]\n\
+               jitter = \"3ms\"\n\
+               reorder_rate = 0.02\n\
+               reorder_delay = \"10ms\"\n\
+               duplicate_rate = 0.01\n\
+               burst_enter = 0.05\n\
+               burst_exit = 0.25\n\
+               burst_loss = 0.9\n\
+               [transport]\n\
+               mtu = 1500\n\
+               congestion = \"aimd\"\n\
+               reassembly_timeout = \"10s\"\n";
+        let file = ScenarioFile::parse(&text).unwrap();
+        let link = file.spec.topology.groups[0].link;
+        let c = link.condition.expect("condition was configured");
+        assert_eq!(c.jitter, SimDuration::from_millis(3));
+        assert_eq!(c.reorder_rate, 0.02);
+        assert_eq!(c.duplicate_rate, 0.01);
+        let b = c.burst.expect("burst was configured");
+        assert_eq!((b.enter, b.exit, b.loss), (0.05, 0.25, 0.9));
+        let t = file.spec.network.transport;
+        assert_eq!(t.mtu, Some(1500));
+        assert_eq!(t.congestion, CcKind::Aimd);
+        assert_eq!(t.reassembly_timeout, SimDuration::from_secs(10));
+        assert!(t.active());
+        let reparsed = ScenarioFile::parse(&file.to_toml()).unwrap();
+        assert_eq!(reparsed, file);
+    }
+
+    #[test]
+    fn condition_presets_resolve_and_round_trip() {
+        for name in CONDITION_PRESETS {
+            let preset = condition_preset(name).unwrap_or_else(|| panic!("{name}"));
+            let text = minimal_gossip() + &format!("[topology.condition]\npreset = {name:?}\n");
+            let file = ScenarioFile::parse(&text).unwrap();
+            // Inert presets ("clean") normalize away; real ones survive verbatim.
+            let want = if preset.is_noop() { None } else { Some(preset) };
+            assert_eq!(file.spec.topology.groups[0].link.condition, want);
+            let reparsed = ScenarioFile::parse(&file.to_toml()).unwrap();
+            assert_eq!(reparsed, file);
+        }
+        let text = minimal_gossip() + "[topology.condition]\npreset = \"solar-flare\"\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "topology.condition.preset");
+        for name in CONDITION_PRESETS {
+            assert!(err.message.contains(name), "{err}");
+        }
+        // A preset cannot be combined with explicit knobs.
+        let text =
+            minimal_gossip() + "[topology.condition]\npreset = \"burst-loss\"\njitter = \"1ms\"\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert!(err.message.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn condition_rejects_partial_groups_and_bad_rates() {
+        let text = minimal_gossip() + "[topology.condition]\nreorder_rate = 0.1\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert!(err.message.contains("together"), "{err}");
+        let text = minimal_gossip() + "[topology.condition]\nburst_enter = 0.1\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert!(err.message.contains("together"), "{err}");
+        let text = minimal_gossip() + "[topology.condition]\nduplicate_rate = 1.5\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "topology.condition.duplicate_rate");
+    }
+
+    #[test]
+    fn transport_rejects_tiny_mtu_and_unknown_controller() {
+        let text = minimal_gossip() + "[transport]\nmtu = 16\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "transport.mtu");
+        assert!(err.message.contains("at least 64"), "{err}");
+        let text = minimal_gossip() + "[transport]\ncongestion = \"bbr\"\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "transport.congestion");
+        assert!(err.message.contains("legacy, aimd"), "{err}");
+        let text = minimal_gossip() + "[transport]\nreassembly_timeout = \"0s\"\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "transport.reassembly_timeout");
+    }
+
+    #[test]
+    fn default_transport_section_is_not_emitted() {
+        let file = ScenarioFile::parse(&minimal_gossip()).unwrap();
+        assert_eq!(file.spec.network.transport, TransportConfig::default());
+        let toml = file.to_toml();
+        assert!(!toml.contains("[transport]"), "{toml}");
+        assert!(!toml.contains("[topology.condition]"), "{toml}");
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub const WORKLOAD_KINDS: [&str; 4] = ["swarm", "ping-mesh", "gossip", "dht-look
 /// and returns the run's workload-agnostic [`RunReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadConfig {
-    /// The BitTorrent swarm of the paper's evaluation.
-    Swarm(SwarmExperiment),
+    /// The BitTorrent swarm of the paper's evaluation (boxed: the spec embeds the full
+    /// access-link class and dwarfs the other variants).
+    Swarm(Box<SwarmExperiment>),
     /// The ping-mesh latency probe.
     PingMesh(PingMeshSpec),
     /// Epidemic broadcast.
@@ -93,7 +94,7 @@ impl WorkloadConfig {
     pub fn run_reported(&self, spec: &ScenarioSpec) -> Result<RunReport, ScenarioError> {
         match self {
             WorkloadConfig::Swarm(cfg) => {
-                run_reported(spec, SwarmWorkload::new(cfg.clone())).map(|(_, r)| r)
+                run_reported(spec, SwarmWorkload::new(cfg.as_ref().clone())).map(|(_, r)| r)
             }
             WorkloadConfig::PingMesh(p) => {
                 run_reported(spec, PingMeshWorkload::new(p.clone())).map(|(_, r)| r)

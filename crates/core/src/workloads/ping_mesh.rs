@@ -46,6 +46,11 @@ pub struct PingMeshSpec {
     pub stagger: SimDuration,
     /// Echo payload size in bytes (a standard ping carries 56).
     pub packet_bytes: u64,
+    /// Give up on unanswered probes this long after the last scheduled request, letting the
+    /// run drain instead of waiting out the deadline. `None` (the default) keeps the original
+    /// semantics: the run completes only when every probe is answered. Set it on lossy or
+    /// burst-conditioned links, where some echoes never come back.
+    pub settle: Option<SimDuration>,
 }
 
 impl PingMeshSpec {
@@ -61,6 +66,7 @@ impl PingMeshSpec {
             interval: SimDuration::from_secs(1),
             stagger: SimDuration::from_millis(1),
             packet_bytes: 56,
+            settle: None,
         }
     }
 
@@ -181,6 +187,11 @@ pub struct PingMeshWorkload {
     /// RTTs already recorded into the histogram (`world.rtts` is append-only, so this is a
     /// high-water mark).
     rtts_recorded: usize,
+    /// When the last echo request fires (known once arrivals are scheduled) — the anchor for
+    /// the optional settle grace.
+    last_probe_at: SimTime,
+    /// Set by `sample` once the settle grace has elapsed; unanswered probes are then lost.
+    settled: bool,
 }
 
 impl PingMeshWorkload {
@@ -191,6 +202,8 @@ impl PingMeshWorkload {
             vnodes: Vec::new(),
             rtt_hist: None,
             rtts_recorded: 0,
+            last_probe_at: SimTime::ZERO,
+            settled: false,
         }
     }
 
@@ -240,6 +253,7 @@ impl Workload for PingMeshWorkload {
             let start = arrivals.get(pair_idx).unwrap_or(SimTime::ZERO);
             for round in 0..self.spec.pings_per_pair {
                 let at = start + self.spec.interval * round as u64;
+                self.last_probe_at = self.last_probe_at.max(at);
                 sim.schedule_at(at, move |sim| ping(sim, from, to));
             }
         }
@@ -255,18 +269,21 @@ impl Workload for PingMeshWorkload {
         self.rtt_hist = Some(rec.histogram("rtt_secs"));
     }
 
-    fn sample(&mut self, _now: SimTime, world: &PingWorld, rec: &mut Recorder) -> f64 {
+    fn sample(&mut self, now: SimTime, world: &PingWorld, rec: &mut Recorder) -> f64 {
         if let Some(h) = self.rtt_hist {
             for &(_, rtt) in &world.rtts[self.rtts_recorded..] {
                 rec.record(h, rtt.as_secs_f64());
             }
             self.rtts_recorded = world.rtts.len();
         }
+        if let Some(grace) = self.spec.settle {
+            self.settled |= now >= self.last_probe_at + grace;
+        }
         world.rtts.len() as f64
     }
 
     fn is_complete(&self, world: &PingWorld) -> bool {
-        world.rtts.len() >= self.spec.expected_probes()
+        world.rtts.len() >= self.spec.expected_probes() || self.settled
     }
 
     fn finalize(self, world: PingWorld, run: ScenarioRun) -> PingMeshResult {

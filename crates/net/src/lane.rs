@@ -59,6 +59,15 @@ impl LaneKind {
         }
     }
 
+    /// The lane's index into per-lane state arrays (matches [`LaneKind::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            LaneKind::ReliableOrdered => 0,
+            LaneKind::ReliableUnordered => 1,
+            LaneKind::UnreliableUnordered => 2,
+        }
+    }
+
     /// Whether frames on this lane are retransmitted after a drop.
     pub fn reliable(self) -> bool {
         !matches!(self, LaneKind::UnreliableUnordered)

@@ -15,6 +15,8 @@
 //! * [`transport`] — the frame-level data plane walking the emulated path;
 //! * [`lane`], [`endpoint`] — the node-facing session API: per-vnode [`Endpoint`] handles,
 //!   connections carrying typed [`LaneKind`] lanes;
+//! * [`proto`] — protocol depth under the lanes: MTU fragmentation, ack-bitfield
+//!   reliability, pluggable congestion control and composable link conditioners;
 //! * [`rpc`] — typed request/response calls with timeout and bounded retries over the
 //!   unreliable lane;
 //! * [`intercept`] — the BINDIP libc shim and its cost model;
@@ -34,6 +36,7 @@ pub mod lane;
 pub mod network;
 pub mod ping;
 pub mod pipe;
+pub mod proto;
 pub mod rpc;
 pub mod topology;
 pub mod transport;
@@ -50,6 +53,10 @@ pub use network::{
 };
 pub use ping::{ping, ping_series, PingPayload, PingWorld, ECHO_PORT};
 pub use pipe::{DropReason, EnqueueOutcome, Pipe, PipeConfig, PipeId, PipeStats};
+pub use proto::{
+    Aimd, BurstLoss, CcKind, CongestionController, FragHeader, Legacy, LinkCondition,
+    TransportConfig,
+};
 pub use rpc::{RpcConfig, RpcHost, RpcId, RpcOutcome, RpcPayload, RpcStats, RpcTable};
 pub use topology::{AccessLinkClass, GroupId, GroupSpec, TopologySpec};
 // lint:allow(bare-allow) — re-exporting the frozen compat surface trips its own deprecation

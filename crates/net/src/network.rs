@@ -16,6 +16,7 @@ use crate::firewall::{Classification, Direction, Firewall, PathKeyHasher, PipeLi
 use crate::iface::Interface;
 use crate::intercept::InterceptConfig;
 use crate::pipe::{Pipe, PipeConfig, PipeId};
+use crate::proto::{CongestionController, ProtoConn, TransportConfig};
 use crate::topology::{GroupId, GroupSpec, TopologySpec};
 use p2plab_os::SyscallCostModel;
 use p2plab_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
@@ -56,6 +57,9 @@ pub struct NetworkConfig {
     pub syscalls: SyscallCostModel,
     /// libc-interception configuration (BINDIP shim).
     pub intercept: InterceptConfig,
+    /// Protocol-depth configuration: MTU fragmentation, ack-bitfield reliability and the
+    /// congestion controller (see [`crate::proto`]). The default is entirely inert.
+    pub transport: TransportConfig,
 }
 
 impl Default for NetworkConfig {
@@ -69,6 +73,7 @@ impl Default for NetworkConfig {
             max_attempts: 16,
             syscalls: SyscallCostModel::freebsd_opteron(),
             intercept: InterceptConfig::enabled(),
+            transport: TransportConfig::default(),
         }
     }
 }
@@ -286,6 +291,15 @@ pub struct NetStats {
     pub rpc_timeouts: u64,
     /// Application bytes delivered.
     pub bytes_delivered: u64,
+    /// Fragments released to the wire by the protocol layer (see [`crate::proto`]).
+    pub fragments_sent: u64,
+    /// Incomplete reassemblies discarded after the reassembly timeout.
+    pub reassembly_timeouts: u64,
+    /// Individual lost fragments retransmitted by the protocol layer (only the missing
+    /// fragments are resent, never the whole message).
+    pub selective_retransmits: u64,
+    /// Acknowledgement frames sent by receivers on reliable lanes.
+    pub acks_sent: u64,
 }
 
 /// Errors from network construction or transport calls.
@@ -344,6 +358,10 @@ pub struct Network {
     pub(crate) conns: Vec<Connection>,
     next_ephemeral: u16,
     pub(crate) stats: NetStats,
+    /// Protocol-layer state per connection, keyed by id. A side table (rather than fields on
+    /// [`Connection`], which is `Copy` and widely passed by value) populated lazily on first
+    /// protocol activity.
+    pub(crate) proto: FxHashMap<ConnId, ProtoConn>,
 }
 
 impl Network {
@@ -360,6 +378,7 @@ impl Network {
             conns: Vec::new(),
             next_ephemeral: 49152,
             stats: NetStats::default(),
+            proto: FxHashMap::default(),
         }
     }
 
@@ -497,12 +516,14 @@ impl Network {
         let up_pipe = self.add_pipe(
             PipeConfig::shaped(link.up_bps, link.latency)
                 .with_loss(link.loss_rate)
-                .with_queue_limit(None),
+                .with_queue_limit(None)
+                .with_condition(link.condition),
         );
         let down_pipe = self.add_pipe(
             PipeConfig::shaped(link.down_bps, link.latency)
                 .with_loss(link.loss_rate)
-                .with_queue_limit(None),
+                .with_queue_limit(None)
+                .with_condition(link.condition),
         );
         let id = VNodeId(self.vnodes.len());
         {
@@ -636,6 +657,33 @@ impl Network {
     /// Mutable connection lookup.
     pub(crate) fn connection_mut(&mut self, id: ConnId) -> Option<&mut Connection> {
         self.conns.get_mut(id.0 as usize)
+    }
+
+    /// Whether the protocol layer (fragmentation, acks, congestion control) is switched on.
+    pub fn transport_active(&self) -> bool {
+        self.config.transport.active()
+    }
+
+    /// The protocol-layer state of a connection, created on first access with the configured
+    /// congestion controller.
+    pub(crate) fn proto_mut(&mut self, id: ConnId) -> &mut ProtoConn {
+        let kind = self.config.transport.congestion;
+        self.proto.entry(id).or_insert_with(|| ProtoConn::new(kind))
+    }
+
+    /// Mean congestion window over every direction of every connection with protocol state,
+    /// in bytes (`None` when no protocol state exists — e.g. the legacy path). The metric
+    /// behind the recorder's `cwnd_mean_bytes` time series.
+    pub fn cwnd_mean_bytes(&self) -> Option<u64> {
+        let mut sum = 0u128;
+        let mut n = 0u128;
+        for conn in self.proto.values() {
+            for half in &conn.halves {
+                sum += u128::from(half.cc.cwnd_bytes());
+                n += 1;
+            }
+        }
+        (n > 0).then(|| u64::try_from(sum / n).unwrap_or(u64::MAX))
     }
 
     /// Number of connections ever created.

@@ -9,6 +9,7 @@
 //! `max(arrival, previous departure) + size/bandwidth`, so per-packet state is just the time the
 //! queue becomes idle plus a short window of recent departures for occupancy accounting.
 
+use crate::proto::LinkCondition;
 use p2plab_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -30,6 +31,9 @@ pub struct PipeConfig {
     /// Queue bound in bytes; arrivals that would push occupancy beyond this are dropped.
     /// `None` means unbounded.
     pub queue_limit_bytes: Option<u64>,
+    /// Optional link conditioner (jitter, reordering, duplication, burst loss) stacked on the
+    /// base model. `None` keeps the pipe byte-identical to the pre-conditioner behaviour.
+    pub condition: Option<LinkCondition>,
 }
 
 impl PipeConfig {
@@ -40,6 +44,7 @@ impl PipeConfig {
             delay,
             loss_rate: 0.0,
             queue_limit_bytes: Some(75_000),
+            condition: None,
         }
     }
 
@@ -50,6 +55,7 @@ impl PipeConfig {
             delay,
             loss_rate: 0.0,
             queue_limit_bytes: None,
+            condition: None,
         }
     }
 
@@ -68,6 +74,13 @@ impl PipeConfig {
         self.queue_limit_bytes = bytes;
         self
     }
+
+    /// Stacks a link conditioner on the pipe. Inert conditioners are normalized to `None`, so
+    /// the hot path's "no conditioner" check stays a plain `Option` test.
+    pub fn with_condition(mut self, condition: Option<LinkCondition>) -> PipeConfig {
+        self.condition = condition.filter(|c| !c.is_noop());
+        self
+    }
 }
 
 /// Why a packet was dropped by a pipe.
@@ -77,6 +90,8 @@ pub enum DropReason {
     RandomLoss,
     /// The bounded queue was full.
     QueueOverflow,
+    /// The conditioner's Gilbert–Elliott chain was in its bad state (burst loss).
+    BurstLoss,
 }
 
 /// Result of offering a packet to a pipe.
@@ -86,6 +101,9 @@ pub enum EnqueueOutcome {
     Forwarded {
         /// Time the packet leaves the pipe (including propagation delay).
         exit: SimTime,
+        /// Release time of a conditioner-duplicated copy, when the conditioner emitted one
+        /// (always strictly after `exit` — the copy is charged its own serialization).
+        dup: Option<SimTime>,
     },
     /// The packet was dropped.
     Dropped(DropReason),
@@ -102,6 +120,8 @@ pub struct PipeStats {
     pub dropped_loss: u64,
     /// Packets dropped by queue overflow.
     pub dropped_overflow: u64,
+    /// Packets dropped by the conditioner's burst-loss chain.
+    pub dropped_burst: u64,
 }
 
 /// A dummynet pipe instance.
@@ -116,6 +136,8 @@ pub struct Pipe {
     /// instead of a queue scan (batched accounting: the scan only happens implicitly, as the
     /// prune pops expired departures).
     queued: u64,
+    /// Gilbert–Elliott chain state of the conditioner (`true` = bad state).
+    bad: bool,
     stats: PipeStats,
 }
 
@@ -127,6 +149,7 @@ impl Pipe {
             busy_until: SimTime::ZERO,
             in_queue: VecDeque::new(),
             queued: 0,
+            bad: false,
             stats: PipeStats::default(),
         }
     }
@@ -159,6 +182,13 @@ impl Pipe {
             self.stats.dropped_loss += 1;
             return EnqueueOutcome::Dropped(DropReason::RandomLoss);
         }
+        let condition = self.config.condition;
+        if let Some(burst) = condition.and_then(|c| c.burst) {
+            if burst.step(&mut self.bad, rng) {
+                self.stats.dropped_burst += 1;
+                return EnqueueOutcome::Dropped(DropReason::BurstLoss);
+            }
+        }
         self.prune(now);
         if let Some(limit) = self.config.queue_limit_bytes {
             if self.queued + size > limit && !self.in_queue.is_empty() {
@@ -166,7 +196,24 @@ impl Pipe {
                 return EnqueueOutcome::Dropped(DropReason::QueueOverflow);
             }
         }
-        let queue_exit = match self.config.bandwidth_bps {
+        let queue_exit = self.serialize(now, size);
+        let mut latency = self.config.delay;
+        if let Some(c) = condition.as_ref() {
+            latency += c.extra_latency(rng);
+        }
+        self.stats.forwarded_packets += 1;
+        self.stats.forwarded_bytes += size;
+        let exit = queue_exit + latency;
+        let dup = match condition.as_ref() {
+            Some(c) if c.duplicates(rng) => self.duplicate_exit(now, size, exit),
+            _ => None,
+        };
+        EnqueueOutcome::Forwarded { exit, dup }
+    }
+
+    /// Charges one serialization slot and returns its queue exit time.
+    fn serialize(&mut self, now: SimTime, size: u64) -> SimTime {
+        match self.config.bandwidth_bps {
             Some(bps) => {
                 let start = self.busy_until.max(now);
                 let exit = start + SimDuration::transmission(size, bps);
@@ -176,12 +223,22 @@ impl Pipe {
                 exit
             }
             None => now,
-        };
+        }
+    }
+
+    /// Serializes a conditioner-duplicated copy and returns its release time, kept strictly
+    /// after the original's. The copy is dropped silently when the queue is full (a duplicate
+    /// never evicts real traffic, and its loss is invisible by construction).
+    fn duplicate_exit(&mut self, now: SimTime, size: u64, exit: SimTime) -> Option<SimTime> {
+        if let Some(limit) = self.config.queue_limit_bytes {
+            if self.queued + size > limit && !self.in_queue.is_empty() {
+                return None;
+            }
+        }
+        let dup_exit = self.serialize(now, size) + self.config.delay;
         self.stats.forwarded_packets += 1;
         self.stats.forwarded_bytes += size;
-        EnqueueOutcome::Forwarded {
-            exit: queue_exit + self.config.delay,
-        }
+        Some(dup_exit.max(exit + SimDuration::from_nanos(1)))
     }
 
     fn prune(&mut self, now: SimTime) {
@@ -209,7 +266,7 @@ mod tests {
         let mut p = Pipe::new(PipeConfig::delay_only(SimDuration::from_millis(400)));
         let mut r = rng();
         match p.enqueue(SimTime::from_secs(1), 1500, &mut r) {
-            EnqueueOutcome::Forwarded { exit } => {
+            EnqueueOutcome::Forwarded { exit, .. } => {
                 assert_eq!(exit, SimTime::from_secs(1) + SimDuration::from_millis(400));
             }
             other => panic!("unexpected: {other:?}"),
@@ -223,7 +280,7 @@ mod tests {
         let mut r = rng();
         let out = p.enqueue(SimTime::ZERO, 16 * 1024, &mut r);
         match out {
-            EnqueueOutcome::Forwarded { exit } => {
+            EnqueueOutcome::Forwarded { exit, .. } => {
                 let secs = exit.as_secs_f64();
                 assert!((secs - 1.054).abs() < 0.001, "exit={secs}");
             }
@@ -239,7 +296,7 @@ mod tests {
         // Each 1250-byte packet takes 10 ms at 1 Mbps.
         let exits: Vec<SimTime> = (0..3)
             .map(|_| match p.enqueue(SimTime::ZERO, 1250, &mut r) {
-                EnqueueOutcome::Forwarded { exit } => exit,
+                EnqueueOutcome::Forwarded { exit, .. } => exit,
                 other => panic!("unexpected: {other:?}"),
             })
             .collect();
@@ -248,7 +305,7 @@ mod tests {
         assert_eq!(exits[2], SimTime::from_millis(30));
         // After the queue drains, a later packet is not delayed by history.
         match p.enqueue(SimTime::from_secs(1), 1250, &mut r) {
-            EnqueueOutcome::Forwarded { exit } => {
+            EnqueueOutcome::Forwarded { exit, .. } => {
                 assert_eq!(exit, SimTime::from_secs(1) + SimDuration::from_millis(10));
             }
             other => panic!("unexpected: {other:?}"),
@@ -321,8 +378,83 @@ mod tests {
         let mut r = rng();
         p.reconfigure(PipeConfig::shaped(2_000_000, SimDuration::ZERO));
         match p.enqueue(SimTime::ZERO, 2500, &mut r) {
-            EnqueueOutcome::Forwarded { exit } => assert_eq!(exit, SimTime::from_millis(10)),
+            EnqueueOutcome::Forwarded { exit, .. } => assert_eq!(exit, SimTime::from_millis(10)),
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn burst_loss_drops_in_runs() {
+        use crate::proto::{BurstLoss, LinkCondition};
+        let cfg = PipeConfig::delay_only(SimDuration::ZERO).with_condition(Some(
+            LinkCondition::none().with_burst(BurstLoss::new(0.05, 0.25, 1.0)),
+        ));
+        let mut p = Pipe::new(cfg);
+        let mut r = SimRng::new(2006);
+        let dropped = (0..10_000)
+            .filter(|_| {
+                matches!(
+                    p.enqueue(SimTime::ZERO, 100, &mut r),
+                    EnqueueOutcome::Dropped(DropReason::BurstLoss)
+                )
+            })
+            .count();
+        assert_eq!(p.stats().dropped_burst as usize, dropped);
+        // Stationary bad-state share is 1/6; allow a wide statistical band.
+        assert!((1000..2500).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn jitter_widens_exit_times() {
+        use crate::proto::LinkCondition;
+        let jitter = SimDuration::from_millis(5);
+        let cfg = PipeConfig::delay_only(SimDuration::from_millis(10))
+            .with_condition(Some(LinkCondition::none().with_jitter(jitter)));
+        let mut p = Pipe::new(cfg);
+        let mut r = rng();
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            match p.enqueue(SimTime::ZERO, 100, &mut r) {
+                EnqueueOutcome::Forwarded { exit, .. } => {
+                    assert!(exit >= SimTime::from_millis(10));
+                    assert!(exit <= SimTime::from_millis(15));
+                    distinct.insert(exit);
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(
+            distinct.len() > 10,
+            "jitter produced {} values",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn duplication_emits_strictly_later_copy() {
+        use crate::proto::LinkCondition;
+        let cfg = PipeConfig::shaped(1_000_000, SimDuration::from_millis(10))
+            .with_queue_limit(None)
+            .with_condition(Some(LinkCondition::none().with_duplication(1.0)));
+        let mut p = Pipe::new(cfg);
+        let mut r = rng();
+        match p.enqueue(SimTime::ZERO, 1250, &mut r) {
+            EnqueueOutcome::Forwarded { exit, dup } => {
+                let dup = dup.expect("rate-1.0 duplication must emit a copy");
+                assert!(dup > exit, "dup {dup:?} must be strictly after {exit:?}");
+                // The copy was charged its own 10 ms serialization slot.
+                assert_eq!(dup, exit + SimDuration::from_millis(10));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(p.stats().forwarded_packets, 2);
+    }
+
+    #[test]
+    fn inert_conditioner_is_normalized_away() {
+        use crate::proto::LinkCondition;
+        let cfg = PipeConfig::shaped(1_000_000, SimDuration::ZERO)
+            .with_condition(Some(LinkCondition::none()));
+        assert_eq!(cfg.condition, None);
     }
 }

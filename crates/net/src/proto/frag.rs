@@ -1,0 +1,333 @@
+//! MTU fragmentation and receive-side reassembly.
+//!
+//! A message larger than the configured MTU is split into `ceil(size / mtu)` fragments, each
+//! carrying an 8-byte fragment header ([`FragHeader`]: message id, fragment index, fragment
+//! count, wire sequence) on top of its lane framing. The receive side tracks per-message
+//! bitmasks ([`Reassembler`]) and reports completion exactly once per message id — duplicate
+//! fragments (conditioner duplication, retransmit races) and malformed headers are ignored, so
+//! the layer never delivers a message it was not sent and never delivers one twice.
+//!
+//! Incomplete **unreliable-lane** messages are discarded after a configurable idle timeout
+//! ([`TransportConfig::reassembly_timeout`](super::TransportConfig)): the transport arms a
+//! timer on [`FragOutcome::Pending`]`{ first: true }` carrying a [`progress`](Reassembler::progress)
+//! snapshot, and when it fires it re-arms instead of expiring if any fragment arrived in the
+//! meantime. Reliable-lane assemblies are exempt from the reaper — their fragments keep being
+//! retransmitted until they arrive, and when the sender abandons a fragment (attempts
+//! exhausted) the whole message is [`abandon`](Reassembler::abandon)ed at once: partial state
+//! dropped, stragglers ignored.
+
+use p2plab_sim::{FxHashMap, FxHashSet};
+
+/// Bytes of the per-fragment header carried on the wire on top of the lane framing:
+/// message id (2) + index (2) + count (2) + wire sequence (2).
+pub const FRAG_HEADER_BYTES: u64 = 8;
+
+/// The fragment header as serialized on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragHeader {
+    /// Message (reassembly) id, wrapping per (connection, direction, lane).
+    pub msg: u16,
+    /// Index of this fragment within the message, `0..count`.
+    pub index: u16,
+    /// Total number of fragments of the message.
+    pub count: u16,
+    /// Wire sequence number (the unit of acknowledgement).
+    pub seq: u16,
+}
+
+impl FragHeader {
+    /// Serializes to the 8-byte wire shape (little-endian fields).
+    pub fn encode(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[0..2].copy_from_slice(&self.msg.to_le_bytes());
+        out[2..4].copy_from_slice(&self.index.to_le_bytes());
+        out[4..6].copy_from_slice(&self.count.to_le_bytes());
+        out[6..8].copy_from_slice(&self.seq.to_le_bytes());
+        out
+    }
+
+    /// Deserializes the 8-byte wire shape. Total: every 8-byte string decodes (validity —
+    /// `index < count`, `count > 0` — is checked by the [`Reassembler`], as a real receiver
+    /// must).
+    pub fn decode(bytes: [u8; 8]) -> FragHeader {
+        FragHeader {
+            msg: u16::from_le_bytes([bytes[0], bytes[1]]),
+            index: u16::from_le_bytes([bytes[2], bytes[3]]),
+            count: u16::from_le_bytes([bytes[4], bytes[5]]),
+            seq: u16::from_le_bytes([bytes[6], bytes[7]]),
+        }
+    }
+}
+
+/// Number of fragments a message of `size` bytes needs at the given MTU (at least 1 — empty
+/// messages still travel as one fragment).
+///
+/// # Panics
+///
+/// Panics when the count would not fit the 16-bit wire header; the transport's
+/// `max_message_bytes` bound together with the DSL's MTU floor makes that unreachable in
+/// configured scenarios.
+pub fn fragment_count(size: u64, mtu: u64) -> u16 {
+    let mtu = mtu.max(1);
+    let count = size.div_ceil(mtu).max(1);
+    u16::try_from(count).expect("message/MTU ratio exceeds the 16-bit fragment count")
+}
+
+/// The payload size of fragment `index` of a `size`-byte message split at `mtu`.
+pub fn fragment_size(size: u64, mtu: u64, index: u16, count: u16) -> u64 {
+    let mtu = mtu.max(1);
+    if u32::from(index) + 1 < u32::from(count) {
+        mtu
+    } else {
+        size - mtu * u64::from(count - 1)
+    }
+}
+
+/// Result of offering one fragment to the [`Reassembler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragOutcome {
+    /// The fragment was accepted but the message is still incomplete. `first` is set when this
+    /// fragment opened a fresh reassembly entry — the caller schedules the reassembly timeout.
+    Pending {
+        /// Whether this fragment created the reassembly entry.
+        first: bool,
+    },
+    /// This fragment completed the message: deliver it (exactly once).
+    Complete,
+    /// Duplicate, stale or malformed fragment; ignored.
+    Ignored,
+}
+
+/// In-progress reassembly of one message.
+#[derive(Debug, Clone)]
+struct Entry {
+    count: u16,
+    received: u16,
+    /// Bitmask over fragment indices, in 64-bit blocks.
+    mask: Vec<u64>,
+}
+
+/// Receive-side fragment reassembly for one (connection, direction, lane).
+///
+/// Tracks per-message bitmasks and a window of completed message ids so duplicates of an
+/// already-delivered message are ignored. Completed ids are forgotten half a sequence space
+/// (32768 messages) later — long after any duplicate can still be in flight.
+#[derive(Debug, Clone, Default)]
+pub struct Reassembler {
+    entries: FxHashMap<u16, Entry>,
+    completed: FxHashSet<u16>,
+}
+
+impl Reassembler {
+    /// Offers fragment `index` of message `msg` (which claims `count` fragments total).
+    /// Malformed (`count == 0`, `index >= count`), duplicate and inconsistent fragments are
+    /// [`FragOutcome::Ignored`].
+    pub fn accept(&mut self, msg: u16, index: u16, count: u16) -> FragOutcome {
+        if count == 0 || index >= count || self.completed.contains(&msg) {
+            return FragOutcome::Ignored;
+        }
+        if count == 1 {
+            self.finish(msg);
+            return FragOutcome::Complete;
+        }
+        let (entry, first) = match self.entries.get_mut(&msg) {
+            Some(e) => (e, false),
+            None => (
+                self.entries.entry(msg).or_insert_with(|| Entry {
+                    count,
+                    received: 0,
+                    mask: vec![0; usize::from(count).div_ceil(64)],
+                }),
+                true,
+            ),
+        };
+        if entry.count != count {
+            // A fragment disagreeing with the entry's count is corrupt; keep the entry.
+            return FragOutcome::Ignored;
+        }
+        let (block, bit) = (usize::from(index) / 64, u64::from(index) % 64);
+        if entry.mask[block] & (1u64 << bit) != 0 {
+            return FragOutcome::Ignored;
+        }
+        entry.mask[block] |= 1u64 << bit;
+        entry.received += 1;
+        if entry.received == entry.count {
+            self.entries.remove(&msg);
+            self.finish(msg);
+            FragOutcome::Complete
+        } else {
+            FragOutcome::Pending { first }
+        }
+    }
+
+    /// Expires the reassembly of `msg`: drops its entry if still incomplete. Returns whether
+    /// an incomplete entry was discarded (the caller counts a reassembly timeout).
+    pub fn expire(&mut self, msg: u16) -> bool {
+        self.entries.remove(&msg).is_some()
+    }
+
+    /// Marks `msg` as dead: drops its partial assembly and ignores every future fragment of
+    /// it. Called when the sender abandons a fragment (retransmission attempts exhausted) — the
+    /// message can never complete, and without this the still-retrying sibling fragments would
+    /// reopen a permanently incomplete entry. Returns whether the message was newly killed
+    /// (`false` when it already completed or was already abandoned), so the caller counts each
+    /// abandoned message exactly once.
+    pub fn abandon(&mut self, msg: u16) -> bool {
+        if self.completed.contains(&msg) {
+            return false;
+        }
+        self.entries.remove(&msg);
+        self.finish(msg);
+        true
+    }
+
+    /// Number of messages currently being reassembled.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fragments received so far for the in-progress message `msg` (`None` once completed,
+    /// expired or never seen). The timeout machinery compares snapshots of this to tell a
+    /// stalled reassembly from one that is still receiving retransmitted fragments.
+    pub fn progress(&self, msg: u16) -> Option<u16> {
+        self.entries.get(&msg).map(|e| e.received)
+    }
+
+    /// Whether `msg` already completed (and its duplicates are being ignored).
+    pub fn is_completed(&self, msg: u16) -> bool {
+        self.completed.contains(&msg)
+    }
+
+    fn finish(&mut self, msg: u16) {
+        self.completed.insert(msg);
+        // Forget the id opposite in the sequence space: a completed id is remembered for 32768
+        // message generations, bounding the set while leaving no realistic reuse hazard.
+        self.completed.remove(&msg.wrapping_add(0x8000));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = FragHeader {
+            msg: 7,
+            index: 2,
+            count: 9,
+            seq: 0xFFFE,
+        };
+        assert_eq!(FragHeader::decode(h.encode()), h);
+    }
+
+    #[test]
+    fn fragment_plan_covers_message() {
+        for (size, mtu) in [
+            (0u64, 1500u64),
+            (1, 1500),
+            (1500, 1500),
+            (1501, 1500),
+            (64 * 1024, 1200),
+        ] {
+            let count = fragment_count(size, mtu);
+            let total: u64 = (0..count).map(|i| fragment_size(size, mtu, i, count)).sum();
+            assert_eq!(total, size, "size={size} mtu={mtu} count={count}");
+            for i in 0..count {
+                assert!(fragment_size(size, mtu, i, count) <= mtu);
+            }
+        }
+        assert_eq!(fragment_count(0, 1500), 1);
+        assert_eq!(fragment_count(3000, 1500), 2);
+        assert_eq!(fragment_count(3001, 1500), 3);
+    }
+
+    #[test]
+    fn reassembly_completes_once() {
+        let mut r = Reassembler::default();
+        assert_eq!(r.accept(5, 0, 3), FragOutcome::Pending { first: true });
+        assert_eq!(r.accept(5, 2, 3), FragOutcome::Pending { first: false });
+        assert_eq!(r.accept(5, 1, 3), FragOutcome::Complete);
+        // Any further fragment of the completed message is ignored.
+        assert_eq!(r.accept(5, 0, 3), FragOutcome::Ignored);
+        assert_eq!(r.accept(5, 1, 3), FragOutcome::Ignored);
+        assert!(r.is_completed(5));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn single_fragment_messages_short_circuit() {
+        let mut r = Reassembler::default();
+        assert_eq!(r.accept(1, 0, 1), FragOutcome::Complete);
+        assert_eq!(r.accept(1, 0, 1), FragOutcome::Ignored);
+    }
+
+    #[test]
+    fn malformed_fragments_ignored() {
+        let mut r = Reassembler::default();
+        assert_eq!(r.accept(1, 0, 0), FragOutcome::Ignored);
+        assert_eq!(r.accept(1, 3, 3), FragOutcome::Ignored);
+        assert_eq!(r.accept(1, u16::MAX, 4), FragOutcome::Ignored);
+        // Count mismatch against an open entry.
+        assert_eq!(r.accept(2, 0, 4), FragOutcome::Pending { first: true });
+        assert_eq!(r.accept(2, 1, 5), FragOutcome::Ignored);
+        assert_eq!(r.accept(2, 1, 4), FragOutcome::Pending { first: false });
+    }
+
+    #[test]
+    fn duplicate_fragment_ignored() {
+        let mut r = Reassembler::default();
+        assert_eq!(r.accept(9, 0, 2), FragOutcome::Pending { first: true });
+        assert_eq!(r.accept(9, 0, 2), FragOutcome::Ignored);
+        assert_eq!(r.accept(9, 1, 2), FragOutcome::Complete);
+    }
+
+    #[test]
+    fn abandoned_messages_ignore_stragglers() {
+        let mut r = Reassembler::default();
+        r.accept(4, 0, 3);
+        assert!(r.abandon(4));
+        assert!(!r.abandon(4), "second abandonment is not newly killed");
+        // Late sibling fragments must not reopen the dead message.
+        assert_eq!(r.accept(4, 1, 3), FragOutcome::Ignored);
+        assert_eq!(r.accept(4, 2, 3), FragOutcome::Ignored);
+        assert_eq!(r.pending(), 0);
+        // Abandoning a message that already completed reports nothing to count.
+        assert_eq!(r.accept(9, 0, 1), FragOutcome::Complete);
+        assert!(!r.abandon(9));
+    }
+
+    #[test]
+    fn expiry_discards_incomplete_entries() {
+        let mut r = Reassembler::default();
+        r.accept(3, 0, 2);
+        assert!(r.expire(3));
+        assert!(!r.expire(3), "double expiry is a no-op");
+        // A straggler reopens the entry (and would get a fresh timeout via first=true).
+        assert_eq!(r.accept(3, 1, 2), FragOutcome::Pending { first: true });
+        assert_eq!(r.accept(3, 0, 2), FragOutcome::Complete);
+        // Expiring a completed message is a no-op.
+        assert!(!r.expire(3));
+    }
+
+    #[test]
+    fn completed_window_is_bounded() {
+        let mut r = Reassembler::default();
+        // Complete 40000 single-fragment messages with wrapping ids: the completed set must
+        // stay at or below half the sequence space.
+        for m in 0..40_000u32 {
+            assert_eq!(r.accept(m as u16, 0, 1), FragOutcome::Complete);
+        }
+        assert!(r.completed.len() <= 0x8000);
+    }
+
+    #[test]
+    fn wide_messages_use_multiple_mask_blocks() {
+        let mut r = Reassembler::default();
+        let count = 130u16;
+        for i in 0..count - 1 {
+            assert!(matches!(r.accept(0, i, count), FragOutcome::Pending { .. }));
+        }
+        assert_eq!(r.accept(0, count - 1, count), FragOutcome::Complete);
+    }
+}

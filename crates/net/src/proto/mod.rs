@@ -1,0 +1,198 @@
+//! The protocol-depth layer: fragmentation, ack-bitfield reliability and congestion control.
+//!
+//! Real transports do three things the paper's whole-message lanes do not: they **fragment**
+//! application messages to a maximum transmission unit, they **acknowledge** received fragments
+//! with sequence-number bitfields so the sender can retransmit selectively, and they **adapt
+//! their send rate** to observed loss and delay. This module adds all three underneath the
+//! existing [`Endpoint`](crate::endpoint::Endpoint) lanes:
+//!
+//! * [`frag`] — MTU fragmentation planning and the receive-side [`Reassembler`] with
+//!   per-message timeouts and at-most-once completion;
+//! * [`ack`] — wrapping 16-bit sequence numbers, the receive-side [`AckTracker`] producing
+//!   [`AckBitfield`]s, and the send-side [`SentWindow`] that turns returning acks into RTT
+//!   samples;
+//! * [`cc`] — the pluggable [`CongestionController`] trait with two implementations: [`Legacy`]
+//!   (a fixed window that never paces — **wire-identical** to the pre-protocol data plane) and
+//!   [`Aimd`] (slow start + additive increase / multiplicative decrease, applied as pacing);
+//! * [`condition`] — composable link conditioners (jitter, reordering, duplication and
+//!   Gilbert–Elliott burst loss) stacked on [`Pipe`](crate::pipe::Pipe)s by
+//!   [`LinkCondition`].
+//!
+//! The layer is **off by default**: with [`TransportConfig::default`] (no MTU, `Legacy`
+//! congestion control) every send takes the historical single-frame path, drawing the same
+//! random numbers and scheduling the same events — the fig10 byte-identity pin stays green.
+//! Setting an MTU or choosing a non-legacy controller activates the fragment/ack wire path for
+//! connection lanes (connectionless datagrams never fragment).
+
+pub mod ack;
+pub mod cc;
+pub mod condition;
+pub mod frag;
+
+pub use ack::{seq_newer, AckBitfield, AckTracker, SentWindow};
+pub use cc::{Aimd, CcKind, CcState, CongestionController, Legacy};
+pub use condition::{BurstLoss, LinkCondition};
+pub use frag::{
+    fragment_count, fragment_size, FragHeader, FragOutcome, Reassembler, FRAG_HEADER_BYTES,
+};
+
+use crate::lane::LaneKind;
+use p2plab_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Protocol-depth configuration of the transport, carried inside
+/// [`NetworkConfig`](crate::network::NetworkConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// Maximum fragment payload in bytes. `None` disables fragmentation (whole messages travel
+    /// as one frame, the historical behaviour). Must be at least
+    /// `max_message_bytes / u16::MAX` so fragment counts fit the 16-bit wire header; the
+    /// scenario DSL enforces a floor of 64 bytes.
+    pub mtu: Option<u64>,
+    /// The congestion controller applied per connection direction.
+    pub congestion: CcKind,
+    /// How long the receive side keeps an incomplete **unreliable-lane** message without any
+    /// new fragment arriving before discarding it (and counting a `reassembly_timeout`).
+    /// Reliable-lane assemblies are exempt: their fragments are retransmitted until they
+    /// arrive, and if the sender abandons a fragment (attempts exhausted) the assembly is
+    /// killed at that moment instead — an idle reaper would discard already-acked fragments
+    /// that are never resent, leaving the message permanently undeliverable.
+    pub reassembly_timeout: SimDuration,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            mtu: None,
+            congestion: CcKind::Legacy,
+            reassembly_timeout: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Whether the protocol-depth wire path is active. With the default configuration (no MTU,
+    /// legacy congestion control) sends take the historical single-frame path unchanged.
+    pub fn active(&self) -> bool {
+        self.mtu.is_some() || self.congestion != CcKind::Legacy
+    }
+}
+
+/// Per-lane sender-side protocol state for one flow direction.
+#[derive(Debug, Clone, Default)]
+pub struct LaneSend {
+    /// Next wire sequence number to assign.
+    pub next_seq: u16,
+    /// Next message (reassembly) id to assign.
+    pub next_msg: u16,
+    /// Outstanding fragments awaiting acknowledgement (reliable lanes only).
+    pub window: SentWindow,
+}
+
+/// Per-lane receiver-side protocol state for one flow direction.
+#[derive(Debug, Clone, Default)]
+pub struct LaneRecv {
+    /// Received-sequence tracker producing ack bitfields.
+    pub ack: AckTracker,
+    /// Fragment reassembly state.
+    pub assembly: Reassembler,
+}
+
+/// Send + receive protocol state of one lane in one flow direction.
+#[derive(Debug, Clone, Default)]
+pub struct LaneProto {
+    /// Sender-side state (owned by the node transmitting in this direction).
+    pub send: LaneSend,
+    /// Receiver-side state (owned by the node receiving in this direction).
+    pub recv: LaneRecv,
+}
+
+/// Protocol state of one **flow direction** of a connection: the sender's pacing clock and
+/// congestion controller plus per-lane sequence/window/reassembly state.
+#[derive(Debug, Clone)]
+pub struct ProtoHalf {
+    /// The sender may not release the next fragment before this time (pacing under the
+    /// congestion controller; stays at [`SimTime::ZERO`] under [`Legacy`]).
+    pub pace_until: SimTime,
+    /// The congestion controller of this direction.
+    pub cc: CcState,
+    /// Per-lane protocol state, indexed by [`LaneKind::index`].
+    pub lanes: [LaneProto; 3],
+}
+
+impl ProtoHalf {
+    fn new(kind: CcKind) -> ProtoHalf {
+        ProtoHalf {
+            pace_until: SimTime::ZERO,
+            cc: CcState::new(kind),
+            lanes: Default::default(),
+        }
+    }
+
+    /// The lane state for `lane`.
+    pub fn lane_mut(&mut self, lane: LaneKind) -> &mut LaneProto {
+        &mut self.lanes[lane.index()]
+    }
+}
+
+/// Protocol state of one connection: one [`ProtoHalf`] per flow direction.
+///
+/// Direction `0` is client → server, direction `1` is server → client (see
+/// [`flow_dir`]). The state lives in a side table on the
+/// [`Network`](crate::network::Network) — the simulation is omniscient, so sender and receiver
+/// state of one direction can share a record without modelling any extra wire traffic.
+#[derive(Debug, Clone)]
+pub struct ProtoConn {
+    /// The two flow directions.
+    pub halves: [ProtoHalf; 2],
+}
+
+impl ProtoConn {
+    /// Fresh protocol state with both directions using the given congestion controller.
+    pub fn new(kind: CcKind) -> ProtoConn {
+        ProtoConn {
+            halves: [ProtoHalf::new(kind), ProtoHalf::new(kind)],
+        }
+    }
+}
+
+/// The flow-direction index of data sent by `sender_is_client` (0 = client → server).
+pub fn flow_dir(sender_is_client: bool) -> usize {
+    usize::from(!sender_is_client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inactive() {
+        let cfg = TransportConfig::default();
+        assert!(!cfg.active());
+        assert!(TransportConfig {
+            mtu: Some(1500),
+            ..cfg
+        }
+        .active());
+        assert!(TransportConfig {
+            congestion: CcKind::Aimd,
+            ..cfg
+        }
+        .active());
+    }
+
+    #[test]
+    fn flow_dir_convention() {
+        assert_eq!(flow_dir(true), 0);
+        assert_eq!(flow_dir(false), 1);
+    }
+
+    #[test]
+    fn proto_conn_initial_state() {
+        let mut p = ProtoConn::new(CcKind::Aimd);
+        assert_eq!(p.halves[0].pace_until, SimTime::ZERO);
+        let lane = p.halves[0].lane_mut(LaneKind::ReliableOrdered);
+        assert_eq!(lane.send.next_seq, 0);
+        assert_eq!(lane.send.next_msg, 0);
+    }
+}

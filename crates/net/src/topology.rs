@@ -7,6 +7,7 @@
 //! machine dummynet pipes and IPFW rules.
 
 use crate::addr::{Subnet, VirtAddr};
+use crate::proto::LinkCondition;
 use p2plab_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -26,6 +27,9 @@ pub struct AccessLinkClass {
     pub latency: SimDuration,
     /// Packet loss rate on the access link.
     pub loss_rate: f64,
+    /// Optional link conditioner (jitter, reordering, duplication, burst loss) applied to both
+    /// directions of the access link.
+    pub condition: Option<LinkCondition>,
 }
 
 impl AccessLinkClass {
@@ -36,6 +40,7 @@ impl AccessLinkClass {
             up_bps,
             latency,
             loss_rate: 0.0,
+            condition: None,
         }
     }
 
@@ -48,6 +53,13 @@ impl AccessLinkClass {
     pub fn with_loss(mut self, loss_rate: f64) -> AccessLinkClass {
         assert!((0.0..=1.0).contains(&loss_rate));
         self.loss_rate = loss_rate;
+        self
+    }
+
+    /// Stacks a link conditioner on both directions of the access link. Inert conditioners
+    /// are normalized to `None`.
+    pub fn with_condition(mut self, condition: Option<LinkCondition>) -> AccessLinkClass {
+        self.condition = condition.filter(|c| !c.is_noop());
         self
     }
 

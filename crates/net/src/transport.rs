@@ -34,6 +34,10 @@ use crate::addr::{SocketAddr, VirtAddr};
 use crate::lane::LaneKind;
 use crate::network::{ConnId, ConnState, MachineId, NetError, Network, VNodeId};
 use crate::pipe::EnqueueOutcome;
+use crate::proto::{
+    flow_dir, fragment_count, fragment_size, AckBitfield, CongestionController, FragOutcome,
+    ProtoHalf, FRAG_HEADER_BYTES,
+};
 use p2plab_sim::{SimDuration, Simulation, TypedEvent};
 
 /// World types that embed an emulated [`Network`] and receive transport events.
@@ -111,6 +115,28 @@ pub enum NetEvent<P> {
         /// The in-flight message (attempt counter already bumped).
         flight: InFlight<P>,
     },
+    /// A paced fragment's release time arrived (protocol layer): record it in the sender
+    /// window — ack matching and RTT anchors must reflect wire time, not plan time — and
+    /// start its packet walk.
+    PaceRelease {
+        /// The planned fragment.
+        flight: InFlight<P>,
+    },
+    /// Reassembly idle timeout of a fragmented message (protocol layer): if no further
+    /// fragment arrived since the timer was armed, the incomplete message is discarded;
+    /// otherwise the timer re-arms with a fresh progress snapshot.
+    ReassemblyTimeout {
+        /// The connection the message travels on.
+        conn: ConnId,
+        /// The lane the message travels on.
+        lane: LaneKind,
+        /// The message (reassembly) id.
+        msg: u16,
+        /// Flow direction index (see [`flow_dir`]).
+        dir: u8,
+        /// Fragments received when the timer was armed — unchanged on fire means stalled.
+        progress: u16,
+    },
 }
 
 impl<W: NetHost> TypedEvent<W> for NetEvent<W::Payload> {
@@ -129,6 +155,52 @@ impl<W: NetHost> TypedEvent<W> for NetEvent<W::Payload> {
             }
             NetEvent::Deliver { flight } => deliver(sim, flight),
             NetEvent::Retransmit { flight } => transmit(sim, flight, SimDuration::ZERO),
+            NetEvent::PaceRelease { flight } => release_fragment(sim, flight),
+            NetEvent::ReassemblyTimeout {
+                conn,
+                lane,
+                msg,
+                dir,
+                progress,
+            } => {
+                let net = sim.world_mut().network();
+                let timeout = net.config().transport.reassembly_timeout;
+                let current = net.proto.get(&conn).and_then(|p| {
+                    p.halves[usize::from(dir)].lanes[lane.index()]
+                        .recv
+                        .assembly
+                        .progress(msg)
+                });
+                match current {
+                    // Completed or already expired: nothing to reap.
+                    None => {}
+                    // Still receiving (retransmissions trickling in): re-arm with the new
+                    // snapshot instead of reaping a repair in progress.
+                    Some(current) if current != progress => {
+                        sim.schedule_event_in(
+                            timeout,
+                            NetEvent::ReassemblyTimeout {
+                                conn,
+                                lane,
+                                msg,
+                                dir,
+                                progress: current,
+                            },
+                        );
+                    }
+                    // A full timeout without a single new fragment: discard.
+                    Some(_) => {
+                        let net = sim.world_mut().network();
+                        if let Some(p) = net.proto.get_mut(&conn) {
+                            p.halves[usize::from(dir)].lanes[lane.index()]
+                                .recv
+                                .assembly
+                                .expire(msg);
+                        }
+                        net.stats.reassembly_timeouts += 1;
+                    }
+                }
+            }
         }
     }
 }
@@ -306,6 +378,33 @@ enum Frame<P> {
         payload: P,
         size: u64,
     },
+    /// One fragment of a message on the protocol-depth wire path (active transport config).
+    /// The payload rides on every fragment; the completing fragment supplies it to the
+    /// application, so the wire cost is modelled by `frag_size` while the simulation avoids
+    /// materializing per-fragment byte buffers.
+    Frag {
+        conn: ConnId,
+        lane: LaneKind,
+        /// Wire sequence number (the unit of acknowledgement).
+        seq: u16,
+        /// Message (reassembly) id.
+        msg: u16,
+        /// Fragment index within the message.
+        index: u16,
+        /// Total fragments of the message.
+        count: u16,
+        /// Payload bytes of this fragment.
+        frag_size: u64,
+        /// Application bytes of the whole message.
+        total_size: u64,
+        payload: P,
+    },
+    /// An acknowledgement bitfield for fragments received on a reliable lane.
+    Ack {
+        conn: ConnId,
+        lane: LaneKind,
+        ack: AckBitfield,
+    },
     Fin {
         conn: ConnId,
     },
@@ -321,8 +420,15 @@ impl<P> Frame<P> {
     /// Bytes the frame occupies on the wire (payload + per-lane framing).
     fn wire_size(&self) -> u64 {
         match self {
-            Frame::Syn { .. } | Frame::SynAck { .. } | Frame::Rst { .. } | Frame::Fin { .. } => 64,
+            Frame::Syn { .. }
+            | Frame::SynAck { .. }
+            | Frame::Rst { .. }
+            | Frame::Fin { .. }
+            | Frame::Ack { .. } => 64,
             Frame::Data { size, lane, .. } => size + lane.header_bytes(),
+            Frame::Frag {
+                frag_size, lane, ..
+            } => frag_size + lane.header_bytes() + FRAG_HEADER_BYTES,
             Frame::Dgram { size, .. } => size + LaneKind::UnreliableUnordered.header_bytes(),
         }
     }
@@ -335,23 +441,37 @@ impl<P> Frame<P> {
             Frame::Syn { .. } | Frame::SynAck { .. } | Frame::Rst { .. } | Frame::Fin { .. } => {
                 LaneKind::ReliableOrdered.retransmit_backoff(attempts, rto)
             }
-            Frame::Data { lane, .. } => lane.retransmit_backoff(attempts, rto),
-            Frame::Dgram { .. } => None,
+            Frame::Data { lane, .. } | Frame::Frag { lane, .. } => {
+                lane.retransmit_backoff(attempts, rto)
+            }
+            // A lost ack is re-covered by the next one — never retransmitted.
+            Frame::Dgram { .. } | Frame::Ack { .. } => None,
         }
     }
 
     /// Whether the transport retransmits the frame if a pipe drops it.
     fn reliable(&self) -> bool {
         match self {
-            Frame::Data { lane, .. } => lane.reliable(),
+            Frame::Data { lane, .. } | Frame::Frag { lane, .. } => lane.reliable(),
             Frame::Dgram { .. } => false,
             _ => true,
         }
     }
+
+    /// Whether a conditioner-duplicated copy of the frame is honored. Only frames with
+    /// receive-side dedup machinery may duplicate: fragments (the reassembler ignores
+    /// duplicates) and datagrams (duplication is an application-visible hazard of unreliable
+    /// traffic). Control and legacy data frames ignore the copy — the pipe draws its random
+    /// numbers regardless, so determinism is independent of the frame type.
+    fn duplicable(&self) -> bool {
+        matches!(self, Frame::Frag { .. } | Frame::Dgram { .. })
+    }
 }
 
 /// A message in flight, carrying everything needed to retry it after a drop. Opaque outside
-/// the transport; it only travels inside [`NetEvent`]s.
+/// the transport; it only travels inside [`NetEvent`]s. `Clone` exists for conditioner
+/// duplication (a duplicated packet re-walks the remaining stages independently).
+#[derive(Clone)]
 pub struct InFlight<P> {
     src: VNodeId,
     dst: VNodeId,
@@ -437,6 +557,10 @@ pub(crate) fn op_send<W: NetHost>(
     }
     let dst = c.peer_of(node);
     net.vnode_mut(node).bytes_sent += size;
+    if net.transport_active() {
+        let sender_is_client = c.client.0 == node;
+        return proto_send(sim, node, dst, sender_is_client, conn, lane, size, payload);
+    }
     let flight = make_flight(
         net,
         node,
@@ -450,6 +574,100 @@ pub(crate) fn op_send<W: NetHost>(
     );
     transmit(sim, flight, SimDuration::ZERO);
     Ok(())
+}
+
+/// The protocol-depth send path: fragments the message to the configured MTU, assigns wire
+/// sequence numbers, paces releases through the congestion controller and records reliable
+/// fragments in the sender window. One [`Frame::Frag`] per fragment enters the packet walk.
+#[allow(clippy::too_many_arguments)] // lint:allow(bare-allow) — internal send path mirrors op_send's checked arguments
+fn proto_send<W: NetHost>(
+    sim: &mut NetSim<W>,
+    node: VNodeId,
+    dst: VNodeId,
+    sender_is_client: bool,
+    conn: ConnId,
+    lane: LaneKind,
+    size: u64,
+    payload: W::Payload,
+) -> Result<(), NetError> {
+    let now = sim.now();
+    let net = sim.world_mut().network();
+    let tc = net.config().transport;
+    let mtu = tc.mtu.unwrap_or(u64::MAX);
+    let count = fragment_count(size, mtu);
+    let dir = flow_dir(sender_is_client);
+    // Plan every fragment under one borrow of the proto table: (seq, index, release offset).
+    let msg;
+    let mut plans = Vec::with_capacity(usize::from(count));
+    {
+        let half = &mut net.proto_mut(conn).halves[dir];
+        msg = half.lanes[lane.index()].send.next_msg;
+        half.lanes[lane.index()].send.next_msg = msg.wrapping_add(1);
+        for index in 0..count {
+            let frag_size = fragment_size(size, mtu, index, count);
+            let wire = frag_size + lane.header_bytes() + FRAG_HEADER_BYTES;
+            let lane_send = &mut half.lanes[lane.index()].send;
+            let seq = lane_send.next_seq;
+            lane_send.next_seq = seq.wrapping_add(1);
+            let release = half.pace_until.max(now);
+            let spacing = half.cc.send_spacing(wire);
+            half.pace_until = release + spacing;
+            plans.push((seq, index, frag_size, release - now));
+        }
+    }
+    net.stats.fragments_sent += u64::from(count);
+    for (seq, index, frag_size, delay) in plans {
+        let net = sim.world_mut().network();
+        let flight = make_flight(
+            net,
+            node,
+            dst,
+            Frame::Frag {
+                conn,
+                lane,
+                seq,
+                msg,
+                index,
+                count,
+                frag_size,
+                total_size: size,
+                payload: payload.clone(),
+            },
+        );
+        // The sender window is fed at **release** time (`release_fragment`), not here at plan
+        // time: a paced backlog of planned-but-unreleased fragments would otherwise flood the
+        // window, evict the fragments actually on the wire and starve the congestion
+        // controller of ack feedback.
+        if delay.is_zero() {
+            release_fragment(sim, flight);
+        } else {
+            sim.schedule_event_in(delay, NetEvent::PaceRelease { flight });
+        }
+    }
+    Ok(())
+}
+
+/// A fragment reaches its paced release time: feed the congestion controller, record reliable
+/// fragments in the sender window with their wire-entry time (the RTT anchor and the ack
+/// matching set), and start the packet walk.
+fn release_fragment<W: NetHost>(sim: &mut NetSim<W>, flight: InFlight<W::Payload>) {
+    let now = sim.now();
+    if let Frame::Frag {
+        conn, lane, seq, ..
+    } = flight.frame
+    {
+        let wire = flight.frame.wire_size();
+        let net = sim.world_mut().network();
+        let sender_is_client = net
+            .connection(conn)
+            .is_some_and(|c| c.client.0 == flight.src);
+        let half = &mut net.proto_mut(conn).halves[flow_dir(sender_is_client)];
+        half.cc.on_send(wire);
+        if lane.reliable() {
+            half.lanes[lane.index()].send.window.on_sent(seq, wire, now);
+        }
+    }
+    transmit(sim, flight, SimDuration::ZERO);
 }
 
 /// Sends an unreliable connectionless datagram from `node:from_port` to `remote`.
@@ -604,19 +822,38 @@ fn transmit<W: NetHost>(
         return;
     }
     let mut t = now + extra_delay + classification.evaluation_cost;
+    let mut dup_off: Option<SimDuration> = None;
     for pipe in &classification.pipes {
         match net.pipe_mut(pipe).enqueue(t, wire, rng) {
-            EnqueueOutcome::Forwarded { exit } => t = exit,
+            EnqueueOutcome::Forwarded { exit, dup } => {
+                if dup_off.is_none() {
+                    // The duplicated copy trails the original by the dup's extra serialization;
+                    // it re-walks the remaining stages as an independent packet.
+                    dup_off = dup.map(|d| d - exit);
+                }
+                t = exit;
+            }
             EnqueueOutcome::Dropped(_) => {
                 handle_drop(sim, flight);
                 return;
             }
         }
     }
+    let dup_t = dup_off
+        .filter(|_| flight.frame.duplicable())
+        .map(|off| t + off);
     if src_machine == dst_machine {
         // Folded nodes: traffic stays inside the machine (loopback), no NIC involved.
+        if let Some(dt) = dup_t {
+            let copy = flight.clone();
+            sim.schedule_event_at(dt, NetEvent::Receive { flight: copy });
+        }
         sim.schedule_event_at(t, NetEvent::Receive { flight });
     } else {
+        if let Some(dt) = dup_t {
+            let copy = flight.clone();
+            sim.schedule_event_at(dt, NetEvent::NicTx { flight: copy });
+        }
         sim.schedule_event_at(t, NetEvent::NicTx { flight });
     }
 }
@@ -630,7 +867,11 @@ fn nic_tx<W: NetHost>(sim: &mut NetSim<W>, flight: InFlight<W::Payload>, src_mac
     let net = world.network();
     let nic_tx = net.machine(src_machine).nic_tx;
     match net.pipe_mut(nic_tx).enqueue(now, wire, rng) {
-        EnqueueOutcome::Forwarded { exit } => {
+        EnqueueOutcome::Forwarded { exit, dup } => {
+            if let Some(dt) = dup.filter(|_| flight.frame.duplicable()) {
+                let copy = flight.clone();
+                sim.schedule_event_at(dt, NetEvent::Receive { flight: copy });
+            }
             sim.schedule_event_at(exit, NetEvent::Receive { flight });
         }
         EnqueueOutcome::Dropped(_) => handle_drop(sim, flight),
@@ -649,10 +890,14 @@ fn receiver_side<W: NetHost>(
     let (world, rng) = sim.world_and_rng();
     let net = world.network();
     let mut t = now;
+    let mut dup_off: Option<SimDuration> = None;
     if let Some(machine) = via_machine {
         let nic_rx = net.machine(machine).nic_rx;
         match net.pipe_mut(nic_rx).enqueue(now, wire, rng) {
-            EnqueueOutcome::Forwarded { exit } => t = exit,
+            EnqueueOutcome::Forwarded { exit, dup } => {
+                dup_off = dup.map(|d| d - exit);
+                t = exit;
+            }
             EnqueueOutcome::Dropped(_) => {
                 handle_drop(sim, flight);
                 return;
@@ -668,12 +913,24 @@ fn receiver_side<W: NetHost>(
     t += classification.evaluation_cost;
     for pipe in &classification.pipes {
         match net.pipe_mut(pipe).enqueue(t, wire, rng) {
-            EnqueueOutcome::Forwarded { exit } => t = exit,
+            EnqueueOutcome::Forwarded { exit, dup } => {
+                if dup_off.is_none() {
+                    dup_off = dup.map(|d| d - exit);
+                }
+                t = exit;
+            }
             EnqueueOutcome::Dropped(_) => {
                 handle_drop(sim, flight);
                 return;
             }
         }
+    }
+    let dup_t = dup_off
+        .filter(|_| flight.frame.duplicable())
+        .map(|off| t + off);
+    if let Some(dt) = dup_t {
+        let copy = flight.clone();
+        sim.schedule_event_at(dt, NetEvent::Deliver { flight: copy });
     }
     sim.schedule_event_at(t, NetEvent::Deliver { flight });
 }
@@ -692,14 +949,60 @@ fn handle_drop<W: NetHost>(sim: &mut NetSim<W>, mut flight: InFlight<W::Payload>
     match backoff {
         Some(backoff) => {
             flight.attempts += 1;
-            sim.world_mut().network().stats.retransmissions += 1;
+            let net = sim.world_mut().network();
+            if let Frame::Frag {
+                conn, lane, seq, ..
+            } = flight.frame
+            {
+                // Selective retransmit: only the lost fragment is resent, and the loss feeds
+                // the sender's congestion controller (drop-triggered — the sim is omniscient,
+                // so no timeout machinery is needed to detect it).
+                net.stats.selective_retransmits += 1;
+                let sender_is_client = net
+                    .connection(conn)
+                    .is_some_and(|c| c.client.0 == flight.src);
+                let half = &mut net.proto_mut(conn).halves[flow_dir(sender_is_client)];
+                half.cc.on_loss();
+                // Karn's algorithm: the retried fragment's eventual ack must not produce an
+                // RTT sample, or retransmit backoffs would inflate srtt and stall the pacer.
+                half.lanes[lane.index()].send.window.mark_retransmitted(seq);
+            } else {
+                net.stats.retransmissions += 1;
+            }
             sim.schedule_event_in(backoff, NetEvent::Retransmit { flight });
         }
         None => {
-            let stats = &mut sim.world_mut().network().stats;
-            stats.messages_dropped += 1;
-            if !flight.frame.reliable() {
-                stats.datagrams_dropped += 1;
+            // A lost ack is silent by design (the next ack re-covers its window) — it is
+            // neither an abandoned message nor an application datagram.
+            if matches!(flight.frame, Frame::Ack { .. }) {
+                return;
+            }
+            let net = sim.world_mut().network();
+            let mut newly_dead = true;
+            if let Frame::Frag {
+                conn, lane, msg, ..
+            } = flight.frame
+            {
+                // A reliable fragment lands here only with its attempts exhausted — the
+                // message can never complete. Kill the receiver's partial assembly (the sim
+                // is omniscient) so still-retrying sibling fragments are ignored instead of
+                // reopening a dead entry, and so each abandoned message is counted once.
+                // Unreliable fragments keep the receiver-side behaviour a real stack has:
+                // the assembly stays open until the idle reassembly timeout strands it.
+                if lane.reliable() {
+                    let sender_is_client = net
+                        .connection(conn)
+                        .is_some_and(|c| c.client.0 == flight.src);
+                    let half = &mut net.proto_mut(conn).halves[flow_dir(sender_is_client)];
+                    newly_dead = half.lanes[lane.index()].recv.assembly.abandon(msg);
+                }
+            }
+            if newly_dead {
+                let stats = &mut net.stats;
+                stats.messages_dropped += 1;
+                if !flight.frame.reliable() {
+                    stats.datagrams_dropped += 1;
+                }
             }
         }
     }
@@ -795,6 +1098,119 @@ fn deliver<W: NetHost>(sim: &mut NetSim<W>, flight: InFlight<W::Payload>) {
                     size,
                 },
             );
+        }
+        Frame::Frag {
+            conn,
+            lane,
+            seq,
+            msg,
+            index,
+            count,
+            frag_size: _,
+            total_size,
+            payload,
+        } => {
+            // All `net`-borrow work happens before any `sim` work (scheduling, app events).
+            let c = match net.connection(conn) {
+                Some(c) => *c,
+                None => return,
+            };
+            if c.state == ConnState::Closed {
+                return;
+            }
+            let dir = flow_dir(flight.src == c.client.0);
+            let reassembly_timeout = net.config().transport.reassembly_timeout;
+            let (outcome, ack_field) = {
+                let proto = net.proto_mut(conn);
+                let lane_recv = &mut proto.halves[dir].lanes[lane.index()].recv;
+                lane_recv.ack.record(seq);
+                let field = lane.reliable().then(|| lane_recv.ack.bitfield());
+                (lane_recv.assembly.accept(msg, index, count), field)
+            };
+            let ack_flight = ack_field.map(|ack| {
+                net.stats.acks_sent += 1;
+                make_flight(net, dst, flight.src, Frame::Ack { conn, lane, ack })
+            });
+            match outcome {
+                FragOutcome::Complete => {
+                    {
+                        let entry = net.connection_mut(conn).expect("looked up above");
+                        if dst == entry.server.0 {
+                            entry.bytes_from_client += total_size;
+                        } else {
+                            entry.bytes_from_server += total_size;
+                        }
+                    }
+                    net.vnode_mut(dst).bytes_received += total_size;
+                    net.stats.bytes_delivered += total_size;
+                    let from = SocketAddr::new(src_addr, c.port_of(c.peer_of(dst)));
+                    if let Some(f) = ack_flight {
+                        transmit(sim, f, SimDuration::ZERO);
+                    }
+                    W::on_transport_event(
+                        sim,
+                        dst,
+                        TransportEvent::Message {
+                            conn,
+                            lane,
+                            from,
+                            payload,
+                            size: total_size,
+                        },
+                    );
+                }
+                FragOutcome::Pending { first } => {
+                    if let Some(f) = ack_flight {
+                        transmit(sim, f, SimDuration::ZERO);
+                    }
+                    // Only unreliable assemblies get the idle reaper: reliable fragments are
+                    // retransmitted until they arrive or the sender abandons them, and the
+                    // abandonment itself kills the assembly (see `handle_drop`) — an idle
+                    // timer would discard acked fragments that are never resent, leaving the
+                    // message permanently undeliverable.
+                    if first && !lane.reliable() {
+                        sim.schedule_event_in(
+                            reassembly_timeout,
+                            NetEvent::ReassemblyTimeout {
+                                conn,
+                                lane,
+                                msg,
+                                dir: dir as u8,
+                                // A fresh entry holds exactly the fragment that opened it.
+                                progress: 1,
+                            },
+                        );
+                    }
+                }
+                // Duplicate or stale fragment: the ack still goes out (it re-covers the
+                // window), but nothing is delivered.
+                FragOutcome::Ignored => {
+                    if let Some(f) = ack_flight {
+                        transmit(sim, f, SimDuration::ZERO);
+                    }
+                }
+            }
+        }
+        Frame::Ack { conn, lane, ack } => {
+            let c = match net.connection(conn) {
+                Some(c) => *c,
+                None => return,
+            };
+            // The ack's receiver is the sender of the acked data, so the flow direction is
+            // the one where `dst` transmits.
+            let dir = flow_dir(dst == c.client.0);
+            let Some(proto) = net.proto.get_mut(&conn) else {
+                return;
+            };
+            let ProtoHalf { cc, lanes, .. } = &mut proto.halves[dir];
+            lanes[lane.index()]
+                .send
+                .window
+                .on_ack(&ack, |wire_bytes, sent_at| {
+                    // `sent_at` is None for retransmitted fragments: bytes credited, no RTT
+                    // sample (Karn's algorithm).
+                    cc.on_ack(wire_bytes, sent_at.map(|s| now - s));
+                });
         }
         Frame::Fin { conn } => {
             let entry = match net.connection_mut(conn) {

@@ -45,7 +45,7 @@ proptest! {
         for (i, &size) in sizes.iter().enumerate() {
             now += SimDuration::from_micros(gap_us[i % gap_us.len()]);
             match pipe.enqueue(now, size, &mut rng) {
-                p2plab_net::EnqueueOutcome::Forwarded { exit } => {
+                p2plab_net::EnqueueOutcome::Forwarded { exit, .. } => {
                     // Never earlier than arrival + own serialization + delay.
                     let earliest = now
                         + SimDuration::transmission(size, bps)
