@@ -19,13 +19,19 @@
 //!   single grid cell (refreshing its per-cell report but leaving the full-grid summary
 //!   untouched) — the fast loop when one cell of a large sweep needs another look.
 //!
+//! `--threads` composes with the scenarios' `shards` knob: each worker runs one cell at a
+//! time, and a shard-native cell spawns `shards` event-loop threads of its own, so the OS
+//! thread demand is their product. When that exceeds the machine's parallelism the runner
+//! prints a warning and continues — results are deterministic regardless of scheduling, only
+//! wall-clock speedup suffers.
+//!
 //! Exit codes: `0` success, `1` a run failed (or `--strict` outcome check), `2` usage, parse
 //! or validation error.
 
 use p2plab_bench::{write_results_file, write_run_report, write_run_report_in};
 use p2plab_core::{
-    default_threads, parse_toml, render_table, run_campaign, CampaignSpec, CampaignSummary,
-    ScenarioFile,
+    default_threads, oversubscription_warning, parse_toml, render_table, run_campaign,
+    CampaignSpec, CampaignSummary, ScenarioFile,
 };
 use std::process::ExitCode;
 
@@ -210,6 +216,11 @@ fn run_one(path: &str, args: &Args) -> Result<(), ExitCode> {
                 cells.len(),
                 threads
             );
+            // Worker threads and per-cell event-loop shards multiply; warn (results are
+            // unaffected — determinism never depends on scheduling) instead of erroring.
+            if let Some(warning) = oversubscription_warning(&cells, threads) {
+                eprintln!("warning: {path}: {warning}");
+            }
             let results = run_campaign(&cells, threads);
             let mut reports = Vec::with_capacity(cells.len());
             let mut failed = false;

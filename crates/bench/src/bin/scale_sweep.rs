@@ -1,7 +1,10 @@
 //! The standing scale/performance baseline: swarm, ping-mesh and gossip scenarios at
 //! 10^3–10^5 virtual nodes — plus the protocol-depth A/B (`figure10-proto-*`: the fig10 swarm
-//! under burst loss with fragmentation active, legacy vs AIMD congestion control) — each
-//! emitting its `RunReport` under `results/` and summarized as `results/scale_sweep.csv`.
+//! under burst loss with fragmentation active, legacy vs AIMD congestion control) and the
+//! shard axis (the 50k sharded-gossip configuration on 1 vs 2 event-loop threads, the fig10
+//! pin at `shards` 1/2/4, and — full sweep only — a 10^6-vnode sharded gossip on 4 threads) —
+//! each emitting its `RunReport` under `results/` and summarized as `results/scale_sweep.csv`
+//! (which carries a `shards` column).
 //!
 //! ```text
 //! # full sweep (1k/10k/50k gossip, 1k/10k mesh and swarm, fig10 throughput pin):
@@ -19,9 +22,9 @@
 
 use p2plab_bench::{write_results_file, write_run_report};
 use p2plab_core::{
-    render_table, run_reported, ArrivalSpec, DhtLookupSpec, DhtLookupWorkload, GossipSpec,
-    GossipWorkload, PingMeshSpec, PingMeshWorkload, RunReport, ScenarioBuilder, SwarmExperiment,
-    SwarmWorkload,
+    render_table, run_reported, ArrivalSpec, DhtLookupSpec, DhtLookupWorkload, GossipShardedSpec,
+    GossipShardedWorkload, GossipSpec, GossipWorkload, PingMeshSpec, PingMeshWorkload, RunReport,
+    ScenarioBuilder, SwarmExperiment, SwarmWorkload,
 };
 use p2plab_net::{AccessLinkClass, BurstLoss, CcKind, LinkCondition, TopologySpec};
 use p2plab_sim::{RunOutcome, SimDuration};
@@ -34,27 +37,36 @@ struct SweepRow {
     scenario: String,
     workload: &'static str,
     vnodes: usize,
+    shards: usize,
     events: u64,
     wall_secs: f64,
     events_per_sec: f64,
     outcome: RunOutcome,
 }
 
-fn record(rows: &mut Vec<SweepRow>, workload: &'static str, vnodes: usize, report: &RunReport) {
+fn record(
+    rows: &mut Vec<SweepRow>,
+    workload: &'static str,
+    vnodes: usize,
+    shards: usize,
+    report: &RunReport,
+) {
     write_run_report("scale", report);
     println!(
-        "[{}] {}: {} events in {:.1}s = {:.0} events/sec ({:?})",
+        "[{}] {}: {} events in {:.1}s = {:.0} events/sec on {} shard(s) ({:?})",
         workload,
         report.scenario,
         report.events_executed,
         report.wall_secs,
         report.events_per_sec,
+        shards,
         report.outcome
     );
     rows.push(SweepRow {
         scenario: report.scenario.clone(),
         workload,
         vnodes,
+        shards,
         events: report.events_executed,
         wall_secs: report.wall_secs,
         events_per_sec: report.events_per_sec,
@@ -98,6 +110,54 @@ fn gossip(nodes: usize, smoke: bool) -> RunReport {
         result.finished,
         "gossip at {nodes} vnodes did not fully disseminate: {}",
         result.summary()
+    );
+    report
+}
+
+/// Sharded gossip at `nodes` vnodes across `shards` event-loop threads: the shard-native
+/// epidemic broadcast over the conservative-lookahead runtime. The same configuration is run
+/// at several shard counts — event counts must match exactly (the runtime is
+/// partition-invariant), while events/sec is the standing multi-core scaling evidence.
+fn gossip_sharded(nodes: usize, shards: usize, smoke: bool) -> RunReport {
+    let name = format!("scale-gossip-sharded-{nodes}x{shards}");
+    let machines = (nodes / 64).max(1);
+    let mut spec = GossipShardedSpec::new(&name, nodes);
+    spec.fanout = 2;
+    // Tighter arrival spacing at the million-node scale: a 2 ms ramp would stretch the join
+    // phase to half an hour of virtual time and drown the dissemination in offline pushes.
+    let spacing = if nodes >= 1_000_000 {
+        SimDuration::from_micros(10)
+    } else {
+        SimDuration::from_millis(2)
+    };
+    let ramp = spacing * nodes.saturating_sub(1) as u64;
+    let mut b = ScenarioBuilder::new(
+        &name,
+        TopologySpec::uniform(
+            &name,
+            nodes,
+            AccessLinkClass::symmetric(50_000_000, SimDuration::from_millis(5)),
+        ),
+    )
+    .machines(machines)
+    .arrivals(ArrivalSpec::ramp(SimDuration::ZERO, spacing))
+    .arrival_ramp(ramp)
+    .deadline(ramp + SimDuration::from_secs(900))
+    .sample_interval(SimDuration::from_secs(10))
+    .monitor_resources(false)
+    .seed(2006)
+    .shards(shards);
+    if smoke {
+        b = b.event_budget(150_000_000);
+    }
+    let scenario = b.build().expect("valid sharded gossip scenario");
+    let (result, report) =
+        run_reported(&scenario, GossipShardedWorkload::new(spec)).expect("sharded gossip runs");
+    assert!(
+        result.time_to_full.is_some(),
+        "sharded gossip at {nodes} vnodes x {shards} shard(s) did not fully disseminate \
+         ({} informed)",
+        result.informed
     );
     report
 }
@@ -207,9 +267,10 @@ fn swarm(clients: usize, smoke: bool) -> RunReport {
 /// The fig10 throughput pin: the paper's Figure 10 swarm at quarter scale (1439 clients,
 /// 16 MiB file) — the configuration whose events/sec is compared against the committed
 /// pre-refactor baseline report.
-fn fig10_pin(smoke: bool) -> RunReport {
+fn fig10_pin(smoke: bool, shards: usize) -> RunReport {
     let cfg = SwarmExperiment::paper_figure10(0.25);
     let mut scenario = cfg.to_scenario();
+    scenario.shards = shards;
     if smoke {
         scenario.event_budget = Some(120_000_000);
     }
@@ -264,25 +325,68 @@ fn main() {
 
     for nodes in [1_000, 10_000] {
         let report = ping_mesh(nodes, smoke);
-        record(&mut rows, "ping-mesh", nodes, &report);
+        record(&mut rows, "ping-mesh", nodes, 1, &report);
     }
     for nodes in [1_000, 10_000, 50_000] {
         let report = gossip(nodes, smoke);
-        record(&mut rows, "gossip", nodes, &report);
+        record(&mut rows, "gossip", nodes, 1, &report);
+    }
+    // The shard axis: the same 50k-vnode sharded-gossip configuration on 1 vs 2 event-loop
+    // threads. Event counts must agree exactly (partition invariance); the events/sec pair is
+    // the standing multi-core scaling evidence.
+    let mut sharded_pair = Vec::new();
+    for shards in [1usize, 2] {
+        let report = gossip_sharded(50_000, shards, smoke);
+        record(&mut rows, "gossip-sharded", 50_000, shards, &report);
+        sharded_pair.push(report);
+    }
+    assert_eq!(
+        sharded_pair[0].events_executed, sharded_pair[1].events_executed,
+        "sharded gossip event count depends on the shard count — partition invariance broke"
+    );
+    println!(
+        "sharded gossip 50k: {:.0} events/s at 1 shard vs {:.0} events/s at 2 shards = {:.2}x",
+        sharded_pair[0].events_per_sec,
+        sharded_pair[1].events_per_sec,
+        sharded_pair[1].events_per_sec / sharded_pair[0].events_per_sec.max(1e-9)
+    );
+    // The million-vnode demonstrator is full-sweep only: it clears the smoke budget with room
+    // to spare, but its wall time has no place in a CI gate.
+    if !smoke {
+        let report = gossip_sharded(1_000_000, 4, smoke);
+        record(&mut rows, "gossip-sharded", 1_000_000, 4, &report);
     }
     for nodes in [1_000, 10_000] {
         let report = dht(nodes, smoke);
-        record(&mut rows, "dht-lookup", nodes, &report);
+        record(&mut rows, "dht-lookup", nodes, 1, &report);
     }
     for clients in [1_000, 10_000] {
         let report = swarm(clients, smoke);
-        record(&mut rows, "swarm", clients, &report);
+        record(&mut rows, "swarm", clients, 1, &report);
     }
-    let fig10 = fig10_pin(smoke);
-    record(&mut rows, "swarm", fig10.vnodes, &fig10);
+    let fig10 = fig10_pin(smoke, 1);
+    record(&mut rows, "swarm", fig10.vnodes, 1, &fig10);
+    // Shard-count invariance on the pin itself: the legacy swarm path accepts the `shards`
+    // knob (running the reference engine regardless), so the report must be byte-identical —
+    // wall-clock fields aside — at every value.
+    let canonical = |report: &RunReport| {
+        let mut r = report.clone();
+        r.wall_secs = 0.0;
+        r.events_per_sec = 0.0;
+        r.to_json()
+    };
+    for shards in [2usize, 4] {
+        let again = fig10_pin(smoke, shards);
+        record(&mut rows, "swarm", again.vnodes, shards, &again);
+        assert_eq!(
+            canonical(&fig10),
+            canonical(&again),
+            "fig10 pin diverged between shards=1 and shards={shards}"
+        );
+    }
     for kind in [CcKind::Legacy, CcKind::Aimd] {
         let report = fig10_proto(kind, smoke);
-        record(&mut rows, "swarm-proto", report.vnodes, &report);
+        record(&mut rows, "swarm-proto", report.vnodes, 1, &report);
     }
 
     // Summary table + CSV artifact.
@@ -293,6 +397,7 @@ fn main() {
                 r.scenario.clone(),
                 r.workload.to_string(),
                 r.vnodes.to_string(),
+                r.shards.to_string(),
                 r.events.to_string(),
                 format!("{:.1}", r.wall_secs),
                 format!("{:.0}", r.events_per_sec),
@@ -303,15 +408,15 @@ fn main() {
         "\n{}",
         render_table(
             "Scale sweep",
-            &["scenario", "workload", "vnodes", "events", "wall_s", "events/s"],
+            &["scenario", "workload", "vnodes", "shards", "events", "wall_s", "events/s"],
             &table_rows,
         )
     );
-    let mut csv = String::from("scenario,workload,vnodes,events,wall_secs,events_per_sec\n");
+    let mut csv = String::from("scenario,workload,vnodes,shards,events,wall_secs,events_per_sec\n");
     for r in &rows {
         csv.push_str(&format!(
-            "{},{},{},{},{:.3},{:.0}\n",
-            r.scenario, r.workload, r.vnodes, r.events, r.wall_secs, r.events_per_sec
+            "{},{},{},{},{},{:.3},{:.0}\n",
+            r.scenario, r.workload, r.vnodes, r.shards, r.events, r.wall_secs, r.events_per_sec
         ));
     }
     write_results_file("scale_sweep.csv", &csv);

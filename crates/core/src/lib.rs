@@ -49,8 +49,8 @@ pub use report::{
     RUN_REPORT_SCHEMA,
 };
 pub use scenario::campaign::{
-    default_threads, run_campaign, CampaignCell, CampaignRow, CampaignSpec, CampaignSummary,
-    CAMPAIGN_SCHEMA,
+    default_threads, oversubscription_warning, run_campaign, CampaignCell, CampaignRow,
+    CampaignSpec, CampaignSummary, CAMPAIGN_SCHEMA,
 };
 pub use scenario::dsl::{
     fmt_duration, link_profile, parse_duration, parse_toml, DslError, ScenarioFile, Spanned,
@@ -61,7 +61,7 @@ pub use scenario::{
     ScenarioBuilder, ScenarioError, ScenarioRun, ScenarioSpec, SessionProcess, Workload,
 };
 pub use workloads::{
-    DhtLookupResult, DhtLookupSpec, DhtLookupWorkload, GossipResult, GossipSpec, GossipWorkload,
-    MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload, SwarmWorkload, WorkloadConfig,
-    WORKLOAD_KINDS,
+    DhtLookupResult, DhtLookupSpec, DhtLookupWorkload, GossipResult, GossipShardedResult,
+    GossipShardedSpec, GossipShardedWorkload, GossipSpec, GossipWorkload, MeshPattern,
+    PingMeshResult, PingMeshSpec, PingMeshWorkload, SwarmWorkload, WorkloadConfig, WORKLOAD_KINDS,
 };

@@ -48,7 +48,7 @@ use crate::report::RunReport;
 use p2plab_net::{NetError, NetStats, Network, NetworkConfig, TopologySpec};
 use p2plab_sim::{
     schedule_periodic, Counter, MetricSet, Recorder, RunOutcome, SimDuration, SimRng, SimTime,
-    Simulation, TimeSeries, TypedEvent,
+    Simulation, TimeSeries, TimeSeriesId, TypedEvent,
 };
 use std::cell::RefCell;
 use std::fmt;
@@ -150,6 +150,40 @@ pub trait Workload {
 
     /// Consumes the workload and the run's measurements into the output type.
     fn finalize(self, world: Self::World, run: ScenarioRun) -> Self::Output;
+
+    /// Executes the workload on the sharded conservative-window runtime
+    /// (`p2plab_sim::shard`), when the workload supports it.
+    ///
+    /// The default returns `None`: the workload has no shard-native execution path and runs on
+    /// the reference single-threaded engine **at any `shards` value** — accepting the knob
+    /// without changing behaviour is what keeps legacy runs byte-identical across shard
+    /// counts. A shard-native workload returns `Some` for *every* shard count (including 1,
+    /// which runs the same windowed algorithm inline): the runner then skips the classic
+    /// deploy/run loop entirely and the implementation is responsible for recording its
+    /// metrics — the progress curve through `progress`, anything else through handles it
+    /// stored in [`setup_metrics`](Workload::setup_metrics) — in a **shard-count-invariant**
+    /// way (reconstructed on the sampling grid, never from per-shard interleaving).
+    fn run_sharded(
+        &mut self,
+        _spec: &ScenarioSpec,
+        _arrivals: &ArrivalSchedule,
+        _rec: &mut Recorder,
+        _progress: TimeSeriesId,
+    ) -> Option<Result<(Self::World, ShardedOutcome), ScenarioError>> {
+        None
+    }
+}
+
+/// What a shard-native execution ([`Workload::run_sharded`]) hands back to the runner: the
+/// shard-count-invariant run aggregates the report needs (wall-clock fields are the runner's).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedOutcome {
+    /// Virtual time when the run stopped.
+    pub stopped_at: SimTime,
+    /// Total events executed across all shards.
+    pub events_executed: u64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
 }
 
 /// A fully specified scenario, produced by [`ScenarioBuilder::build`].
@@ -184,6 +218,12 @@ pub struct ScenarioSpec {
     /// Hard cap on executed events. `None` is unlimited; CI smoke runs set it so a runaway
     /// event loop fails fast ([`RunOutcome::EventBudgetExhausted`]) instead of hanging the job.
     pub event_budget: Option<u64>,
+    /// Number of event-loop shards (worker threads) for workloads with a shard-native
+    /// execution path ([`Workload::run_sharded`]). `1` — the default and the reference
+    /// semantics — runs single-threaded; results are bit-identical across shard counts, so
+    /// this knob is deliberately **excluded from the report's spec echo**. Workloads without a
+    /// shard-native path accept the knob and ignore it.
+    pub shards: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -206,6 +246,15 @@ pub enum ScenarioError {
     ZeroDeadline,
     /// The sampling interval is zero.
     ZeroSampleInterval,
+    /// The shard count is zero.
+    ZeroShards,
+    /// The scenario asked for sharded execution but the combination cannot be sharded (e.g.
+    /// zero-latency links leave no conservative lookahead, or the workload does not support a
+    /// requested feature under sharding).
+    ShardingUnsupported {
+        /// Why the scenario cannot run sharded.
+        reason: String,
+    },
     /// The deadline ends before the declared arrival ramp completes.
     DeadlineBeforeArrivalRamp {
         /// Duration of the arrival ramp.
@@ -254,6 +303,12 @@ impl fmt::Display for ScenarioError {
                 f,
                 "scenario sample interval must be positive (sample_interval = 0s)"
             ),
+            ScenarioError::ZeroShards => {
+                write!(f, "scenario shard count must be positive (shards = 0)")
+            }
+            ScenarioError::ShardingUnsupported { reason } => {
+                write!(f, "scenario cannot run sharded: {reason}")
+            }
             ScenarioError::DeadlineBeforeArrivalRamp { ramp, deadline } => write!(
                 f,
                 "deadline {deadline} ends before the arrival ramp {ramp} completes"
@@ -301,6 +356,7 @@ impl ScenarioBuilder {
                 arrival_ramp: None,
                 event_capacity: None,
                 event_budget: None,
+                shards: 1,
                 seed: 0,
             },
         }
@@ -390,6 +446,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the number of event-loop shards for shard-native workloads (`1` — the default —
+    /// is the single-threaded reference semantics; results are identical at any count).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.spec.shards = shards;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
@@ -420,6 +483,9 @@ impl ScenarioSpec {
         }
         if self.sample_interval == SimDuration::ZERO {
             return Err(ScenarioError::ZeroSampleInterval);
+        }
+        if self.shards == 0 {
+            return Err(ScenarioError::ZeroShards);
         }
         if let Some(ramp) = self.arrival_ramp {
             if self.deadline < ramp {
@@ -577,12 +643,72 @@ fn run_scenario_inner<W: Workload + 'static>(
         });
     }
 
-    let deployment = deploy(&spec.topology, spec.deployment, spec.network)
-        .map_err(ScenarioError::DeploymentFailed)?;
-
     let mut workload = workload;
     let participants = workload.participants();
     let workload_kind = workload.kind();
+
+    // The run's recorder: one per run, owned by the runner. Registration order is part of the
+    // report schema, so the runner's series and counters always come first, then whatever the
+    // workload registers.
+    let mut plain_recorder = Recorder::new();
+    let progress_id = plain_recorder.time_series("progress");
+    let cwnd_id = plain_recorder.time_series("cwnd_mean_bytes");
+    let transport_counters = TransportCounters::register(&mut plain_recorder);
+    workload.setup_metrics(&mut plain_recorder);
+
+    // Shard-native workloads execute on the conservative-window runtime at every shard count
+    // (`shards = 1` runs the same windowed algorithm inline — the reference semantics); the
+    // classic deploy/run loop below never sees them. Workloads without a shard-native path
+    // return `None` and run the reference engine regardless of `spec.shards`.
+    if let Some(sharded) = workload.run_sharded(spec, &arrivals, &mut plain_recorder, progress_id) {
+        let (world, sharded) = sharded?;
+        let metrics = plain_recorder.finish();
+        let samples = metrics
+            .series("progress")
+            .cloned()
+            .expect("the runner registered the progress series");
+        let wall_secs = wall_start.elapsed().as_secs_f64();
+        let events_per_sec = if wall_secs > 0.0 {
+            sharded.events_executed as f64 / wall_secs
+        } else {
+            0.0
+        };
+        let report = want_report.then(|| RunReport {
+            workload: workload_kind.to_string(),
+            scenario: spec.name.clone(),
+            seed: spec.seed,
+            machines: spec.deployment.machines,
+            vnodes: spec.topology.total_nodes(),
+            participants,
+            folding_ratio: spec.folding_ratio(),
+            wall_secs,
+            stopped_at: sharded.stopped_at,
+            events_executed: sharded.events_executed,
+            events_per_sec,
+            outcome: sharded.outcome,
+            spec: spec_echo(spec),
+            metrics: metrics.clone(),
+        });
+        let run = ScenarioRun {
+            name: spec.name.clone(),
+            folding_ratio: spec.folding_ratio(),
+            seed: spec.seed,
+            stopped_at: sharded.stopped_at,
+            events_executed: sharded.events_executed,
+            wall_secs,
+            events_per_sec,
+            outcome: sharded.outcome,
+            samples,
+            peak_nic_utilization: 0.0,
+            monitor: None,
+            metrics,
+        };
+        return Ok((workload.finalize(world, run), report));
+    }
+
+    let deployment = deploy(&spec.topology, spec.deployment, spec.network)
+        .map_err(ScenarioError::DeploymentFailed)?;
+
     let world = workload.build_world(deployment);
     let mut sim: Simulation<W::World, W::Event> = Simulation::with_events(world, spec.seed);
     // Pre-size the event queue from the scenario's participant count (or the explicit hint):
@@ -601,14 +727,9 @@ fn run_scenario_inner<W: Workload + 'static>(
         workload.schedule_churn(&mut sim, sessions, &arrivals);
     }
 
-    // The run's recorder: one per run, owned by the runner, shared with the periodic sampler.
-    // The runner itself contributes the workload's progress curve; the monitor and the
-    // workload record through the same instance.
-    let recorder: Rc<RefCell<Recorder>> = Rc::new(RefCell::new(Recorder::new()));
-    let progress_id = recorder.borrow_mut().time_series("progress");
-    let cwnd_id = recorder.borrow_mut().time_series("cwnd_mean_bytes");
-    let transport_counters = TransportCounters::register(&mut recorder.borrow_mut());
-    workload.setup_metrics(&mut recorder.borrow_mut());
+    // Shared with the periodic sampler: the runner itself contributes the workload's progress
+    // curve; the monitor and the workload record through the same instance.
+    let recorder: Rc<RefCell<Recorder>> = Rc::new(RefCell::new(plain_recorder));
 
     // Periodic sampling of the workload's progress metric and of the physical machines' NIC
     // utilization, on the same grid the figures use. The `progress` series in the recorder is

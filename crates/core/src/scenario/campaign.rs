@@ -268,6 +268,31 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Checks the campaign's `threads` × per-cell `shards` product against the machine's
+/// parallelism and returns a human-readable warning when the combination oversubscribes it.
+///
+/// Campaign workers and a cell's event-loop shards multiply: `threads` cells run concurrently
+/// and each shard-native cell spawns `shards` OS threads of its own. The run stays correct
+/// either way (determinism never depends on scheduling), it just stops getting faster — so
+/// this is a warning for the runner to print, not an error.
+pub fn oversubscription_warning(cells: &[CampaignCell], threads: usize) -> Option<String> {
+    let max_shards = cells
+        .iter()
+        .map(|c| c.file.spec.shards)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let cores = default_threads();
+    let demand = threads.saturating_mul(max_shards);
+    (demand > cores).then(|| {
+        format!(
+            "{threads} worker thread(s) x up to {max_shards} shard(s) per cell = {demand} OS \
+             threads exceeds the available parallelism ({cores}); results are unaffected, but \
+             consider lowering --threads or the scenarios' shards"
+        )
+    })
+}
+
 /// One row of the cross-run comparison: the deterministic facts of a cell's run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignRow {
@@ -619,5 +644,23 @@ topology.loss = [0.0, 0.1]
         // The baseline cell's self-deviation is zero; the schema tag is present.
         assert_eq!(a.rows[0].progress_dev_vs_first, 0.0);
         assert!(a.to_json().contains(CAMPAIGN_SCHEMA));
+    }
+
+    #[test]
+    fn oversubscription_warns_on_threads_times_shards() {
+        let text = grid_campaign().replace("seed = 1", "seed = 1\nshards = 4");
+        let campaign = CampaignSpec::parse(&text).unwrap();
+        let cells = campaign.expand().unwrap();
+        assert!(cells.iter().all(|c| c.file.spec.shards == 4));
+        // Demanding far beyond any machine's parallelism must warn; a single worker running
+        // single-shard cells never does.
+        let warning = oversubscription_warning(&cells, 4096);
+        assert!(warning.is_some());
+        assert!(warning.unwrap().contains("4 shard(s)"));
+        let single = CampaignSpec::parse(&grid_campaign())
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(oversubscription_warning(&single, 1), None);
     }
 }

@@ -63,7 +63,8 @@ use crate::experiment::SwarmExperiment;
 use crate::report::RunReport;
 use crate::scenario::{ArrivalSpec, ScenarioError, ScenarioSpec, SessionProcess};
 use crate::workloads::{
-    DhtLookupSpec, GossipSpec, MeshPattern, PingMeshSpec, WorkloadConfig, WORKLOAD_KINDS,
+    DhtLookupSpec, GossipShardedSpec, GossipSpec, MeshPattern, PingMeshSpec, WorkloadConfig,
+    WORKLOAD_KINDS,
 };
 use p2plab_bittorrent::ClientConfig;
 use p2plab_net::{
@@ -1125,6 +1126,7 @@ impl ScenarioFile {
         let monitor_resources = scenario.opt_bool("monitor_resources")?.unwrap_or(true);
         let event_capacity = scenario.opt_usize("event_capacity")?;
         let event_budget = scenario.opt_u64("event_budget")?;
+        let shards = scenario.opt_usize("shards")?.unwrap_or(1);
         scenario.finish()?;
 
         // [topology]
@@ -1286,6 +1288,20 @@ impl ScenarioFile {
                 p.finish()?;
                 WorkloadConfig::Gossip(spec)
             }
+            "gossip-sharded" => {
+                let mut p = Sect::new(params, path);
+                let spec = GossipShardedSpec {
+                    name: name.clone(),
+                    nodes: p.opt_usize("nodes")?.ok_or_else(|| p.missing("nodes"))?,
+                    fanout: p.opt_usize("fanout")?.unwrap_or(3),
+                    round_interval: p
+                        .opt_duration("round_interval")?
+                        .unwrap_or(SimDuration::from_secs(1)),
+                    rumor_bytes: p.opt_u64("rumor_bytes")?.unwrap_or(256),
+                };
+                p.finish()?;
+                WorkloadConfig::GossipSharded(spec)
+            }
             "dht-lookup" => {
                 let mut p = Sect::new(params, path);
                 let nodes = p.opt_usize("nodes")?.ok_or_else(|| p.missing("nodes"))?;
@@ -1340,6 +1356,7 @@ impl ScenarioFile {
             event_capacity,
             event_budget,
             seed,
+            shards,
         };
         Ok(ScenarioFile { spec, workload })
     }
@@ -1387,6 +1404,9 @@ impl ScenarioFile {
         }
         if let Some(budget) = spec.event_budget {
             out.push_str(&format!("event_budget = {budget}\n"));
+        }
+        if spec.shards != 1 {
+            out.push_str(&format!("shards = {}\n", spec.shards));
         }
 
         let link = spec
@@ -1486,6 +1506,15 @@ impl ScenarioFile {
                 }
             }
             WorkloadConfig::Gossip(g) => {
+                out.push_str(&format!("nodes = {}\n", g.nodes));
+                out.push_str(&format!("fanout = {}\n", g.fanout));
+                out.push_str(&format!(
+                    "round_interval = \"{}\"\n",
+                    fmt_duration(g.round_interval)
+                ));
+                out.push_str(&format!("rumor_bytes = {}\n", g.rumor_bytes));
+            }
+            WorkloadConfig::GossipSharded(g) => {
                 out.push_str(&format!("nodes = {}\n", g.nodes));
                 out.push_str(&format!("fanout = {}\n", g.fanout));
                 out.push_str(&format!(

@@ -1,0 +1,723 @@
+//! Epidemic broadcast on the sharded conservative-window runtime.
+//!
+//! [`GossipShardedWorkload`] is the first shard-native workload: it implements
+//! [`Workload::run_sharded`], so [`run_scenario`](crate::scenario::run_scenario) executes it on
+//! `p2plab_sim::shard`'s windowed runtime at the scenario's `shards` count — `shards = 1` runs
+//! the same algorithm inline and is the reference semantics; higher counts run one OS thread
+//! per shard and produce **bit-identical** results.
+//!
+//! The protocol is the blind-push gossip of [`GossipWorkload`](super::GossipWorkload), restated
+//! in the shard runtime's message model instead of the emulated socket stack:
+//!
+//! * nodes are partitioned into contiguous blocks, one block per shard;
+//! * every rumor push is a time-stamped [`send_message`](p2plab_sim::ShardSim::send_message)
+//!   whose delay is derived from *sender-local* state only (egress serialization on the
+//!   sender's uplink plus both endpoints' access latencies), so delays are independent of the
+//!   partition;
+//! * peer selection draws from a **per-node** RNG stream split off the scenario seed by node
+//!   id — never from the shard simulation's RNG, whose consumption order is shard-dependent;
+//! * completion is the runtime's summed progress target (nodes informed), checked at window
+//!   boundaries, which are aligned to an absolute grid and therefore partition-invariant.
+//!
+//! Churn is not supported under sharding (a depart/rejoin at one node would need same-instant
+//! global visibility); scenarios with a session process are rejected with
+//! [`ScenarioError::ShardingUnsupported`].
+
+use crate::scenario::{
+    ArrivalSchedule, ArrivalSpec, ScenarioError, ScenarioRun, ScenarioSpec, ShardedOutcome,
+    Workload,
+};
+use p2plab_net::Network;
+use p2plab_sim::{
+    run_sharded, Counter, Gauge, NoEvent, Recorder, RunOutcome, ShardConfig, ShardSim, ShardWorld,
+    SimDuration, SimRng, SimTime, TimeSeries, TimeSeriesId,
+};
+use serde::{Deserialize, Serialize};
+
+/// Description of a sharded gossip experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GossipShardedSpec {
+    /// Name used in reports.
+    pub name: String,
+    /// Number of gossiping nodes.
+    pub nodes: usize,
+    /// How many random peers each informed node pushes the rumor to per round.
+    pub fanout: usize,
+    /// Spacing between a node's gossip rounds.
+    pub round_interval: SimDuration,
+    /// Rumor payload size in bytes.
+    pub rumor_bytes: u64,
+}
+
+impl GossipShardedSpec {
+    /// A sharded gossip experiment over `nodes` nodes with fanout 3, 1 s rounds and a 256-byte
+    /// rumor (the same defaults as [`GossipSpec::new`](super::GossipSpec::new)).
+    pub fn new(name: impl Into<String>, nodes: usize) -> GossipShardedSpec {
+        assert!(nodes >= 2, "gossip needs at least two nodes");
+        GossipShardedSpec {
+            name: name.into(),
+            nodes,
+            fanout: 3,
+            round_interval: SimDuration::from_secs(1),
+            rumor_bytes: 256,
+        }
+    }
+}
+
+/// The contiguous block of global node ids shard `shard` owns.
+fn block_of(shard: usize, shards: usize, nodes: usize) -> std::ops::Range<usize> {
+    let base = nodes / shards;
+    let rem = nodes % shards;
+    let start = shard * base + shard.min(rem);
+    let len = base + usize::from(shard < rem);
+    start..start + len
+}
+
+/// The shard owning global node `node` (inverse of [`block_of`]).
+fn shard_of(node: usize, shards: usize, nodes: usize) -> usize {
+    let base = nodes / shards;
+    let rem = nodes % shards;
+    let wide = rem * (base + 1);
+    if node < wide {
+        node / (base + 1)
+    } else {
+        rem + (node - wide) / base.max(1)
+    }
+}
+
+/// A rumor push addressed to a global node id.
+struct GossipMsg {
+    dest: u64,
+    hops: u32,
+}
+
+/// Shard-local timer events.
+enum GossipLocal {
+    /// Global node `node` joins the overlay (drawn from the scenario's arrival process).
+    Arrive { node: usize },
+    /// Global node `node` runs one gossip round at hop depth `hops`.
+    Round { node: usize, hops: u32 },
+}
+
+/// Per-node link parameters, expanded from the topology's groups (node ids are assigned
+/// consecutively per group, in group order).
+#[derive(Clone, Copy)]
+struct NodeLink {
+    latency: SimDuration,
+    up_bps: u64,
+}
+
+/// One shard's slice of the gossip overlay.
+struct GossipShard {
+    /// Global ids of the nodes this shard owns ([`block_of`]).
+    block: std::ops::Range<usize>,
+    shards: usize,
+    nodes: usize,
+    fanout: usize,
+    round_interval: SimDuration,
+    rumor_bytes: u64,
+    /// Per-node link parameters for **all** nodes: senders need the receiver's latency to
+    /// compute the delivery delay. The table is immutable and shared across shard threads;
+    /// receiver *state* stays shard-owned.
+    links: std::sync::Arc<[NodeLink]>,
+    // Block-local state, indexed by `node - block.start`.
+    online: Vec<bool>,
+    informed_at: Vec<Option<SimTime>>,
+    /// Per-node peer-selection RNG streams, split off the scenario seed by node id (partition-
+    /// invariant, unlike the shard simulation's own RNG).
+    rng: Vec<SimRng>,
+    /// Per-node uplink busy horizon for egress serialization.
+    busy_until: Vec<SimTime>,
+    informed: u64,
+    rumors_sent: u64,
+    duplicate_receipts: u64,
+    missed_receipts: u64,
+}
+
+impl GossipShard {
+    fn new(
+        shard: usize,
+        shards: usize,
+        spec: &GossipShardedSpec,
+        seed: u64,
+        links: std::sync::Arc<[NodeLink]>,
+    ) -> GossipShard {
+        let block = block_of(shard, shards, spec.nodes);
+        let len = block.len();
+        let node_rng = SimRng::new(seed).split("gossip-node");
+        GossipShard {
+            rng: block
+                .clone()
+                .map(|n| node_rng.split_u64(n as u64))
+                .collect(),
+            block,
+            shards,
+            nodes: spec.nodes,
+            fanout: spec.fanout,
+            round_interval: spec.round_interval,
+            rumor_bytes: spec.rumor_bytes,
+            links,
+            online: vec![false; len],
+            informed_at: vec![None; len],
+            busy_until: vec![SimTime::ZERO; len],
+            informed: 0,
+            rumors_sent: 0,
+            duplicate_receipts: 0,
+            missed_receipts: 0,
+        }
+    }
+
+    fn local(&self, node: usize) -> usize {
+        debug_assert!(self.block.contains(&node));
+        node - self.block.start
+    }
+}
+
+/// Marks `node` informed and schedules its first gossip round (immediately, matching the
+/// classic workload's `schedule_periodic(now, ...)`).
+fn become_informed(sim: &mut ShardSim<GossipShard>, node: usize, hops: u32) {
+    let now = sim.now();
+    let world = sim.model();
+    let l = world.local(node);
+    if world.informed_at[l].is_some() {
+        return;
+    }
+    world.informed_at[l] = Some(now);
+    world.informed += 1;
+    sim.schedule_local_in(SimDuration::ZERO, GossipLocal::Round { node, hops });
+}
+
+impl ShardWorld for GossipShard {
+    type Msg = GossipMsg;
+    type Local = GossipLocal;
+
+    fn on_message(sim: &mut ShardSim<Self>, _src: u64, msg: GossipMsg) {
+        let node = msg.dest as usize;
+        let world = sim.model();
+        let l = world.local(node);
+        if !world.online[l] {
+            // Not yet arrived: the rumor is missed and a later round must re-push it.
+            world.missed_receipts += 1;
+        } else if world.informed_at[l].is_some() {
+            world.duplicate_receipts += 1;
+        } else {
+            become_informed(sim, node, msg.hops + 1);
+        }
+    }
+
+    fn on_local(sim: &mut ShardSim<Self>, ev: GossipLocal) {
+        match ev {
+            GossipLocal::Arrive { node } => {
+                let world = sim.model();
+                let l = world.local(node);
+                world.online[l] = true;
+                // The first participant to arrive carries the rumor (node 0: the schedule is
+                // sorted, so id 0 holds the earliest instant).
+                if node == 0 {
+                    become_informed(sim, node, 0);
+                }
+            }
+            GossipLocal::Round { node, hops } => {
+                let now = sim.now();
+                let interval = sim.model().round_interval;
+                push_rumors(sim, now, node, hops);
+                // Rounds tick until the runtime's summed progress target stops the run at a
+                // window boundary — per-shard state cannot see global informedness.
+                sim.schedule_local_in(interval, GossipLocal::Round { node, hops });
+            }
+        }
+    }
+
+    fn progress(&self) -> u64 {
+        self.informed
+    }
+}
+
+/// Pushes the rumor from `node` to `fanout` random peers. The delivery delay is derived from
+/// sender-local state only: each datagram serializes on the sender's uplink (FIFO behind the
+/// node's previous sends), then travels both endpoints' access latencies — always at least the
+/// run's conservative lookahead of twice the minimum access latency.
+fn push_rumors(sim: &mut ShardSim<GossipShard>, now: SimTime, node: usize, hops: u32) {
+    let world = sim.model();
+    let n = world.nodes;
+    let fanout = world.fanout;
+    let shards = world.shards;
+    let l = world.local(node);
+    let ser = serialization_delay(world.rumor_bytes, world.links[node].up_bps);
+    for _ in 0..fanout {
+        let world = sim.model();
+        let mut target = world.rng[l].gen_range(0..n - 1);
+        if target >= node {
+            target += 1;
+        }
+        let leave = world.busy_until[l].max(now) + ser;
+        world.busy_until[l] = leave;
+        world.rumors_sent += 1;
+        let arrive = leave + world.links[node].latency + world.links[target].latency;
+        let delay = arrive - now;
+        sim.send_message(
+            node as u64,
+            shard_of(target, shards, n),
+            delay,
+            GossipMsg {
+                dest: target as u64,
+                hops,
+            },
+        );
+    }
+}
+
+/// Time to clock `bytes` out of a `bps` uplink, rounded up to a whole nanosecond so the delay
+/// never collapses to zero.
+fn serialization_delay(bytes: u64, bps: u64) -> SimDuration {
+    let nanos = (bytes as u128 * 8 * 1_000_000_000).div_ceil(bps.max(1) as u128);
+    SimDuration::from_nanos(nanos as u64)
+}
+
+/// The merged global state [`Workload::run_sharded`] hands back: per-node outcomes plus the
+/// protocol counters, all shard-count-invariant.
+pub struct GossipShardedWorld {
+    /// When each node first heard the rumor, indexed by global node id.
+    pub informed_at: Vec<Option<SimTime>>,
+    /// Number of informed nodes.
+    pub informed: usize,
+    /// Rumor datagrams pushed.
+    pub rumors_sent: u64,
+    /// Rumors that reached an already-informed node.
+    pub duplicate_receipts: u64,
+    /// Rumors that reached a node that had not arrived yet.
+    pub missed_receipts: u64,
+    /// Synchronization windows the runtime executed.
+    pub windows: u64,
+    /// Total messages sent (same-shard included).
+    pub messages: u64,
+    /// Messages that crossed a shard boundary.
+    pub cross_messages: u64,
+}
+
+/// Everything a sharded gossip run produces.
+#[derive(Debug, Clone)]
+pub struct GossipShardedResult {
+    /// The experiment name.
+    pub name: String,
+    /// Number of gossiping nodes.
+    pub nodes: usize,
+    /// Nodes that heard the rumor before the run stopped.
+    pub informed: usize,
+    /// When each node first heard the rumor, indexed by node.
+    pub informed_at: Vec<Option<SimTime>>,
+    /// Virtual time at which the last node was informed, when dissemination completed.
+    pub time_to_full: Option<SimTime>,
+    /// Informed-node count over time (the scenario progress metric).
+    pub dissemination: TimeSeries,
+    /// Rumor datagrams pushed.
+    pub rumors_sent: u64,
+    /// Rumors that reached already-informed nodes.
+    pub duplicate_receipts: u64,
+    /// Rumors that reached nodes that had not arrived yet.
+    pub missed_receipts: u64,
+    /// Whether every node was informed before the deadline.
+    pub finished: bool,
+    /// Virtual time when the run stopped.
+    pub stopped_at: SimTime,
+    /// Number of simulation events executed.
+    pub events_executed: u64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Messages that crossed a shard boundary.
+    pub cross_messages: u64,
+}
+
+/// Metric handles registered by [`GossipShardedWorkload::setup_metrics`], filled in after the
+/// sharded run from the merged (shard-count-invariant) aggregates.
+#[derive(Debug, Clone, Copy)]
+struct GossipShardedMetrics {
+    rumors_sent: Counter,
+    duplicate_receipts: Counter,
+    missed_receipts: Counter,
+    online_nodes: Gauge,
+}
+
+/// The shard-native epidemic-broadcast workload.
+#[derive(Debug, Clone)]
+pub struct GossipShardedWorkload {
+    spec: GossipShardedSpec,
+    metrics: Option<GossipShardedMetrics>,
+}
+
+impl GossipShardedWorkload {
+    /// Wraps a sharded gossip description as a workload.
+    pub fn new(spec: GossipShardedSpec) -> GossipShardedWorkload {
+        GossipShardedWorkload {
+            spec,
+            metrics: None,
+        }
+    }
+
+    /// The gossip description this workload runs.
+    pub fn config(&self) -> &GossipShardedSpec {
+        &self.spec
+    }
+}
+
+impl Workload for GossipShardedWorkload {
+    type World = GossipShardedWorld;
+    type Event = NoEvent;
+    type Output = GossipShardedResult;
+
+    fn kind(&self) -> &'static str {
+        "gossip-sharded"
+    }
+
+    fn vnodes_required(&self) -> usize {
+        self.spec.nodes
+    }
+
+    fn participants(&self) -> usize {
+        self.spec.nodes
+    }
+
+    fn default_arrivals(&self) -> ArrivalSpec {
+        ArrivalSpec::ramp(SimDuration::ZERO, SimDuration::from_secs(1))
+    }
+
+    // The classic deploy/run phases are never reached: `run_sharded` below returns `Some` for
+    // every shard count, so the runner takes the shard-native path unconditionally.
+    fn build_world(&mut self, _deployment: crate::deploy::Deployment) -> GossipShardedWorld {
+        unreachable!("gossip-sharded always takes the run_sharded path")
+    }
+
+    fn on_deployed(&mut self, _sim: &mut p2plab_sim::Simulation<GossipShardedWorld, NoEvent>) {
+        unreachable!("gossip-sharded always takes the run_sharded path")
+    }
+
+    fn schedule_arrivals(
+        &mut self,
+        _sim: &mut p2plab_sim::Simulation<GossipShardedWorld, NoEvent>,
+        _arrivals: &ArrivalSchedule,
+    ) {
+        unreachable!("gossip-sharded always takes the run_sharded path")
+    }
+
+    fn network(_world: &GossipShardedWorld) -> &Network {
+        unreachable!("gossip-sharded has no emulated network (shard-native message model)")
+    }
+
+    fn setup_metrics(&mut self, rec: &mut Recorder) {
+        self.metrics = Some(GossipShardedMetrics {
+            rumors_sent: rec.counter("rumors_sent"),
+            duplicate_receipts: rec.counter("duplicate_receipts"),
+            missed_receipts: rec.counter("missed_receipts"),
+            online_nodes: rec.gauge("online_nodes"),
+        });
+    }
+
+    fn sample(&mut self, _now: SimTime, world: &GossipShardedWorld, _rec: &mut Recorder) -> f64 {
+        world.informed as f64
+    }
+
+    fn is_complete(&self, world: &GossipShardedWorld) -> bool {
+        world.informed >= self.spec.nodes
+    }
+
+    fn run_sharded(
+        &mut self,
+        spec: &ScenarioSpec,
+        arrivals: &ArrivalSchedule,
+        rec: &mut Recorder,
+        progress: TimeSeriesId,
+    ) -> Option<Result<(GossipShardedWorld, ShardedOutcome), ScenarioError>> {
+        Some(self.execute(spec, arrivals, rec, progress))
+    }
+
+    fn finalize(self, world: GossipShardedWorld, run: ScenarioRun) -> GossipShardedResult {
+        let finished = world.informed >= self.spec.nodes;
+        let time_to_full = finished
+            .then(|| world.informed_at.iter().filter_map(|&t| t).max())
+            .flatten();
+        GossipShardedResult {
+            name: run.name,
+            nodes: self.spec.nodes,
+            informed: world.informed,
+            finished,
+            informed_at: world.informed_at,
+            time_to_full,
+            dissemination: run.samples,
+            rumors_sent: world.rumors_sent,
+            duplicate_receipts: world.duplicate_receipts,
+            missed_receipts: world.missed_receipts,
+            stopped_at: run.stopped_at,
+            events_executed: run.events_executed,
+            outcome: run.outcome,
+            cross_messages: world.cross_messages,
+        }
+    }
+}
+
+impl GossipShardedWorkload {
+    /// The actual sharded execution: validate, derive the lookahead, run the windowed runtime,
+    /// merge the per-shard worlds and reconstruct the metrics shard-count-invariantly.
+    fn execute(
+        &mut self,
+        spec: &ScenarioSpec,
+        arrivals: &ArrivalSchedule,
+        rec: &mut Recorder,
+        progress: TimeSeriesId,
+    ) -> Result<(GossipShardedWorld, ShardedOutcome), ScenarioError> {
+        if spec.sessions.is_some() {
+            return Err(ScenarioError::ShardingUnsupported {
+                reason: "gossip-sharded does not support churn (a session process needs \
+                         same-instant global visibility)"
+                    .to_string(),
+            });
+        }
+        let Some(lookahead) = spec.topology.conservative_lookahead() else {
+            return Err(ScenarioError::ShardingUnsupported {
+                reason: "zero-latency access links leave no conservative lookahead".to_string(),
+            });
+        };
+        if spec
+            .topology
+            .groups
+            .iter()
+            .any(|g| g.link.condition.is_some())
+        {
+            return Err(ScenarioError::ShardingUnsupported {
+                reason: "gossip-sharded models its own wire delays and would silently ignore \
+                         link conditioners"
+                    .to_string(),
+            });
+        }
+
+        // Per-node link parameters: node ids are assigned consecutively per group, in group
+        // order (the same numbering the DSL's single-group topologies trivially satisfy).
+        let mut links = Vec::with_capacity(spec.topology.total_nodes());
+        for group in &spec.topology.groups {
+            let link = NodeLink {
+                latency: group.link.latency,
+                up_bps: group.link.up_bps,
+            };
+            links.extend(std::iter::repeat_n(link, group.node_count));
+        }
+        let links: std::sync::Arc<[NodeLink]> = links.into();
+
+        let mut cfg = ShardConfig::new(spec.shards, lookahead, spec.seed);
+        cfg.deadline = SimTime::ZERO + spec.deadline;
+        cfg.event_budget = spec.event_budget.unwrap_or(u64::MAX);
+        cfg.progress_target = self.spec.nodes as u64;
+
+        let workload_spec = &self.spec;
+        let seed = spec.seed;
+        let links_ref = &links;
+        let run = run_sharded(
+            &cfg,
+            |shard| GossipShard::new(shard, cfg.shards, workload_spec, seed, links_ref.clone()),
+            |sim| {
+                let block = sim.world().world().block.clone();
+                for node in block {
+                    let at = arrivals
+                        .get(node)
+                        .expect("the runner drew one arrival per participant");
+                    sim.schedule_event_at(
+                        at,
+                        p2plab_sim::ShardEvent::Local(GossipLocal::Arrive { node }),
+                    );
+                }
+            },
+        );
+
+        // Merge the per-shard worlds into the global view. Every aggregate below is a function
+        // of the partition-invariant event history, so the merged world (and the report built
+        // from it) is byte-identical across shard counts.
+        let mut world = GossipShardedWorld {
+            informed_at: Vec::with_capacity(self.spec.nodes),
+            informed: 0,
+            rumors_sent: 0,
+            duplicate_receipts: 0,
+            missed_receipts: 0,
+            windows: run.windows,
+            messages: run.messages,
+            cross_messages: run.cross_messages,
+        };
+        for shard in &run.worlds {
+            world.informed_at.extend_from_slice(&shard.informed_at);
+            world.informed += shard.informed as usize;
+            world.rumors_sent += shard.rumors_sent;
+            world.duplicate_receipts += shard.duplicate_receipts;
+            world.missed_receipts += shard.missed_receipts;
+        }
+
+        let stopped_at = run.end_time;
+
+        // Reconstruct the progress (dissemination) curve on the scenario's sampling grid from
+        // the per-node informed times — never from per-shard interleaving. One final sample at
+        // the stop time matches the classic runner's closing sample.
+        let mut informed_times: Vec<SimTime> =
+            world.informed_at.iter().filter_map(|&t| t).collect();
+        informed_times.sort_unstable();
+        let step = spec.sample_interval.as_nanos();
+        let mut grid = SimTime::ZERO;
+        loop {
+            let count = informed_times.partition_point(|&t| t <= grid);
+            rec.push(progress, grid, count as f64);
+            if grid >= stopped_at {
+                break;
+            }
+            grid = SimTime::from_nanos(stopped_at.as_nanos().min(grid.as_nanos() + step));
+        }
+        if let Some(m) = self.metrics {
+            rec.set_total(m.rumors_sent, world.rumors_sent);
+            rec.set_total(m.duplicate_receipts, world.duplicate_receipts);
+            rec.set_total(m.missed_receipts, world.missed_receipts);
+            let online = arrivals
+                .times()
+                .iter()
+                .filter(|&&t| t <= stopped_at)
+                .count();
+            rec.set(m.online_nodes, online as f64);
+        }
+
+        Ok((
+            world,
+            ShardedOutcome {
+                stopped_at,
+                events_executed: run.executed_events,
+                outcome: run.outcome.as_run_outcome(),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RunReport;
+    use crate::scenario::{run_reported, ChurnSpec, ScenarioBuilder};
+    use p2plab_net::{AccessLinkClass, TopologySpec};
+
+    fn lan(n: usize) -> TopologySpec {
+        TopologySpec::uniform(
+            "lan",
+            n,
+            AccessLinkClass::symmetric(100_000_000, SimDuration::from_micros(500)),
+        )
+    }
+
+    fn scenario(name: &str, n: usize, shards: usize) -> ScenarioBuilder {
+        ScenarioBuilder::new(name, lan(n))
+            .machines(4)
+            .deadline(SimDuration::from_secs(600))
+            .sample_interval(SimDuration::from_secs(1))
+            .seed(11)
+            .shards(shards)
+    }
+
+    fn run(n: usize, shards: usize) -> (GossipShardedResult, RunReport) {
+        let spec = GossipShardedSpec::new("gossip-sharded", n);
+        let s = scenario("gossip-sharded", n, shards).build().unwrap();
+        run_reported(&s, GossipShardedWorkload::new(spec)).unwrap()
+    }
+
+    #[test]
+    fn block_partition_is_a_bijection() {
+        for &(nodes, shards) in &[(10, 1), (10, 3), (7, 4), (12, 4), (5, 5)] {
+            let mut seen = vec![false; nodes];
+            for s in 0..shards {
+                for n in block_of(s, shards, nodes) {
+                    assert!(!seen[n], "node {n} owned twice");
+                    seen[n] = true;
+                    assert_eq!(shard_of(n, shards, nodes), s);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every node owned once");
+        }
+    }
+
+    #[test]
+    fn rumor_reaches_every_node() {
+        let (r, _) = run(64, 1);
+        assert!(r.finished, "{}/{} informed", r.informed, r.nodes);
+        assert_eq!(r.informed, 64);
+        assert!(r.informed_at.iter().all(|t| t.is_some()));
+        assert!(r.time_to_full.is_some());
+        let origin = r.informed_at[0].unwrap();
+        assert!(r.informed_at.iter().all(|&t| t.unwrap() >= origin));
+        assert!(r.rumors_sent > 0);
+        let samples = r.dissemination.samples();
+        assert!(samples.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(samples.last().unwrap().1, 64.0);
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_shard_counts() {
+        let (reference, report1) = run(64, 1);
+        for shards in [2, 3, 4] {
+            let (r, report) = run(64, shards);
+            assert_eq!(
+                reference.informed_at, r.informed_at,
+                "informed times diverged at {shards} shards"
+            );
+            assert_eq!(reference.events_executed, r.events_executed);
+            assert_eq!(reference.rumors_sent, r.rumors_sent);
+            assert_eq!(reference.duplicate_receipts, r.duplicate_receipts);
+            assert_eq!(reference.missed_receipts, r.missed_receipts);
+            assert_eq!(reference.stopped_at, r.stopped_at);
+            assert!(r.cross_messages > 0, "sharded run never crossed shards");
+            // The full report artifact matches modulo wall-clock fields.
+            let canon = |mut rep: RunReport| {
+                rep.wall_secs = 0.0;
+                rep.events_per_sec = 0.0;
+                rep
+            };
+            let a = canon(report1.clone()).to_json();
+            let b = canon(report).to_json();
+            assert_eq!(a, b, "RunReport diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn churn_is_rejected_under_sharding() {
+        let spec = GossipShardedSpec::new("gossip-churn", 8);
+        let s = scenario("gossip-churn", 8, 2)
+            .churn(ChurnSpec {
+                mean_session: SimDuration::from_secs(20),
+                mean_downtime: SimDuration::from_secs(10),
+            })
+            .build()
+            .unwrap();
+        let err = run_reported(&s, GossipShardedWorkload::new(spec)).unwrap_err();
+        assert!(matches!(err, ScenarioError::ShardingUnsupported { .. }));
+    }
+
+    #[test]
+    fn conditioned_links_are_rejected() {
+        let spec = GossipShardedSpec::new("gossip-cond", 8);
+        let link = AccessLinkClass::symmetric(100_000_000, SimDuration::from_millis(5))
+            .with_condition(Some(
+                p2plab_net::LinkCondition::none().with_jitter(SimDuration::from_millis(3)),
+            ));
+        let topo = TopologySpec::uniform("cond", 8, link);
+        let s = ScenarioBuilder::new("gossip-cond", topo)
+            .deadline(SimDuration::from_secs(600))
+            .build()
+            .unwrap();
+        let err = run_reported(&s, GossipShardedWorkload::new(spec)).unwrap_err();
+        assert!(matches!(err, ScenarioError::ShardingUnsupported { .. }));
+    }
+
+    #[test]
+    fn zero_latency_topology_is_rejected() {
+        let spec = GossipShardedSpec::new("gossip-zero", 8);
+        let topo = TopologySpec::uniform(
+            "zero",
+            8,
+            AccessLinkClass::symmetric(100_000_000, SimDuration::ZERO),
+        );
+        let s = ScenarioBuilder::new("gossip-zero", topo)
+            .deadline(SimDuration::from_secs(600))
+            .build()
+            .unwrap();
+        let err = run_reported(&s, GossipShardedWorkload::new(spec)).unwrap_err();
+        assert!(matches!(err, ScenarioError::ShardingUnsupported { .. }));
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod dht;
 pub mod gossip;
+pub mod gossip_sharded;
 pub mod ping_mesh;
 pub mod swarm;
 
@@ -24,6 +25,9 @@ pub use dht::{
     DhtBody, DhtLookupResult, DhtLookupSpec, DhtLookupWorkload, DhtWorld, LookupRecord, DHT_PORT,
 };
 pub use gossip::{GossipResult, GossipSpec, GossipWorkload, GossipWorld, Rumor, GOSSIP_PORT};
+pub use gossip_sharded::{
+    GossipShardedResult, GossipShardedSpec, GossipShardedWorkload, GossipShardedWorld,
+};
 pub use ping_mesh::{MeshPattern, PingMeshResult, PingMeshSpec, PingMeshWorkload};
 pub use swarm::SwarmWorkload;
 
@@ -34,7 +38,13 @@ use crate::scenario::{run_reported, ScenarioError, ScenarioSpec};
 /// The kind labels of every first-class workload, in registry order. These are the values a
 /// scenario file's `workload.kind` key accepts and the labels
 /// [`Workload::kind`](crate::scenario::Workload::kind) reports.
-pub const WORKLOAD_KINDS: [&str; 4] = ["swarm", "ping-mesh", "gossip", "dht-lookup"];
+pub const WORKLOAD_KINDS: [&str; 5] = [
+    "swarm",
+    "ping-mesh",
+    "gossip",
+    "gossip-sharded",
+    "dht-lookup",
+];
 
 /// A workload configuration constructible *by name* — the registry half of the scenario DSL.
 ///
@@ -52,6 +62,9 @@ pub enum WorkloadConfig {
     PingMesh(PingMeshSpec),
     /// Epidemic broadcast.
     Gossip(GossipSpec),
+    /// Epidemic broadcast on the sharded conservative-window runtime (honours the scenario's
+    /// `shards` knob for true multi-core execution).
+    GossipSharded(GossipShardedSpec),
     /// Kademlia-style iterative DHT lookups.
     DhtLookup(DhtLookupSpec),
 }
@@ -63,6 +76,7 @@ impl WorkloadConfig {
             WorkloadConfig::Swarm(_) => "swarm",
             WorkloadConfig::PingMesh(_) => "ping-mesh",
             WorkloadConfig::Gossip(_) => "gossip",
+            WorkloadConfig::GossipSharded(_) => "gossip-sharded",
             WorkloadConfig::DhtLookup(_) => "dht-lookup",
         }
     }
@@ -73,6 +87,7 @@ impl WorkloadConfig {
             WorkloadConfig::Swarm(cfg) => cfg.total_vnodes(),
             WorkloadConfig::PingMesh(spec) => spec.nodes,
             WorkloadConfig::Gossip(spec) => spec.nodes,
+            WorkloadConfig::GossipSharded(spec) => spec.nodes,
             WorkloadConfig::DhtLookup(spec) => spec.nodes,
         }
     }
@@ -83,6 +98,7 @@ impl WorkloadConfig {
             WorkloadConfig::Swarm(cfg) => cfg.leechers,
             WorkloadConfig::PingMesh(spec) => spec.pair_count(),
             WorkloadConfig::Gossip(spec) => spec.nodes,
+            WorkloadConfig::GossipSharded(spec) => spec.nodes,
             WorkloadConfig::DhtLookup(spec) => spec.lookups,
         }
     }
@@ -101,6 +117,9 @@ impl WorkloadConfig {
             }
             WorkloadConfig::Gossip(g) => {
                 run_reported(spec, GossipWorkload::new(g.clone())).map(|(_, r)| r)
+            }
+            WorkloadConfig::GossipSharded(g) => {
+                run_reported(spec, GossipShardedWorkload::new(g.clone())).map(|(_, r)| r)
             }
             WorkloadConfig::DhtLookup(d) => {
                 run_reported(spec, DhtLookupWorkload::new(d.clone())).map(|(_, r)| r)

@@ -39,11 +39,11 @@ pub const BASELINE_FILE: &str = "lint.baseline";
 /// Exit code when diagnostics from more than one rule survive.
 pub const EXIT_MULTIPLE: i32 = 20;
 
-/// The distinct exit code of one rule (10–15 in [`RULE_NAMES`] order, 16 for `bad-waiver`).
+/// The distinct exit code of one rule (10–16 in [`RULE_NAMES`] order, 17 for `bad-waiver`).
 pub fn rule_exit_code(rule: &str) -> i32 {
     match RULE_NAMES.iter().position(|r| *r == rule) {
         Some(i) => 10 + i as i32,
-        None => 16, // bad-waiver
+        None => 17, // bad-waiver
     }
 }
 

@@ -1,4 +1,4 @@
-//! The rule engine: per-crate scoping, the six convention rules, inline waivers.
+//! The rule engine: per-crate scoping, the seven convention rules, inline waivers.
 //!
 //! Rules walk the non-trivia token stream produced by [`crate::lexer`]; they never see the
 //! inside of strings or comments, so `r#"#[allow"#` and doc-comment examples cannot trip
@@ -32,17 +32,20 @@ pub const BARE_ALLOW: &str = "bare-allow";
 pub const AD_HOC_BIN: &str = "ad-hoc-bin";
 /// Machine name of the debug-residue rule.
 pub const DEBUG_RESIDUE: &str = "debug-residue";
+/// Machine name of the raw-thread rule.
+pub const RAW_THREAD: &str = "raw-thread";
 /// Machine name of the malformed-waiver meta rule (not waivable).
 pub const BAD_WAIVER: &str = "bad-waiver";
 
 /// The waivable convention rules, in exit-code order (see [`crate::exit_code`]).
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     NONDET_HASH,
     WALL_CLOCK,
     DEPRECATED_SOCKET,
     BARE_ALLOW,
     AD_HOC_BIN,
     DEBUG_RESIDUE,
+    RAW_THREAD,
 ];
 
 /// Crates whose `src/` is on the deterministic simulation path: `nondet-hash` applies there.
@@ -54,6 +57,13 @@ const SOCKET_SURFACE: [&str; 5] = ["listen", "connect", "send", "send_datagram",
 
 /// The file that *is* the compat shim (its pin tests live in its `#[cfg(test)]` module).
 const SOCKET_SHIM: &str = "crates/net/src/transport.rs";
+
+/// The sanctioned homes of OS threads on the sim path (`raw-thread` is silent there): the
+/// sharded conservative-window runtime and the campaign runner's cell work-stealing pool.
+const THREAD_SANCTIONED: [&str; 2] = [
+    "crates/sim/src/shard.rs",
+    "crates/core/src/scenario/campaign.rs",
+];
 
 /// Bench-bin stems allowed by `ad-hoc-bin`: figure/ablation/table regeneration plus the three
 /// standing harnesses. Everything else ships as a `.toml` scenario (ROADMAP convention).
@@ -492,6 +502,37 @@ fn analyze_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                      allowed bins are fig*/ablation*/tbl* and {}",
                     ALLOWED_BIN_NAMES.join("/")
                 ),
+            );
+        }
+    }
+
+    // raw-thread: no ad-hoc threading in sim-path `src/` — OS threads outside the sharded
+    // runtime (and the campaign pool) can observe simulation state in scheduler order, which
+    // silently breaks bit-reproducibility. Cross-shard communication goes through the
+    // runtime's windowed envelope merge, never raw channels.
+    if SIM_PATH_CRATES.contains(&krate)
+        && in_src(path)
+        && !test_dir
+        && !THREAD_SANCTIONED.contains(&path)
+    {
+        for (line, _) in qualified_uses(&code, src, &regions, "std", None, &["thread"]) {
+            push(
+                &mut raw,
+                line,
+                RAW_THREAD,
+                "`std::thread` in sim-path code; deterministic parallelism lives in the \
+                 sharded runtime (`p2plab_sim::shard`) — run on it instead of spawning threads"
+                    .to_string(),
+            );
+        }
+        for (line, _) in qualified_uses(&code, src, &regions, "std", Some("sync"), &["mpsc"]) {
+            push(
+                &mut raw,
+                line,
+                RAW_THREAD,
+                "`std::sync::mpsc` delivers in scheduler order; cross-shard messages go \
+                 through the sharded runtime's deterministic `(time, tag, seq)` merge"
+                    .to_string(),
             );
         }
     }

@@ -218,6 +218,54 @@ fn debug_residue_ignores_tests_strings_and_plain_idents() {
 }
 
 // ---------------------------------------------------------------------------
+// raw-thread
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raw_thread_flags_threads_and_channels_in_sim_path_src() {
+    let src = "use std::thread;\n\
+               fn f() { std::thread::spawn(|| {}); }\n\
+               fn g() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }\n";
+    let d = diags_for("crates/sim/src/foo.rs", src);
+    assert_eq!(
+        d,
+        vec![
+            (1, "raw-thread".to_string()),
+            (2, "raw-thread".to_string()),
+            (3, "raw-thread".to_string()),
+        ]
+    );
+    // The use-list form is caught too.
+    let grouped = "use std::{thread, io};\n";
+    assert_eq!(
+        rules_for("crates/core/src/foo.rs", grouped),
+        vec!["raw-thread"]
+    );
+}
+
+#[test]
+fn raw_thread_exempts_the_sanctioned_runtime_and_non_sim_code() {
+    // The sharded runtime and the campaign pool are the sanctioned homes of OS threads.
+    let src = "fn f() { std::thread::scope(|s| {}); }\n";
+    assert!(rules_for("crates/sim/src/shard.rs", src).is_empty());
+    assert!(rules_for("crates/core/src/scenario/campaign.rs", src).is_empty());
+    // Bench/lint crates are off the sim path; integration tests and cfg(test) are exempt.
+    assert!(rules_for("crates/bench/src/lib.rs", src).is_empty());
+    assert!(rules_for("crates/sim/tests/foo.rs", src).is_empty());
+    let test_mod = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+    assert!(rules_for("crates/sim/src/foo.rs", test_mod).is_empty());
+    // `std::sync::{Mutex, Barrier, atomic}` are fine — only mpsc channels are flagged.
+    let sync_ok = "use std::sync::{Mutex, Barrier};\nuse std::sync::atomic::AtomicUsize;\n";
+    assert!(rules_for("crates/sim/src/foo.rs", sync_ok).is_empty());
+}
+
+#[test]
+fn raw_thread_is_waivable_like_any_rule() {
+    let src = "use std::thread; // lint:allow(raw-thread) — bounded helper, joined before any sim state is read\n";
+    assert!(rules_for("crates/sim/src/foo.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
 // Waivers: mandatory reasons, placement, bad waivers.
 // ---------------------------------------------------------------------------
 
@@ -369,10 +417,16 @@ fn each_rule_has_a_distinct_exit_code() {
             15,
         ),
         (
+            "raw-thread",
+            "crates/net/src/a.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n",
+            16,
+        ),
+        (
             "bad-waiver",
             "crates/net/src/a.rs",
             "fn f() {} // lint:allow(nope) — x\n",
-            16,
+            17,
         ),
     ];
     for (rule, path, text, code) in cases {

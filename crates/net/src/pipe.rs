@@ -81,6 +81,14 @@ impl PipeConfig {
         self.condition = condition.filter(|c| !c.is_noop());
         self
     }
+
+    /// The minimum time any forwarded packet spends in this pipe: the configured propagation
+    /// delay. Queueing and serialization only add to it, and conditioners (jitter, reordering)
+    /// only add extra hold-back — never deliver early. This floor is what the sharded
+    /// runtime's conservative lookahead is derived from.
+    pub fn transit_floor(&self) -> SimDuration {
+        self.delay
+    }
 }
 
 /// Why a packet was dropped by a pipe.

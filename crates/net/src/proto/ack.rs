@@ -158,7 +158,7 @@ impl SentWindow {
     }
 
     /// Marks `seq` as retransmitted, excluding its eventual ack from RTT sampling (Karn's
-    /// algorithm — see [`SentEntry::retransmitted`]).
+    /// algorithm).
     pub fn mark_retransmitted(&mut self, seq: u16) {
         if let Some(entry) = self.entries.iter_mut().find(|e| e.seq == seq) {
             entry.retransmitted = true;

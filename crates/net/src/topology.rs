@@ -259,6 +259,27 @@ impl TopologySpec {
         t
     }
 
+    /// The smallest access-link latency of any group (`None` for an empty topology).
+    pub fn min_access_latency(&self) -> Option<SimDuration> {
+        self.groups.iter().map(|g| g.link.latency).min()
+    }
+
+    /// The conservative lookahead this topology supports: a lower bound on the one-way
+    /// node-to-node delivery time. Every path crosses the sender's access link and the
+    /// receiver's access link (each contributing its propagation latency — queueing,
+    /// serialization and conditioners only add, see [`crate::PipeConfig::transit_floor`]),
+    /// and inter-group latency is strictly additive on top. Hence
+    /// `2 × min_access_latency`.
+    ///
+    /// Returns `None` when the topology is empty or the bound is zero (a zero-latency link
+    /// means two nodes can interact instantaneously, so no conservative window exists and the
+    /// scenario cannot be sharded).
+    pub fn conservative_lookahead(&self) -> Option<SimDuration> {
+        let min = self.min_access_latency()?;
+        let lookahead = min * 2;
+        (!lookahead.is_zero()).then_some(lookahead)
+    }
+
     /// Number of inter-group rules a physical node hosting nodes from `groups_present` needs
     /// (the paper's rule-count accounting for Figure 7: one rule per hosted source group per
     /// distinct destination group with configured latency).
@@ -309,6 +330,24 @@ mod tests {
         // And their access links.
         assert_eq!(t.groups[src.0].link.latency, SimDuration::from_millis(20));
         assert_eq!(t.groups[dst.0].link.latency, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn conservative_lookahead_is_twice_the_smallest_access_latency() {
+        let t = TopologySpec::paper_figure7();
+        assert_eq!(t.min_access_latency(), Some(SimDuration::from_millis(5)));
+        assert_eq!(
+            t.conservative_lookahead(),
+            Some(SimDuration::from_millis(10))
+        );
+        // Zero-latency links admit no conservative window.
+        let z = TopologySpec::uniform(
+            "zero",
+            4,
+            AccessLinkClass::symmetric(1_000_000, SimDuration::ZERO),
+        );
+        assert_eq!(z.conservative_lookahead(), None);
+        assert_eq!(TopologySpec::new().conservative_lookahead(), None);
     }
 
     #[test]

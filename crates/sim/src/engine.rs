@@ -267,6 +267,47 @@ impl<W, E: TypedEvent<W>> Simulation<W, E> {
         self.run_until(self.now + span)
     }
 
+    /// Runs every event strictly **before** `end` (a half-open window `[now, end)`).
+    ///
+    /// Unlike [`run_until`](Simulation::run_until), events at exactly `end` stay queued and the
+    /// clock is *not* advanced to `end` — it stays at the last executed event. This is the
+    /// primitive the sharded runtime's conservative windows are built on: work injected at the
+    /// window boundary (time `end`) must still be "in the future" when the window closes.
+    pub fn run_before(&mut self, end: SimTime) -> RunOutcome {
+        if end == SimTime::ZERO {
+            return if self.queue.is_empty() {
+                RunOutcome::Drained
+            } else {
+                RunOutcome::DeadlineReached
+            };
+        }
+        let last = SimTime::from_nanos(end.as_nanos() - 1);
+        loop {
+            if self.executed_events >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            match self.queue.pop_due(last) {
+                Some((time, _id, payload)) => {
+                    debug_assert!(time >= self.now, "time must be monotonic");
+                    self.now = time;
+                    self.executed_events += 1;
+                    match payload {
+                        Payload::Closure(f) => f(self),
+                        Payload::Typed(e) => e.fire(self),
+                    }
+                }
+                None if self.queue.is_empty() => return RunOutcome::Drained,
+                None => return RunOutcome::DeadlineReached,
+            }
+        }
+    }
+
+    /// The timestamp of the earliest pending event, if any. Used by the sharded runtime's
+    /// coordinator to fast-forward over globally empty windows.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Consumes the simulation and returns the world.
     pub fn into_world(self) -> W {
         self.world
@@ -365,6 +406,39 @@ mod tests {
         // Remaining events still runnable.
         assert_eq!(sim.run(), RunOutcome::Drained);
         assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn run_before_is_exclusive_and_keeps_clock() {
+        let mut sim = Simulation::new(0u32, 1);
+        for i in 1..=10 {
+            sim.schedule_in(SimDuration::from_secs(i), |s| *s.world_mut() += 1);
+        }
+        let outcome = sim.run_before(SimTime::from_secs(5));
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        // Events at exactly t=5 did NOT run, and the clock sits at the last executed event.
+        assert_eq!(*sim.world(), 4);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_secs(5)));
+        // A window that opens at the frontier still executes the boundary event.
+        assert_eq!(
+            sim.run_before(SimTime::from_secs(6)),
+            RunOutcome::DeadlineReached
+        );
+        assert_eq!(*sim.world(), 5);
+        assert_eq!(sim.run_before(SimTime::MAX), RunOutcome::Drained);
+        assert_eq!(*sim.world(), 10);
+        assert_eq!(sim.next_event_time(), None);
+    }
+
+    #[test]
+    fn run_before_zero_window_runs_nothing() {
+        let mut sim = Simulation::new(0u32, 1);
+        sim.schedule_at(SimTime::ZERO, |s| *s.world_mut() += 1);
+        assert_eq!(sim.run_before(SimTime::ZERO), RunOutcome::DeadlineReached);
+        assert_eq!(*sim.world(), 0);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(*sim.world(), 1);
     }
 
     #[test]

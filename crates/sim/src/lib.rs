@@ -19,6 +19,7 @@ mod event;
 pub mod hash;
 pub mod metrics;
 mod rng;
+pub mod shard;
 pub mod stats;
 mod time;
 
@@ -30,5 +31,8 @@ pub use metrics::{
     Recorder, TimeSeriesId,
 };
 pub use rng::SimRng;
+pub use shard::{
+    run_sharded, ShardConfig, ShardEvent, ShardHost, ShardOutcome, ShardRun, ShardSim, ShardWorld,
+};
 pub use stats::{Cdf, Histogram, RateEstimator, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -14,15 +14,25 @@ fn example(rel: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// The CI smoke campaign expands to one cell per workload kind — the whole registry runs
-/// through the DSL in CI.
+/// The CI smoke campaign expands to one cell per classic workload kind — the whole
+/// closure-based registry runs through the DSL in CI. `gossip-sharded` is deliberately
+/// absent: the grid crosses every kind with the `jitter-burst` link conditioner, which the
+/// sharded runtime rejects (it models its own wire delays), and sharded runs stop at the
+/// dissemination target rather than draining, so `--strict` has no honest reading for them.
+/// Its CI coverage is `scale_sweep --smoke` (the 50k 1-vs-2 shard A/B), the checked-in
+/// `scenarios/gossip_sharded.toml` run, and `tests/determinism.rs`.
 #[test]
 fn ci_smoke_campaign_covers_the_registry() {
     let campaign = CampaignSpec::parse(&example("campaigns/ci_smoke.toml")).unwrap();
     let cells = campaign.expand().unwrap();
     assert_eq!(campaign.name, "ci-smoke");
     let kinds: BTreeSet<&str> = cells.iter().map(|c| c.file.workload.kind()).collect();
-    assert_eq!(kinds, WORKLOAD_KINDS.iter().copied().collect());
+    let expected: BTreeSet<&str> = WORKLOAD_KINDS
+        .iter()
+        .copied()
+        .filter(|k| *k != "gossip-sharded")
+        .collect();
+    assert_eq!(kinds, expected);
 }
 
 /// The checked-in grid campaign expands to its documented 12 cells over two workload kinds,

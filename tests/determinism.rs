@@ -42,3 +42,31 @@ fn same_seed_same_cell_yields_identical_report_bytes() {
         cell.label
     );
 }
+
+/// Shard-count invariance: the same cell at `shards = 1` and `shards = 4` must produce
+/// byte-identical reports. `shards` is an execution knob, not part of the experiment — it is
+/// deliberately excluded from the report's `spec_echo`, and the sharded runtime's windowed
+/// merge order is partition-invariant, so K must never leak into any metric.
+#[test]
+fn shard_count_does_not_change_report_bytes() {
+    let campaign = CampaignSpec::parse(&ci_smoke()).expect("ci_smoke parses");
+    let cells = campaign.expand().expect("ci_smoke expands");
+    let cell = &cells[0];
+
+    let mut reference = cell.file.clone();
+    reference.spec.shards = 1;
+    let mut sharded = cell.file.clone();
+    sharded.spec.shards = 4;
+
+    let at_one = reference.run().expect("shards=1 run");
+    let at_four = sharded.run().expect("shards=4 run");
+
+    assert!(at_one.events_executed > 0, "smoke cell must execute events");
+    let a = canonical_bytes(at_one);
+    let b = canonical_bytes(at_four);
+    assert!(
+        a == b,
+        "cell `{}` diverged between shards=1 and shards=4 — sharding leaked into the report",
+        cell.label
+    );
+}

@@ -25,6 +25,7 @@ fn checked_in_examples_cover_every_workload_kind() {
         ("scenarios/swarm_quick.toml", "swarm"),
         ("scenarios/ping_mesh_ring.toml", "ping-mesh"),
         ("scenarios/gossip_flash_crowd.toml", "gossip"),
+        ("scenarios/gossip_sharded.toml", "gossip-sharded"),
         ("scenarios/dht_lookup.toml", "dht-lookup"),
     ];
     let mut kinds: Vec<&str> = Vec::new();
@@ -109,7 +110,7 @@ proptest! {
     /// every workload kind, custom vs named links, loss, arrivals and sessions included.
     #[test]
     fn scenario_files_round_trip_through_toml(
-        kind_ix in 0usize..4,
+        kind_ix in 0usize..5,
         nodes in 4u64..64,
         // TOML integers are i64, so file-expressible seeds top out at i64::MAX.
         seed in 0u64..i64::MAX as u64,
