@@ -10,7 +10,7 @@ use crate::choke::{ChokeConfig, Choker, PeerSnapshot};
 use crate::messages::PeerId;
 use crate::piece::PieceManager;
 use crate::torrent::Torrent;
-use p2plab_net::{ConnId, SocketAddr, VNodeId};
+use p2plab_net::{ConnId, Misbehavior, SocketAddr, VNodeId};
 use p2plab_sim::FxHashSet;
 use p2plab_sim::{RateEstimator, SimDuration, SimTime, TimeSeries};
 use serde::{Deserialize, Serialize};
@@ -145,6 +145,11 @@ pub struct ClientStats {
     pub announces: u64,
     /// Duplicate blocks received (endgame overlap).
     pub duplicate_blocks: u64,
+    /// Blocks received whose payload failed the piece-hash check and were rejected (served by
+    /// a corrupting byzantine peer; the honest client never accepts them).
+    pub corrupted_blocks_rejected: u64,
+    /// Requests this client deliberately ignored (a withholding byzantine serve path).
+    pub requests_ignored: u64,
 }
 
 /// One BitTorrent client (downloader or seeder) bound to a virtual node.
@@ -180,6 +185,10 @@ pub struct Client {
     pub progress: TimeSeries,
     /// Aggregate counters.
     pub stats: ClientStats,
+    /// Application-level misbehavior flags (all off for honest clients). Installed by the
+    /// adversary layer after construction; the protocol code consults them at its serve,
+    /// advertise and verify decision points.
+    pub misbehavior: Misbehavior,
     /// Bumped on every (re)start; periodic timers from older sessions stop when they notice a
     /// newer generation, so a churn restart never leaves two choker timers running.
     pub timer_generation: u64,
@@ -213,6 +222,7 @@ impl Client {
             completed_at: None,
             progress: TimeSeries::new(),
             stats: ClientStats::default(),
+            misbehavior: Misbehavior::default(),
             timer_generation: 0,
             snapshot_scratch: Vec::new(),
             config,

@@ -47,6 +47,10 @@ pub enum PeerMessage {
         block: u32,
         /// Number of payload bytes.
         data_len: u32,
+        /// Whether the payload fails the receiver's piece-hash check (a byzantine sender's
+        /// corruption marker — the emulation carries no real data, so the hash outcome rides
+        /// the message; wire size is unchanged, honest senders always send `false`).
+        corrupt: bool,
     },
     /// Cancel an outstanding request (endgame mode).
     Cancel {
@@ -162,7 +166,8 @@ mod tests {
             PeerMessage::Piece {
                 piece: 0,
                 block: 0,
-                data_len: 16384
+                data_len: 16384,
+                corrupt: false
             }
             .wire_size(),
             16384 + 13
@@ -182,6 +187,7 @@ mod tests {
             piece: 0,
             block: 0,
             data_len: 16384,
+            corrupt: false,
         }
         .wire_size();
         let control = PeerMessage::Request { piece: 0, block: 0 }.wire_size();

@@ -157,6 +157,12 @@ impl PieceManager {
         self.availability[piece as usize] += 1;
     }
 
+    /// Retracts a single piece claim from a peer — used when a served block fails the hash
+    /// check and the claim turns out to be a lie.
+    pub fn remove_peer_have(&mut self, piece: u32) {
+        self.availability[piece as usize] = self.availability[piece as usize].saturating_sub(1);
+    }
+
     /// Current availability (number of connected peers owning each piece).
     pub fn availability(&self) -> &[u32] {
         &self.availability

@@ -6,6 +6,7 @@
 //! driven by scheduling client starts ([`schedule_client_start`]) and running the simulation;
 //! per-client progress logs and global counters are read back afterwards.
 
+use crate::bitfield::Bitfield;
 use crate::client::{Client, ClientConfig, PeerConn};
 use crate::messages::{AnnounceEvent, BtPayload, PeerId, PeerMessage, TrackerMessage};
 use crate::piece::BlockOutcome;
@@ -295,7 +296,7 @@ fn handle_client_event(sim: &mut SwarmSim, idx: usize, event: TransportEvent<BtP
             }
             let (our_id, our_bitfield) = {
                 let client = &sim.world().clients[idx];
-                (client.id, client.pieces.have().clone())
+                (client.id, advertised_bitfield(client))
             };
             send_peer(sim, idx, conn, PeerMessage::Handshake { peer_id: our_id });
             send_peer(
@@ -379,7 +380,7 @@ fn handle_peer_message(sim: &mut SwarmSim, idx: usize, conn: ConnId, msg: PeerMe
             if reply {
                 let (our_id, our_bitfield) = {
                     let client = &sim.world().clients[idx];
-                    (client.id, client.pieces.have().clone())
+                    (client.id, advertised_bitfield(client))
                 };
                 send_peer(sim, idx, conn, PeerMessage::Handshake { peer_id: our_id });
                 send_peer(
@@ -447,19 +448,30 @@ fn handle_peer_message(sim: &mut SwarmSim, idx: usize, conn: ConnId, msg: PeerMe
         }
         PeerMessage::Request { piece, block } => {
             let respond = {
-                let client = &sim.world().clients[idx];
-                match client.peers.get(&conn) {
-                    Some(p)
-                        if !p.am_choking
-                            && piece < client.pieces.have().len()
-                            && client.pieces.have().get(piece) =>
-                    {
-                        Some(client.pieces.torrent().block_len(piece, block))
+                let client = &mut sim.world_mut().clients[idx];
+                if client.misbehavior.withhold_serves {
+                    // A withholding byzantine serve path: the request is accepted by the
+                    // transport but never answered, so the requester's timeout machinery has
+                    // to re-issue the block elsewhere.
+                    client.stats.requests_ignored += 1;
+                    None
+                } else {
+                    match client.peers.get(&conn) {
+                        Some(p)
+                            if !p.am_choking
+                                && piece < client.pieces.have().len()
+                                && client.pieces.have().get(piece) =>
+                        {
+                            Some((
+                                client.pieces.torrent().block_len(piece, block),
+                                client.misbehavior.corrupt_data,
+                            ))
+                        }
+                        _ => None,
                     }
-                    _ => None,
                 }
             };
-            if let Some(data_len) = respond {
+            if let Some((data_len, corrupt)) = respond {
                 send_peer(
                     sim,
                     idx,
@@ -468,6 +480,7 @@ fn handle_peer_message(sim: &mut SwarmSim, idx: usize, conn: ConnId, msg: PeerMe
                         piece,
                         block,
                         data_len,
+                        corrupt,
                     },
                 );
             }
@@ -476,10 +489,22 @@ fn handle_peer_message(sim: &mut SwarmSim, idx: usize, conn: ConnId, msg: PeerMe
             piece,
             block,
             data_len,
+            corrupt,
         } => {
-            handle_piece(sim, idx, conn, piece, block, data_len);
+            handle_piece(sim, idx, conn, piece, block, data_len, corrupt);
         }
         PeerMessage::Cancel { .. } | PeerMessage::KeepAlive => {}
+    }
+}
+
+/// The bitfield a client advertises: its real holdings, or — for a garbage-advertising
+/// byzantine client — an all-set lie (requests for pieces it does not actually have are
+/// filtered out by the serve path's `have` check and go unanswered).
+fn advertised_bitfield(client: &Client) -> Bitfield {
+    if client.misbehavior.garbage_advertise {
+        Bitfield::full(client.pieces.torrent().num_pieces())
+    } else {
+        client.pieces.have().clone()
     }
 }
 
@@ -490,8 +515,27 @@ fn handle_piece(
     piece: u32,
     block: u32,
     data_len: u32,
+    corrupt: bool,
 ) {
     let now = sim.now();
+    if corrupt {
+        // The block fails the piece-hash check: reject it before it reaches the piece manager
+        // (no corruption is ever accepted), retract the lying peer's claim to the piece so the
+        // picker re-requests the block from someone else, and release the reservation.
+        let client = &mut sim.world_mut().clients[idx];
+        let Some(p) = client.peers.get_mut(&conn) else {
+            return;
+        };
+        p.inflight.retain(|&b| b != (piece, block));
+        p.download.record(now, data_len as u64);
+        client.stats.corrupted_blocks_rejected += 1;
+        if p.bitfield.clear(piece) {
+            client.pieces.remove_peer_have(piece);
+        }
+        client.pieces.release_requests(&[(piece, block)]);
+        request_blocks(sim, idx, conn);
+        return;
+    }
     let (completed_piece, file_complete, broadcast_conns) = {
         let client = &mut sim.world_mut().clients[idx];
         let Some(p) = client.peers.get_mut(&conn) else {

@@ -16,6 +16,8 @@
 //!   DHT lookups over the transport's RPC layer;
 //! * [`experiment`] — the BitTorrent experiment descriptions of the evaluation section
 //!   (Figures 8-11) and the legacy [`run_swarm_experiment`] wrapper;
+//! * [`adversary`] — byzantine peers, wire-level fault injection and invariant monitors: mark
+//!   a fraction of a workload's population hostile and assert honest-node safety;
 //! * [`accuracy`] — the emulation-accuracy experiments (rule-count scaling of Figure 6, the
 //!   Figure 7 latency decomposition, the libc-interception overhead table);
 //! * [`analysis`] — folding-invariance comparison and completion statistics;
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod adversary;
 pub mod analysis;
 pub mod deploy;
 pub mod experiment;
@@ -35,6 +38,10 @@ pub mod workloads;
 pub use accuracy::{
     figure7_latency_experiment, interception_overhead, rule_scaling_experiment,
     InterceptionOverhead, LatencyDecomposition, RuleScalingPoint,
+};
+pub use adversary::{
+    behavior_by_name, AdversaryPlan, AdversaryRoster, Behavior, InvariantReport, Selection,
+    BEHAVIOR_NAMES,
 };
 pub use analysis::{
     compare_folding, compare_folding_reports, completion_summary, download_phases,

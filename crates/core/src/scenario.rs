@@ -42,6 +42,7 @@ pub mod campaign;
 pub mod dsl;
 pub mod processes;
 
+use crate::adversary::{AdversaryPlan, AdversaryRoster, InvariantReport};
 use crate::deploy::{deploy, Deployment, DeploymentSpec};
 use crate::monitor::ResourceMonitor;
 use crate::report::RunReport;
@@ -98,6 +99,34 @@ pub trait Workload {
     /// Number of participants whose arrival instants come from the scenario's arrival process
     /// (downloaders for the swarm, probe pairs for the ping mesh, nodes for gossip).
     fn participants(&self) -> usize;
+
+    /// The population an [`AdversaryPlan`] selects over. Defaults to
+    /// [`participants`](Workload::participants); workloads whose participants are *actions*
+    /// rather than nodes (DHT lookups) override this so byzantine marks land on nodes.
+    fn adversary_population(&self) -> usize {
+        self.participants()
+    }
+
+    /// Installs a resolved adversary roster before the world is built. The runner calls this
+    /// once, only when the scenario's plan selects at least one member. The default rejects
+    /// the plan: a workload must opt in by implementing both this and
+    /// [`check_invariants`](Workload::check_invariants), so an adversary can never silently
+    /// no-op on a workload that ignores it.
+    fn set_adversary(&mut self, _roster: &AdversaryRoster) -> Result<(), String> {
+        Err(format!(
+            "the {:?} workload has no adversarial mode",
+            self.kind()
+        ))
+    }
+
+    /// The invariant monitor: after an adversarial run, asserts the workload's honest-node
+    /// safety properties over the final world (honest completion, delivery, convergence —
+    /// derived from protocol state, never magic values) and tallies byzantine traffic. Called
+    /// only when a roster was installed; the runner records the report's counts into the run's
+    /// metric set (`invariants_checked`, `invariant_violations`, `byzantine_msgs_sent`).
+    fn check_invariants(&self, _world: &Self::World, _outcome: RunOutcome) -> InvariantReport {
+        InvariantReport::new()
+    }
 
     /// The workload's natural arrival pattern, used when the scenario does not override it
     /// with [`ScenarioBuilder::arrivals`].
@@ -202,6 +231,10 @@ pub struct ScenarioSpec {
     pub arrivals: Option<ArrivalSpec>,
     /// Optional session (churn) process, interpreted by the workload.
     pub sessions: Option<SessionProcess>,
+    /// Optional adversary assignment: which fraction of the workload's population misbehaves,
+    /// and how ([`crate::adversary`]). `None` — the default — is a fully honest run and
+    /// executes the exact frozen event sequence adversary-free builds produced.
+    pub adversary: Option<AdversaryPlan>,
     /// Hard stop for the experiment (virtual time).
     pub deadline: SimDuration,
     /// Sampling period of the progress curve and the resource monitor.
@@ -274,6 +307,17 @@ pub enum ScenarioError {
         /// What is wrong with the session process.
         reason: String,
     },
+    /// The adversary plan is malformed (fraction outside `[0, 1]`, unknown behavior name,
+    /// out-of-range trace index).
+    InvalidAdversary {
+        /// What is wrong with the adversary plan.
+        reason: String,
+    },
+    /// The scenario carries an adversary plan but the workload has no adversarial mode.
+    AdversaryUnsupported {
+        /// Why the workload rejected the plan.
+        reason: String,
+    },
     /// The topology has fewer virtual nodes than the workload needs.
     TopologyTooSmall {
         /// Nodes the workload requires.
@@ -319,6 +363,12 @@ impl fmt::Display for ScenarioError {
             ScenarioError::InvalidChurn { reason } => {
                 write!(f, "invalid churn/session process: {reason}")
             }
+            ScenarioError::InvalidAdversary { reason } => {
+                write!(f, "invalid adversary plan: {reason}")
+            }
+            ScenarioError::AdversaryUnsupported { reason } => {
+                write!(f, "adversary plan rejected: {reason}")
+            }
             ScenarioError::TopologyTooSmall { needed, available } => write!(
                 f,
                 "workload needs {needed} virtual nodes but the topology provides {available}"
@@ -350,6 +400,7 @@ impl ScenarioBuilder {
                 network: NetworkConfig::default(),
                 arrivals: None,
                 sessions: None,
+                adversary: None,
                 deadline: SimDuration::from_secs(3600),
                 sample_interval: SimDuration::from_secs(10),
                 monitor_resources: true,
@@ -390,6 +441,14 @@ impl ScenarioBuilder {
     /// Applies a session (churn) process to the workload's participants.
     pub fn sessions(mut self, sessions: SessionProcess) -> Self {
         self.spec.sessions = Some(sessions);
+        self
+    }
+
+    /// Marks a subset of the workload's population byzantine according to `plan`
+    /// ([`crate::adversary`]). A plan whose selection resolves to nobody (fraction 0) runs
+    /// exactly like an honest scenario.
+    pub fn adversary(mut self, plan: AdversaryPlan) -> Self {
+        self.spec.adversary = Some(plan);
         self
     }
 
@@ -505,6 +564,11 @@ impl ScenarioSpec {
                 .validate()
                 .map_err(|reason| ScenarioError::InvalidChurn { reason })?;
         }
+        if let Some(adversary) = &self.adversary {
+            adversary
+                .validate()
+                .map_err(|reason| ScenarioError::InvalidAdversary { reason })?;
+        }
         Ok(())
     }
 }
@@ -541,6 +605,36 @@ impl TransportCounters {
         rec.set_total(self.fragments_sent, stats.fragments_sent);
         rec.set_total(self.reassembly_timeouts, stats.reassembly_timeouts);
         rec.set_total(self.selective_retransmits, stats.selective_retransmits);
+    }
+}
+
+/// Handles of the adversary counters, registered **only when the scenario's plan resolves to
+/// a non-empty roster** — honest runs carry no adversary keys in their metric set, keeping
+/// pre-adversary report artifacts byte-identical. Filled once at stop time from the workload's
+/// [`InvariantReport`].
+#[derive(Clone, Copy)]
+struct AdversaryCounters {
+    byzantine_participants: Counter,
+    byzantine_msgs_sent: Counter,
+    invariants_checked: Counter,
+    invariant_violations: Counter,
+}
+
+impl AdversaryCounters {
+    fn register(rec: &mut Recorder) -> AdversaryCounters {
+        AdversaryCounters {
+            byzantine_participants: rec.counter("byzantine_participants"),
+            byzantine_msgs_sent: rec.counter("byzantine_msgs_sent"),
+            invariants_checked: rec.counter("invariants_checked"),
+            invariant_violations: rec.counter("invariant_violations"),
+        }
+    }
+
+    fn record(&self, members: usize, inv: &InvariantReport, rec: &mut Recorder) {
+        rec.set_total(self.byzantine_participants, members as u64);
+        rec.set_total(self.byzantine_msgs_sent, inv.byzantine_msgs_sent);
+        rec.set_total(self.invariants_checked, inv.checked);
+        rec.set_total(self.invariant_violations, inv.violations.len() as u64);
     }
 }
 
@@ -647,13 +741,32 @@ fn run_scenario_inner<W: Workload + 'static>(
     let participants = workload.participants();
     let workload_kind = workload.kind();
 
+    // Resolve the adversary plan (when there is one) into a concrete roster, deterministically
+    // from the scenario seed, and install it on the workload before anything is built. A plan
+    // that selects nobody resolves to `None` and the run proceeds exactly like an honest one.
+    let roster = match &spec.adversary {
+        Some(plan) => plan
+            .resolve(spec.seed, workload.adversary_population())
+            .map_err(|reason| ScenarioError::InvalidAdversary { reason })?,
+        None => None,
+    };
+    if let Some(roster) = &roster {
+        workload
+            .set_adversary(roster)
+            .map_err(|reason| ScenarioError::AdversaryUnsupported { reason })?;
+    }
+
     // The run's recorder: one per run, owned by the runner. Registration order is part of the
     // report schema, so the runner's series and counters always come first, then whatever the
-    // workload registers.
+    // workload registers. The adversary counters exist only on adversarial runs, between the
+    // transport counters and the workload's own metrics.
     let mut plain_recorder = Recorder::new();
     let progress_id = plain_recorder.time_series("progress");
     let cwnd_id = plain_recorder.time_series("cwnd_mean_bytes");
     let transport_counters = TransportCounters::register(&mut plain_recorder);
+    let adversary_counters = roster
+        .as_ref()
+        .map(|_| AdversaryCounters::register(&mut plain_recorder));
     workload.setup_metrics(&mut plain_recorder);
 
     // Shard-native workloads execute on the conservative-window runtime at every shard count
@@ -662,6 +775,10 @@ fn run_scenario_inner<W: Workload + 'static>(
     // return `None` and run the reference engine regardless of `spec.shards`.
     if let Some(sharded) = workload.run_sharded(spec, &arrivals, &mut plain_recorder, progress_id) {
         let (world, sharded) = sharded?;
+        if let (Some(roster), Some(counters)) = (&roster, adversary_counters) {
+            let inv = workload.check_invariants(&world, sharded.outcome);
+            counters.record(roster.len(), &inv, &mut plain_recorder);
+        }
         let metrics = plain_recorder.finish();
         let samples = metrics
             .series("progress")
@@ -785,6 +902,12 @@ fn run_scenario_inner<W: Workload + 'static>(
         if let Some(cwnd) = W::network(&world).cwnd_mean_bytes() {
             rec.push(cwnd_id, stopped_at, cwnd as f64);
         }
+        // The invariant monitor runs once, over the final world: honest-node safety checks and
+        // the byzantine traffic tally land in the same metric set the report carries.
+        if let (Some(roster), Some(counters)) = (&roster, adversary_counters) {
+            let inv = workload.check_invariants(&world, outcome);
+            counters.record(roster.len(), &inv, rec);
+        }
     }
 
     let monitor = monitor.borrow_mut().take();
@@ -868,6 +991,9 @@ fn spec_echo(spec: &ScenarioSpec) -> Vec<(String, String)> {
     }
     if let Some(sessions) = &spec.sessions {
         echo.push(("sessions".to_string(), format!("{sessions:?}")));
+    }
+    if let Some(adversary) = &spec.adversary {
+        echo.push(("adversary".to_string(), format!("{adversary:?}")));
     }
     echo
 }
@@ -1016,6 +1142,12 @@ mod tests {
             ScenarioError::InvalidChurn {
                 reason: "mean session duration must be positive".into(),
             },
+            ScenarioError::InvalidAdversary {
+                reason: "fraction must be in [0, 1]".into(),
+            },
+            ScenarioError::AdversaryUnsupported {
+                reason: "the ping-mesh workload has no adversarial mode".into(),
+            },
             ScenarioError::TopologyTooSmall {
                 needed: 5,
                 available: 2,
@@ -1023,6 +1155,30 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn builder_rejects_malformed_adversary_plans() {
+        let err = ScenarioBuilder::new("bad", topo(4))
+            .adversary(crate::adversary::AdversaryPlan::new(1.5, &["silent-drop"]))
+            .build();
+        assert!(
+            matches!(err, Err(ScenarioError::InvalidAdversary { .. })),
+            "{err:?}"
+        );
+        let err = ScenarioBuilder::new("bad", topo(4))
+            .adversary(crate::adversary::AdversaryPlan::new(0.2, &["omniscient"]))
+            .build();
+        assert!(
+            matches!(err, Err(ScenarioError::InvalidAdversary { .. })),
+            "{err:?}"
+        );
+        // A well-formed plan passes validation; whether the workload accepts it is decided at
+        // run time by `Workload::set_adversary`.
+        assert!(ScenarioBuilder::new("ok", topo(4))
+            .adversary(crate::adversary::AdversaryPlan::new(0.25, &["silent-drop"]))
+            .build()
+            .is_ok());
     }
 
     #[test]
@@ -1064,5 +1220,13 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains('5') && msg.contains('2'), "{msg}");
+        let msg = ScenarioError::InvalidAdversary {
+            reason: "unknown adversary behavior \"x\"".into(),
+        }
+        .to_string();
+        assert!(
+            msg.contains("adversary") && msg.contains("unknown"),
+            "{msg}"
+        );
     }
 }

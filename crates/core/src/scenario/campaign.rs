@@ -20,6 +20,18 @@
 //! [`CampaignSpec::expand`] takes the cartesian product of the matrix axes (file order, last
 //! axis fastest), applies each combination to the base scenario table and re-parses it through
 //! the DSL's strict path — so every grid cell is validated before anything runs.
+//!
+//! Combinations the product cannot express — a single hostile cell next to an honest grid, a
+//! cell whose workload rejects one of the swept knobs — go in explicit `[cells.<label>]`
+//! sections: each is a set of dotted overrides applied to the base scenario on its own,
+//! appended after the matrix cells and validated the same way:
+//!
+//! ```toml
+//! [cells.byzantine]
+//! workload.kind = "gossip-sharded"
+//! adversary.fraction = 0.25
+//! adversary.behaviors = ["reply-delay"]
+//! ```
 //! [`run_campaign`] then executes the cells across OS threads. Each cell is an independent
 //! simulation seeded from its own spec, and results are collected *by cell index*, so the
 //! outcome is deterministic regardless of thread count or scheduling; [`CampaignSummary`]
@@ -48,6 +60,9 @@ pub struct CampaignSpec {
     pub base: TomlTable,
     /// The matrix axes: dotted scenario key path → the values it sweeps over, in file order.
     pub axes: Vec<(String, Vec<Spanned>)>,
+    /// Explicit `[cells.<label>]` cells, in file order: label → dotted overrides. Appended
+    /// after the matrix product when expanding.
+    pub extra: Vec<(String, Vec<(String, Spanned)>)>,
 }
 
 /// One expanded grid cell: a concrete, validated scenario plus its provenance.
@@ -124,10 +139,50 @@ impl CampaignSpec {
             flatten_axes(matrix, "matrix", "", &mut axes)?;
         }
 
-        // The base scenario: everything except the two campaign-only sections.
+        let mut extra = Vec::new();
+        if let Some(spanned) = root.get("cells") {
+            let cells = match &spanned.value {
+                TomlValue::Table(t) => t,
+                other => {
+                    return Err(DslError {
+                        line: spanned.line,
+                        path: "cells".into(),
+                        message: format!("expected a table, found {}", other.type_name()),
+                    })
+                }
+            };
+            for (label, entry) in cells.entries() {
+                let err_prefix = format!("cells.{label}");
+                let table = match &entry.value {
+                    TomlValue::Table(t) => t,
+                    other => {
+                        return Err(DslError {
+                            line: entry.line,
+                            path: err_prefix,
+                            message: format!(
+                                "an explicit cell must be a table of overrides, found {}",
+                                other.type_name()
+                            ),
+                        })
+                    }
+                };
+                let mut overrides = Vec::new();
+                flatten_overrides(table, "", &mut overrides);
+                if overrides.is_empty() {
+                    return Err(DslError {
+                        line: entry.line,
+                        path: err_prefix,
+                        message: "an explicit cell must override at least one key".into(),
+                    });
+                }
+                extra.push((label.clone(), overrides));
+            }
+        }
+
+        // The base scenario: everything except the three campaign-only sections.
         let mut base = TomlTable::default();
         for (key, value) in root.entries() {
-            if key != "campaign" && key != "matrix" {
+            if key != "campaign" && key != "matrix" && key != "cells" {
                 base.set_path(key, value.clone())?;
             }
         }
@@ -136,22 +191,24 @@ impl CampaignSpec {
             threads,
             base,
             axes,
+            extra,
         })
     }
 
-    /// Number of grid cells the matrix expands to (1 when there is no matrix).
+    /// Number of cells the campaign expands to: the matrix product (1 when there is no
+    /// matrix) plus the explicit `[cells.*]` cells.
     pub fn cell_count(&self) -> usize {
-        self.axes.iter().map(|(_, vs)| vs.len()).product()
+        self.axes.iter().map(|(_, vs)| vs.len()).product::<usize>() + self.extra.len()
     }
 
     /// Expands the matrix into concrete, **validated** scenarios: for every combination the
     /// overrides are applied to the base table and the result re-parsed through the DSL's
     /// strict path, so a bad cell fails here — before anything runs — with its key path.
     pub fn expand(&self) -> Result<Vec<CampaignCell>, DslError> {
-        let total = self.cell_count();
-        let width = total.saturating_sub(1).to_string().len().max(2);
-        let mut cells = Vec::with_capacity(total);
-        for index in 0..total {
+        let grid = self.axes.iter().map(|(_, vs)| vs.len()).product::<usize>();
+        let width = grid.saturating_sub(1).to_string().len().max(2);
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for index in 0..grid {
             // Decompose the cell index into per-axis choices, last axis fastest.
             let mut rem = index;
             let mut choice = vec![0usize; self.axes.len()];
@@ -159,31 +216,52 @@ impl CampaignSpec {
                 choice[a] = rem % values.len();
                 rem /= values.len();
             }
-            let mut table = self.base.clone();
-            let mut overrides = Vec::with_capacity(self.axes.len());
-            for (a, (path, values)) in self.axes.iter().enumerate() {
-                let value = &values[choice[a]];
-                table.set_path(path, value.clone())?;
-                overrides.push((path.clone(), value.value.render()));
-            }
             let label = format!("cell-{index:0width$}");
-            let file = ScenarioFile::from_table(&table).map_err(|mut e| {
-                e.message = format!("{label}: {}", e.message);
-                e
-            })?;
-            file.validate().map_err(|e| DslError {
-                line: 0,
-                path: label.clone(),
-                message: format!("invalid scenario: {e}"),
-            })?;
-            cells.push(CampaignCell {
-                index,
-                label,
-                overrides,
-                file,
-            });
+            let overrides: Vec<(String, Spanned)> = self
+                .axes
+                .iter()
+                .enumerate()
+                .map(|(a, (path, values))| (path.clone(), values[choice[a]].clone()))
+                .collect();
+            cells.push(self.build_cell(index, label, overrides)?);
+        }
+        // Explicit cells ride after the grid, in file order.
+        for (label, overrides) in &self.extra {
+            let index = cells.len();
+            cells.push(self.build_cell(index, format!("cell-{label}"), overrides.clone())?);
         }
         Ok(cells)
+    }
+
+    /// Applies one cell's overrides to the base table and re-parses it through the DSL's
+    /// strict path, so a bad cell fails with its label before anything runs.
+    fn build_cell(
+        &self,
+        index: usize,
+        label: String,
+        overrides: Vec<(String, Spanned)>,
+    ) -> Result<CampaignCell, DslError> {
+        let mut table = self.base.clone();
+        let mut rendered = Vec::with_capacity(overrides.len());
+        for (path, value) in overrides {
+            table.set_path(&path, value.clone())?;
+            rendered.push((path, value.value.render()));
+        }
+        let file = ScenarioFile::from_table(&table).map_err(|mut e| {
+            e.message = format!("{label}: {}", e.message);
+            e
+        })?;
+        file.validate().map_err(|e| DslError {
+            line: 0,
+            path: label.clone(),
+            message: format!("invalid scenario: {e}"),
+        })?;
+        Ok(CampaignCell {
+            index,
+            label,
+            overrides: rendered,
+            file,
+        })
     }
 }
 
@@ -225,6 +303,23 @@ fn flatten_axes(
         }
     }
     Ok(())
+}
+
+/// Recursively flattens an explicit `[cells.<label>]` table into `(dotted path, value)`
+/// overrides in file order. Unlike matrix axes, leaves here are literal values — arrays
+/// included (a `behaviors` list is one override, not an axis).
+fn flatten_overrides(table: &TomlTable, path_prefix: &str, out: &mut Vec<(String, Spanned)>) {
+    for (key, spanned) in table.entries() {
+        let path = if path_prefix.is_empty() {
+            key.clone()
+        } else {
+            format!("{path_prefix}.{key}")
+        };
+        match &spanned.value {
+            TomlValue::Table(t) => flatten_overrides(t, &path, out),
+            _ => out.push((path, spanned.clone())),
+        }
+    }
 }
 
 /// Runs every cell across `threads` OS worker threads and returns one result per cell, in
@@ -552,6 +647,89 @@ scenario.seed = [1, 2, 3]
                 ("scenario.seed".to_string(), "1".to_string()),
             ]
         );
+    }
+
+    #[test]
+    fn adversary_fraction_sweeps_as_a_matrix_axis() {
+        let text = "\
+[campaign]
+name = \"byz\"
+
+[scenario]
+name = \"byz\"
+deadline = \"60s\"
+sample_interval = \"1s\"
+
+[topology]
+link = \"lan-10m\"
+
+[workload]
+kind = \"gossip\"
+
+[workload.gossip]
+nodes = 8
+
+[adversary]
+fraction = 0.0
+behaviors = [\"silent-drop\"]
+
+[matrix]
+adversary.fraction = [0.0, 0.25]
+";
+        let campaign = CampaignSpec::parse(text).unwrap();
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 2);
+        let fraction = |c: &CampaignCell| c.file.spec.adversary.as_ref().unwrap().fraction;
+        assert_eq!(fraction(&cells[0]), 0.0);
+        assert_eq!(fraction(&cells[1]), 0.25);
+        assert_eq!(
+            cells[1].overrides,
+            vec![("adversary.fraction".to_string(), "0.25".to_string())]
+        );
+        // A swept fraction must still pass plan validation cell by cell.
+        let bad = text.replace("[0.0, 0.25]", "[0.0, 1.5]");
+        let err = CampaignSpec::parse(&bad).unwrap().expand().unwrap_err();
+        assert!(err.message.contains("fraction"), "{err}");
+    }
+
+    #[test]
+    fn explicit_cells_ride_after_the_grid() {
+        let text = format!(
+            "{}\n[cells.byzantine]\nworkload.kind = \"gossip\"\nscenario.seed = 9\n\
+             adversary.fraction = 0.25\nadversary.behaviors = [\"silent-drop\"]\n",
+            grid_campaign()
+        );
+        let campaign = CampaignSpec::parse(&text).unwrap();
+        assert_eq!(campaign.cell_count(), 13);
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 13);
+        let byz = &cells[12];
+        assert_eq!(byz.label, "cell-byzantine");
+        assert_eq!(byz.index, 12);
+        assert_eq!(byz.file.workload.kind(), "gossip");
+        assert_eq!(byz.file.spec.seed, 9);
+        let plan = byz.file.spec.adversary.as_ref().unwrap();
+        assert_eq!(plan.fraction, 0.25);
+        assert_eq!(plan.behaviors, vec!["silent-drop".to_string()]);
+        // The grid itself is untouched: no earlier cell carries the adversary.
+        assert!(cells[..12].iter().all(|c| c.file.spec.adversary.is_none()));
+        // Provenance records the explicit overrides too.
+        assert!(byz
+            .overrides
+            .iter()
+            .any(|(k, v)| k == "adversary.fraction" && v == "0.25"));
+
+        // An explicit cell must be a non-empty table of overrides.
+        let empty = format!("{}\n[cells.noop]\n", grid_campaign());
+        let err = CampaignSpec::parse(&empty).unwrap_err();
+        assert_eq!(err.path, "cells.noop");
+        // And a bad override fails expansion with the cell's label.
+        let bad = format!(
+            "{}\n[cells.broken]\nworkload.kind = \"no-such-workload\"\n",
+            grid_campaign()
+        );
+        let err = CampaignSpec::parse(&bad).unwrap().expand().unwrap_err();
+        assert!(err.message.contains("cell-broken"), "{err}");
     }
 
     #[test]

@@ -59,6 +59,7 @@
 //! optional trailing commas spanning multiple lines, and `#` comments. Not supported:
 //! `[[array-of-tables]]`, inline tables, literal/multiline strings, dates.
 
+use crate::adversary::{AdversaryPlan, Selection};
 use crate::experiment::SwarmExperiment;
 use crate::report::RunReport;
 use crate::scenario::{ArrivalSpec, ScenarioError, ScenarioSpec, SessionProcess};
@@ -976,24 +977,55 @@ fn check_rate(rate: f64, line: usize, path: &str) -> Result<(), DslError> {
     }
 }
 
-/// Parses a `[topology.condition]` section into a [`LinkCondition`]. A `preset` key is
-/// exclusive with the explicit knobs; the three `burst_*` keys come as a full set or not at
-/// all.
-fn parse_condition(table: &TomlTable) -> Result<LinkCondition, DslError> {
+/// Parses a `[topology.condition]` section into its symmetric base [`LinkCondition`] plus the
+/// optional `[topology.condition.down]` / `[topology.condition.up]` directional overrides
+/// (asymmetric, eclipse-style degradation: a direction with its own sub-table ignores the base
+/// knobs entirely). A `preset` key is exclusive with the explicit knobs at any level; the three
+/// `burst_*` keys come as a full set or not at all.
+#[allow(clippy::type_complexity)] // lint:allow(bare-allow) — (base, down, up) triple is local to the two call sites
+fn parse_condition(
+    table: &TomlTable,
+) -> Result<(LinkCondition, Option<LinkCondition>, Option<LinkCondition>), DslError> {
     let mut s = Sect::new(table, "topology.condition");
+    let down = match s.sub_table("down")? {
+        None => None,
+        Some(t) => Some(parse_condition_dir(t, "topology.condition.down")?),
+    };
+    let up = match s.sub_table("up")? {
+        None => None,
+        Some(t) => Some(parse_condition_dir(t, "topology.condition.up")?),
+    };
+    let base = parse_condition_knobs(&mut s, table, "topology.condition")?;
+    s.finish()?;
+    Ok((base, down, up))
+}
+
+/// Parses one directional conditioner override sub-table (`down` or `up`).
+fn parse_condition_dir(table: &TomlTable, path: &str) -> Result<LinkCondition, DslError> {
+    let mut s = Sect::new(table, path);
+    let c = parse_condition_knobs(&mut s, table, path)?;
+    s.finish()?;
+    Ok(c)
+}
+
+/// The shared conditioner knob set: a `preset` name, or explicit jitter / reorder / duplicate /
+/// burst knobs. The caller's [`Sect::finish`] rejects explicit knobs next to a preset.
+fn parse_condition_knobs(
+    s: &mut Sect,
+    table: &TomlTable,
+    path: &str,
+) -> Result<LinkCondition, DslError> {
     if let Some(name) = s.opt_str("preset")? {
         let preset = condition_preset(name).ok_or_else(|| {
             DslError::new(
                 table.get("preset").map(|v| v.line).unwrap_or(table.line()),
-                "topology.condition.preset",
+                format!("{path}.preset"),
                 format!(
                     "unknown condition preset {name:?} (known: {})",
                     CONDITION_PRESETS.join(", ")
                 ),
             )
         })?;
-        // `finish` rejects any explicit knob next to the preset.
-        s.finish()?;
         return Ok(preset);
     }
     let mut c = LinkCondition::none();
@@ -1005,19 +1037,19 @@ fn parse_condition(table: &TomlTable) -> Result<LinkCondition, DslError> {
     match (reorder_rate, reorder_delay) {
         (None, None) => {}
         (Some(rate), Some(delay)) => {
-            check_rate(rate, table.line(), "topology.condition.reorder_rate")?;
+            check_rate(rate, table.line(), &format!("{path}.reorder_rate"))?;
             c = c.with_reorder(rate, delay);
         }
         _ => {
             return Err(DslError::new(
                 table.line(),
-                "topology.condition",
+                path,
                 "reorder_rate and reorder_delay must be given together",
             ))
         }
     }
     if let Some(rate) = s.opt_f64("duplicate_rate")? {
-        check_rate(rate, table.line(), "topology.condition.duplicate_rate")?;
+        check_rate(rate, table.line(), &format!("{path}.duplicate_rate"))?;
         c = c.with_duplication(rate);
     }
     let burst_enter = s.opt_f64("burst_enter")?;
@@ -1026,21 +1058,85 @@ fn parse_condition(table: &TomlTable) -> Result<LinkCondition, DslError> {
     match (burst_enter, burst_exit, burst_loss) {
         (None, None, None) => {}
         (Some(enter), Some(exit), Some(loss)) => {
-            check_rate(enter, table.line(), "topology.condition.burst_enter")?;
-            check_rate(exit, table.line(), "topology.condition.burst_exit")?;
-            check_rate(loss, table.line(), "topology.condition.burst_loss")?;
+            check_rate(enter, table.line(), &format!("{path}.burst_enter"))?;
+            check_rate(exit, table.line(), &format!("{path}.burst_exit"))?;
+            check_rate(loss, table.line(), &format!("{path}.burst_loss"))?;
             c = c.with_burst(BurstLoss::new(enter, exit, loss));
         }
         _ => {
             return Err(DslError::new(
                 table.line(),
-                "topology.condition",
+                path,
                 "burst_enter, burst_exit and burst_loss must be given together",
             ))
         }
     }
-    s.finish()?;
     Ok(c)
+}
+
+/// Parses an `[adversary]` section into an [`AdversaryPlan`].
+fn parse_adversary(table: &TomlTable) -> Result<AdversaryPlan, DslError> {
+    let mut s = Sect::new(table, "adversary");
+    let fraction = s.opt_f64("fraction")?.unwrap_or(0.0);
+    let items = s
+        .opt_array("behaviors")?
+        .ok_or_else(|| s.missing("behaviors"))?;
+    let mut behaviors = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        match &item.value {
+            TomlValue::Str(name) => behaviors.push(name.clone()),
+            other => {
+                return Err(DslError::new(
+                    item.line,
+                    format!("adversary.behaviors[{i}]"),
+                    format!(
+                        "expected a behavior name string, found {}",
+                        other.type_name()
+                    ),
+                ))
+            }
+        }
+    }
+    let selection = match s.opt_str("selection")?.unwrap_or("random") {
+        "random" => Selection::Random,
+        "first" => Selection::First,
+        "trace" => {
+            let items = s.opt_array("trace")?.ok_or_else(|| s.missing("trace"))?;
+            let mut indices = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                match item.value {
+                    TomlValue::Int(v) if v >= 0 => indices.push(v as usize),
+                    _ => {
+                        return Err(DslError::new(
+                            item.line,
+                            format!("adversary.trace[{i}]"),
+                            "expected a non-negative participant index",
+                        ))
+                    }
+                }
+            }
+            Selection::Trace(indices)
+        }
+        other => {
+            return Err(DslError::new(
+                table
+                    .get("selection")
+                    .map(|v| v.line)
+                    .unwrap_or(table.line()),
+                "adversary.selection",
+                format!("unknown selection mode {other:?} (known: random, first, trace)"),
+            ))
+        }
+    };
+    s.finish()?;
+    let plan = AdversaryPlan {
+        fraction,
+        behaviors,
+        selection,
+    };
+    plan.validate()
+        .map_err(|reason| DslError::new(table.line(), "adversary", reason))?;
+    Ok(plan)
 }
 
 /// The smallest MTU a `[transport]` section may configure: below this, the 8-byte fragment
@@ -1140,9 +1236,12 @@ impl ScenarioFile {
         let latency = topology.opt_duration("latency")?;
         let loss = topology.opt_f64("loss")?.unwrap_or(0.0);
         let nodes = topology.opt_usize("nodes")?;
-        let condition = match topology.sub_table("condition")? {
-            None => None,
-            Some(t) => Some(parse_condition(t)?),
+        let (condition, condition_down, condition_up) = match topology.sub_table("condition")? {
+            None => (None, None, None),
+            Some(t) => {
+                let (base, down, up) = parse_condition(t)?;
+                (Some(base), down, up)
+            }
         };
         topology.finish()?;
         if !(0.0..=1.0).contains(&loss) {
@@ -1179,7 +1278,11 @@ impl ScenarioFile {
                 ))
             }
         };
-        let link = base_link.with_loss(loss).with_condition(condition);
+        let link = base_link
+            .with_loss(loss)
+            .with_condition(condition)
+            .with_condition_down(condition_down)
+            .with_condition_up(condition_up);
 
         // [transport] (optional)
         let transport = match top.sub_table("transport")? {
@@ -1298,6 +1401,7 @@ impl ScenarioFile {
                         .opt_duration("round_interval")?
                         .unwrap_or(SimDuration::from_secs(1)),
                     rumor_bytes: p.opt_u64("rumor_bytes")?.unwrap_or(256),
+                    rounds: p.opt_u32("rounds")?.unwrap_or(0),
                 };
                 p.finish()?;
                 WorkloadConfig::GossipSharded(spec)
@@ -1336,6 +1440,12 @@ impl ScenarioFile {
             None => None,
             Some(t) => Some(parse_sessions(t)?),
         };
+
+        // [adversary] (optional)
+        let adversary = match top.sub_table("adversary")? {
+            None => None,
+            Some(t) => Some(parse_adversary(t)?),
+        };
         top.finish()?;
 
         let nodes = nodes.unwrap_or_else(|| workload.vnodes_required());
@@ -1349,6 +1459,7 @@ impl ScenarioFile {
             },
             arrivals,
             sessions,
+            adversary,
             deadline,
             sample_interval,
             monitor_resources,
@@ -1428,8 +1539,13 @@ impl ScenarioFile {
         if link.loss_rate != 0.0 {
             out.push_str(&format!("loss = {}\n", fmt_float(link.loss_rate)));
         }
-        if let Some(c) = link.condition {
-            out.push_str("\n[topology.condition]\n");
+        for (header, condition) in [
+            ("[topology.condition]", link.condition),
+            ("[topology.condition.down]", link.condition_down),
+            ("[topology.condition.up]", link.condition_up),
+        ] {
+            let Some(c) = condition else { continue };
+            out.push_str(&format!("\n{header}\n"));
             if c.jitter != SimDuration::ZERO {
                 out.push_str(&format!("jitter = \"{}\"\n", fmt_duration(c.jitter)));
             }
@@ -1522,6 +1638,9 @@ impl ScenarioFile {
                     fmt_duration(g.round_interval)
                 ));
                 out.push_str(&format!("rumor_bytes = {}\n", g.rumor_bytes));
+                if g.rounds != 0 {
+                    out.push_str(&format!("rounds = {}\n", g.rounds));
+                }
             }
             WorkloadConfig::DhtLookup(d) => {
                 out.push_str(&format!("nodes = {}\n", d.nodes));
@@ -1615,6 +1734,22 @@ impl ScenarioFile {
                         })
                         .collect();
                     out.push_str(&format!("pairs = [{}]\n", items.join(", ")));
+                }
+            }
+        }
+
+        if let Some(plan) = &spec.adversary {
+            out.push_str("\n[adversary]\n");
+            out.push_str(&format!("fraction = {}\n", fmt_float(plan.fraction)));
+            let items: Vec<String> = plan.behaviors.iter().map(|b| format!("{b:?}")).collect();
+            out.push_str(&format!("behaviors = [{}]\n", items.join(", ")));
+            match &plan.selection {
+                Selection::Random => {}
+                Selection::First => out.push_str("selection = \"first\"\n"),
+                Selection::Trace(indices) => {
+                    out.push_str("selection = \"trace\"\n");
+                    let items: Vec<String> = indices.iter().map(|i| i.to_string()).collect();
+                    out.push_str(&format!("trace = [{}]\n", items.join(", ")));
                 }
             }
         }
@@ -2100,6 +2235,87 @@ leechers = 12
             minimal_gossip() + "[topology.condition]\npreset = \"burst-loss\"\njitter = \"1ms\"\n";
         let err = ScenarioFile::parse(&text).unwrap_err();
         assert!(err.message.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn directional_condition_overrides_round_trip() {
+        // Eclipse-style asymmetric degradation: pristine uplink, hostile downlink.
+        let text = minimal_gossip()
+            + "[topology.condition]\n\
+               jitter = \"1ms\"\n\
+               [topology.condition.down]\n\
+               preset = \"burst-loss\"\n\
+               [topology.condition.up]\n\
+               jitter = \"8ms\"\n\
+               duplicate_rate = 0.05\n";
+        let file = ScenarioFile::parse(&text).unwrap();
+        let link = file.spec.topology.groups[0].link;
+        let base = link.condition.expect("base condition");
+        assert_eq!(base.jitter, SimDuration::from_millis(1));
+        let down = link.condition_down.expect("down override");
+        assert_eq!(Some(down), condition_preset("burst-loss"));
+        let up = link.condition_up.expect("up override");
+        assert_eq!(up.jitter, SimDuration::from_millis(8));
+        assert_eq!(up.duplicate_rate, 0.05);
+        assert_eq!(link.effective_condition_down(), Some(down));
+        assert_eq!(link.effective_condition_up(), Some(up));
+        let reparsed = ScenarioFile::parse(&file.to_toml()).unwrap();
+        assert_eq!(reparsed, file);
+
+        // A directional sub-table works without a symmetric base; errors carry the sub-path.
+        let text = minimal_gossip() + "[topology.condition.down]\njitter = \"2ms\"\n";
+        let file = ScenarioFile::parse(&text).unwrap();
+        let link = file.spec.topology.groups[0].link;
+        assert_eq!(link.condition, None);
+        assert!(link.condition_down.is_some());
+        assert_eq!(link.effective_condition_up(), None);
+        let reparsed = ScenarioFile::parse(&file.to_toml()).unwrap();
+        assert_eq!(reparsed, file);
+        let text = minimal_gossip() + "[topology.condition.up]\nduplicate_rate = 1.5\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "topology.condition.up.duplicate_rate");
+    }
+
+    #[test]
+    fn adversary_section_round_trips() {
+        let text = minimal_gossip()
+            + "[adversary]\nfraction = 0.25\nbehaviors = [\"silent-drop\", \"equivocate\"]\n";
+        let file = ScenarioFile::parse(&text).unwrap();
+        let plan = file.spec.adversary.as_ref().expect("plan parsed");
+        assert_eq!(plan.fraction, 0.25);
+        assert_eq!(plan.behaviors, vec!["silent-drop", "equivocate"]);
+        assert_eq!(plan.selection, Selection::Random);
+        let reparsed = ScenarioFile::parse(&file.to_toml()).unwrap();
+        assert_eq!(reparsed, file);
+
+        let text = minimal_gossip()
+            + "[adversary]\nbehaviors = [\"ack-withhold\"]\nselection = \"trace\"\ntrace = [3, 1]\n";
+        let file = ScenarioFile::parse(&text).unwrap();
+        let plan = file.spec.adversary.as_ref().unwrap();
+        assert_eq!(plan.selection, Selection::Trace(vec![3, 1]));
+        let reparsed = ScenarioFile::parse(&file.to_toml()).unwrap();
+        assert_eq!(reparsed, file);
+    }
+
+    #[test]
+    fn adversary_section_rejects_bad_inputs() {
+        let text = minimal_gossip() + "[adversary]\nfraction = 0.2\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "adversary.behaviors");
+        let text = minimal_gossip() + "[adversary]\nbehaviors = [\"omniscient\"]\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert!(err.message.contains("unknown adversary behavior"), "{err}");
+        let text =
+            minimal_gossip() + "[adversary]\nbehaviors = [\"amplify\"]\nselection = \"psychic\"\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "adversary.selection");
+        let text = minimal_gossip() + "[adversary]\nfraction = 1.5\nbehaviors = [\"amplify\"]\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "adversary");
+        let text =
+            minimal_gossip() + "[adversary]\nbehaviors = [\"amplify\"]\nselection = \"trace\"\n";
+        let err = ScenarioFile::parse(&text).unwrap_err();
+        assert_eq!(err.path, "adversary.trace");
     }
 
     #[test]

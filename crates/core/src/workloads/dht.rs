@@ -14,12 +14,15 @@
 //! counters, and the fraction of lookups that located the globally closest node to their
 //! target — the correctness criterion of an iterative lookup.
 
+use crate::adversary::{AdversaryRoster, InvariantReport};
 use crate::deploy::Deployment;
 use crate::scenario::{ArrivalSchedule, ArrivalSpec, ScenarioRun, Workload};
 use p2plab_net::rpc::{self, RpcConfig, RpcHost, RpcOutcome, RpcPayload, RpcStats, RpcTable};
-use p2plab_net::{NetHost, NetSim, NetStats, Network, SocketAddr, TransportEvent, VNodeId};
+use p2plab_net::{
+    Misbehavior, NetHost, NetSim, NetStats, Network, SocketAddr, TransportEvent, VNodeId,
+};
 use p2plab_sim::{
-    Counter, FxHashMap, HistogramId, Recorder, RunOutcome, SimDuration, SimTime, TimeSeries,
+    Counter, FxHashMap, HistogramId, Recorder, RunOutcome, SimDuration, SimRng, SimTime, TimeSeries,
 };
 use serde::{Deserialize, Serialize};
 
@@ -28,7 +31,8 @@ pub const DHT_PORT: u16 = 4200;
 
 /// Wire bytes of a `FIND_NODE` request (target key + header).
 const FIND_NODE_BYTES: u64 = 40;
-/// Wire bytes of a `NEIGHBORS` response: base + one entry per returned peer.
+/// Wire bytes of a `NEIGHBORS` response: base (header + responder id) + one entry per
+/// returned peer.
 const NEIGHBORS_BASE_BYTES: u64 = 16;
 const NEIGHBOR_ENTRY_BYTES: u64 = 18;
 
@@ -42,6 +46,11 @@ pub enum DhtBody {
     },
     /// The responder's closest known peers, as `(node id, address)` pairs.
     Neighbors {
+        /// The node id of whoever served the request. Requesters check it against the
+        /// shortlist candidate they addressed: a mismatch means the candidate entry was
+        /// fabricated (the real node at that address answers under its true id), so the
+        /// reply is rejected instead of merged.
+        responder: u64,
         /// Up to `k` peers, closest to the requested target first.
         peers: Vec<(u64, SocketAddr)>,
     },
@@ -194,9 +203,16 @@ pub struct DhtWorld {
     sorted_ids: Vec<(u64, usize)>,
     /// Static per-node routing tables: up to `k` peers per XOR-distance bucket, flattened.
     routing: Vec<Vec<(u64, SocketAddr)>>,
+    /// DHT addresses, indexed like `vnodes`.
+    addrs: Vec<SocketAddr>,
     vnode_index: FxHashMap<VNodeId, usize>,
     k: usize,
     alpha: usize,
+    /// Application-level deviations byzantine nodes apply when serving (noop when honest).
+    misbehavior: Misbehavior,
+    /// Per-node fabrication streams: `Some` exactly for byzantine nodes. Draws never touch
+    /// the simulation's global stream, so honest runs execute the frozen event sequence.
+    serve_rng: Vec<Option<SimRng>>,
     lookups: Vec<Lookup>,
     /// Finished lookups, in completion order (the workload drains them into histograms).
     pub records: Vec<LookupRecord>,
@@ -204,7 +220,12 @@ pub struct DhtWorld {
 }
 
 impl DhtWorld {
-    fn new(net: Network, vnodes: Vec<VNodeId>, spec: &DhtLookupSpec) -> DhtWorld {
+    fn new(
+        mut net: Network,
+        vnodes: Vec<VNodeId>,
+        spec: &DhtLookupSpec,
+        roster: Option<&AdversaryRoster>,
+    ) -> DhtWorld {
         let n = spec.nodes;
         let vnodes_used = &vnodes[..n];
         let ids: Vec<u64> = (0..n as u64).map(splitmix64).collect();
@@ -244,15 +265,35 @@ impl DhtWorld {
             .enumerate()
             .map(|(i, &v)| (v, i))
             .collect();
+        // Byzantine members: wire tampering on the sender path, plus a private per-node
+        // stream for serve-side fabrication (split off the wire stream so the two never
+        // correlate).
+        let serve_rng = (0..n)
+            .map(|i| {
+                roster
+                    .filter(|r| r.contains(i))
+                    .map(|r| r.wire_rng(i).split("dht-serve"))
+            })
+            .collect();
+        if let Some(r) = roster {
+            for &m in r.members() {
+                let vnode = vnodes_used[m];
+                net.set_tamper(vnode, r.tamper, r.wire_rng(m));
+                net.mark_byzantine(vnode);
+            }
+        }
         DhtWorld {
             net,
             vnodes,
             ids,
             sorted_ids,
             routing,
+            addrs,
             vnode_index,
             k: spec.k,
             alpha: spec.alpha,
+            misbehavior: roster.map(|r| r.flags).unwrap_or_default(),
+            serve_rng,
             lookups: Vec::with_capacity(spec.lookups),
             records: Vec::with_capacity(spec.lookups),
             rpc: RpcTable::new(spec.rpc_config()),
@@ -317,11 +358,36 @@ impl RpcHost for DhtWorld {
         let DhtBody::FindNode { target } = body else {
             return None; // a Neighbors body is never a request
         };
-        let world = sim.world();
+        let world = sim.world_mut();
         let idx = *world.vnode_index.get(&node)?;
+        let responder = world.ids[idx];
+        if world.serve_rng[idx].is_some() {
+            let flags = world.misbehavior;
+            if flags.withhold_serves {
+                return None; // the requester's RPC retries, then times out
+            }
+            if flags.equivocate || flags.garbage_advertise || flags.corrupt_data {
+                // Fabricate a shortlist-topping reply: ids a few bits away from the target
+                // (XOR-closer than any real node, almost surely), all pointing back at this
+                // node's own address. Each serve draws fresh lies from the node's private
+                // stream, so different requesters receive different fabrications.
+                let own_addr = world.addrs[idx];
+                let k = world.k.max(1);
+                let rng = world.serve_rng[idx].as_mut().expect("checked above");
+                let mut peers: Vec<(u64, SocketAddr)> = (0..k)
+                    .map(|_| (target ^ rng.gen_range(1..1024), own_addr))
+                    .collect();
+                peers.sort_unstable_by_key(|&(id, _)| id ^ target);
+                peers.dedup_by_key(|&mut (id, _)| id);
+                let size = NEIGHBORS_BASE_BYTES + NEIGHBOR_ENTRY_BYTES * peers.len() as u64;
+                return Some((DhtBody::Neighbors { responder, peers }, size));
+            }
+            // Purely wire-level behaviors (silent-drop, delay, amplify) serve honestly; the
+            // tampering happens on this node's transmit path.
+        }
         let peers = world.closest_known(idx, target);
         let size = NEIGHBORS_BASE_BYTES + NEIGHBOR_ENTRY_BYTES * peers.len() as u64;
-        Some((DhtBody::Neighbors { peers }, size))
+        Some((DhtBody::Neighbors { responder, peers }, size))
     }
 }
 
@@ -460,6 +526,14 @@ fn on_find_node_done(
         let lookup = &mut world.lookups[li];
         lookup.inflight -= 1;
         let state = match &outcome {
+            // A reply claiming a responder id other than the candidate we addressed: the
+            // candidate entry was fabricated (or the reply forged). Fail the candidate and
+            // never merge its peers — this is what keeps fabricated "closer" nodes out of
+            // every lookup's accepted set.
+            RpcOutcome::Reply {
+                body: DhtBody::Neighbors { responder, .. },
+                ..
+            } if *responder != cand_id => CandState::Failed,
             RpcOutcome::Reply { .. } => CandState::Responded,
             RpcOutcome::TimedOut { .. } => {
                 lookup.timeouts += 1;
@@ -469,10 +543,13 @@ fn on_find_node_done(
         if let Some(c) = lookup.shortlist.iter_mut().find(|c| c.id == cand_id) {
             c.state = state;
         }
-        if let RpcOutcome::Reply {
-            body: DhtBody::Neighbors { peers },
-            ..
-        } = outcome
+        if let (
+            CandState::Responded,
+            RpcOutcome::Reply {
+                body: DhtBody::Neighbors { peers, .. },
+                ..
+            },
+        ) = (state, outcome)
         {
             for (id, addr) in peers {
                 if id == own_id || lookup.shortlist.iter().any(|c| c.id == id) {
@@ -619,6 +696,7 @@ pub struct DhtLookupWorkload {
     metrics: Option<DhtMetrics>,
     /// Records already drained into the histograms (`records` is append-only).
     records_recorded: usize,
+    roster: Option<AdversaryRoster>,
 }
 
 impl DhtLookupWorkload {
@@ -628,6 +706,7 @@ impl DhtLookupWorkload {
             spec,
             metrics: None,
             records_recorded: 0,
+            roster: None,
         }
     }
 
@@ -654,12 +733,69 @@ impl Workload for DhtLookupWorkload {
         self.spec.lookups
     }
 
+    fn adversary_population(&self) -> usize {
+        // Participants are lookups, but what misbehaves is a *node* — byzantine indices
+        // address the id space, not the arrival schedule.
+        self.spec.nodes
+    }
+
+    fn set_adversary(&mut self, roster: &AdversaryRoster) -> Result<(), String> {
+        self.roster = Some(roster.clone());
+        Ok(())
+    }
+
+    fn check_invariants(&self, world: &DhtWorld, outcome: RunOutcome) -> InvariantReport {
+        let mut inv = InvariantReport::new();
+        inv.byzantine_msgs_sent = world.net.stats().byzantine_msgs_sent;
+        // Safety: every candidate a lookup accepted an answer from is a real node of the id
+        // space. Fabricated "closer" ids are rejected by responder validation before they can
+        // reach the Responded state, so `found_closest` can never name a node that does not
+        // exist — a lookup converges to a real closest node or fails cleanly.
+        for (li, lookup) in world.lookups.iter().enumerate() {
+            for c in &lookup.shortlist {
+                if c.state != CandState::Responded {
+                    continue;
+                }
+                inv.check(
+                    world
+                        .sorted_ids
+                        .binary_search_by_key(&c.id, |&(id, _)| id)
+                        .is_ok(),
+                    || {
+                        format!(
+                            "lookup {li} accepted a reply from fabricated node {:#x}",
+                            c.id
+                        )
+                    },
+                );
+            }
+        }
+        // Liveness: bounded RPC retries guarantee every shortlist settles, so a drained run
+        // must have finished every scheduled lookup — byzantine nodes may make lookups miss
+        // the true closest node, but they can never wedge one.
+        if outcome == RunOutcome::Drained {
+            inv.check(world.records.len() >= self.spec.lookups, || {
+                format!(
+                    "only {}/{} lookups settled in a drained run",
+                    world.records.len(),
+                    self.spec.lookups
+                )
+            });
+        }
+        inv
+    }
+
     fn default_arrivals(&self) -> ArrivalSpec {
         ArrivalSpec::ramp(SimDuration::ZERO, self.spec.lookup_interval)
     }
 
     fn build_world(&mut self, deployment: Deployment) -> DhtWorld {
-        DhtWorld::new(deployment.net, deployment.vnodes, &self.spec)
+        DhtWorld::new(
+            deployment.net,
+            deployment.vnodes,
+            &self.spec,
+            self.roster.as_ref(),
+        )
     }
 
     fn on_deployed(&mut self, _sim: &mut NetSim<DhtWorld>) {
@@ -737,6 +873,7 @@ impl Workload for DhtLookupWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::AdversaryPlan;
     use crate::scenario::{run_reported, run_scenario, ScenarioBuilder};
     use p2plab_net::{AccessLinkClass, TopologySpec};
 
@@ -846,6 +983,60 @@ mod tests {
         assert!(report.metrics.counter("datagrams_dropped").unwrap() > 0);
         // Most lookups still find the closest node despite 25% per-pipe loss.
         assert!(r.found_closest * 10 >= r.completed * 5, "{}", r.summary());
+    }
+
+    #[test]
+    fn byzantine_withholders_fail_cleanly() {
+        // A quarter of the nodes never answer FIND_NODE: their candidates time out, honest
+        // lookups still settle, and the invariant monitor sees no violations.
+        let spec = DhtLookupSpec::new("dht-withhold", 48);
+        let s = scenario("dht-withhold", &spec)
+            .adversary(AdversaryPlan::new(0.25, &["ack-withhold"]))
+            .build()
+            .unwrap();
+        let (r, report) = run_reported(&s, DhtLookupWorkload::new(spec)).unwrap();
+        assert!(r.finished, "{}", r.summary());
+        assert!(r.rpc_stats.timeouts > 0, "withholders must cost timeouts");
+        assert_eq!(report.metrics.counter("invariant_violations"), Some(0));
+        assert!(report.metrics.counter("invariants_checked").unwrap() > 0);
+        // Degradation is graceful: most lookups still find the true closest node.
+        assert!(r.found_closest * 10 >= r.completed * 5, "{}", r.summary());
+    }
+
+    #[test]
+    fn equivocators_never_poison_accepted_results() {
+        // Equivocating nodes fabricate target-adjacent ids pointing at themselves. Responder
+        // validation must reject every fabricated candidate, so all accepted replies come
+        // from real nodes and the invariant monitor stays clean.
+        let spec = DhtLookupSpec::new("dht-equiv", 48);
+        let s = scenario("dht-equiv", &spec)
+            .adversary(AdversaryPlan::new(0.25, &["equivocate"]))
+            .build()
+            .unwrap();
+        let (r, report) = run_reported(&s, DhtLookupWorkload::new(spec)).unwrap();
+        assert!(r.finished, "{}", r.summary());
+        assert_eq!(report.metrics.counter("invariant_violations"), Some(0));
+        assert!(report.metrics.counter("byzantine_msgs_sent").unwrap() > 0);
+        // Fabricated candidates are queried and rejected, so lookups burn extra RPCs
+        // compared to the honest baseline but still mostly converge.
+        assert!(r.found_closest * 10 >= r.completed * 5, "{}", r.summary());
+    }
+
+    #[test]
+    fn adversarial_run_is_deterministic_given_seed() {
+        let run = |seed: u64| {
+            let spec = DhtLookupSpec::new("dht-byz-det", 24);
+            let s = scenario("dht-byz-det", &spec)
+                .seed(seed)
+                .adversary(AdversaryPlan::new(0.25, &["equivocate", "silent-drop"]))
+                .build()
+                .unwrap();
+            run_scenario(&s, DhtLookupWorkload::new(spec)).unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.events_executed, b.events_executed);
     }
 
     #[test]

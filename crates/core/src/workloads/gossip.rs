@@ -8,6 +8,7 @@
 //! session process, and the measured quantity is the dissemination curve: how fast the rumor
 //! reaches everyone under each arrival and churn regime.
 
+use crate::adversary::{AdversaryRoster, InvariantReport};
 use crate::deploy::Deployment;
 use crate::scenario::{
     schedule_session_chain, ArrivalSchedule, ArrivalSpec, ScenarioRun, SessionProcess, Workload,
@@ -79,6 +80,9 @@ pub struct GossipWorld {
     pub duplicate_receipts: u64,
     /// Rumor datagrams that reached a node that was offline (not yet arrived or churned away).
     pub missed_receipts: u64,
+    /// Per-node forwarding suppression: a byzantine node with the `suppress_forward` flag
+    /// hears the rumor but never pushes it on (all false on honest runs).
+    pub suppress: Vec<bool>,
     rumor_bytes: u64,
     fanout: usize,
     round_interval: SimDuration,
@@ -106,6 +110,7 @@ impl GossipWorld {
             rumors_sent: 0,
             duplicate_receipts: 0,
             missed_receipts: 0,
+            suppress: vec![false; n],
             rumor_bytes: spec.rumor_bytes,
             fanout: spec.fanout,
             round_interval: spec.round_interval,
@@ -176,6 +181,11 @@ fn start_gossip(sim: &mut NetSim<GossipWorld>, idx: usize, hops: u32) {
     }
     schedule_periodic(sim, now, round, move |sim| {
         if sim.world().fully_informed() {
+            return false;
+        }
+        if sim.world().suppress[idx] {
+            // A forward-suppressing byzantine node hears everything and passes on nothing;
+            // its rounds stop outright instead of ticking until the overlay is informed.
             return false;
         }
         if sim.world().online[idx] {
@@ -284,6 +294,9 @@ struct GossipMetrics {
 pub struct GossipWorkload {
     spec: GossipSpec,
     metrics: Option<GossipMetrics>,
+    /// Byzantine node assignment (roster member indices are gossip node ids), installed by the
+    /// scenario runner before deployment.
+    roster: Option<AdversaryRoster>,
 }
 
 impl GossipWorkload {
@@ -292,6 +305,7 @@ impl GossipWorkload {
         GossipWorkload {
             spec,
             metrics: None,
+            roster: None,
         }
     }
 
@@ -325,7 +339,52 @@ impl Workload for GossipWorkload {
     }
 
     fn build_world(&mut self, deployment: Deployment) -> GossipWorld {
-        GossipWorld::new(deployment.net, deployment.vnodes, &self.spec)
+        let mut world = GossipWorld::new(deployment.net, deployment.vnodes, &self.spec);
+        if let Some(roster) = &self.roster {
+            for &k in roster.members() {
+                world.suppress[k] = roster.flags.suppress_forward;
+                let vnode = world.vnodes[k];
+                world
+                    .net
+                    .set_tamper(vnode, roster.tamper, roster.wire_rng(k));
+                world.net.mark_byzantine(vnode);
+            }
+        }
+        world
+    }
+
+    fn set_adversary(&mut self, roster: &AdversaryRoster) -> Result<(), String> {
+        self.roster = Some(roster.clone());
+        Ok(())
+    }
+
+    fn check_invariants(&self, world: &GossipWorld, outcome: RunOutcome) -> InvariantReport {
+        let mut inv = InvariantReport::new();
+        inv.byzantine_msgs_sent = world.net.stats().byzantine_msgs_sent;
+        let roster = self.roster.as_ref();
+        let honest = |k: usize| roster.is_none_or(|r| !r.contains(k));
+        // Liveness: rumor delivery is all-or-nothing among honest nodes — once any honest node
+        // holds the rumor its rounds keep ticking until the overlay is informed, so a drained
+        // run where one honest node heard it means every honest node must have. A rumor that
+        // died inside a byzantine origin (no honest node ever informed) is a clean failure,
+        // as are deadline/budget cut-offs.
+        let any_honest_informed =
+            (0..world.nodes()).any(|k| honest(k) && world.informed_at[k].is_some());
+        if outcome == RunOutcome::Drained && any_honest_informed {
+            for k in (0..world.nodes()).filter(|&k| honest(k)) {
+                inv.check(world.informed_at[k].is_some(), || {
+                    format!("honest node {k} never heard the rumor in a drained run")
+                });
+            }
+        }
+        let evidenced = world.informed_at.iter().filter(|t| t.is_some()).count();
+        inv.check(evidenced == world.informed, || {
+            format!(
+                "informed tally {} disagrees with {} per-node receipt timestamps",
+                world.informed, evidenced
+            )
+        });
+        inv
     }
 
     fn on_deployed(&mut self, _sim: &mut NetSim<GossipWorld>) {
@@ -431,7 +490,8 @@ impl Workload for GossipWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{run_scenario, ChurnSpec, ScenarioBuilder};
+    use crate::adversary::{AdversaryPlan, Selection};
+    use crate::scenario::{run_reported, run_scenario, ChurnSpec, ScenarioBuilder};
     use p2plab_net::{AccessLinkClass, TopologySpec};
 
     fn lan(n: usize) -> TopologySpec {
@@ -498,6 +558,40 @@ mod tests {
         let r = run_scenario(&s, GossipWorkload::new(spec)).unwrap();
         assert!(r.finished, "{}", r.summary());
         assert_eq!(r.informed, 12);
+    }
+
+    #[test]
+    fn byzantine_suppressors_leave_honest_dissemination_intact() {
+        // Silent-drop nodes hear the rumor and never pass it on (and swallow a quarter of
+        // their outbound frames). With the origin honest, the remaining honest nodes keep
+        // gossiping until everyone — suppressors included — is informed, and the invariant
+        // monitor stays clean.
+        let spec = GossipSpec::new("gossip-byz", 16);
+        let mut plan = AdversaryPlan::new(0.0, &["silent-drop"]);
+        plan.selection = Selection::Trace(vec![3, 7, 11]);
+        let s = scenario("gossip-byz", 16).adversary(plan).build().unwrap();
+        let (r, report) = run_reported(&s, GossipWorkload::new(spec)).unwrap();
+        assert!(r.finished, "{}", r.summary());
+        assert_eq!(r.informed, 16);
+        assert_eq!(report.metrics.counter("invariant_violations"), Some(0));
+        assert!(report.metrics.counter("invariants_checked").unwrap() > 0);
+    }
+
+    #[test]
+    fn adversarial_gossip_is_deterministic_given_seed() {
+        let run = |seed: u64| {
+            let spec = GossipSpec::new("gossip-byz-det", 12);
+            let s = scenario("gossip-byz-det", 12)
+                .seed(seed)
+                .adversary(AdversaryPlan::new(0.25, &["silent-drop", "reply-delay"]))
+                .build()
+                .unwrap();
+            run_scenario(&s, GossipWorkload::new(spec)).unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.informed_at, b.informed_at);
+        assert_eq!(a.events_executed, b.events_executed);
     }
 
     #[test]

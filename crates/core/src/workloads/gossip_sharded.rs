@@ -17,17 +17,20 @@
 //! * peer selection draws from a **per-node** RNG stream split off the scenario seed by node
 //!   id — never from the shard simulation's RNG, whose consumption order is shard-dependent;
 //! * completion is the runtime's summed progress target (nodes informed), checked at window
-//!   boundaries, which are aligned to an absolute grid and therefore partition-invariant.
+//!   boundaries, which are aligned to an absolute grid and therefore partition-invariant —
+//!   unless the spec caps `rounds`, in which case every node goes quiet after its countdown
+//!   and the run **drains** (the shard-safe stop used by strict campaign cells).
 //!
 //! Churn is not supported under sharding (a depart/rejoin at one node would need same-instant
 //! global visibility); scenarios with a session process are rejected with
 //! [`ScenarioError::ShardingUnsupported`].
 
+use crate::adversary::{AdversaryRoster, InvariantReport};
 use crate::scenario::{
     ArrivalSchedule, ArrivalSpec, ScenarioError, ScenarioRun, ScenarioSpec, ShardedOutcome,
     Workload,
 };
-use p2plab_net::Network;
+use p2plab_net::{Network, TamperSpec};
 use p2plab_sim::{
     run_sharded, Counter, Gauge, NoEvent, Recorder, RunOutcome, ShardConfig, ShardSim, ShardWorld,
     SimDuration, SimRng, SimTime, TimeSeries, TimeSeriesId,
@@ -47,6 +50,12 @@ pub struct GossipShardedSpec {
     pub round_interval: SimDuration,
     /// Rumor payload size in bytes.
     pub rumor_bytes: u64,
+    /// How many rounds an informed node pushes before going quiet. `0` means unlimited: the
+    /// run then stops at the runtime's summed dissemination target instead of draining. A
+    /// capped run drains — every node exhausts its rounds and the queues empty — which is the
+    /// only shard-safe way to reach [`RunOutcome::Drained`] (a per-node countdown needs no
+    /// global informedness view, unlike the classic workload's `fully_informed()` stop).
+    pub rounds: u32,
 }
 
 impl GossipShardedSpec {
@@ -60,6 +69,7 @@ impl GossipShardedSpec {
             fanout: 3,
             round_interval: SimDuration::from_secs(1),
             rumor_bytes: 256,
+            rounds: 0,
         }
     }
 }
@@ -95,8 +105,9 @@ struct GossipMsg {
 enum GossipLocal {
     /// Global node `node` joins the overlay (drawn from the scenario's arrival process).
     Arrive { node: usize },
-    /// Global node `node` runs one gossip round at hop depth `hops`.
-    Round { node: usize, hops: u32 },
+    /// Global node `node` runs one gossip round at hop depth `hops`. `left` counts remaining
+    /// rounds when the spec caps them (`0` = uncapped, tick forever).
+    Round { node: usize, hops: u32, left: u32 },
 }
 
 /// Per-node link parameters, expanded from the topology's groups (node ids are assigned
@@ -116,6 +127,8 @@ struct GossipShard {
     fanout: usize,
     round_interval: SimDuration,
     rumor_bytes: u64,
+    /// The spec's per-node round cap (`0` = unlimited).
+    rounds: u32,
     /// Per-node link parameters for **all** nodes: senders need the receiver's latency to
     /// compute the delivery delay. The table is immutable and shared across shard threads;
     /// receiver *state* stays shard-owned.
@@ -128,10 +141,19 @@ struct GossipShard {
     rng: Vec<SimRng>,
     /// Per-node uplink busy horizon for egress serialization.
     busy_until: Vec<SimTime>,
+    /// Per-node forwarding suppression (byzantine `suppress_forward` members; all false on
+    /// honest runs).
+    suppress: Vec<bool>,
+    /// The folded wire tampering byzantine members apply to their own pushes.
+    tamper: TamperSpec,
+    /// Per-node tamper RNG streams, `Some` only for byzantine members — split off the scenario
+    /// seed by node id, so tamper draws are partition-invariant like peer selection.
+    tamper_rng: Vec<Option<SimRng>>,
     informed: u64,
     rumors_sent: u64,
     duplicate_receipts: u64,
     missed_receipts: u64,
+    byzantine_msgs_sent: u64,
 }
 
 impl GossipShard {
@@ -141,6 +163,7 @@ impl GossipShard {
         spec: &GossipShardedSpec,
         seed: u64,
         links: std::sync::Arc<[NodeLink]>,
+        roster: Option<&AdversaryRoster>,
     ) -> GossipShard {
         let block = block_of(shard, shards, spec.nodes);
         let len = block.len();
@@ -150,12 +173,22 @@ impl GossipShard {
                 .clone()
                 .map(|n| node_rng.split_u64(n as u64))
                 .collect(),
+            suppress: block
+                .clone()
+                .map(|n| roster.is_some_and(|r| r.flags.suppress_forward && r.contains(n)))
+                .collect(),
+            tamper: roster.map(|r| r.tamper).unwrap_or_else(TamperSpec::none),
+            tamper_rng: block
+                .clone()
+                .map(|n| roster.filter(|r| r.contains(n)).map(|r| r.wire_rng(n)))
+                .collect(),
             block,
             shards,
             nodes: spec.nodes,
             fanout: spec.fanout,
             round_interval: spec.round_interval,
             rumor_bytes: spec.rumor_bytes,
+            rounds: spec.rounds,
             links,
             online: vec![false; len],
             informed_at: vec![None; len],
@@ -164,6 +197,7 @@ impl GossipShard {
             rumors_sent: 0,
             duplicate_receipts: 0,
             missed_receipts: 0,
+            byzantine_msgs_sent: 0,
         }
     }
 
@@ -184,7 +218,12 @@ fn become_informed(sim: &mut ShardSim<GossipShard>, node: usize, hops: u32) {
     }
     world.informed_at[l] = Some(now);
     world.informed += 1;
-    sim.schedule_local_in(SimDuration::ZERO, GossipLocal::Round { node, hops });
+    if world.suppress[l] {
+        // A forward-suppressing byzantine node hears the rumor but never runs a round.
+        return;
+    }
+    let left = world.rounds;
+    sim.schedule_local_in(SimDuration::ZERO, GossipLocal::Round { node, hops, left });
 }
 
 impl ShardWorld for GossipShard {
@@ -217,13 +256,18 @@ impl ShardWorld for GossipShard {
                     become_informed(sim, node, 0);
                 }
             }
-            GossipLocal::Round { node, hops } => {
+            GossipLocal::Round { node, hops, left } => {
                 let now = sim.now();
                 let interval = sim.model().round_interval;
                 push_rumors(sim, now, node, hops);
-                // Rounds tick until the runtime's summed progress target stops the run at a
-                // window boundary — per-shard state cannot see global informedness.
-                sim.schedule_local_in(interval, GossipLocal::Round { node, hops });
+                // Uncapped rounds tick until the runtime's summed progress target stops the
+                // run at a window boundary — per-shard state cannot see global informedness.
+                // Capped rounds count down and go quiet, letting the queues drain.
+                if left == 1 {
+                    return;
+                }
+                let left = left.saturating_sub(1);
+                sim.schedule_local_in(interval, GossipLocal::Round { node, hops, left });
             }
         }
     }
@@ -250,20 +294,37 @@ fn push_rumors(sim: &mut ShardSim<GossipShard>, now: SimTime, node: usize, hops:
         if target >= node {
             target += 1;
         }
+        world.rumors_sent += 1;
+        // A byzantine sender runs its pushes through the same tamper semantics as the socket
+        // stack's sender-side tamper point, drawing only from its own split stream.
+        let mut extra_delay = SimDuration::ZERO;
+        let mut copies = 1;
+        if let Some(rng) = world.tamper_rng[l].as_mut() {
+            world.byzantine_msgs_sent += 1;
+            let tamper = world.tamper;
+            if rng.chance(tamper.drop_rate) {
+                continue;
+            }
+            if rng.chance(tamper.duplicate_rate) {
+                copies = 2;
+            }
+            extra_delay = tamper.delay;
+        }
         let leave = world.busy_until[l].max(now) + ser;
         world.busy_until[l] = leave;
-        world.rumors_sent += 1;
-        let arrive = leave + world.links[node].latency + world.links[target].latency;
+        let arrive = leave + world.links[node].latency + world.links[target].latency + extra_delay;
         let delay = arrive - now;
-        sim.send_message(
-            node as u64,
-            shard_of(target, shards, n),
-            delay,
-            GossipMsg {
-                dest: target as u64,
-                hops,
-            },
-        );
+        for _ in 0..copies {
+            sim.send_message(
+                node as u64,
+                shard_of(target, shards, n),
+                delay,
+                GossipMsg {
+                    dest: target as u64,
+                    hops,
+                },
+            );
+        }
     }
 }
 
@@ -293,6 +354,8 @@ pub struct GossipShardedWorld {
     pub messages: u64,
     /// Messages that crossed a shard boundary.
     pub cross_messages: u64,
+    /// Rumor pushes attempted by byzantine nodes (zero on honest runs).
+    pub byzantine_msgs_sent: u64,
 }
 
 /// Everything a sharded gossip run produces.
@@ -343,6 +406,9 @@ struct GossipShardedMetrics {
 pub struct GossipShardedWorkload {
     spec: GossipShardedSpec,
     metrics: Option<GossipShardedMetrics>,
+    /// Byzantine node assignment (roster member indices are gossip node ids), installed by the
+    /// scenario runner before execution.
+    roster: Option<AdversaryRoster>,
 }
 
 impl GossipShardedWorkload {
@@ -351,6 +417,7 @@ impl GossipShardedWorkload {
         GossipShardedWorkload {
             spec,
             metrics: None,
+            roster: None,
         }
     }
 
@@ -420,6 +487,40 @@ impl Workload for GossipShardedWorkload {
         world.informed >= self.spec.nodes
     }
 
+    fn set_adversary(&mut self, roster: &AdversaryRoster) -> Result<(), String> {
+        self.roster = Some(roster.clone());
+        Ok(())
+    }
+
+    fn check_invariants(
+        &self,
+        world: &GossipShardedWorld,
+        _outcome: RunOutcome,
+    ) -> InvariantReport {
+        let mut inv = InvariantReport::new();
+        inv.byzantine_msgs_sent = world.byzantine_msgs_sent;
+        let roster = self.roster.as_ref();
+        // Whether the run stopped at its progress target or drained under a round cap, a
+        // finished run (everyone counted informed) must be backed by a receipt timestamp at
+        // every honest node — the tally cannot run ahead of per-node evidence. An unfinished
+        // run (deadline, budget, or rounds exhausted) is a clean failure.
+        if world.informed >= self.spec.nodes {
+            for k in (0..self.spec.nodes).filter(|&k| roster.is_none_or(|r| !r.contains(k))) {
+                inv.check(world.informed_at[k].is_some(), || {
+                    format!("honest node {k} has no receipt in a fully-informed run")
+                });
+            }
+        }
+        let evidenced = world.informed_at.iter().filter(|t| t.is_some()).count();
+        inv.check(evidenced == world.informed, || {
+            format!(
+                "informed tally {} disagrees with {} per-node receipt timestamps",
+                world.informed, evidenced
+            )
+        });
+        inv
+    }
+
     fn run_sharded(
         &mut self,
         spec: &ScenarioSpec,
@@ -476,12 +577,7 @@ impl GossipShardedWorkload {
                 reason: "zero-latency access links leave no conservative lookahead".to_string(),
             });
         };
-        if spec
-            .topology
-            .groups
-            .iter()
-            .any(|g| g.link.condition.is_some())
-        {
+        if spec.topology.groups.iter().any(|g| g.link.has_condition()) {
             return Err(ScenarioError::ShardingUnsupported {
                 reason: "gossip-sharded models its own wire delays and would silently ignore \
                          link conditioners"
@@ -504,14 +600,31 @@ impl GossipShardedWorkload {
         let mut cfg = ShardConfig::new(spec.shards, lookahead, spec.seed);
         cfg.deadline = SimTime::ZERO + spec.deadline;
         cfg.event_budget = spec.event_budget.unwrap_or(u64::MAX);
-        cfg.progress_target = self.spec.nodes as u64;
+        // Uncapped rounds never stop on their own, so the summed dissemination count is the
+        // stop condition; with a round cap the queues drain and the target must stay out of
+        // the way (a capped run can finish dissemination and still drain afterwards).
+        cfg.progress_target = if self.spec.rounds == 0 {
+            self.spec.nodes as u64
+        } else {
+            u64::MAX
+        };
 
         let workload_spec = &self.spec;
         let seed = spec.seed;
         let links_ref = &links;
+        let roster = self.roster.as_ref();
         let run = run_sharded(
             &cfg,
-            |shard| GossipShard::new(shard, cfg.shards, workload_spec, seed, links_ref.clone()),
+            |shard| {
+                GossipShard::new(
+                    shard,
+                    cfg.shards,
+                    workload_spec,
+                    seed,
+                    links_ref.clone(),
+                    roster,
+                )
+            },
             |sim| {
                 let block = sim.world().world().block.clone();
                 for node in block {
@@ -538,6 +651,7 @@ impl GossipShardedWorkload {
             windows: run.windows,
             messages: run.messages,
             cross_messages: run.cross_messages,
+            byzantine_msgs_sent: 0,
         };
         for shard in &run.worlds {
             world.informed_at.extend_from_slice(&shard.informed_at);
@@ -545,6 +659,7 @@ impl GossipShardedWorkload {
             world.rumors_sent += shard.rumors_sent;
             world.duplicate_receipts += shard.duplicate_receipts;
             world.missed_receipts += shard.missed_receipts;
+            world.byzantine_msgs_sent += shard.byzantine_msgs_sent;
         }
 
         let stopped_at = run.end_time;
@@ -672,6 +787,86 @@ mod tests {
             let a = canon(report1.clone()).to_json();
             let b = canon(report).to_json();
             assert_eq!(a, b, "RunReport diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn capped_rounds_drain_instead_of_stopping_at_the_target() {
+        // With a round cap every node eventually goes quiet, so the run reaches
+        // `RunOutcome::Drained` — the stop strict campaign cells require — rather than being
+        // cut at the dissemination target, and the result is still shard-count-invariant.
+        let run_capped = |shards: usize| {
+            // The cap must outlast the arrival ramp (one node per second): a node that has
+            // exhausted its rounds never re-pushes to late arrivals.
+            let mut spec = GossipShardedSpec::new("gossip-capped", 48);
+            spec.rounds = 60;
+            let s = scenario("gossip-capped", 48, shards).build().unwrap();
+            run_reported(&s, GossipShardedWorkload::new(spec)).unwrap()
+        };
+        let (reference, report1) = run_capped(1);
+        assert_eq!(reference.outcome, RunOutcome::Drained);
+        assert!(
+            reference.finished,
+            "{}/{} informed",
+            reference.informed, reference.nodes
+        );
+        for shards in [2, 4] {
+            let (r, report) = run_capped(shards);
+            assert_eq!(r.outcome, RunOutcome::Drained);
+            assert_eq!(reference.informed_at, r.informed_at);
+            assert_eq!(reference.events_executed, r.events_executed);
+            let canon = |mut rep: RunReport| {
+                rep.wall_secs = 0.0;
+                rep.events_per_sec = 0.0;
+                rep
+            };
+            assert_eq!(
+                canon(report1.clone()).to_json(),
+                canon(report).to_json(),
+                "capped RunReport diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_reports_are_byte_identical_across_shard_counts() {
+        // Byzantine tampering draws only from per-node streams, so the partition must not
+        // steer a single coin flip: the same seed yields the same report at any shard count.
+        use crate::adversary::{AdversaryPlan, Selection};
+        let run_byz = |shards: usize| {
+            let spec = GossipShardedSpec::new("gossip-byz", 48);
+            let mut plan = AdversaryPlan::new(0.0, &["reply-delay", "amplify"]);
+            plan.selection = Selection::Trace(vec![5, 17, 29]);
+            let s = scenario("gossip-byz", 48, shards)
+                .adversary(plan)
+                .build()
+                .unwrap();
+            run_reported(&s, GossipShardedWorkload::new(spec)).unwrap()
+        };
+        let (reference, report1) = run_byz(1);
+        assert!(
+            reference.finished,
+            "{}/{} informed",
+            reference.informed, reference.nodes
+        );
+        assert!(report1.metrics.counter("byzantine_msgs_sent").unwrap() > 0);
+        assert_eq!(report1.metrics.counter("invariant_violations"), Some(0));
+        for shards in [2, 4] {
+            let (r, report) = run_byz(shards);
+            assert_eq!(
+                reference.informed_at, r.informed_at,
+                "informed times diverged at {shards} shards"
+            );
+            assert_eq!(reference.events_executed, r.events_executed);
+            assert_eq!(reference.duplicate_receipts, r.duplicate_receipts);
+            let canon = |mut rep: RunReport| {
+                rep.wall_secs = 0.0;
+                rep.events_per_sec = 0.0;
+                rep
+            };
+            let a = canon(report1.clone()).to_json();
+            let b = canon(report).to_json();
+            assert_eq!(a, b, "adversarial RunReport diverged at {shards} shards");
         }
     }
 

@@ -6,6 +6,7 @@
 //! [`run_swarm_experiment`](crate::run_swarm_experiment), which now simply delegates here — a
 //! guarantee pinned by the `scenario_api` integration test.
 
+use crate::adversary::{AdversaryRoster, InvariantReport};
 use crate::deploy::Deployment;
 use crate::experiment::{SwarmExperiment, SwarmResult};
 use crate::scenario::{
@@ -15,7 +16,7 @@ use p2plab_bittorrent::{
     schedule_client_start, start_client, stop_client, SwarmSim, SwarmWorld, Torrent,
 };
 use p2plab_net::Network;
-use p2plab_sim::{Counter, HistogramId, Recorder, SimDuration, SimTime, TimeSeriesId};
+use p2plab_sim::{Counter, HistogramId, Recorder, RunOutcome, SimDuration, SimTime, TimeSeriesId};
 use std::rc::Rc;
 
 /// Metric handles registered by [`SwarmWorkload::setup_metrics`].
@@ -27,6 +28,9 @@ struct SwarmMetrics {
     completion_hist: HistogramId,
     /// `churn_departures` observed by the tracker.
     departures: Counter,
+    /// `honest_completion_time_secs`, registered **only on adversarial runs** (honest report
+    /// schemas carry no adversary keys): the distribution byzantine-fraction sweeps compare.
+    honest_completion: Option<HistogramId>,
 }
 
 /// The BitTorrent swarm workload: one tracker, `cfg.seeders` initial seeders and
@@ -35,12 +39,19 @@ struct SwarmMetrics {
 pub struct SwarmWorkload {
     cfg: SwarmExperiment,
     metrics: Option<SwarmMetrics>,
+    /// Byzantine leecher assignment, installed by the scenario runner before deployment.
+    /// Roster member indices are leecher indices (`0..leechers`).
+    roster: Option<AdversaryRoster>,
     /// Completion times already recorded into the histogram (completion times are recorded in
     /// sorted order, so this is a high-water mark).
     completions_recorded: usize,
     /// Scratch buffer for the sampling tick (reused so sampling allocates nothing at
     /// steady state).
     completion_scratch: Vec<SimTime>,
+    /// High-water mark and scratch for the honest-only completion histogram (adversarial
+    /// runs only).
+    honest_recorded: usize,
+    honest_scratch: Vec<SimTime>,
 }
 
 impl SwarmWorkload {
@@ -49,9 +60,17 @@ impl SwarmWorkload {
         SwarmWorkload {
             cfg,
             metrics: None,
+            roster: None,
             completions_recorded: 0,
             completion_scratch: Vec::new(),
+            honest_recorded: 0,
+            honest_scratch: Vec::new(),
         }
+    }
+
+    /// Whether leecher `l` is honest under the installed roster (trivially true without one).
+    fn leecher_is_honest(&self, l: usize) -> bool {
+        self.roster.as_ref().is_none_or(|r| !r.contains(l))
     }
 
     /// The experiment description this workload runs.
@@ -114,7 +133,60 @@ impl Workload for SwarmWorkload {
                 cfg.client_config,
             );
         }
+        if let Some(roster) = &self.roster {
+            // Byzantine leechers get the folded application-level flags plus the sender-side
+            // wire tamper point, each drawing from its own split RNG stream.
+            for &l in roster.members() {
+                let vnode = deployment.vnodes[1 + cfg.seeders + l];
+                world.clients[cfg.seeders + l].misbehavior = roster.flags;
+                world
+                    .net
+                    .set_tamper(vnode, roster.tamper, roster.wire_rng(l));
+                world.net.mark_byzantine(vnode);
+            }
+        }
         world
+    }
+
+    fn set_adversary(&mut self, roster: &AdversaryRoster) -> Result<(), String> {
+        self.roster = Some(roster.clone());
+        Ok(())
+    }
+
+    fn check_invariants(&self, world: &SwarmWorld, outcome: RunOutcome) -> InvariantReport {
+        let mut inv = InvariantReport::new();
+        inv.byzantine_msgs_sent = world.net.stats().byzantine_msgs_sent;
+        for (l, client) in world
+            .clients
+            .iter()
+            .filter(|c| !c.initial_seeder)
+            .enumerate()
+        {
+            if !self.leecher_is_honest(l) {
+                continue;
+            }
+            // Safety: an honest leecher never accepts a corrupted block — acceptance would
+            // show up as a complete download whose rejection counter understates the corrupt
+            // serves it saw, so the structural check is that completion implies a verified
+            // full piece set.
+            inv.check(
+                client.completed_at.is_none() || client.pieces.is_complete(),
+                || {
+                    format!(
+                        "honest leecher {l} marked complete without the full verified piece set"
+                    )
+                },
+            );
+            // Liveness: when the run drained (nothing left to do), every honest leecher must
+            // have finished its download despite the byzantine peers. Deadline or budget
+            // cut-offs are clean failures, not invariant violations.
+            if outcome == RunOutcome::Drained {
+                inv.check(client.completed_at.is_some(), || {
+                    format!("honest leecher {l} never completed in a drained run")
+                });
+            }
+        }
+        inv
     }
 
     fn on_deployed(&mut self, sim: &mut SwarmSim) {
@@ -174,6 +246,10 @@ impl Workload for SwarmWorkload {
             completed: rec.time_series("completed_clients"),
             completion_hist: rec.histogram("completion_time_secs"),
             departures: rec.counter("churn_departures"),
+            honest_completion: self
+                .roster
+                .as_ref()
+                .map(|_| rec.histogram("honest_completion_time_secs")),
         });
     }
 
@@ -197,6 +273,24 @@ impl Workload for SwarmWorkload {
                     rec.record(m.completion_hist, t.as_secs_f64());
                 }
                 self.completions_recorded = completed;
+            }
+            if let Some(hist) = m.honest_completion {
+                let roster = self.roster.as_ref().expect("registered only with a roster");
+                self.honest_scratch.clear();
+                self.honest_scratch.extend(
+                    world
+                        .clients
+                        .iter()
+                        .filter(|c| !c.initial_seeder)
+                        .enumerate()
+                        .filter(|(l, _)| !roster.contains(*l))
+                        .filter_map(|(_, c)| c.completed_at),
+                );
+                self.honest_scratch.sort_unstable();
+                for t in &self.honest_scratch[self.honest_recorded..] {
+                    rec.record(hist, t.as_secs_f64());
+                }
+                self.honest_recorded = self.honest_scratch.len();
             }
             rec.set_total(m.departures, world.tracker.stats().stopped);
         }
@@ -246,8 +340,44 @@ impl Workload for SwarmWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{run_scenario, ScenarioBuilder};
+    use crate::adversary::AdversaryPlan;
+    use crate::scenario::{run_reported, run_scenario, ScenarioBuilder};
     use p2plab_net::TopologySpec;
+
+    #[test]
+    fn byzantine_leechers_slow_but_never_corrupt_honest_downloads() {
+        // A quarter of the downloaders free-ride (never serve) and corrupt what they do
+        // upload. Honest leechers re-fetch rejected blocks elsewhere and still finish; the
+        // invariant monitor confirms no honest node accepted corruption.
+        let mut cfg = SwarmExperiment::quick();
+        cfg.leechers = 8;
+        cfg.name = "swarm-byz".into();
+        let honest = run_scenario(&cfg.to_scenario(), SwarmWorkload::new(cfg.clone())).unwrap();
+        let mut spec = cfg.to_scenario();
+        spec.adversary = Some(AdversaryPlan::new(
+            0.25,
+            &["ack-withhold", "corrupt-replies"],
+        ));
+        let (byz, report) = run_reported(&spec, SwarmWorkload::new(cfg.clone())).unwrap();
+        assert!(honest.finished, "honest baseline must finish");
+        assert!(
+            byz.finished,
+            "honest leechers must still finish under byzantine peers"
+        );
+        assert_eq!(report.metrics.counter("invariant_violations"), Some(0));
+        assert!(report.metrics.counter("invariants_checked").unwrap() > 0);
+        assert!(report.metrics.counter("byzantine_msgs_sent").unwrap() > 0);
+        // The honest-only completion histogram exists exactly on adversarial runs and holds
+        // one sample per honest leecher (8 leechers, a quarter byzantine).
+        let h = report
+            .metrics
+            .histogram("honest_completion_time_secs")
+            .unwrap();
+        assert_eq!(h.count, 6);
+        // Free-riding costs the swarm time: the last completion is no earlier than the
+        // honest baseline's (the byzantine_sweep campaign shows the monotone curve).
+        assert!(byz.completion_times.last() >= honest.completion_times.last());
+    }
 
     #[test]
     fn arrival_ramp_matches_last_scheduled_arrival() {

@@ -16,6 +16,8 @@
 //! | `bare-allow` | `#[allow(…)]` without an in-place justification |
 //! | `ad-hoc-bin` | new bench binaries outside the allowed fig*/ablation*/tbl*/… set |
 //! | `debug-residue` | `dbg!`/`todo!`/`unimplemented!` in non-test code |
+//! | `raw-thread` | `std::thread`/`std::sync::mpsc` in sim-path `src/` outside the sharded runtime |
+//! | `behavior-outside-adversary` | `impl Behavior` outside `crates/core/src/adversary/` |
 //!
 //! Violations are silenced either inline (`// lint:allow(<rule>) — <reason>`, reason
 //! mandatory) or by the checked-in [`BASELINE_FILE`] of grandfathered findings, which only
@@ -39,11 +41,11 @@ pub const BASELINE_FILE: &str = "lint.baseline";
 /// Exit code when diagnostics from more than one rule survive.
 pub const EXIT_MULTIPLE: i32 = 20;
 
-/// The distinct exit code of one rule (10–16 in [`RULE_NAMES`] order, 17 for `bad-waiver`).
+/// The distinct exit code of one rule (10–17 in [`RULE_NAMES`] order, 18 for `bad-waiver`).
 pub fn rule_exit_code(rule: &str) -> i32 {
     match RULE_NAMES.iter().position(|r| *r == rule) {
         Some(i) => 10 + i as i32,
-        None => 17, // bad-waiver
+        None => 18, // bad-waiver
     }
 }
 

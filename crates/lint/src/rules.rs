@@ -1,4 +1,4 @@
-//! The rule engine: per-crate scoping, the seven convention rules, inline waivers.
+//! The rule engine: per-crate scoping, the eight convention rules, inline waivers.
 //!
 //! Rules walk the non-trivia token stream produced by [`crate::lexer`]; they never see the
 //! inside of strings or comments, so `r#"#[allow"#` and doc-comment examples cannot trip
@@ -34,11 +34,13 @@ pub const AD_HOC_BIN: &str = "ad-hoc-bin";
 pub const DEBUG_RESIDUE: &str = "debug-residue";
 /// Machine name of the raw-thread rule.
 pub const RAW_THREAD: &str = "raw-thread";
+/// Machine name of the behavior-outside-adversary rule.
+pub const BEHAVIOR_OUTSIDE_ADVERSARY: &str = "behavior-outside-adversary";
 /// Machine name of the malformed-waiver meta rule (not waivable).
 pub const BAD_WAIVER: &str = "bad-waiver";
 
 /// The waivable convention rules, in exit-code order (see [`crate::exit_code`]).
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
     NONDET_HASH,
     WALL_CLOCK,
     DEPRECATED_SOCKET,
@@ -46,6 +48,7 @@ pub const RULE_NAMES: [&str; 7] = [
     AD_HOC_BIN,
     DEBUG_RESIDUE,
     RAW_THREAD,
+    BEHAVIOR_OUTSIDE_ADVERSARY,
 ];
 
 /// Crates whose `src/` is on the deterministic simulation path: `nondet-hash` applies there.
@@ -64,6 +67,11 @@ const THREAD_SANCTIONED: [&str; 2] = [
     "crates/sim/src/shard.rs",
     "crates/core/src/scenario/campaign.rs",
 ];
+
+/// The one sanctioned home of [`Behavior`] implementations (`behavior-outside-adversary` is
+/// silent under it): behaviors live next to the trait, the `[adversary]` DSL name registry
+/// and the split-stream seeding, so every behavior stays reachable and reproducible.
+const ADVERSARY_HOME: &str = "crates/core/src/adversary/";
 
 /// Bench-bin stems allowed by `ad-hoc-bin`: figure/ablation/table regeneration plus the three
 /// standing harnesses. Everything else ships as a `.toml` scenario (ROADMAP convention).
@@ -534,6 +542,41 @@ fn analyze_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                  through the sharded runtime's deterministic `(time, tag, seq)` merge"
                     .to_string(),
             );
+        }
+    }
+
+    // behavior-outside-adversary: `impl Behavior for …` belongs under the adversary module,
+    // next to the trait, the `[adversary]` DSL name registry and the split-RNG seeding — a
+    // behavior implemented elsewhere is unreachable from scenario files and easy to seed from
+    // the wrong stream, which silently breaks adversarial reproducibility.
+    if !test_dir && !path.starts_with(ADVERSARY_HOME) {
+        let mut i = 0;
+        while i < code.len() {
+            if in_regions(&regions, i) || ident_text(&code, i, src) != Some("impl") {
+                i += 1;
+                continue;
+            }
+            // Scan the impl header (up to its body `{` or a declaration `;`) for the trait
+            // position `Behavior for`.
+            let mut j = i + 1;
+            while j < code.len() && !is_punct(&code, j, src, '{') && !is_punct(&code, j, src, ';') {
+                if ident_text(&code, j, src) == Some("Behavior")
+                    && ident_text(&code, j + 1, src) == Some("for")
+                {
+                    push(
+                        &mut raw,
+                        code[i].line,
+                        BEHAVIOR_OUTSIDE_ADVERSARY,
+                        "`impl Behavior` outside `crates/core/src/adversary/`; byzantine \
+                         behaviors live in the adversary module so the `[adversary]` DSL \
+                         registry and the split-stream seeding cover them"
+                            .to_string(),
+                    );
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
         }
     }
 

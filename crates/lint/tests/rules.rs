@@ -266,6 +266,55 @@ fn raw_thread_is_waivable_like_any_rule() {
 }
 
 // ---------------------------------------------------------------------------
+// behavior-outside-adversary
+// ---------------------------------------------------------------------------
+
+#[test]
+fn behavior_outside_adversary_flags_strays_including_generic_and_qualified_headers() {
+    let src = "impl Behavior for EvilPeer {\n    fn boo() {}\n}\n";
+    assert_eq!(
+        diags_for("crates/core/src/workloads/foo.rs", src),
+        vec![(1, "behavior-outside-adversary".to_string())]
+    );
+    // A qualified trait path still puts `Behavior` right before `for`.
+    let qualified = "impl adversary::Behavior for EvilPeer {}\n";
+    assert_eq!(
+        rules_for("crates/net/src/foo.rs", qualified),
+        vec!["behavior-outside-adversary"]
+    );
+    // Impl-level generics keep the `Behavior for` shape too.
+    let generic = "impl<T: Clone> Behavior for Wrapper<T> {}\n";
+    assert_eq!(
+        rules_for("crates/core/src/foo.rs", generic),
+        vec!["behavior-outside-adversary"]
+    );
+}
+
+#[test]
+fn behavior_outside_adversary_exempts_the_adversary_module_and_test_code() {
+    let src = "impl Behavior for SilentDrop {}\n";
+    assert!(rules_for("crates/core/src/adversary/behaviors.rs", src).is_empty());
+    assert!(rules_for("crates/core/src/adversary/mod.rs", src).is_empty());
+    assert!(rules_for("crates/core/tests/foo.rs", src).is_empty());
+    let test_mod = "#[cfg(test)]\nmod tests {\n    impl Behavior for Stub {}\n}\n";
+    assert!(rules_for("crates/core/src/workloads/foo.rs", test_mod).is_empty());
+}
+
+#[test]
+fn behavior_outside_adversary_ignores_other_impls_and_mere_mentions() {
+    // Inherent impls, other traits, and `Behavior` outside an impl header are all fine.
+    let src = "impl EvilPeer {}\n\
+               impl Display for Behavior {}\n\
+               fn f(b: &dyn Behavior) {}\n\
+               struct S { behavior: u8 }\n";
+    assert!(rules_for("crates/core/src/workloads/foo.rs", src).is_empty());
+    // Waivable like any rule.
+    let waived = "// lint:allow(behavior-outside-adversary) — migration shim, next PR moves it\n\
+                  impl Behavior for Legacy {}\n";
+    assert!(rules_for("crates/core/src/workloads/foo.rs", waived).is_empty());
+}
+
+// ---------------------------------------------------------------------------
 // Waivers: mandatory reasons, placement, bad waivers.
 // ---------------------------------------------------------------------------
 
@@ -423,10 +472,16 @@ fn each_rule_has_a_distinct_exit_code() {
             16,
         ),
         (
+            "behavior-outside-adversary",
+            "crates/core/src/a.rs",
+            "impl Behavior for Evil {}\n",
+            17,
+        ),
+        (
             "bad-waiver",
             "crates/net/src/a.rs",
             "fn f() {} // lint:allow(nope) — x\n",
-            17,
+            18,
         ),
     ];
     for (rule, path, text, code) in cases {

@@ -38,6 +38,7 @@ pub mod ping;
 pub mod pipe;
 pub mod proto;
 pub mod rpc;
+pub mod tamper;
 pub mod topology;
 pub mod transport;
 
@@ -58,6 +59,7 @@ pub use proto::{
     TransportConfig,
 };
 pub use rpc::{RpcConfig, RpcHost, RpcId, RpcOutcome, RpcPayload, RpcStats, RpcTable};
+pub use tamper::{Misbehavior, TamperSpec};
 pub use topology::{AccessLinkClass, GroupId, GroupSpec, TopologySpec};
 // lint:allow(bare-allow) — re-exporting the frozen compat surface trips its own deprecation
 #[allow(deprecated)]

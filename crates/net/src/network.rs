@@ -17,9 +17,10 @@ use crate::iface::Interface;
 use crate::intercept::InterceptConfig;
 use crate::pipe::{Pipe, PipeConfig, PipeId};
 use crate::proto::{CongestionController, ProtoConn, TransportConfig};
+use crate::tamper::{TamperSpec, TamperState};
 use crate::topology::{GroupId, GroupSpec, TopologySpec};
 use p2plab_os::SyscallCostModel;
-use p2plab_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
+use p2plab_sim::{FxHashMap, FxHashSet, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 // lint:allow(nondet-hash) — every instantiation pins `BuildHasherDefault<PathKeyHasher>`, a fixed deterministic hasher
 use std::collections::HashMap;
@@ -300,6 +301,14 @@ pub struct NetStats {
     pub selective_retransmits: u64,
     /// Acknowledgement frames sent by receivers on reliable lanes.
     pub acks_sent: u64,
+    /// Fresh frames silently swallowed by a sender-side tamper point (see [`crate::tamper`]).
+    pub tampered_drops: u64,
+    /// Extra copies injected by a sender-side tamper point.
+    pub tampered_duplicates: u64,
+    /// Fresh frames held back by a tamper point's reply delay.
+    pub tampered_delays: u64,
+    /// Fresh frames transmitted by nodes marked byzantine (adversary accounting).
+    pub byzantine_msgs_sent: u64,
 }
 
 /// Errors from network construction or transport calls.
@@ -362,6 +371,11 @@ pub struct Network {
     /// [`Connection`], which is `Copy` and widely passed by value) populated lazily on first
     /// protocol activity.
     pub(crate) proto: FxHashMap<ConnId, ProtoConn>,
+    /// Sender-side wire-tamper state per virtual node (see [`crate::tamper`]). Empty — and
+    /// therefore completely inert, drawing no randomness — unless an adversary installed it.
+    pub(crate) tamper: FxHashMap<VNodeId, TamperState>,
+    /// Virtual nodes marked byzantine, for `byzantine_msgs_sent` accounting.
+    pub(crate) byzantine: FxHashSet<VNodeId>,
 }
 
 impl Network {
@@ -379,6 +393,8 @@ impl Network {
             next_ephemeral: 49152,
             stats: NetStats::default(),
             proto: FxHashMap::default(),
+            tamper: FxHashMap::default(),
+            byzantine: FxHashSet::default(),
         }
     }
 
@@ -517,13 +533,13 @@ impl Network {
             PipeConfig::shaped(link.up_bps, link.latency)
                 .with_loss(link.loss_rate)
                 .with_queue_limit(None)
-                .with_condition(link.condition),
+                .with_condition(link.effective_condition_up()),
         );
         let down_pipe = self.add_pipe(
             PipeConfig::shaped(link.down_bps, link.latency)
                 .with_loss(link.loss_rate)
                 .with_queue_limit(None)
-                .with_condition(link.condition),
+                .with_condition(link.effective_condition_down()),
         );
         let id = VNodeId(self.vnodes.len());
         {
@@ -684,6 +700,32 @@ impl Network {
             }
         }
         (n > 0).then(|| u64::try_from(sum / n).unwrap_or(u64::MAX))
+    }
+
+    /// Installs a sender-side wire-tamper point on `node` (see [`crate::tamper`]): every fresh
+    /// frame the node transmits is run through `spec` using `rng` (a stream split off the
+    /// adversary's seed, never the simulation's global stream). Inert specs are ignored, so an
+    /// adversary-free network keeps an empty tamper map and the data plane stays byte-frozen.
+    pub fn set_tamper(&mut self, node: VNodeId, spec: TamperSpec, rng: SimRng) {
+        if !spec.is_noop() {
+            self.tamper.insert(node, TamperState { spec, rng });
+        }
+    }
+
+    /// Marks `node` as byzantine for the `byzantine_msgs_sent` counter. Accounting only — the
+    /// node's actual misbehavior comes from its tamper point and its application behavior.
+    pub fn mark_byzantine(&mut self, node: VNodeId) {
+        self.byzantine.insert(node);
+    }
+
+    /// Whether `node` was marked byzantine.
+    pub fn is_byzantine(&self, node: VNodeId) -> bool {
+        self.byzantine.contains(&node)
+    }
+
+    /// True if any node carries a tamper point or byzantine mark.
+    pub fn adversary_active(&self) -> bool {
+        !self.tamper.is_empty() || !self.byzantine.is_empty()
     }
 
     /// Number of connections ever created.

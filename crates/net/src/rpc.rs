@@ -85,9 +85,10 @@ use crate::network::{NetError, VNodeId};
 use crate::transport::{NetHost, NetSim, TransportEvent};
 use p2plab_sim::{EventId, FxHashMap, SimDuration, SimTime};
 
-/// Correlation id of one RPC call, unique within the world's [`RpcTable`].
+/// Correlation id of one RPC call, unique within the world's [`RpcTable`]. The raw value is
+/// public so hostile-path tests can forge arbitrary correlation ids against the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct RpcId(u64);
+pub struct RpcId(pub u64);
 
 impl RpcId {
     /// The raw correlation value (for logging).

@@ -809,11 +809,56 @@ fn transmit<W: NetHost>(
 ) {
     let now = sim.now();
     let wire = flight.frame.wire_size();
+    let mut extra_delay = extra_delay;
+    if flight.attempts == 0 {
+        let net = sim.world_mut().network();
+        net.stats.messages_sent += 1;
+        if !net.byzantine.is_empty() && net.byzantine.contains(&flight.src) {
+            net.stats.byzantine_msgs_sent += 1;
+        }
+        // Sender-side tamper point (see `crate::tamper`): only fresh frames from nodes with an
+        // installed tamper state are touched, drawing from the node's own split RNG stream. An
+        // honest run keeps the map empty, so the frozen packet walk is byte-identical.
+        if !net.tamper.is_empty() {
+            let duplicable = flight.frame.duplicable();
+            let action = net.tamper.get_mut(&flight.src).map(|state| {
+                if state.rng.chance(state.spec.drop_rate) {
+                    None
+                } else {
+                    let dup = duplicable && state.rng.chance(state.spec.duplicate_rate);
+                    Some((state.spec.delay, dup))
+                }
+            });
+            match action {
+                Some(None) => {
+                    // Swallowed before the wire: genuinely silent — no pipe drop occurred, so
+                    // no retransmission machinery ever sees the frame.
+                    net.stats.tampered_drops += 1;
+                    return;
+                }
+                Some(Some((delay, dup))) => {
+                    if !delay.is_zero() {
+                        net.stats.tampered_delays += 1;
+                        extra_delay += delay;
+                    }
+                    if dup {
+                        net.stats.tampered_duplicates += 1;
+                        let mut copy = flight.clone();
+                        // Mark the copy non-fresh so it is neither re-counted nor re-tampered
+                        // when it re-enters the walk behind the original.
+                        copy.attempts = 1;
+                        sim.schedule_event_at(
+                            now + extra_delay,
+                            NetEvent::Retransmit { flight: copy },
+                        );
+                    }
+                }
+                None => {}
+            }
+        }
+    }
     let (world, rng) = sim.world_and_rng();
     let net = world.network();
-    if flight.attempts == 0 {
-        net.stats.messages_sent += 1;
-    }
     let src_machine = net.vnode(flight.src).machine;
     let dst_machine = net.vnode(flight.dst).machine;
     let classification = net.classify_out(src_machine, flight.src, flight.src_addr, flight.dst);

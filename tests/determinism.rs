@@ -43,6 +43,37 @@ fn same_seed_same_cell_yields_identical_report_bytes() {
     );
 }
 
+/// The adversarial complement of the same-seed pin: byzantine behaviors draw from their own
+/// split RNG streams, so an adversarial cell is exactly as reproducible as an honest one.
+/// The CI smoke campaign's explicit `cell-byzantine` runs twice in-process and must
+/// serialize identically — including the adversary counters and invariant tallies.
+#[test]
+fn same_seed_adversarial_cell_yields_identical_report_bytes() {
+    let campaign = CampaignSpec::parse(&ci_smoke()).expect("ci_smoke parses");
+    let cells = campaign.expand().expect("ci_smoke expands");
+    let cell = cells
+        .iter()
+        .find(|c| c.label == "cell-byzantine")
+        .expect("ci_smoke carries a byzantine cell");
+    assert!(cell.file.spec.adversary.is_some());
+
+    let first = cell.file.run().expect("first adversarial run");
+    let second = cell.file.run().expect("second adversarial run");
+
+    assert!(
+        first.metrics.counter("byzantine_msgs_sent").unwrap() > 0,
+        "the adversary must actually act for this pin to mean anything"
+    );
+    assert_eq!(first.metrics.counter("invariant_violations"), Some(0));
+    let a = canonical_bytes(first);
+    let b = canonical_bytes(second);
+    assert!(
+        a == b,
+        "two same-seed adversarial runs of `{}` diverged — a behavior drew outside its split stream",
+        cell.label
+    );
+}
+
 /// Shard-count invariance: the same cell at `shards = 1` and `shards = 4` must produce
 /// byte-identical reports. `shards` is an execution knob, not part of the experiment — it is
 /// deliberately excluded from the report's `spec_echo`, and the sharded runtime's windowed
